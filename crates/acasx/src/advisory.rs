@@ -1,0 +1,227 @@
+use serde::{Deserialize, Serialize};
+use uavca_sim::Sense;
+
+/// The advisory set of the vertical logic, modelled on the ACAS XU action
+/// space of ATC-360/371: clear of conflict, two vertical-rate
+/// *restrictions*, two 1500 ft/min rate advisories, and their 2500 ft/min
+/// strengthenings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Advisory {
+    /// Clear of conflict — no restriction, no alert.
+    Coc,
+    /// Do not climb (restrict vertical rate to ≤ 0).
+    Dnc,
+    /// Do not descend (restrict vertical rate to ≥ 0).
+    Dnd,
+    /// Descend at 1500 ft/min.
+    Des1500,
+    /// Climb at 1500 ft/min.
+    Cl1500,
+    /// Strengthened descend at 2500 ft/min.
+    Sdes2500,
+    /// Strengthened climb at 2500 ft/min.
+    Scl2500,
+}
+
+impl Advisory {
+    /// All advisories in their canonical action-index order.
+    pub const ALL: [Advisory; 7] = [
+        Advisory::Coc,
+        Advisory::Dnc,
+        Advisory::Dnd,
+        Advisory::Des1500,
+        Advisory::Cl1500,
+        Advisory::Sdes2500,
+        Advisory::Scl2500,
+    ];
+
+    /// Number of advisories.
+    pub const COUNT: usize = 7;
+
+    /// The canonical action index of this advisory.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&a| a == self).expect("advisory in ALL")
+    }
+
+    /// The advisory with action index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 7`.
+    pub fn from_index(i: usize) -> Advisory {
+        Self::ALL[i]
+    }
+
+    /// Whether this advisory alerts the pilot (everything except COC).
+    pub fn is_alert(self) -> bool {
+        self != Advisory::Coc
+    }
+
+    /// The vertical sense of the advisory, used for coordination. `None`
+    /// for COC.
+    pub fn sense(self) -> Option<Sense> {
+        match self {
+            Advisory::Coc => None,
+            Advisory::Dnc | Advisory::Des1500 | Advisory::Sdes2500 => Some(Sense::Down),
+            Advisory::Dnd | Advisory::Cl1500 | Advisory::Scl2500 => Some(Sense::Up),
+        }
+    }
+
+    /// Alert strength for strengthening/weakening cost accounting:
+    /// 0 = none, 1 = restriction, 2 = 1500 ft/min rate, 3 = 2500 ft/min.
+    pub fn strength(self) -> u8 {
+        match self {
+            Advisory::Coc => 0,
+            Advisory::Dnc | Advisory::Dnd => 1,
+            Advisory::Des1500 | Advisory::Cl1500 => 2,
+            Advisory::Sdes2500 | Advisory::Scl2500 => 3,
+        }
+    }
+
+    /// The vertical-rate target the own-ship tracks under this advisory,
+    /// ft/s, given its current vertical rate. Restrictions only bite when
+    /// violated; `None` means "no commanded rate" (COC).
+    pub fn target_rate_fps(self, current_rate_fps: f64) -> Option<f64> {
+        const FPM1500: f64 = 1500.0 / 60.0;
+        const FPM2500: f64 = 2500.0 / 60.0;
+        match self {
+            Advisory::Coc => None,
+            Advisory::Dnc => Some(current_rate_fps.min(0.0)),
+            Advisory::Dnd => Some(current_rate_fps.max(0.0)),
+            Advisory::Des1500 => Some(-FPM1500),
+            Advisory::Cl1500 => Some(FPM1500),
+            Advisory::Sdes2500 => Some(-FPM2500),
+            Advisory::Scl2500 => Some(FPM2500),
+        }
+    }
+
+    /// A short label for traces ("COC", "CL1500", …).
+    pub fn label(self) -> &'static str {
+        match self {
+            Advisory::Coc => "COC",
+            Advisory::Dnc => "DNC",
+            Advisory::Dnd => "DND",
+            Advisory::Des1500 => "DES1500",
+            Advisory::Cl1500 => "CL1500",
+            Advisory::Sdes2500 => "SDES2500",
+            Advisory::Scl2500 => "SCL2500",
+        }
+    }
+
+    /// Whether switching from `self` to `next` is a sense reversal
+    /// (down-family to up-family or vice versa).
+    pub fn reverses_to(self, next: Advisory) -> bool {
+        matches!(
+            (self.sense(), next.sense()),
+            (Some(a), Some(b)) if a != b
+        )
+    }
+
+    /// Whether switching from `self` to `next` strengthens an existing
+    /// advisory in the same sense.
+    pub fn strengthens_to(self, next: Advisory) -> bool {
+        self.sense().is_some()
+            && self.sense() == next.sense()
+            && next.strength() > self.strength()
+    }
+
+    /// The mirror advisory under a vertical flip (climb ↔ descend).
+    pub fn mirrored(self) -> Advisory {
+        match self {
+            Advisory::Coc => Advisory::Coc,
+            Advisory::Dnc => Advisory::Dnd,
+            Advisory::Dnd => Advisory::Dnc,
+            Advisory::Des1500 => Advisory::Cl1500,
+            Advisory::Cl1500 => Advisory::Des1500,
+            Advisory::Sdes2500 => Advisory::Scl2500,
+            Advisory::Scl2500 => Advisory::Sdes2500,
+        }
+    }
+}
+
+impl std::fmt::Display for Advisory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for (i, &a) in Advisory::ALL.iter().enumerate() {
+            assert_eq!(a.index(), i);
+            assert_eq!(Advisory::from_index(i), a);
+        }
+        assert_eq!(Advisory::ALL.len(), Advisory::COUNT);
+    }
+
+    #[test]
+    fn coc_is_the_only_non_alert() {
+        for a in Advisory::ALL {
+            assert_eq!(a.is_alert(), a != Advisory::Coc);
+        }
+    }
+
+    #[test]
+    fn senses_are_consistent_with_targets() {
+        for a in Advisory::ALL {
+            match a.sense() {
+                None => assert_eq!(a.target_rate_fps(10.0), None),
+                Some(Sense::Up) => {
+                    let t = a.target_rate_fps(-10.0).unwrap();
+                    assert!(t >= 0.0, "{a}: up-sense target must not descend, got {t}");
+                }
+                Some(Sense::Down) => {
+                    let t = a.target_rate_fps(10.0).unwrap();
+                    assert!(t <= 0.0, "{a}: down-sense target must not climb, got {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restrictions_only_bite_when_violated() {
+        // Already descending: DNC leaves the rate alone.
+        assert_eq!(Advisory::Dnc.target_rate_fps(-12.0), Some(-12.0));
+        // Climbing: DNC caps at zero.
+        assert_eq!(Advisory::Dnc.target_rate_fps(12.0), Some(0.0));
+        assert_eq!(Advisory::Dnd.target_rate_fps(12.0), Some(12.0));
+        assert_eq!(Advisory::Dnd.target_rate_fps(-12.0), Some(0.0));
+    }
+
+    #[test]
+    fn reversal_and_strengthening_relations() {
+        assert!(Advisory::Cl1500.reverses_to(Advisory::Des1500));
+        assert!(Advisory::Des1500.reverses_to(Advisory::Scl2500));
+        assert!(!Advisory::Cl1500.reverses_to(Advisory::Scl2500));
+        assert!(!Advisory::Coc.reverses_to(Advisory::Cl1500));
+
+        assert!(Advisory::Cl1500.strengthens_to(Advisory::Scl2500));
+        assert!(Advisory::Dnd.strengthens_to(Advisory::Cl1500));
+        assert!(!Advisory::Scl2500.strengthens_to(Advisory::Cl1500), "weakening");
+        assert!(!Advisory::Cl1500.strengthens_to(Advisory::Sdes2500), "reversal, not strengthening");
+        assert!(!Advisory::Coc.strengthens_to(Advisory::Cl1500), "initial alert, not strengthening");
+    }
+
+    #[test]
+    fn mirror_is_an_involution_and_flips_sense() {
+        for a in Advisory::ALL {
+            assert_eq!(a.mirrored().mirrored(), a);
+            match a.sense() {
+                None => assert_eq!(a.mirrored().sense(), None),
+                Some(s) => assert_eq!(a.mirrored().sense(), Some(s.opposite())),
+            }
+            assert_eq!(a.strength(), a.mirrored().strength());
+        }
+    }
+
+    #[test]
+    fn strength_ordering() {
+        assert!(Advisory::Coc.strength() < Advisory::Dnc.strength());
+        assert!(Advisory::Dnc.strength() < Advisory::Des1500.strength());
+        assert!(Advisory::Des1500.strength() < Advisory::Sdes2500.strength());
+    }
+}

@@ -1,0 +1,145 @@
+use serde::{Deserialize, Serialize};
+
+use crate::Advisory;
+
+/// The preference system of the MDP (paper Sections II–III: "reward or
+/// punishment mechanism... which state or collision avoidance action is
+/// good (/bad) and how good (/bad) it is").
+///
+/// All values are **costs** (the solver maximizes reward = −cost). The
+/// relative magnitudes follow the published ACAS X cost structure: an NMAC
+/// is catastrophically expensive, alerts and maneuvers are mildly
+/// expensive, and disruptive advisory changes (strengthening, reversal)
+/// cost extra. The paper's walk-through uses 10000 for a collision, which
+/// we keep as the default.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost of an NMAC at τ = 0 (paper: 10000).
+    pub nmac: f64,
+    /// Per-step cost of a vertical-rate restriction (DNC/DND).
+    pub restriction: f64,
+    /// Per-step cost of a 1500 ft/min rate advisory.
+    pub rate_advisory: f64,
+    /// Per-step cost of a strengthened (2500 ft/min) advisory.
+    pub strengthened_advisory: f64,
+    /// One-off extra cost when a new alert is issued (COC → any advisory).
+    pub new_alert: f64,
+    /// One-off extra cost when an advisory is strengthened in-sense.
+    pub strengthening: f64,
+    /// One-off extra cost for a sense reversal.
+    pub reversal: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            nmac: 10_000.0,
+            restriction: 3.0,
+            rate_advisory: 6.0,
+            strengthened_advisory: 12.0,
+            new_alert: 10.0,
+            strengthening: 15.0,
+            reversal: 25.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Per-step cost of holding `advisory` (before transition extras).
+    pub fn holding_cost(&self, advisory: Advisory) -> f64 {
+        match advisory.strength() {
+            0 => 0.0,
+            1 => self.restriction,
+            2 => self.rate_advisory,
+            _ => self.strengthened_advisory,
+        }
+    }
+
+    /// Total immediate cost of switching from `previous` to `next` for one
+    /// step (holding cost plus any new-alert / strengthening / reversal
+    /// surcharge).
+    pub fn action_cost(&self, previous: Advisory, next: Advisory) -> f64 {
+        let mut cost = self.holding_cost(next);
+        if previous == Advisory::Coc && next.is_alert() {
+            cost += self.new_alert;
+        }
+        if previous.strengthens_to(next) {
+            cost += self.strengthening;
+        }
+        if previous.reverses_to(next) {
+            cost += self.reversal;
+        }
+        cost
+    }
+
+    /// Terminal cost at τ = 0 given the relative altitude `h_ft`: the NMAC
+    /// cost inside the ±`nmac_half_height_ft` band, 0 outside.
+    pub fn terminal_cost(&self, h_ft: f64, nmac_half_height_ft: f64) -> f64 {
+        if h_ft.abs() <= nmac_half_height_ft {
+            self.nmac
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holding_costs_grow_with_strength() {
+        let c = CostModel::default();
+        assert_eq!(c.holding_cost(Advisory::Coc), 0.0);
+        assert!(c.holding_cost(Advisory::Dnc) < c.holding_cost(Advisory::Des1500));
+        assert!(c.holding_cost(Advisory::Des1500) < c.holding_cost(Advisory::Sdes2500));
+    }
+
+    #[test]
+    fn surcharges_apply_once_each() {
+        let c = CostModel::default();
+        // New alert from COC.
+        assert!(
+            (c.action_cost(Advisory::Coc, Advisory::Cl1500)
+                - (c.rate_advisory + c.new_alert))
+                .abs()
+                < 1e-12
+        );
+        // Continuing the same advisory has only the holding cost.
+        assert!(
+            (c.action_cost(Advisory::Cl1500, Advisory::Cl1500) - c.rate_advisory).abs() < 1e-12
+        );
+        // Strengthening.
+        assert!(
+            (c.action_cost(Advisory::Cl1500, Advisory::Scl2500)
+                - (c.strengthened_advisory + c.strengthening))
+                .abs()
+                < 1e-12
+        );
+        // Reversal.
+        assert!(
+            (c.action_cost(Advisory::Cl1500, Advisory::Des1500)
+                - (c.rate_advisory + c.reversal))
+                .abs()
+                < 1e-12
+        );
+        // Weakening back to COC is free.
+        assert_eq!(c.action_cost(Advisory::Cl1500, Advisory::Coc), 0.0);
+    }
+
+    #[test]
+    fn terminal_cost_is_an_indicator_band() {
+        let c = CostModel::default();
+        assert_eq!(c.terminal_cost(0.0, 100.0), 10_000.0);
+        assert_eq!(c.terminal_cost(-100.0, 100.0), 10_000.0);
+        assert_eq!(c.terminal_cost(101.0, 100.0), 0.0);
+        assert_eq!(c.terminal_cost(-5000.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn nmac_dwarfs_everything_else() {
+        let c = CostModel::default();
+        let worst_operational = c.strengthened_advisory + c.strengthening + c.reversal + c.new_alert;
+        assert!(c.nmac > 50.0 * worst_operational);
+    }
+}

@@ -1,0 +1,211 @@
+use uavca_mdp::{Mdp, RectGrid, Transition};
+
+use crate::{AcasConfig, Advisory};
+
+/// The encounter-evolution MDP of the vertical logic (paper Fig. 1, "MDP
+/// model" box).
+///
+/// A state is `(previous advisory, h, ḣ_own, ḣ_int)` where the kinematic
+/// part lives on the configuration's interpolation grid; flat indexing is
+/// `sRA * grid_points + grid_flat`. Actions are the 7 advisories. Each
+/// continuous stochastic successor from [`crate::VerticalDynamics`] is
+/// projected back onto the grid by multilinear interpolation — the
+/// "discretized state space + interpolation" construction whose accuracy
+/// risks Section IV discusses.
+///
+/// τ is *not* part of the state: the model is solved stage-by-stage by
+/// backward induction, so the decision index is the time to CPA.
+#[derive(Debug, Clone)]
+pub struct VerticalMdp {
+    config: AcasConfig,
+    grid: RectGrid,
+}
+
+impl VerticalMdp {
+    /// Builds the model from a configuration.
+    pub fn new(config: AcasConfig) -> Self {
+        let grid = config.build_grid();
+        Self { config, grid }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AcasConfig {
+        &self.config
+    }
+
+    /// The kinematic interpolation grid.
+    pub fn grid(&self) -> &RectGrid {
+        &self.grid
+    }
+
+    /// Number of kinematic grid points.
+    pub fn grid_points(&self) -> usize {
+        self.grid.num_points()
+    }
+
+    /// Flat state index of `(previous advisory, kinematic grid point)`.
+    pub fn state_index(&self, previous: Advisory, grid_flat: usize) -> usize {
+        previous.index() * self.grid_points() + grid_flat
+    }
+
+    /// Decodes a flat state index into `(previous advisory, grid point)`.
+    pub fn decode_state(&self, state: usize) -> (Advisory, usize) {
+        let gp = self.grid_points();
+        (Advisory::from_index(state / gp), state % gp)
+    }
+
+    /// Terminal values at τ = 0 for every state: −NMAC cost inside the
+    /// vertical NMAC band (the horizontal miss is zero at the CPA by
+    /// construction of the stage indexing).
+    pub fn terminal_values(&self) -> Vec<f64> {
+        let gp = self.grid_points();
+        let mut grid_terminal = Vec::with_capacity(gp);
+        for (_, point) in self.grid.iter_points() {
+            let h = point[0];
+            grid_terminal
+                .push(-self.config.costs.terminal_cost(h, self.config.nmac_half_height_ft));
+        }
+        let mut out = Vec::with_capacity(gp * Advisory::COUNT);
+        for _ in 0..Advisory::COUNT {
+            out.extend_from_slice(&grid_terminal);
+        }
+        out
+    }
+}
+
+impl Mdp for VerticalMdp {
+    fn num_states(&self) -> usize {
+        self.grid_points() * Advisory::COUNT
+    }
+
+    fn num_actions(&self) -> usize {
+        Advisory::COUNT
+    }
+
+    fn discount(&self) -> f64 {
+        1.0
+    }
+
+    fn transitions_into(&self, state: usize, action: usize, out: &mut Vec<Transition>) {
+        let (_previous, grid_flat) = self.decode_state(state);
+        let point = self.grid.point(grid_flat).expect("state index in range");
+        let advisory = Advisory::from_index(action);
+        let successors =
+            self.config.dynamics.successors(point[0], point[1], point[2], advisory);
+        let next_sra_offset = advisory.index() * self.grid_points();
+        for (h, own, intr, p) in successors {
+            let weights = self
+                .grid
+                .interp_weights(&[h, own, intr])
+                .expect("query arity matches grid");
+            for (&idx, &w) in weights.indices.iter().zip(&weights.weights) {
+                if w > 0.0 {
+                    out.push(Transition::new(next_sra_offset + idx, p * w));
+                }
+            }
+        }
+    }
+
+    fn reward(&self, state: usize, action: usize) -> f64 {
+        let (previous, _) = self.decode_state(state);
+        -self.config.costs.action_cost(previous, Advisory::from_index(action))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> VerticalMdp {
+        VerticalMdp::new(AcasConfig::coarse())
+    }
+
+    #[test]
+    fn state_index_round_trip() {
+        let m = model();
+        for adv in Advisory::ALL {
+            for gf in [0, 1, m.grid_points() - 1] {
+                let s = m.state_index(adv, gf);
+                assert_eq!(m.decode_state(s), (adv, gf));
+            }
+        }
+        assert_eq!(m.num_states(), m.grid_points() * 7);
+    }
+
+    #[test]
+    fn transition_mass_sums_to_one_everywhere_sampled() {
+        let m = model();
+        let mut buf = Vec::new();
+        // Sample a spread of states and all actions.
+        for s in (0..m.num_states()).step_by(97) {
+            for a in 0..m.num_actions() {
+                buf.clear();
+                m.transitions_into(s, a, &mut buf);
+                let mass: f64 = buf.iter().map(|t| t.probability).sum();
+                assert!((mass - 1.0).abs() < 1e-9, "state {s} action {a}: {mass}");
+                assert!(buf.iter().all(|t| t.next_state < m.num_states()));
+            }
+        }
+    }
+
+    #[test]
+    fn successors_carry_the_action_as_next_sra() {
+        let m = model();
+        let s = m.state_index(Advisory::Coc, m.grid_points() / 2);
+        let gp = m.grid_points();
+        for a in 0..7 {
+            let ts = m.transitions(s, a);
+            for t in ts {
+                assert_eq!(t.next_state / gp, a, "next sRA must equal the action taken");
+            }
+        }
+    }
+
+    #[test]
+    fn rewards_are_negative_costs() {
+        let m = model();
+        let s_coc = m.state_index(Advisory::Coc, 0);
+        assert_eq!(m.reward(s_coc, Advisory::Coc.index()), 0.0);
+        assert!(m.reward(s_coc, Advisory::Cl1500.index()) < 0.0);
+        let s_cl = m.state_index(Advisory::Cl1500, 0);
+        // Reversal costs more than continuing.
+        assert!(
+            m.reward(s_cl, Advisory::Des1500.index()) < m.reward(s_cl, Advisory::Cl1500.index())
+        );
+    }
+
+    #[test]
+    fn terminal_values_penalize_the_nmac_band_only() {
+        let m = model();
+        let tv = m.terminal_values();
+        assert_eq!(tv.len(), m.num_states());
+        for (flat, point) in m.grid().iter_points() {
+            let v = tv[m.state_index(Advisory::Coc, flat)];
+            if point[0].abs() <= m.config().nmac_half_height_ft {
+                assert!(v < 0.0, "h={} must be terminal-penalized", point[0]);
+            } else {
+                assert_eq!(v, 0.0, "h={} must be safe", point[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn model_validates_as_a_proper_mdp() {
+        // Run the generic validator over a coarse model (it checks every
+        // state-action pair's distribution).
+        let mut cfg = AcasConfig::coarse();
+        cfg.h_points = 7;
+        cfg.rate_points = 3;
+        let m = VerticalMdp::new(cfg);
+        let vi = uavca_mdp::ValueIteration::new();
+        // validate happens inside solve; tolerance loose, horizon via gamma<1
+        // is not what we use in production, but validation is the point here.
+        // Use a gamma hack: the model has gamma=1, so full VI may not
+        // converge; instead validate directly through a 1-stage backward
+        // induction which also exercises every backup.
+        let bi = uavca_mdp::BackwardInduction::new();
+        let sol = bi.solve(&m, 1, m.terminal_values()).unwrap();
+        assert_eq!(sol.stage_values[1].len(), m.num_states());
+        let _ = vi; // silence unused in case of refactor
+    }
+}

@@ -1,0 +1,398 @@
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use uavca_mdp::{BackwardInduction, QTable, RectGrid};
+use uavca_sim::Sense;
+
+use crate::{AcasConfig, Advisory, VerticalMdp};
+
+/// The offline product of the development process: the "logic table"
+/// (paper Fig. 1) mapping discretized encounter states to advisory costs.
+///
+/// Stage `k` of the table answers "what does each advisory cost with `k`
+/// decision steps left to the closest point of approach". Online lookups
+/// interpolate multilinearly over the kinematic grid and linearly between
+/// the two bracketing τ stages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogicTable {
+    config: AcasConfig,
+    grid: RectGrid,
+    /// `stage_q[k - 1]` is the Q-table with `k` stages to go.
+    stage_q: Vec<QTable>,
+}
+
+impl LogicTable {
+    /// Generates the table by backward induction over the configured
+    /// horizon — the "Optimization" arrow of the development-process
+    /// figure. Runtime grows linearly in grid points × stages; the default
+    /// configuration solves in seconds in release builds.
+    pub fn solve(config: &AcasConfig) -> LogicTable {
+        let model = VerticalMdp::new(config.clone());
+        let terminal = model.terminal_values();
+        let solution = BackwardInduction::new()
+            .solve(&model, config.num_stages(), terminal)
+            .expect("model construction guarantees a well-formed MDP");
+        LogicTable { config: config.clone(), grid: model.grid().clone(), stage_q: solution.stage_q }
+    }
+
+    /// The configuration the table was generated from.
+    pub fn config(&self) -> &AcasConfig {
+        &self.config
+    }
+
+    /// Number of decision stages in the table.
+    pub fn num_stages(&self) -> usize {
+        self.stage_q.len()
+    }
+
+    /// Approximate in-memory size of the Q data, bytes.
+    pub fn q_bytes(&self) -> usize {
+        self.stage_q.len() * self.grid.num_points() * Advisory::COUNT * 8
+    }
+
+    /// Interpolated Q-values (higher = better) of all 7 advisories at the
+    /// continuous state `(h, ḣ_own, ḣ_int, τ, previous advisory)`.
+    ///
+    /// Kinematics are clamped to the grid box; τ is clamped to
+    /// `[dt, horizon]` and blended linearly between the bracketing stages.
+    pub fn q_values(
+        &self,
+        h_ft: f64,
+        own_rate_fps: f64,
+        intruder_rate_fps: f64,
+        tau_s: f64,
+        previous: Advisory,
+    ) -> [f64; Advisory::COUNT] {
+        let weights = self
+            .grid
+            .interp_weights(&[h_ft, own_rate_fps, intruder_rate_fps])
+            .expect("arity matches the 3-D grid");
+        let stages = self.num_stages() as f64;
+        let dt = self.config.dynamics.dt_s;
+        let t = (tau_s / dt).clamp(1.0, stages);
+        let k_lo = t.floor() as usize;
+        let k_hi = t.ceil() as usize;
+        let frac = t - k_lo as f64;
+        let offset = previous.index() * self.grid.num_points();
+
+        let mut out = [0.0; Advisory::COUNT];
+        for (a, slot) in out.iter_mut().enumerate() {
+            let q_at = |k: usize| -> f64 {
+                let q = &self.stage_q[k - 1];
+                weights
+                    .indices
+                    .iter()
+                    .zip(&weights.weights)
+                    .map(|(&i, &w)| q.get(offset + i, a) * w)
+                    .sum()
+            };
+            *slot = if k_lo == k_hi {
+                q_at(k_lo)
+            } else {
+                q_at(k_lo) * (1.0 - frac) + q_at(k_hi) * frac
+            };
+        }
+        out
+    }
+
+    /// The best advisory at a continuous state, with optional coordination
+    /// masking (advisories whose sense equals `forbidden` are excluded;
+    /// COC is always allowed) and advisory hysteresis: the previous
+    /// advisory's Q-value receives `hysteresis_bonus` before comparison so
+    /// marginal differences do not cause chattering.
+    #[allow(clippy::too_many_arguments)]
+    pub fn best_advisory(
+        &self,
+        h_ft: f64,
+        own_rate_fps: f64,
+        intruder_rate_fps: f64,
+        tau_s: f64,
+        previous: Advisory,
+        forbidden: Option<Sense>,
+        hysteresis_bonus: f64,
+    ) -> Advisory {
+        self.best_advisory_masked(
+            h_ft,
+            own_rate_fps,
+            intruder_rate_fps,
+            tau_s,
+            previous,
+            |adv| match (adv.sense(), forbidden) {
+                (Some(s), Some(f)) => s != f,
+                _ => true,
+            },
+            hysteresis_bonus,
+        )
+    }
+
+    /// [`best_advisory`](Self::best_advisory) with an arbitrary advisory
+    /// mask. COC is always considered even if the mask rejects it, so a
+    /// decision always exists.
+    #[allow(clippy::too_many_arguments)]
+    pub fn best_advisory_masked(
+        &self,
+        h_ft: f64,
+        own_rate_fps: f64,
+        intruder_rate_fps: f64,
+        tau_s: f64,
+        previous: Advisory,
+        mut allowed: impl FnMut(Advisory) -> bool,
+        hysteresis_bonus: f64,
+    ) -> Advisory {
+        let mut q = self.q_values(h_ft, own_rate_fps, intruder_rate_fps, tau_s, previous);
+        q[previous.index()] += hysteresis_bonus;
+        let mut best = Advisory::Coc;
+        let mut best_q = q[Advisory::Coc.index()];
+        for adv in Advisory::ALL {
+            if adv != Advisory::Coc && !allowed(adv) {
+                continue;
+            }
+            let val = q[adv.index()];
+            if val > best_q {
+                best_q = val;
+                best = adv;
+            }
+        }
+        best
+    }
+
+    /// Renders an ASCII advisory map over relative altitude (rows, top =
+    /// high) and τ (columns, left = far) for fixed vertical rates — the
+    /// classic "policy plot" the ACAS X reports use to inspect generated
+    /// logic.
+    ///
+    /// Legend: `.` COC, `^`/`v` climb/descend 1500, `N`/`U` do-not-climb /
+    /// do-not-descend, `+`/`-` strengthened climb/descend.
+    pub fn render_advisory_map(&self, own_rate_fps: f64, intruder_rate_fps: f64) -> String {
+        let h_axis: Vec<f64> = self.grid.axis(0).to_vec();
+        let mut out = format!(
+            "advisory map (own rate {:.0} ft/s, intruder rate {:.0} ft/s); rows h, cols tau {}..1 s\n",
+            own_rate_fps,
+            intruder_rate_fps,
+            self.num_stages()
+        );
+        for &h in h_axis.iter().rev() {
+            out.push_str(&format!("{h:>7.0} ft |"));
+            for k in (1..=self.num_stages()).rev() {
+                let adv = self.best_advisory(
+                    h,
+                    own_rate_fps,
+                    intruder_rate_fps,
+                    k as f64 * self.config.dynamics.dt_s,
+                    Advisory::Coc,
+                    None,
+                    0.0,
+                );
+                out.push(match adv {
+                    Advisory::Coc => '.',
+                    Advisory::Dnc => 'N',
+                    Advisory::Dnd => 'U',
+                    Advisory::Des1500 => 'v',
+                    Advisory::Cl1500 => '^',
+                    Advisory::Sdes2500 => '-',
+                    Advisory::Scl2500 => '+',
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the table as JSON to `writer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or serialization error as `io::Error`.
+    pub fn save<W: io::Write>(&self, writer: W) -> io::Result<()> {
+        serde_json::to_writer(writer, self).map_err(io::Error::other)
+    }
+
+    /// Reads a table back from JSON. A mut reference can be passed as the
+    /// reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O or deserialization error as `io::Error`.
+    pub fn load<R: io::Read>(reader: R) -> io::Result<LogicTable> {
+        serde_json::from_reader(reader).map_err(io::Error::other)
+    }
+
+    /// Saves to a file path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and serialization errors.
+    pub fn save_to_path<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        self.save(io::BufWriter::new(std::fs::File::create(path)?))
+    }
+
+    /// Loads from a file path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open and deserialization errors.
+    pub fn load_from_path<P: AsRef<Path>>(path: P) -> io::Result<LogicTable> {
+        Self::load(io::BufReader::new(std::fs::File::open(path)?))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// A shared coarse table so the test-suite solves it only once.
+    pub fn coarse_table() -> &'static LogicTable {
+        static TABLE: OnceLock<LogicTable> = OnceLock::new();
+        TABLE.get_or_init(|| LogicTable::solve(&AcasConfig::coarse()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::coarse_table;
+    use super::*;
+
+    #[test]
+    fn close_conflicts_alert_far_geometries_do_not() {
+        let t = coarse_table();
+        // Co-altitude, both level, 8 s out: must alert.
+        let best = t.best_advisory(0.0, 0.0, 0.0, 8.0, Advisory::Coc, None, 0.0);
+        assert_ne!(best, Advisory::Coc, "imminent co-altitude collision must alert");
+        // 1100 ft above and diverging rates, 8 s out: COC is fine.
+        let best = t.best_advisory(1100.0, -5.0, 5.0, 8.0, Advisory::Coc, None, 0.0);
+        assert_eq!(best, Advisory::Coc);
+    }
+
+    #[test]
+    fn sense_matches_geometry() {
+        let t = coarse_table();
+        // Intruder 250 ft above: the own-ship should prefer a down-sense
+        // advisory; 250 ft below: up-sense.
+        let above = t.best_advisory(250.0, 0.0, 0.0, 6.0, Advisory::Coc, None, 0.0);
+        let below = t.best_advisory(-250.0, 0.0, 0.0, 6.0, Advisory::Coc, None, 0.0);
+        assert_eq!(above.sense(), Some(uavca_sim::Sense::Down), "got {above}");
+        assert_eq!(below.sense(), Some(uavca_sim::Sense::Up), "got {below}");
+    }
+
+    #[test]
+    fn logic_is_vertically_symmetric() {
+        // Mirror symmetry holds at the Q-value level: Q(s, a) equals
+        // Q(mirror(s), mirror(a)). (Argmax alone is not a fair check —
+        // exactly symmetric states tie and tie-breaking is positional.)
+        let t = coarse_table();
+        for (h, own, intr, tau) in
+            [(0.0, 0.0, 0.0, 6.0), (150.0, 5.0, -5.0, 9.0), (-300.0, -10.0, 3.0, 4.0)]
+        {
+            for prev in Advisory::ALL {
+                let q = t.q_values(h, own, intr, tau, prev);
+                let qm = t.q_values(-h, -own, -intr, tau, prev.mirrored());
+                for a in Advisory::ALL {
+                    let lhs = q[a.index()];
+                    let rhs = qm[a.mirrored().index()];
+                    assert!(
+                        (lhs - rhs).abs() < 1e-6,
+                        "state ({h},{own},{intr},{tau}) prev {prev} action {a}: {lhs} vs {rhs}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coordination_mask_excludes_the_forbidden_sense() {
+        let t = coarse_table();
+        // Co-altitude conflict, but the peer already took the up sense.
+        let best = t.best_advisory(
+            0.0,
+            0.0,
+            0.0,
+            6.0,
+            Advisory::Coc,
+            Some(uavca_sim::Sense::Up),
+            0.0,
+        );
+        assert_ne!(best.sense(), Some(uavca_sim::Sense::Up));
+        assert_ne!(best, Advisory::Coc, "must still resolve the conflict downward");
+    }
+
+    #[test]
+    fn hysteresis_retains_the_current_advisory_on_ties() {
+        let t = coarse_table();
+        // Find a state where CL1500 and DES1500 are nearly tied (h = 0,
+        // symmetric) — with a hysteresis bonus the incumbent must win.
+        let incumbent = Advisory::Cl1500;
+        let best = t.best_advisory(0.0, 0.0, 0.0, 6.0, incumbent, None, 50.0);
+        assert_eq!(best, incumbent);
+    }
+
+    #[test]
+    fn tau_interpolation_is_monotone_near_conflict() {
+        let t = coarse_table();
+        // The value of COC (co-altitude, level) should not improve as tau
+        // shrinks: less time means the collision is harder to escape.
+        let q_far = t.q_values(0.0, 0.0, 0.0, 12.0, Advisory::Coc)[Advisory::Coc.index()];
+        let q_near = t.q_values(0.0, 0.0, 0.0, 3.0, Advisory::Coc)[Advisory::Coc.index()];
+        assert!(q_near <= q_far + 1e-9, "near {q_near} vs far {q_far}");
+    }
+
+    #[test]
+    fn fractional_tau_blends_between_stages() {
+        let t = coarse_table();
+        let q4 = t.q_values(100.0, 0.0, 0.0, 4.0, Advisory::Coc);
+        let q5 = t.q_values(100.0, 0.0, 0.0, 5.0, Advisory::Coc);
+        let q45 = t.q_values(100.0, 0.0, 0.0, 4.5, Advisory::Coc);
+        for a in 0..Advisory::COUNT {
+            let mid = 0.5 * (q4[a] + q5[a]);
+            assert!((q45[a] - mid).abs() < 1e-9, "action {a}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_tau_clamps() {
+        let t = coarse_table();
+        let q_low = t.q_values(0.0, 0.0, 0.0, -3.0, Advisory::Coc);
+        let q_dt = t.q_values(0.0, 0.0, 0.0, t.config().dynamics.dt_s, Advisory::Coc);
+        assert_eq!(q_low, q_dt);
+        let q_high = t.q_values(0.0, 0.0, 0.0, 1e9, Advisory::Coc);
+        let q_max = t.q_values(0.0, 0.0, 0.0, t.num_stages() as f64, Advisory::Coc);
+        assert_eq!(q_high, q_max);
+    }
+
+    #[test]
+    fn advisory_map_has_alert_core_and_quiet_edges() {
+        let t = coarse_table();
+        let map = t.render_advisory_map(0.0, 0.0);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 1 + t.config().h_points);
+        // The co-altitude row at small tau must alert; the extreme
+        // altitude rows must be quiet everywhere.
+        let mid = &lines[1 + t.config().h_points / 2];
+        assert!(
+            mid.ends_with(|c| "Nv^U+-".contains(c)),
+            "co-altitude near tau=1 must alert: {mid}"
+        );
+        let top = lines[1];
+        let body: String = top.chars().skip_while(|&c| c != '|').skip(1).collect();
+        assert!(body.chars().all(|c| c == '.'), "h=+max must be COC everywhere: {top}");
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_lookups() {
+        let t = coarse_table();
+        let mut buf = Vec::new();
+        t.save(&mut buf).unwrap();
+        let back = LogicTable::load(buf.as_slice()).unwrap();
+        assert_eq!(back.num_stages(), t.num_stages());
+        for (h, tau) in [(0.0, 5.0), (200.0, 9.0), (-450.0, 2.5)] {
+            let a = t.q_values(h, 0.0, 0.0, tau, Advisory::Coc);
+            let b = back.q_values(h, 0.0, 0.0, tau, Advisory::Coc);
+            for i in 0..Advisory::COUNT {
+                // JSON float round-trips are not guaranteed bit-exact.
+                assert!((a[i] - b[i]).abs() < 1e-9, "action {i}: {} vs {}", a[i], b[i]);
+            }
+        }
+        assert!(t.q_bytes() > 0);
+    }
+}

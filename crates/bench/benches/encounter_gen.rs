@@ -1,0 +1,56 @@
+//! Criterion bench: scenario generation throughput — parameter sampling,
+//! CPA geometry instantiation, and statistical-model draws. These sit on
+//! the hot path of both search and Monte-Carlo loops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uavca_encounter::{classify, ParamRanges, ScenarioGenerator, StatisticalEncounterModel};
+
+fn bench_uniform_sampling(c: &mut Criterion) {
+    let ranges = ParamRanges::default();
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("uniform_param_sample", |b| b.iter(|| ranges.sample_uniform(&mut rng)));
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let ranges = ParamRanges::default();
+    let generator = ScenarioGenerator::default();
+    let mut rng = StdRng::seed_from_u64(2);
+    let params: Vec<_> = (0..256).map(|_| ranges.sample_uniform(&mut rng)).collect();
+    c.bench_function("cpa_geometry_instantiation", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % params.len();
+            generator.generate(&params[i])
+        })
+    });
+}
+
+fn bench_statistical_model(c: &mut Criterion) {
+    let model = StatisticalEncounterModel::default();
+    let mut rng = StdRng::seed_from_u64(3);
+    c.bench_function("statistical_model_sample", |b| b.iter(|| model.sample(&mut rng)));
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let ranges = ParamRanges::default();
+    let mut rng = StdRng::seed_from_u64(4);
+    let params: Vec<_> = (0..256).map(|_| ranges.sample_uniform(&mut rng)).collect();
+    c.bench_function("geometry_classification", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % params.len();
+            classify(&params[i])
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_uniform_sampling,
+    bench_generation,
+    bench_statistical_model,
+    bench_classification
+);
+criterion_main!(benches);

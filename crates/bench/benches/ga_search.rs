@@ -1,0 +1,57 @@
+//! Criterion bench: search-loop overhead (CLAIM-SEARCH-TIME). Uses a
+//! synthetic cheap fitness so the bench isolates the GA machinery, plus a
+//! small real-simulation generation to capture the paper's end-to-end
+//! cost structure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uavca_evo::{Bounds, GaConfig, GeneticAlgorithm, RandomSearch};
+use uavca_svo::{run_encounter_2d, Scenario2d, Sim2dConfig, SCENARIO_2D_BOUNDS};
+
+fn bench_ga_machinery(c: &mut Criterion) {
+    // Pure engine overhead on a trivial fitness.
+    let bounds = Bounds::uniform(9, -1.0, 1.0).expect("valid bounds");
+    c.bench_function("ga_engine_200x5_cheap_fitness", |b| {
+        b.iter(|| {
+            GeneticAlgorithm::new(GaConfig::new(200, 5).seed(1), bounds.clone())
+                .run(|g: &[f64]| -g.iter().map(|x| x * x).sum::<f64>())
+        })
+    });
+}
+
+fn bench_random_machinery(c: &mut Criterion) {
+    let bounds = Bounds::uniform(9, -1.0, 1.0).expect("valid bounds");
+    c.bench_function("random_search_1000_cheap_fitness", |b| {
+        b.iter(|| {
+            RandomSearch::new(bounds.clone(), 1000)
+                .seed(1)
+                .run(|g: &[f64]| -g.iter().map(|x| x * x).sum::<f64>())
+        })
+    });
+}
+
+fn bench_one_svo_generation(c: &mut Criterion) {
+    // One GA generation against the real (2-D) simulation: 20 individuals
+    // x 5 runs — the unit the ~300 s paper-scale search repeats.
+    let bounds = Bounds::new(SCENARIO_2D_BOUNDS.to_vec()).expect("valid bounds");
+    let fitness = |genes: &[f64]| {
+        let scenario = Scenario2d::from_slice(genes);
+        (0..5)
+            .map(|k| {
+                let o = run_encounter_2d(&Sim2dConfig::default(), &scenario, [true, true], k);
+                10_000.0 / (1.0 + o.min_separation_ft)
+            })
+            .sum::<f64>()
+            / 5.0
+    };
+    let mut group = c.benchmark_group("ga_generation_svo");
+    group.sample_size(10);
+    group.bench_function("20_individuals_x_5_runs", |b| {
+        b.iter(|| {
+            GeneticAlgorithm::new(GaConfig::new(20, 1).seed(2), bounds.clone()).run(fitness)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ga_machinery, bench_random_machinery, bench_one_svo_generation);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: encounter simulation throughput (the denominator of
+//! every search and Monte-Carlo budget; paper footnote 5's ~300 s search
+//! is dominated by simulation time).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uavca_acasx::{AcasConfig, LogicTable};
+use uavca_encounter::EncounterParams;
+use uavca_validation::{EncounterRunner, Equipage};
+
+fn table() -> Arc<LogicTable> {
+    Arc::new(LogicTable::solve(&AcasConfig::coarse()))
+}
+
+fn bench_single_run(c: &mut Criterion) {
+    let runner = EncounterRunner::new(table());
+    let params = EncounterParams::head_on_template();
+    c.bench_function("encounter_run_equipped_100s", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            runner.run_once(&params, seed)
+        })
+    });
+}
+
+fn bench_unequipped_run(c: &mut Criterion) {
+    let runner = EncounterRunner::new(table()).equipage(Equipage::Neither);
+    let params = EncounterParams::head_on_template();
+    c.bench_function("encounter_run_unequipped_100s", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            runner.run_once(&params, seed)
+        })
+    });
+}
+
+fn bench_paper_evaluation(c: &mut Criterion) {
+    // One fitness evaluation at paper scale = 100 stochastic runs.
+    let runner = EncounterRunner::new(table());
+    let params = EncounterParams::tail_approach_template();
+    let mut group = c.benchmark_group("fitness_evaluation");
+    group.sample_size(10);
+    group.bench_function("100_runs_per_encounter", |b| {
+        b.iter(|| runner.run_repeated(&params, 100, 0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_run, bench_unequipped_run, bench_paper_evaluation);
+criterion_main!(benches);

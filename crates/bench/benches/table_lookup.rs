@@ -1,0 +1,55 @@
+//! Criterion bench: online logic-table lookups — the per-decision cost of
+//! the deployed system (multilinear interpolation over the kinematic grid
+//! plus τ blending, then masked argmax).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uavca_acasx::{AcasConfig, Advisory, LogicTable};
+
+fn bench_q_lookup(c: &mut Criterion) {
+    let table = LogicTable::solve(&AcasConfig::coarse());
+    c.bench_function("logic_table_q_values", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let h = ((i % 200) as f64) * 10.0 - 1000.0;
+            let tau = (i % 12) as f64 + 0.5;
+            table.q_values(h, 5.0, -8.0, tau, Advisory::Coc)
+        })
+    });
+}
+
+fn bench_best_advisory(c: &mut Criterion) {
+    let table = LogicTable::solve(&AcasConfig::coarse());
+    c.bench_function("logic_table_best_advisory_masked", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let h = ((i % 200) as f64) * 10.0 - 1000.0;
+            table.best_advisory(
+                h,
+                5.0,
+                -8.0,
+                6.5,
+                Advisory::Cl1500,
+                Some(uavca_sim::Sense::Down),
+                3.0,
+            )
+        })
+    });
+}
+
+fn bench_interp_weights(c: &mut Criterion) {
+    // The raw 3-D interpolation kernel.
+    let grid = AcasConfig::default().build_grid();
+    c.bench_function("grid_interp_weights_3d", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let h = ((i % 300) as f64) * 7.0 - 1000.0;
+            grid.interp_weights(&[h, 3.3, -12.7]).expect("3-D query")
+        })
+    });
+}
+
+criterion_group!(benches, bench_q_lookup, bench_best_advisory, bench_interp_weights);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! PIPE-MC — the Monte-Carlo evaluation loop of the development process
+//! (paper Fig. 1 "Simulation Evaluation" + Section IV): NMAC probability,
+//! alert rate and risk ratio over the statistical encounter model, with
+//! confidence intervals, plus the cost accounting that motivates guided
+//! search for rare events.
+//!
+//! `cargo run --release -p uavca-bench --bin monte_carlo_eval [--full]`
+
+use uavca_bench::{full_scale, runner_for_scale, seed_arg};
+use uavca_validation::{MonteCarloConfig, MonteCarloEstimator, TextTable};
+
+fn main() {
+    let runner = runner_for_scale();
+    let config = if full_scale() {
+        MonteCarloConfig { num_encounters: 5000, runs_per_encounter: 10, seed: seed_arg() }
+    } else {
+        MonteCarloConfig { num_encounters: 400, runs_per_encounter: 4, seed: seed_arg() }
+    };
+    println!(
+        "== PIPE-MC: Monte-Carlo campaign, {} encounters x {} runs ==\n",
+        config.num_encounters, config.runs_per_encounter
+    );
+
+    let started = std::time::Instant::now();
+    let estimate = MonteCarloEstimator::new(runner, config).estimate();
+    let wall = started.elapsed().as_secs_f64();
+
+    let mut table = TextTable::new(["metric", "estimate"]);
+    table.row(["unequipped NMAC rate", &estimate.unequipped_nmac.to_string()]);
+    table.row(["equipped NMAC rate", &estimate.equipped_nmac.to_string()]);
+    table.row(["risk ratio (equipped/unequipped)", &format!("{:.3}", estimate.risk_ratio)]);
+    table.row(["alert rate", &estimate.alert_rate.to_string()]);
+    table.row(["false alert rate", &estimate.false_alert_rate.to_string()]);
+    println!("{table}");
+
+    let sims = 2 * config.num_encounters * config.runs_per_encounter;
+    println!("{sims} simulations in {wall:.1} s ({:.0} sims/s)", sims as f64 / wall);
+    println!(
+        "\nshape check (paper Sections II & IV): the equipped system cuts the NMAC rate \
+         (risk ratio {:.3} « 1), but the CI on the equipped rate is still {:.4} wide — \
+         rare-event estimation is what makes Monte-Carlo costly and guided search attractive.",
+        estimate.risk_ratio,
+        estimate.equipped_nmac.ci_high - estimate.equipped_nmac.ci_low
+    );
+    assert!(estimate.risk_ratio < 0.5, "the generated logic must cut risk substantially");
+}

@@ -1,0 +1,245 @@
+//! Post-search analysis: geometry classification summaries and k-means
+//! clustering of found scenarios.
+//!
+//! The paper's conclusion notes that the search "only directly identifies
+//! discrete situations" and suggests data mining (clustering) to find
+//! *areas* of the search space with high accident rates. This module
+//! implements that extension: scenarios are normalized to the unit box and
+//! clustered with k-means++, and each cluster is summarized by its
+//! centroid, size and dominant geometry class.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use uavca_encounter::{classify, EncounterParams, GeometryClass};
+
+use crate::ScenarioSpace;
+
+/// One cluster of scenarios in parameter space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioCluster {
+    /// Centroid decoded back to parameter space.
+    pub centroid: EncounterParams,
+    /// Number of member scenarios.
+    pub size: usize,
+    /// Mean fitness of the members.
+    pub mean_fitness: f64,
+    /// The most common geometry class among members.
+    pub dominant_class: GeometryClass,
+    /// Member indices into the input slice.
+    pub members: Vec<usize>,
+}
+
+/// K-means++ clustering of `(genome, fitness)` pairs in the normalized
+/// scenario space.
+///
+/// Returns at most `k` clusters (fewer when there are fewer distinct
+/// points). Deterministic for a given `seed`.
+pub fn cluster_scenarios(
+    space: &ScenarioSpace,
+    scenarios: &[(Vec<f64>, f64)],
+    k: usize,
+    seed: u64,
+) -> Vec<ScenarioCluster> {
+    if scenarios.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let points: Vec<Vec<f64>> = scenarios.iter().map(|(g, _)| space.normalize(g)).collect();
+    let k = k.min(points.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| squared_distance(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 1e-18 {
+            break; // all points coincide with existing centroids
+        }
+        let mut u = rng.gen::<f64>() * total;
+        let mut chosen = points.len() - 1;
+        for (i, w) in d2.iter().enumerate() {
+            u -= w;
+            if u <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push(points[chosen].clone());
+    }
+
+    // Lloyd iterations.
+    let mut assignment = vec![0usize; points.len()];
+    for _ in 0..50 {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = centroids
+                .iter()
+                .enumerate()
+                .min_by(|a, b| {
+                    squared_distance(p, a.1)
+                        .partial_cmp(&squared_distance(p, b.1))
+                        .expect("finite coordinates")
+                })
+                .map(|(j, _)| j)
+                .expect("at least one centroid");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids.
+        for (j, centroid) in centroids.iter_mut().enumerate() {
+            let members: Vec<&Vec<f64>> = points
+                .iter()
+                .zip(&assignment)
+                .filter(|(_, &a)| a == j)
+                .map(|(p, _)| p)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            for (d, slot) in centroid.iter_mut().enumerate() {
+                *slot = members.iter().map(|m| m[d]).sum::<f64>() / members.len() as f64;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Summarize.
+    let mut clusters = Vec::new();
+    for (j, centroid) in centroids.iter().enumerate() {
+        let members: Vec<usize> =
+            (0..points.len()).filter(|&i| assignment[i] == j).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let mean_fitness =
+            members.iter().map(|&i| scenarios[i].1).sum::<f64>() / members.len() as f64;
+        let centroid_params = EncounterParams::from_slice(&space.denormalize(centroid));
+        let mut counts = std::collections::HashMap::new();
+        for &i in &members {
+            let params = EncounterParams::from_slice(&scenarios[i].0);
+            *counts.entry(classify(&params)).or_insert(0usize) += 1;
+        }
+        let dominant_class = GeometryClass::ALL
+            .iter()
+            .copied()
+            .max_by_key(|c| counts.get(c).copied().unwrap_or(0))
+            .expect("non-empty class list");
+        clusters.push(ScenarioCluster {
+            centroid: centroid_params,
+            size: members.len(),
+            mean_fitness,
+            dominant_class,
+            members,
+        });
+    }
+    clusters.sort_by(|a, b| b.mean_fitness.partial_cmp(&a.mean_fitness).expect("finite"));
+    clusters
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Per-class fitness summary of a scenario batch: `(class, count, mean
+/// fitness)` rows, the paper's Section VII analysis in table form.
+pub fn class_summary(scenarios: &[(Vec<f64>, f64)]) -> Vec<(GeometryClass, usize, f64)> {
+    GeometryClass::ALL
+        .iter()
+        .map(|&class| {
+            let members: Vec<f64> = scenarios
+                .iter()
+                .filter(|(g, _)| classify(&EncounterParams::from_slice(g)) == class)
+                .map(|(_, f)| *f)
+                .collect();
+            let mean = if members.is_empty() {
+                0.0
+            } else {
+                members.iter().sum::<f64>() / members.len() as f64
+            };
+            (class, members.len(), mean)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uavca_encounter::EncounterParams;
+
+    fn space() -> ScenarioSpace {
+        ScenarioSpace::default()
+    }
+
+    fn batch() -> Vec<(Vec<f64>, f64)> {
+        // Two tight groups: head-ons with high fitness, tail approaches
+        // with low fitness (artificial, for clustering determinism).
+        let mut out = Vec::new();
+        for i in 0..10 {
+            let mut p = EncounterParams::head_on_template();
+            p.own_ground_speed_kt += i as f64 * 0.5;
+            out.push((p.to_vector().to_vec(), 9000.0 + i as f64));
+        }
+        for i in 0..10 {
+            let mut p = EncounterParams::tail_approach_template();
+            p.own_ground_speed_kt += i as f64 * 0.5;
+            out.push((p.to_vector().to_vec(), 100.0 + i as f64));
+        }
+        out
+    }
+
+    #[test]
+    fn kmeans_separates_the_two_groups() {
+        let clusters = cluster_scenarios(&space(), &batch(), 2, 0);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].size + clusters[1].size, 20);
+        // The high-fitness cluster must be the head-on group.
+        assert!(clusters[0].mean_fitness > clusters[1].mean_fitness);
+        assert_eq!(clusters[0].dominant_class, GeometryClass::HeadOn);
+        assert_eq!(clusters[1].dominant_class, GeometryClass::TailApproach);
+        // Centroids decode to valid parameters near their group.
+        assert!(clusters[0].centroid.intruder_bearing_rad.abs() > 2.0, "head-on bearing ~ ±π");
+    }
+
+    #[test]
+    fn clustering_is_deterministic() {
+        let a = cluster_scenarios(&space(), &batch(), 3, 42);
+        let b = cluster_scenarios(&space(), &batch(), 3, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_handled() {
+        assert!(cluster_scenarios(&space(), &[], 3, 0).is_empty());
+        let one = vec![(EncounterParams::head_on_template().to_vector().to_vec(), 5.0)];
+        let c = cluster_scenarios(&space(), &one, 5, 0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].size, 1);
+        assert!(cluster_scenarios(&space(), &one, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn class_summary_counts_and_averages() {
+        let rows = class_summary(&batch());
+        assert_eq!(rows.len(), 4);
+        let head_on = rows.iter().find(|r| r.0 == GeometryClass::HeadOn).unwrap();
+        assert_eq!(head_on.1, 10);
+        assert!(head_on.2 > 8000.0);
+        let crossing = rows.iter().find(|r| r.0 == GeometryClass::Crossing).unwrap();
+        assert_eq!(crossing.1, 0);
+        assert_eq!(crossing.2, 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+use serde::{Deserialize, Serialize};
+use uavca_encounter::EncounterParams;
+use uavca_sim::EncounterOutcome;
+
+use crate::{EncounterRunner, ScenarioSpace};
+
+/// Which undesired event the search hunts for.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FitnessKind {
+    /// The paper's Section VII objective: encounters where the equipped
+    /// pair still gets dangerously close.
+    /// `fitness = (1/K) Σ_k 10000 / (1 + d_k)` with `d_k` the minimum 3-D
+    /// separation (ft) of run `k`; an NMAC-free pass far apart scores ≈ 0,
+    /// a collision scores the full 10 000.
+    Proximity,
+    /// Hunt for *false alarms*: encounters where the logic alerts although
+    /// the unequipped trajectories would have stayed safe. Fitness is the
+    /// fraction of runs that are false alerts, scaled to 10 000.
+    FalseAlarm,
+    /// Hunt for sense reversals (an operationally undesirable behaviour):
+    /// mean number of own-ship reversals per run, scaled by 1000.
+    Reversals,
+}
+
+/// The fitness function of the Fig. 3 loop: maps a genome to a scalar by
+/// running `runs_per_eval` stochastic simulations.
+///
+/// Implements `Fn(&[f64]) -> f64` semantics via [`FitnessFunction::evaluate`];
+/// the [`crate::SearchHarness`] adapts it into the GA's closure form.
+#[derive(Debug, Clone)]
+pub struct FitnessFunction {
+    runner: EncounterRunner,
+    space: ScenarioSpace,
+    kind: FitnessKind,
+    /// Simulation runs averaged per evaluation (paper: 100).
+    pub runs_per_eval: usize,
+    /// The collision gain constant (paper: 10 000, chosen to match the MDP
+    /// collision cost).
+    pub base_gain: f64,
+}
+
+impl FitnessFunction {
+    /// Creates the paper's proximity fitness with `runs_per_eval` runs.
+    pub fn new(runner: EncounterRunner, space: ScenarioSpace, runs_per_eval: usize) -> Self {
+        Self { runner, space, kind: FitnessKind::Proximity, runs_per_eval, base_gain: 10_000.0 }
+    }
+
+    /// Selects a different search objective.
+    pub fn kind(mut self, kind: FitnessKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// The configured objective.
+    pub fn current_kind(&self) -> FitnessKind {
+        self.kind
+    }
+
+    /// The scenario space in use.
+    pub fn space(&self) -> &ScenarioSpace {
+        &self.space
+    }
+
+    /// The runner in use.
+    pub fn runner(&self) -> &EncounterRunner {
+        &self.runner
+    }
+
+    /// Scores one genome.
+    pub fn evaluate(&self, genes: &[f64]) -> f64 {
+        let params = self.space.decode(genes);
+        self.evaluate_params(&params)
+    }
+
+    /// Scores decoded parameters.
+    pub fn evaluate_params(&self, params: &EncounterParams) -> f64 {
+        let seed_base = EncounterRunner::seed_for(params);
+        match self.kind {
+            FitnessKind::Proximity => {
+                let outcomes = self.runner.run_repeated(params, self.runs_per_eval, seed_base);
+                self.proximity_fitness(&outcomes)
+            }
+            FitnessKind::FalseAlarm => {
+                let mut false_alerts = 0usize;
+                for k in 0..self.runs_per_eval {
+                    let seed = seed_base.wrapping_add(k as u64);
+                    let equipped =
+                        self.runner.run_once_with(params, seed, crate::Equipage::Both);
+                    let unequipped =
+                        self.runner.run_once_with(params, seed, crate::Equipage::Neither);
+                    if equipped.false_alert(unequipped.nmac) {
+                        false_alerts += 1;
+                    }
+                }
+                self.base_gain * false_alerts as f64 / self.runs_per_eval.max(1) as f64
+            }
+            FitnessKind::Reversals => {
+                let outcomes = self.runner.run_repeated(params, self.runs_per_eval, seed_base);
+                1000.0 * outcomes.iter().map(|o| o.own_reversals as f64).sum::<f64>()
+                    / self.runs_per_eval.max(1) as f64
+            }
+        }
+    }
+
+    /// The paper's formula applied to a batch of outcomes:
+    /// `(1/K) Σ base_gain / (1 + d_k)`.
+    pub fn proximity_fitness(&self, outcomes: &[EncounterOutcome]) -> f64 {
+        if outcomes.is_empty() {
+            return 0.0;
+        }
+        outcomes
+            .iter()
+            .map(|o| self.base_gain / (1.0 + o.min_separation_ft.max(0.0)))
+            .sum::<f64>()
+            / outcomes.len() as f64
+    }
+
+    /// Fraction of outcomes that were NMACs — the per-encounter accident
+    /// rate the paper reports for the found situations ("80 to 90 out of
+    /// 100 simulation runs").
+    pub fn nmac_rate(outcomes: &[EncounterOutcome]) -> f64 {
+        if outcomes.is_empty() {
+            return 0.0;
+        }
+        outcomes.iter().filter(|o| o.nmac).count() as f64 / outcomes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn fitness() -> &'static FitnessFunction {
+        static F: OnceLock<FitnessFunction> = OnceLock::new();
+        F.get_or_init(|| {
+            FitnessFunction::new(EncounterRunner::with_coarse_table(), ScenarioSpace::default(), 8)
+        })
+    }
+
+    fn outcome_with_sep(d: f64, nmac: bool) -> EncounterOutcome {
+        EncounterOutcome {
+            nmac,
+            first_nmac_time_s: nmac.then_some(10.0),
+            min_separation_ft: d,
+            min_horizontal_ft: d,
+            min_vertical_ft: 0.0,
+            time_of_min_s: 10.0,
+            own_alert_steps: 0,
+            intruder_alert_steps: 0,
+            first_alert_time_s: None,
+            own_reversals: 0,
+            duration_s: 100.0,
+        }
+    }
+
+    #[test]
+    fn proximity_formula_matches_the_paper() {
+        let f = fitness();
+        // A collision (d = 0) gains the full 10 000.
+        let full = f.proximity_fitness(&[outcome_with_sep(0.0, true)]);
+        assert!((full - 10_000.0).abs() < 1e-9);
+        // d = 9999 gains 1.
+        let tiny = f.proximity_fitness(&[outcome_with_sep(9999.0, false)]);
+        assert!((tiny - 1.0).abs() < 1e-9);
+        // Mean over runs.
+        let mixed =
+            f.proximity_fitness(&[outcome_with_sep(0.0, true), outcome_with_sep(9999.0, false)]);
+        assert!((mixed - 5000.5).abs() < 1e-9);
+        // Empty batch is defined.
+        assert_eq!(f.proximity_fitness(&[]), 0.0);
+    }
+
+    #[test]
+    fn nmac_rate_counts() {
+        let outs =
+            vec![outcome_with_sep(0.0, true), outcome_with_sep(50.0, true), outcome_with_sep(900.0, false)];
+        assert!((FitnessFunction::nmac_rate(&outs) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fitness_is_a_pure_function_of_the_genome() {
+        let f = fitness();
+        let genes = ScenarioSpace::default()
+            .encode(&uavca_encounter::EncounterParams::head_on_template());
+        let a = f.evaluate(&genes);
+        let b = f.evaluate(&genes);
+        assert_eq!(a, b, "same genome must replay identical noise");
+    }
+
+    #[test]
+    fn resolved_encounters_score_much_lower_than_unresolvable_ones() {
+        let f = fitness();
+        // A plain head-on is easy for coordinated ACAS XU: low fitness.
+        let easy = f.evaluate_params(&uavca_encounter::EncounterParams::head_on_template());
+        // Tail approach with opposed vertical rates is the paper's hard
+        // case: higher fitness.
+        let hard = f.evaluate_params(&uavca_encounter::EncounterParams::tail_approach_template());
+        assert!(
+            hard > easy,
+            "tail approach ({hard:.0}) must score above head-on ({easy:.0})"
+        );
+    }
+
+    #[test]
+    fn alternative_objectives_produce_finite_scores() {
+        let base = fitness();
+        let f_false = FitnessFunction::new(
+            base.runner().clone(),
+            ScenarioSpace::default(),
+            4,
+        )
+        .kind(FitnessKind::FalseAlarm);
+        let genes = ScenarioSpace::default()
+            .encode(&uavca_encounter::EncounterParams::head_on_template());
+        let v = f_false.evaluate(&genes);
+        assert!(v.is_finite() && v >= 0.0);
+        assert_eq!(f_false.current_kind(), FitnessKind::FalseAlarm);
+
+        let f_rev = FitnessFunction::new(base.runner().clone(), ScenarioSpace::default(), 4)
+            .kind(FitnessKind::Reversals);
+        let v = f_rev.evaluate(&genes);
+        assert!(v.is_finite() && v >= 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! GA-based search for challenging UAV encounter situations — the core
+//! contribution of Zou, Alexander & McDermid (DSN 2016).
+//!
+//! The validation problem: an ACAS XU-like logic is optimal *with respect
+//! to its model*, but the model may misrepresent reality. Monte-Carlo
+//! simulation can estimate event probabilities but burns enormous budgets
+//! on rare events. This crate implements the paper's complementary
+//! approach — **search** the scenario space for situations where undesired
+//! events (mid-air collisions, false alarms) concentrate:
+//!
+//! * [`ScenarioSpace`]: the 9-parameter encounter encoding as a GA genome,
+//! * [`EncounterRunner`]: wires a scenario into the 3-D simulation with a
+//!   chosen equipage (ACAS XU both sides, one side, or none),
+//! * [`FitnessFunction`]: the paper's Section VII fitness
+//!   `mean(10000 / (1 + d_k))` over `K` stochastic runs, plus alternative
+//!   objectives (alert-rate for false-alarm hunting),
+//! * [`SearchHarness`]: the GA loop of Fig. 3 (scenario generator →
+//!   simulation → fitness → evolve), with a budget-matched
+//!   [`random search`](SearchHarness::run_random_search) baseline,
+//! * [`MonteCarloEstimator`]: the classical estimation loop the paper
+//!   contrasts against, with risk ratios and Wilson confidence intervals,
+//! * [`analysis`]: geometry classification of found scenarios and a
+//!   k-means extension (the paper's "find *areas* of the search space"
+//!   future work).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use uavca_validation::{EncounterRunner, SearchConfig, SearchHarness};
+//!
+//! let runner = EncounterRunner::with_coarse_table();
+//! let config = SearchConfig::smoke(); // tiny budget for doc purposes
+//! let outcome = SearchHarness::new(runner, config).run_ga();
+//! println!("hardest encounter found: fitness {:.0}", outcome.result.best.fitness);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod analysis;
+mod fitness;
+mod harness;
+mod montecarlo;
+mod report;
+mod runner;
+mod scenario;
+
+pub use fitness::{FitnessFunction, FitnessKind};
+pub use harness::{SearchConfig, SearchHarness, SearchOutcome};
+pub use montecarlo::{MonteCarloConfig, MonteCarloEstimate, MonteCarloEstimator, RateEstimate};
+pub use report::TextTable;
+pub use runner::{EncounterRunner, Equipage};
+pub use scenario::ScenarioSpace;

@@ -1,0 +1,210 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use uavca_encounter::StatisticalEncounterModel;
+
+use crate::{EncounterRunner, Equipage};
+
+/// Configuration of a Monte-Carlo evaluation campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloConfig {
+    /// Number of encounters sampled from the statistical model.
+    pub num_encounters: usize,
+    /// Stochastic runs per encounter.
+    pub runs_per_encounter: usize,
+    /// RNG seed (drives encounter sampling; run seeds derive from it).
+    pub seed: u64,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        Self { num_encounters: 200, runs_per_encounter: 10, seed: 0 }
+    }
+}
+
+/// A proportion with a Wilson-score 95% confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateEstimate {
+    /// Number of positive events.
+    pub events: usize,
+    /// Number of trials.
+    pub trials: usize,
+    /// Point estimate `events / trials`.
+    pub rate: f64,
+    /// Lower 95% Wilson bound.
+    pub ci_low: f64,
+    /// Upper 95% Wilson bound.
+    pub ci_high: f64,
+}
+
+impl RateEstimate {
+    /// Computes the Wilson-score interval for `events` out of `trials`.
+    pub fn wilson(events: usize, trials: usize) -> RateEstimate {
+        if trials == 0 {
+            return RateEstimate { events, trials, rate: f64::NAN, ci_low: 0.0, ci_high: 1.0 };
+        }
+        let n = trials as f64;
+        let p = events as f64 / n;
+        let z = 1.959_963_984_540_054; // 97.5th percentile of N(0,1)
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
+        RateEstimate {
+            events,
+            trials,
+            rate: p,
+            ci_low: (center - half).max(0.0),
+            ci_high: (center + half).min(1.0),
+        }
+    }
+}
+
+impl std::fmt::Display for RateEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} = {:.4} [95% CI {:.4}, {:.4}]",
+            self.events, self.trials, self.rate, self.ci_low, self.ci_high
+        )
+    }
+}
+
+/// The output of a Monte-Carlo campaign: NMAC and alert rates for the
+/// equipped system, the unequipped NMAC rate on identical seeds, and the
+/// derived risk ratio — the quantities the ACAS X simulation studies
+/// report (paper Sections II & IV).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloEstimate {
+    /// NMAC rate with the configured equipage.
+    pub equipped_nmac: RateEstimate,
+    /// NMAC rate of the same (encounter, seed) pairs unequipped.
+    pub unequipped_nmac: RateEstimate,
+    /// Fraction of runs with at least one alert.
+    pub alert_rate: RateEstimate,
+    /// Fraction of runs that were false alerts (alerted although the
+    /// unequipped replay stayed NMAC-free).
+    pub false_alert_rate: RateEstimate,
+    /// `equipped / unequipped` NMAC ratio (NaN when the unequipped count
+    /// is zero).
+    pub risk_ratio: f64,
+}
+
+/// Classical Monte-Carlo evaluation over the statistical encounter model —
+/// the technique the paper's search approach complements.
+#[derive(Debug, Clone)]
+pub struct MonteCarloEstimator {
+    runner: EncounterRunner,
+    model: StatisticalEncounterModel,
+    config: MonteCarloConfig,
+}
+
+impl MonteCarloEstimator {
+    /// Creates an estimator with the default statistical model.
+    pub fn new(runner: EncounterRunner, config: MonteCarloConfig) -> Self {
+        Self { runner, model: StatisticalEncounterModel::default(), config }
+    }
+
+    /// Overrides the statistical encounter model.
+    pub fn model(mut self, model: StatisticalEncounterModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Runs the campaign. Every `(encounter, run)` pair is simulated twice
+    /// — equipped and unequipped — on identical seeds, so the risk ratio is
+    /// a paired estimate.
+    pub fn estimate(&self) -> MonteCarloEstimate {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut equipped_nmacs = 0usize;
+        let mut unequipped_nmacs = 0usize;
+        let mut alerts = 0usize;
+        let mut false_alerts = 0usize;
+        let mut trials = 0usize;
+        for i in 0..self.config.num_encounters {
+            let params = self.model.sample(&mut rng);
+            let seed_base =
+                EncounterRunner::seed_for(&params).wrapping_add(i as u64) ^ self.config.seed;
+            for k in 0..self.config.runs_per_encounter {
+                let seed = seed_base.wrapping_add(k as u64);
+                let equipped = self.runner.run_once_with(&params, seed, Equipage::Both);
+                let unequipped = self.runner.run_once_with(&params, seed, Equipage::Neither);
+                trials += 1;
+                if equipped.nmac {
+                    equipped_nmacs += 1;
+                }
+                if unequipped.nmac {
+                    unequipped_nmacs += 1;
+                }
+                if equipped.alerted() {
+                    alerts += 1;
+                }
+                if equipped.false_alert(unequipped.nmac) {
+                    false_alerts += 1;
+                }
+            }
+        }
+        MonteCarloEstimate {
+            equipped_nmac: RateEstimate::wilson(equipped_nmacs, trials),
+            unequipped_nmac: RateEstimate::wilson(unequipped_nmacs, trials),
+            alert_rate: RateEstimate::wilson(alerts, trials),
+            false_alert_rate: RateEstimate::wilson(false_alerts, trials),
+            risk_ratio: if unequipped_nmacs > 0 {
+                equipped_nmacs as f64 / unequipped_nmacs as f64
+            } else {
+                f64::NAN
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_interval_properties() {
+        let e = RateEstimate::wilson(5, 100);
+        assert!((e.rate - 0.05).abs() < 1e-12);
+        assert!(e.ci_low < e.rate && e.rate < e.ci_high);
+        assert!(e.ci_low >= 0.0 && e.ci_high <= 1.0);
+        // More trials tighten the interval.
+        let tight = RateEstimate::wilson(50, 1000);
+        assert!(tight.ci_high - tight.ci_low < e.ci_high - e.ci_low);
+        // Degenerate cases stay defined.
+        let zero = RateEstimate::wilson(0, 10);
+        assert_eq!(zero.rate, 0.0);
+        assert!(zero.ci_high > 0.0);
+        let none = RateEstimate::wilson(0, 0);
+        assert!(none.rate.is_nan());
+        // Display is informative.
+        assert!(e.to_string().contains("5/100"));
+    }
+
+    #[test]
+    fn equipped_system_cuts_risk() {
+        let runner = EncounterRunner::with_coarse_table();
+        let config = MonteCarloConfig { num_encounters: 60, runs_per_encounter: 2, seed: 7 };
+        let est = MonteCarloEstimator::new(runner, config).estimate();
+        assert_eq!(est.equipped_nmac.trials, 120);
+        assert!(
+            est.unequipped_nmac.events > 0,
+            "the model must generate some raw conflicts"
+        );
+        assert!(
+            est.risk_ratio < 0.75,
+            "equipped NMAC rate must be well below unequipped: {}",
+            est.risk_ratio
+        );
+        assert!(est.alert_rate.rate > 0.0, "some encounters must alert");
+    }
+
+    #[test]
+    fn estimates_are_deterministic() {
+        let runner = EncounterRunner::with_coarse_table();
+        let config = MonteCarloConfig { num_encounters: 10, runs_per_encounter: 2, seed: 3 };
+        let a = MonteCarloEstimator::new(runner.clone(), config).estimate();
+        let b = MonteCarloEstimator::new(runner, config).estimate();
+        assert_eq!(a, b);
+    }
+}

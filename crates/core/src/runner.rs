@@ -1,0 +1,228 @@
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use uavca_acasx::{AcasConfig, AcasXu, LogicTable};
+use uavca_encounter::{EncounterParams, ScenarioGenerator};
+use uavca_sim::{CollisionAvoider, EncounterOutcome, EncounterWorld, SimConfig, Trace, Unequipped};
+
+/// What collision avoidance each aircraft carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Equipage {
+    /// Both aircraft run the ACAS XU-like logic (the paper's setting:
+    /// coordinated, both maneuver).
+    Both,
+    /// Only the own-ship is equipped.
+    OwnOnly,
+    /// Neither aircraft is equipped (baseline for risk ratios and for
+    /// verifying that a scenario would actually collide unmitigated).
+    Neither,
+}
+
+/// Wires encounter parameters into full 3-D simulation runs: the
+/// "Scenario ⇒ Simulation ⇒ result" segment of the paper's Fig. 3 loop.
+///
+/// The runner owns the solved [`LogicTable`] (shared across all runs and
+/// threads), the simulation configuration and the scenario generator. It
+/// is cheap to clone (the table is reference-counted) and `Sync`, so GA
+/// populations can be evaluated in parallel.
+#[derive(Debug, Clone)]
+pub struct EncounterRunner {
+    table: Arc<LogicTable>,
+    sim: SimConfig,
+    generator: ScenarioGenerator,
+    equipage: Equipage,
+}
+
+impl EncounterRunner {
+    /// Creates a runner around a solved logic table, defaulting to both
+    /// aircraft equipped and the default simulation configuration.
+    pub fn new(table: Arc<LogicTable>) -> Self {
+        Self {
+            table,
+            sim: SimConfig::default(),
+            generator: ScenarioGenerator::default(),
+            equipage: Equipage::Both,
+        }
+    }
+
+    /// Convenience constructor that solves the full-resolution table first
+    /// (seconds in release builds; cache the table for repeated use).
+    pub fn with_default_table() -> Self {
+        Self::new(Arc::new(LogicTable::solve(&AcasConfig::default())))
+    }
+
+    /// Convenience constructor with the coarse table — fast enough for
+    /// unit tests and doctests while preserving qualitative behaviour.
+    pub fn with_coarse_table() -> Self {
+        Self::new(Arc::new(LogicTable::solve(&AcasConfig::coarse())))
+    }
+
+    /// Sets the simulation configuration.
+    pub fn sim_config(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Sets the equipage.
+    pub fn equipage(mut self, equipage: Equipage) -> Self {
+        self.equipage = equipage;
+        self
+    }
+
+    /// Sets the scenario generator (own-ship anchor).
+    pub fn generator(mut self, generator: ScenarioGenerator) -> Self {
+        self.generator = generator;
+        self
+    }
+
+    /// The shared logic table.
+    pub fn table(&self) -> &Arc<LogicTable> {
+        &self.table
+    }
+
+    /// The simulation configuration.
+    pub fn sim(&self) -> &SimConfig {
+        &self.sim
+    }
+
+    /// The configured equipage.
+    pub fn current_equipage(&self) -> Equipage {
+        self.equipage
+    }
+
+    fn avoiders(&self, equipage: Equipage) -> [Box<dyn CollisionAvoider>; 2] {
+        let acas = || -> Box<dyn CollisionAvoider> { Box::new(AcasXu::new(self.table.clone())) };
+        let none = || -> Box<dyn CollisionAvoider> { Box::new(Unequipped::new()) };
+        match equipage {
+            Equipage::Both => [acas(), acas()],
+            Equipage::OwnOnly => [acas(), none()],
+            Equipage::Neither => [none(), none()],
+        }
+    }
+
+    /// Runs one stochastic simulation of `params` with the configured
+    /// equipage. `seed` fully determines noise and disturbance.
+    pub fn run_once(&self, params: &EncounterParams, seed: u64) -> EncounterOutcome {
+        self.run_once_with(params, seed, self.equipage)
+    }
+
+    /// Runs one simulation with an explicit equipage (used for equipped vs
+    /// unequipped comparisons on identical seeds).
+    pub fn run_once_with(
+        &self,
+        params: &EncounterParams,
+        seed: u64,
+        equipage: Equipage,
+    ) -> EncounterOutcome {
+        let enc = self.generator.generate(params);
+        let mut world =
+            EncounterWorld::new(self.sim, [enc.own, enc.intruder], self.avoiders(equipage), seed);
+        world.run()
+    }
+
+    /// Runs `runs` independent simulations with seeds `seed_base..`,
+    /// returning all outcomes (the paper evaluates every encounter over
+    /// 100 runs).
+    pub fn run_repeated(
+        &self,
+        params: &EncounterParams,
+        runs: usize,
+        seed_base: u64,
+    ) -> Vec<EncounterOutcome> {
+        (0..runs).map(|k| self.run_once(params, seed_base.wrapping_add(k as u64))).collect()
+    }
+
+    /// Runs one simulation with trace recording enabled and returns the
+    /// trace alongside the outcome (the "visualization mode" replacement).
+    pub fn run_traced(
+        &self,
+        params: &EncounterParams,
+        seed: u64,
+    ) -> (EncounterOutcome, Trace) {
+        let mut sim = self.sim;
+        sim.record_trace = true;
+        let enc = self.generator.generate(params);
+        let mut world =
+            EncounterWorld::new(sim, [enc.own, enc.intruder], self.avoiders(self.equipage), seed);
+        let outcome = world.run();
+        (outcome, world.trace().clone())
+    }
+
+    /// A stable seed derived from the genome bits, so fitness is a pure
+    /// function of the scenario (identical genomes always replay the same
+    /// noise sequences).
+    pub fn seed_for(params: &EncounterParams) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for x in params.to_vector() {
+            h ^= x.to_bits();
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    pub(crate) fn runner() -> &'static EncounterRunner {
+        static RUNNER: OnceLock<EncounterRunner> = OnceLock::new();
+        RUNNER.get_or_init(EncounterRunner::with_coarse_table)
+    }
+
+    #[test]
+    fn head_on_is_resolved_by_equipped_pair_but_not_unequipped() {
+        let r = runner();
+        let params = EncounterParams::head_on_template();
+        let equipped = r.run_once_with(&params, 7, Equipage::Both);
+        let unequipped = r.run_once_with(&params, 7, Equipage::Neither);
+        assert!(!equipped.nmac, "coordinated ACAS XU resolves a head-on");
+        assert!(equipped.alerted());
+        assert!(unequipped.nmac, "the same seed without avoidance collides");
+        assert!(equipped.min_separation_ft > unequipped.min_separation_ft);
+    }
+
+    #[test]
+    fn own_only_equipage_still_avoids_head_on() {
+        let r = runner();
+        let params = EncounterParams::head_on_template();
+        let mut nmacs = 0;
+        for seed in 0..10 {
+            if r.run_once_with(&params, seed, Equipage::OwnOnly).nmac {
+                nmacs += 1;
+            }
+        }
+        assert!(nmacs <= 2, "one-sided avoidance handles most head-ons: {nmacs}/10");
+    }
+
+    #[test]
+    fn outcomes_are_deterministic_per_seed() {
+        let r = runner();
+        let params = EncounterParams::head_on_template();
+        assert_eq!(r.run_once(&params, 3), r.run_once(&params, 3));
+        let many = r.run_repeated(&params, 5, 100);
+        assert_eq!(many.len(), 5);
+        assert_eq!(many[2], r.run_once(&params, 102));
+    }
+
+    #[test]
+    fn seed_for_is_stable_and_discriminating() {
+        let a = EncounterParams::head_on_template();
+        let b = EncounterParams::tail_approach_template();
+        assert_eq!(EncounterRunner::seed_for(&a), EncounterRunner::seed_for(&a));
+        assert_ne!(EncounterRunner::seed_for(&a), EncounterRunner::seed_for(&b));
+    }
+
+    #[test]
+    fn traced_run_matches_outcome() {
+        let r = runner();
+        let params = EncounterParams::head_on_template();
+        let (outcome, trace) = r.run_traced(&params, 5);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.len(), r.sim().num_steps());
+        // Trace min separation is endpoint-sampled, so it can only be ≥ the
+        // continuously-monitored outcome minimum.
+        assert!(trace.min_separation_ft() >= outcome.min_separation_ft - 1e-6);
+    }
+}

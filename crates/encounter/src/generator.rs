@@ -1,0 +1,200 @@
+use serde::{Deserialize, Serialize};
+use uavca_sim::{UavState, Vec3};
+
+use crate::EncounterParams;
+
+/// A fully instantiated encounter: the initial kinematic states of both
+/// aircraft, ready to drop into a [`uavca_sim::EncounterWorld`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Encounter {
+    /// Own-ship initial state.
+    pub own: UavState,
+    /// Intruder initial state.
+    pub intruder: UavState,
+    /// The parameters this encounter was generated from.
+    pub params: EncounterParams,
+}
+
+/// Builds encounters from [`EncounterParams`] via the paper's equations
+/// (1)–(3).
+///
+/// Because the avoidance logic only considers *relative* state, the
+/// own-ship's initial position and bearing are fixed (paper Section VI-A):
+/// by default at the origin of the horizontal plane, 4000 ft altitude,
+/// flying along +x.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioGenerator {
+    /// Fixed own-ship initial position, ft.
+    pub own_initial_position: Vec3,
+    /// Fixed own-ship initial bearing ψ_o, radians.
+    pub own_initial_bearing_rad: f64,
+}
+
+impl Default for ScenarioGenerator {
+    fn default() -> Self {
+        Self { own_initial_position: Vec3::new(0.0, 0.0, 4000.0), own_initial_bearing_rad: 0.0 }
+    }
+}
+
+impl ScenarioGenerator {
+    /// Creates a generator with an explicit own-ship anchor.
+    pub fn new(own_initial_position: Vec3, own_initial_bearing_rad: f64) -> Self {
+        Self { own_initial_position, own_initial_bearing_rad }
+    }
+
+    /// Instantiates the encounter described by `params`.
+    ///
+    /// Equation (1): velocities from `(Gs, ψ, Vs)` triples. Equation (3):
+    /// the intruder starts at
+    /// `own_pos + own_vel·T + offset(R, θ, Y) − intruder_vel·T`,
+    /// so both aircraft arrive at the closest point of approach after `T`
+    /// seconds with horizontal miss `R` (direction `θ`) and vertical
+    /// offset `Y`.
+    pub fn generate(&self, params: &EncounterParams) -> Encounter {
+        let own_velocity = velocity_from_polar(
+            params.own_ground_speed_fps(),
+            self.own_initial_bearing_rad,
+            params.own_vertical_speed_fps(),
+        );
+        let intruder_velocity = velocity_from_polar(
+            params.intruder_ground_speed_fps(),
+            params.intruder_bearing_rad,
+            params.intruder_vertical_speed_fps(),
+        );
+        let t = params.time_to_cpa_s;
+        // Own-ship position at CPA.
+        let own_at_cpa = self.own_initial_position + own_velocity * t;
+        // Intruder position at CPA: horizontal offset (R, θ) and vertical Y.
+        let offset = Vec3::new(
+            params.cpa_horizontal_ft * params.cpa_angle_rad.cos(),
+            params.cpa_horizontal_ft * params.cpa_angle_rad.sin(),
+            params.cpa_vertical_ft,
+        );
+        let intruder_at_cpa = own_at_cpa + offset;
+        // Roll the intruder back T seconds along its own velocity.
+        let intruder_initial = intruder_at_cpa - intruder_velocity * t;
+
+        Encounter {
+            own: UavState::new(self.own_initial_position, own_velocity),
+            intruder: UavState::new(intruder_initial, intruder_velocity),
+            params: *params,
+        }
+    }
+}
+
+/// Equation (1): `[Vx, Vy, Vz] = [Gs·cos ψ, Gs·sin ψ, Vs]`.
+fn velocity_from_polar(ground_speed_fps: f64, bearing_rad: f64, vertical_fps: f64) -> Vec3 {
+    Vec3::new(
+        ground_speed_fps * bearing_rad.cos(),
+        ground_speed_fps * bearing_rad.sin(),
+        vertical_fps,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ParamRanges;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Closed-form relative geometry at time `t` for an encounter.
+    fn separation_at(enc: &Encounter, t: f64) -> (f64, f64) {
+        let own = enc.own.position + enc.own.velocity * t;
+        let intr = enc.intruder.position + enc.intruder.velocity * t;
+        (own.horizontal_distance(intr), (own.z - intr.z).abs())
+    }
+
+    #[test]
+    fn cpa_geometry_is_exact_for_head_on() {
+        let params = EncounterParams::head_on_template();
+        let enc = ScenarioGenerator::default().generate(&params);
+        let (h, v) = separation_at(&enc, params.time_to_cpa_s);
+        assert!(h < 1e-6, "horizontal miss at CPA: {h}");
+        assert!(v < 1e-6, "vertical miss at CPA: {v}");
+    }
+
+    #[test]
+    fn cpa_offsets_are_honored() {
+        let mut params = EncounterParams::head_on_template();
+        params.cpa_horizontal_ft = 400.0;
+        params.cpa_angle_rad = std::f64::consts::FRAC_PI_2;
+        params.cpa_vertical_ft = -80.0;
+        let enc = ScenarioGenerator::default().generate(&params);
+        let (h, v) = separation_at(&enc, params.time_to_cpa_s);
+        assert!((h - 400.0).abs() < 1e-6);
+        assert!((v - 80.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn separation_at_t_matches_requested_offset_exactly() {
+        // By construction (eq. 3), the relative position at time T is the
+        // requested (R, θ, Y) offset for *every* parameter assignment.
+        let ranges = ParamRanges::default();
+        let generator = ScenarioGenerator::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..300 {
+            let params = ranges.sample_uniform(&mut rng);
+            let enc = generator.generate(&params);
+            let (h, v) = separation_at(&enc, params.time_to_cpa_s);
+            assert!((h - params.cpa_horizontal_ft).abs() < 1e-6, "{params:?}");
+            assert!((v - params.cpa_vertical_ft.abs()).abs() < 1e-6, "{params:?}");
+        }
+    }
+
+    #[test]
+    fn sweep_minimum_never_exceeds_separation_at_t() {
+        // The time-sweep minimum is a lower bound on the separation at T;
+        // and for zero-offset encounters it is ~0 at T itself.
+        let ranges = ParamRanges::default();
+        let generator = ScenarioGenerator::default();
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            let mut params = ranges.sample_uniform(&mut rng);
+            let d_at_t = {
+                let enc = generator.generate(&params);
+                let (h, v) = separation_at(&enc, params.time_to_cpa_s);
+                (h * h + v * v).sqrt()
+            };
+            let enc = generator.generate(&params);
+            let mut d_min = f64::INFINITY;
+            let mut t = 0.0;
+            while t <= 120.0 {
+                let (h, v) = separation_at(&enc, t);
+                d_min = d_min.min((h * h + v * v).sqrt());
+                t += 0.05;
+            }
+            // The 0.05 s sweep grid can miss the exact instant T by up to
+            // half a step; allow the corresponding distance slack.
+            assert!(d_min <= d_at_t + 20.0, "d_min {d_min} d_at_t {d_at_t}");
+
+            // Zero the offsets: the pair must (nearly) collide at T.
+            params.cpa_horizontal_ft = 0.0;
+            params.cpa_vertical_ft = 0.0;
+            let enc0 = generator.generate(&params);
+            let (h0, v0) = separation_at(&enc0, params.time_to_cpa_s);
+            assert!(h0 < 1e-6 && v0 < 1e-6);
+        }
+    }
+
+    #[test]
+    fn own_anchor_is_respected() {
+        let anchor = Vec3::new(100.0, -200.0, 5000.0);
+        let generator = ScenarioGenerator::new(anchor, 1.0);
+        let enc = generator.generate(&EncounterParams::head_on_template());
+        assert_eq!(enc.own.position, anchor);
+        assert!((enc.own.bearing() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_speed_intruder_is_representable() {
+        let mut params = EncounterParams::head_on_template();
+        params.intruder_ground_speed_kt = 0.0;
+        params.intruder_vertical_speed_fpm = 0.0;
+        let enc = ScenarioGenerator::default().generate(&params);
+        assert!(enc.intruder.velocity.norm() < 1e-9);
+        // The own-ship still reaches it at the CPA.
+        let own_at_cpa = enc.own.position + enc.own.velocity * params.time_to_cpa_s;
+        assert!(own_at_cpa.distance(enc.intruder.position) < 1e-6);
+    }
+}

@@ -1,0 +1,53 @@
+//! Two-UAV encounter parameterization and generation.
+//!
+//! Implements Section VI-A of Zou, Alexander & McDermid (DSN 2016): an
+//! encounter is described by **9 parameters**
+//! `{Gs_o, Vs_o, T, R, θ, Y, Gs_i, ψ_i, Vs_i}` — the own-ship speed pair,
+//! the time to the closest point of approach (CPA), the intruder's relative
+//! position at the CPA `(R, θ, Y)`, and the intruder's velocity triple.
+//! The own-ship's initial position and bearing are fixed by convention
+//! (the avoidance logic only sees relative state), so these 9 numbers
+//! uniquely determine an encounter via the paper's equations (1)–(3).
+//!
+//! The crate provides:
+//!
+//! * [`EncounterParams`] — the 9-tuple, with conversion to/from a flat
+//!   `[f64; 9]` vector for use as a GA genome,
+//! * [`ParamRanges`] — box constraints on each parameter (the GA search
+//!   space), with uniform sampling,
+//! * [`ScenarioGenerator`] — turns parameters into initial
+//!   [`UavState`](uavca_sim::UavState)s,
+//! * [`GeometryClass`]/[`classify`] — head-on / crossing / tail-approach
+//!   labelling used in the paper's Section VII analysis, and
+//! * [`StatisticalEncounterModel`] — a synthetic stand-in for the
+//!   radar-derived airspace encounter models of Kochenderfer et al.,
+//!   feeding Monte-Carlo estimation (see DESIGN.md for the substitution
+//!   rationale).
+//!
+//! # Example
+//!
+//! ```
+//! use uavca_encounter::{EncounterParams, ScenarioGenerator};
+//!
+//! let params = EncounterParams::head_on_template();
+//! let gen = ScenarioGenerator::default();
+//! let enc = gen.generate(&params);
+//! // With no avoidance the pair meets near the CPA: relative positions
+//! // close on each other at time T.
+//! let own_at_cpa = enc.own.position + enc.own.velocity * params.time_to_cpa_s;
+//! let int_at_cpa = enc.intruder.position + enc.intruder.velocity * params.time_to_cpa_s;
+//! assert!(own_at_cpa.horizontal_distance(int_at_cpa) <= 500.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod classify;
+mod generator;
+mod params;
+mod statistical;
+
+pub use classify::{classify, GeometryClass};
+pub use generator::{Encounter, ScenarioGenerator};
+pub use params::{EncounterParams, ParamRanges, NUM_PARAMS};
+pub use statistical::{ClassWeights, StatisticalEncounterModel};

@@ -1,0 +1,280 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use uavca_sim::units;
+
+/// Number of parameters in the encounter encoding (paper Section VI-A).
+pub const NUM_PARAMS: usize = 9;
+
+/// The paper's 9-parameter encounter description
+/// `{Gs_o, Vs_o, T, R, θ, Y, Gs_i, ψ_i, Vs_i}`.
+///
+/// Aviation units: ground speeds in knots, vertical speeds in ft/min,
+/// distances in feet, angles in radians, time in seconds. The own-ship's
+/// initial position and bearing are fixed by the [`crate::ScenarioGenerator`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EncounterParams {
+    /// `Gs_o` — own-ship ground speed, knots.
+    pub own_ground_speed_kt: f64,
+    /// `Vs_o` — own-ship vertical speed, ft/min.
+    pub own_vertical_speed_fpm: f64,
+    /// `T` — time for both aircraft to reach the CPA, seconds.
+    pub time_to_cpa_s: f64,
+    /// `R` — horizontal miss distance at the CPA, feet.
+    pub cpa_horizontal_ft: f64,
+    /// `θ` — direction of the horizontal CPA offset, radians (own-ship
+    /// frame, 0 = ahead along +x).
+    pub cpa_angle_rad: f64,
+    /// `Y` — vertical offset (intruder minus own) at the CPA, feet.
+    pub cpa_vertical_ft: f64,
+    /// `Gs_i` — intruder ground speed at the CPA, knots.
+    pub intruder_ground_speed_kt: f64,
+    /// `ψ_i` — intruder bearing, radians.
+    pub intruder_bearing_rad: f64,
+    /// `Vs_i` — intruder vertical speed, ft/min.
+    pub intruder_vertical_speed_fpm: f64,
+}
+
+impl EncounterParams {
+    /// Flattens the parameters into a `[f64; 9]` vector in the canonical
+    /// order `{Gs_o, Vs_o, T, R, θ, Y, Gs_i, ψ_i, Vs_i}` — the GA genome
+    /// layout.
+    pub fn to_vector(self) -> [f64; NUM_PARAMS] {
+        [
+            self.own_ground_speed_kt,
+            self.own_vertical_speed_fpm,
+            self.time_to_cpa_s,
+            self.cpa_horizontal_ft,
+            self.cpa_angle_rad,
+            self.cpa_vertical_ft,
+            self.intruder_ground_speed_kt,
+            self.intruder_bearing_rad,
+            self.intruder_vertical_speed_fpm,
+        ]
+    }
+
+    /// Rebuilds parameters from the canonical vector layout.
+    pub fn from_vector(v: &[f64; NUM_PARAMS]) -> Self {
+        Self {
+            own_ground_speed_kt: v[0],
+            own_vertical_speed_fpm: v[1],
+            time_to_cpa_s: v[2],
+            cpa_horizontal_ft: v[3],
+            cpa_angle_rad: v[4],
+            cpa_vertical_ft: v[5],
+            intruder_ground_speed_kt: v[6],
+            intruder_bearing_rad: v[7],
+            intruder_vertical_speed_fpm: v[8],
+        }
+    }
+
+    /// Rebuilds parameters from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != 9`; genome widths are fixed at construction in
+    /// this crate's callers, so a mismatch is a programming error.
+    pub fn from_slice(v: &[f64]) -> Self {
+        assert_eq!(v.len(), NUM_PARAMS, "encounter genome must have {NUM_PARAMS} genes");
+        let mut a = [0.0; NUM_PARAMS];
+        a.copy_from_slice(v);
+        Self::from_vector(&a)
+    }
+
+    /// A canonical co-altitude head-on conflict (the paper's Fig. 5
+    /// geometry): both at 100 kt, level, meeting head-on in 40 s with zero
+    /// miss distance.
+    pub fn head_on_template() -> Self {
+        Self {
+            own_ground_speed_kt: 100.0,
+            own_vertical_speed_fpm: 0.0,
+            time_to_cpa_s: 40.0,
+            cpa_horizontal_ft: 0.0,
+            cpa_angle_rad: 0.0,
+            cpa_vertical_ft: 0.0,
+            intruder_ground_speed_kt: 100.0,
+            intruder_bearing_rad: std::f64::consts::PI,
+            intruder_vertical_speed_fpm: 0.0,
+        }
+    }
+
+    /// A canonical tail-approach conflict (the paper's Figs. 7–8 family):
+    /// the intruder overtakes slowly from behind while the own-ship
+    /// descends and the intruder climbs into it. The small closure rate
+    /// (4 kt) keeps the pair inside the NMAC horizontal band for a long
+    /// window, the geometry the paper found challenging.
+    pub fn tail_approach_template() -> Self {
+        Self {
+            own_ground_speed_kt: 70.0,
+            own_vertical_speed_fpm: -500.0,
+            time_to_cpa_s: 40.0,
+            cpa_horizontal_ft: 0.0,
+            cpa_angle_rad: 0.0,
+            cpa_vertical_ft: 0.0,
+            intruder_ground_speed_kt: 74.0,
+            intruder_bearing_rad: 0.0,
+            intruder_vertical_speed_fpm: 500.0,
+        }
+    }
+
+    /// Own-ship ground speed in ft/s.
+    pub fn own_ground_speed_fps(&self) -> f64 {
+        units::knots_to_fps(self.own_ground_speed_kt)
+    }
+
+    /// Intruder ground speed in ft/s.
+    pub fn intruder_ground_speed_fps(&self) -> f64 {
+        units::knots_to_fps(self.intruder_ground_speed_kt)
+    }
+
+    /// Own-ship vertical speed in ft/s.
+    pub fn own_vertical_speed_fps(&self) -> f64 {
+        units::fpm_to_fps(self.own_vertical_speed_fpm)
+    }
+
+    /// Intruder vertical speed in ft/s.
+    pub fn intruder_vertical_speed_fps(&self) -> f64 {
+        units::fpm_to_fps(self.intruder_vertical_speed_fpm)
+    }
+}
+
+/// Box constraints for each of the 9 parameters: the GA search space of
+/// Section VI, restricted (per the paper) to encounters that would at
+/// least nearly collide if neither aircraft maneuvered.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParamRanges {
+    /// Per-parameter `(low, high)` bounds in the canonical vector order.
+    pub bounds: [(f64, f64); NUM_PARAMS],
+}
+
+impl Default for ParamRanges {
+    /// The search space used by the experiments in this repository:
+    ///
+    /// * ground speeds 30–150 kt (small-UAV envelope),
+    /// * vertical speeds ±1000 ft/min,
+    /// * time to CPA 20–60 s (ACAS XU's short-term horizon),
+    /// * CPA horizontal miss 0–500 ft and vertical offset ±100 ft, i.e.
+    ///   inside the NMAC cylinder — every unresolved encounter is (nearly)
+    ///   a collision, matching the paper's restriction,
+    /// * approach angle and intruder bearing free over `(-π, π]`.
+    fn default() -> Self {
+        use std::f64::consts::PI;
+        Self {
+            bounds: [
+                (30.0, 150.0),     // Gs_o, kt
+                (-1000.0, 1000.0), // Vs_o, fpm
+                (20.0, 60.0),      // T, s
+                (0.0, 500.0),      // R, ft
+                (-PI, PI),         // theta, rad
+                (-100.0, 100.0),   // Y, ft
+                (30.0, 150.0),     // Gs_i, kt
+                (-PI, PI),         // psi_i, rad
+                (-1000.0, 1000.0), // Vs_i, fpm
+            ],
+        }
+    }
+}
+
+impl ParamRanges {
+    /// Bounds of parameter `i` in the canonical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 9`.
+    pub fn bound(&self, i: usize) -> (f64, f64) {
+        self.bounds[i]
+    }
+
+    /// Clamps a parameter vector into the box, component-wise.
+    pub fn clamp(&self, v: &mut [f64; NUM_PARAMS]) {
+        for (x, (lo, hi)) in v.iter_mut().zip(self.bounds.iter()) {
+            *x = x.clamp(*lo, *hi);
+        }
+    }
+
+    /// Whether `params` lies inside the box (inclusive).
+    pub fn contains(&self, params: &EncounterParams) -> bool {
+        params
+            .to_vector()
+            .iter()
+            .zip(self.bounds.iter())
+            .all(|(x, (lo, hi))| *x >= *lo - 1e-9 && *x <= *hi + 1e-9)
+    }
+
+    /// Samples parameters uniformly from the box — the "random encounter"
+    /// of Section VI-A and the random-search baseline of the experiments.
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> EncounterParams {
+        let mut v = [0.0; NUM_PARAMS];
+        for (x, (lo, hi)) in v.iter_mut().zip(self.bounds.iter()) {
+            *x = if hi > lo { rng.gen_range(*lo..*hi) } else { *lo };
+        }
+        EncounterParams::from_vector(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vector_round_trip() {
+        let p = EncounterParams::tail_approach_template();
+        let v = p.to_vector();
+        let q = EncounterParams::from_vector(&v);
+        assert_eq!(p, q);
+        let r = EncounterParams::from_slice(&v);
+        assert_eq!(p, r);
+    }
+
+    #[test]
+    #[should_panic(expected = "9 genes")]
+    fn from_slice_rejects_wrong_width() {
+        EncounterParams::from_slice(&[0.0; 5]);
+    }
+
+    #[test]
+    fn default_ranges_contain_templates() {
+        let ranges = ParamRanges::default();
+        assert!(ranges.contains(&EncounterParams::head_on_template()));
+        assert!(ranges.contains(&EncounterParams::tail_approach_template()));
+    }
+
+    #[test]
+    fn uniform_samples_stay_in_box() {
+        let ranges = ParamRanges::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..500 {
+            let p = ranges.sample_uniform(&mut rng);
+            assert!(ranges.contains(&p), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn clamp_pulls_outliers_into_box() {
+        let ranges = ParamRanges::default();
+        let mut v = [1e9; NUM_PARAMS];
+        ranges.clamp(&mut v);
+        let p = EncounterParams::from_vector(&v);
+        assert!(ranges.contains(&p));
+        let mut v = [-1e9; NUM_PARAMS];
+        ranges.clamp(&mut v);
+        assert!(ranges.contains(&EncounterParams::from_vector(&v)));
+    }
+
+    #[test]
+    fn unit_helpers_convert() {
+        let p = EncounterParams::head_on_template();
+        assert!((p.own_ground_speed_fps() - units::knots_to_fps(100.0)).abs() < 1e-12);
+        let q = EncounterParams::tail_approach_template();
+        assert!((q.own_vertical_speed_fps() - (-500.0 / 60.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = EncounterParams::head_on_template();
+        let json = serde_json::to_string(&p).unwrap();
+        let q: EncounterParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, q);
+    }
+}

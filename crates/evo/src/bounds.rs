@@ -1,0 +1,159 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{EvoError, Result};
+
+/// Per-gene box constraints of a real-coded genome.
+///
+/// Every operator in this crate keeps genes inside their bounds, so the
+/// search space is exactly the cartesian product of the intervals — the
+/// paper's scenario parameter ranges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bounds {
+    intervals: Vec<(f64, f64)>,
+}
+
+impl Bounds {
+    /// Creates bounds from explicit `(low, high)` intervals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvoError::EmptyGenome`] for an empty list and
+    /// [`EvoError::InvalidBound`] if any interval has `low > high` or a
+    /// non-finite endpoint.
+    pub fn new(intervals: Vec<(f64, f64)>) -> Result<Self> {
+        if intervals.is_empty() {
+            return Err(EvoError::EmptyGenome);
+        }
+        for (i, &(lo, hi)) in intervals.iter().enumerate() {
+            // `!(lo <= hi)` deliberately also rejects NaN endpoints.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(lo <= hi) || !lo.is_finite() || !hi.is_finite() {
+                return Err(EvoError::InvalidBound { gene: i, low: lo, high: hi });
+            }
+        }
+        Ok(Self { intervals })
+    }
+
+    /// Creates `n` identical `[low, high]` intervals.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Bounds::new`].
+    pub fn uniform(n: usize, low: f64, high: f64) -> Result<Self> {
+        Self::new(vec![(low, high); n])
+    }
+
+    /// Number of genes.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether there are zero genes (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// The `(low, high)` interval of gene `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn interval(&self, i: usize) -> (f64, f64) {
+        self.intervals[i]
+    }
+
+    /// Width of gene `i`'s interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn width(&self, i: usize) -> f64 {
+        let (lo, hi) = self.intervals[i];
+        hi - lo
+    }
+
+    /// Clamps a genome into the box, component-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `genes.len()` differs from the number of bounds.
+    pub fn clamp(&self, genes: &mut [f64]) {
+        assert_eq!(genes.len(), self.intervals.len(), "genome width mismatch");
+        for (g, &(lo, hi)) in genes.iter_mut().zip(&self.intervals) {
+            *g = g.clamp(lo, hi);
+        }
+    }
+
+    /// Whether `genes` lies inside the box (inclusive).
+    pub fn contains(&self, genes: &[f64]) -> bool {
+        genes.len() == self.intervals.len()
+            && genes.iter().zip(&self.intervals).all(|(g, &(lo, hi))| *g >= lo && *g <= hi)
+    }
+
+    /// Samples a genome uniformly from the box.
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.intervals
+            .iter()
+            .map(|&(lo, hi)| if hi > lo { rng.gen_range(lo..hi) } else { lo })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_intervals() {
+        assert!(matches!(Bounds::new(vec![]), Err(EvoError::EmptyGenome)));
+        assert!(matches!(Bounds::new(vec![(1.0, 0.0)]), Err(EvoError::InvalidBound { .. })));
+        assert!(matches!(
+            Bounds::new(vec![(f64::NAN, 1.0)]),
+            Err(EvoError::InvalidBound { .. })
+        ));
+        assert!(matches!(
+            Bounds::new(vec![(0.0, f64::INFINITY)]),
+            Err(EvoError::InvalidBound { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_interval_is_allowed() {
+        let b = Bounds::new(vec![(2.0, 2.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(b.sample_uniform(&mut rng), vec![2.0]);
+    }
+
+    #[test]
+    fn samples_and_clamps_stay_inside() {
+        let b = Bounds::new(vec![(-1.0, 1.0), (0.0, 10.0), (5.0, 5.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let g = b.sample_uniform(&mut rng);
+            assert!(b.contains(&g), "{g:?}");
+        }
+        let mut g = vec![-100.0, 100.0, 7.0];
+        b.clamp(&mut g);
+        assert_eq!(g, vec![-1.0, 10.0, 5.0]);
+        assert!(b.contains(&g));
+    }
+
+    #[test]
+    fn widths() {
+        let b = Bounds::uniform(3, -2.0, 4.0).unwrap();
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(b.width(1), 6.0);
+        assert_eq!(b.interval(0), (-2.0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn clamp_panics_on_width_mismatch() {
+        let b = Bounds::uniform(2, 0.0, 1.0).unwrap();
+        b.clamp(&mut [0.0; 3]);
+    }
+}

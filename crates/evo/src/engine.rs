@@ -1,0 +1,536 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{Bounds, Crossover, EvoError, Individual, Mutation, Population, Result, Selection};
+
+/// Configuration of a [`GeneticAlgorithm`] run.
+///
+/// The defaults mirror the paper's setup where sensible (generational GA
+/// with elitism; the paper's experiment uses population 200 × 5
+/// generations, set those explicitly via [`GaConfig::new`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaConfig {
+    /// Number of individuals per generation (≥ 2).
+    pub population_size: usize,
+    /// Number of generations to evolve (≥ 1; the initial random population
+    /// counts as generation 0).
+    pub generations: usize,
+    /// Number of best individuals copied unchanged into the next
+    /// generation.
+    pub elitism: usize,
+    /// Probability that a selected parent pair is recombined (otherwise the
+    /// parents are cloned).
+    pub crossover_rate: f64,
+    /// Parent selection scheme.
+    pub selection: Selection,
+    /// Recombination operator.
+    pub crossover: Crossover,
+    /// Mutation operator.
+    pub mutation: Mutation,
+    /// RNG seed; a run is fully determined by its config (including seed)
+    /// and fitness function.
+    pub seed: u64,
+    /// Worker threads for fitness evaluation (0 = available parallelism).
+    pub threads: usize,
+    /// Stop early once a fitness ≥ this target has been observed.
+    pub target_fitness: Option<f64>,
+    /// Stop early after this many consecutive generations without
+    /// improvement of the best fitness (`None` = never stall out).
+    pub stall_generations: Option<usize>,
+}
+
+impl GaConfig {
+    /// Creates a config with the given population size and generation
+    /// count, defaulting the operators (tournament-2 selection, BLX-0.5
+    /// crossover at rate 0.9, gaussian mutation, elitism 2, seed 0).
+    pub fn new(population_size: usize, generations: usize) -> Self {
+        Self {
+            population_size,
+            generations,
+            elitism: 2,
+            crossover_rate: 0.9,
+            selection: Selection::default(),
+            crossover: Crossover::default(),
+            mutation: Mutation::default(),
+            seed: 0,
+            threads: 1,
+            target_fitness: None,
+            stall_generations: None,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the elite count.
+    pub fn elitism(mut self, n: usize) -> Self {
+        self.elitism = n;
+        self
+    }
+
+    /// Sets the selection scheme.
+    pub fn selection(mut self, s: Selection) -> Self {
+        self.selection = s;
+        self
+    }
+
+    /// Sets the crossover operator.
+    pub fn crossover(mut self, c: Crossover) -> Self {
+        self.crossover = c;
+        self
+    }
+
+    /// Sets the crossover rate.
+    pub fn crossover_rate(mut self, rate: f64) -> Self {
+        self.crossover_rate = rate;
+        self
+    }
+
+    /// Sets the mutation operator.
+    pub fn mutation(mut self, m: Mutation) -> Self {
+        self.mutation = m;
+        self
+    }
+
+    /// Sets the number of evaluation threads (0 = hardware parallelism).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Stops the run as soon as an individual reaches `target`.
+    pub fn target_fitness(mut self, target: f64) -> Self {
+        self.target_fitness = Some(target);
+        self
+    }
+
+    /// Stops the run after `n` consecutive generations without improving
+    /// the best fitness.
+    pub fn stall_generations(mut self, n: usize) -> Self {
+        self.stall_generations = Some(n);
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.population_size < 2 {
+            return Err(EvoError::InvalidConfig {
+                field: "population_size",
+                requirement: "be at least 2",
+            });
+        }
+        if self.generations == 0 {
+            return Err(EvoError::InvalidConfig {
+                field: "generations",
+                requirement: "be at least 1",
+            });
+        }
+        if self.elitism >= self.population_size {
+            return Err(EvoError::InvalidConfig {
+                field: "elitism",
+                requirement: "be smaller than population_size",
+            });
+        }
+        if !(0.0..=1.0).contains(&self.crossover_rate) {
+            return Err(EvoError::InvalidConfig {
+                field: "crossover_rate",
+                requirement: "lie in [0, 1]",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-generation summary statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenerationStats {
+    /// Generation index (0 = initial random population).
+    pub generation: usize,
+    /// Best fitness within the generation.
+    pub best_fitness: f64,
+    /// Mean fitness within the generation.
+    pub mean_fitness: f64,
+    /// Fitness standard deviation within the generation.
+    pub std_fitness: f64,
+}
+
+/// One fitness evaluation, in evaluation order — the unit plotted on the
+/// x-axis of the paper's Fig. 6.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationRecord {
+    /// Global evaluation index (0-based, in evaluation order).
+    pub index: usize,
+    /// Generation this evaluation belonged to.
+    pub generation: usize,
+    /// The evaluated genome.
+    pub genes: Vec<f64>,
+    /// The fitness obtained.
+    pub fitness: f64,
+}
+
+/// The result of a GA run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaResult {
+    /// Best individual ever evaluated.
+    pub best: Individual,
+    /// Summary statistics per generation.
+    pub generations: Vec<GenerationStats>,
+    /// Every evaluation performed, in order.
+    pub evaluations: Vec<EvaluationRecord>,
+    /// The final population.
+    pub final_population: Population,
+    /// Whether the run stopped early on reaching `target_fitness`.
+    pub reached_target: bool,
+}
+
+impl GaResult {
+    /// Total number of fitness evaluations performed.
+    pub fn num_evaluations(&self) -> usize {
+        self.evaluations.len()
+    }
+}
+
+/// A generational genetic algorithm over bounded real-valued genomes.
+///
+/// Fitness is **maximized**. Fitness functions are `Fn(&[f64]) -> f64 +
+/// Sync` so populations can be evaluated in parallel; pass the thread count
+/// via [`GaConfig::threads`].
+#[derive(Debug, Clone)]
+pub struct GeneticAlgorithm {
+    config: GaConfig,
+    bounds: Bounds,
+}
+
+impl GeneticAlgorithm {
+    /// Creates an engine from a config and genome bounds.
+    pub fn new(config: GaConfig, bounds: Bounds) -> Self {
+        Self { config, bounds }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GaConfig {
+        &self.config
+    }
+
+    /// Runs the GA to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`GaConfig`] field
+    /// docs); use [`GeneticAlgorithm::try_run`] for a fallible variant.
+    pub fn run<F>(&self, fitness: F) -> GaResult
+    where
+        F: Fn(&[f64]) -> f64 + Sync,
+    {
+        self.try_run(fitness).expect("invalid GA configuration")
+    }
+
+    /// Runs the GA, validating the configuration first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvoError::InvalidConfig`] for out-of-range configuration
+    /// fields.
+    pub fn try_run<F>(&self, fitness: F) -> Result<GaResult>
+    where
+        F: Fn(&[f64]) -> f64 + Sync,
+    {
+        self.config.validate()?;
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut evaluations: Vec<EvaluationRecord> = Vec::new();
+        let mut gen_stats = Vec::new();
+
+        // Generation 0: uniform random population.
+        let genomes: Vec<Vec<f64>> =
+            (0..cfg.population_size).map(|_| self.bounds.sample_uniform(&mut rng)).collect();
+        let mut population =
+            evaluate_all(genomes, &fitness, cfg.threads, 0, &mut evaluations);
+        record_stats(&population, 0, &mut gen_stats);
+
+        let mut best = population.best().expect("population non-empty").clone();
+        let mut reached_target = target_hit(cfg, &best);
+        let mut stall = 0usize;
+
+        for generation in 1..cfg.generations {
+            if reached_target {
+                break;
+            }
+            if cfg.stall_generations.is_some_and(|limit| stall >= limit) {
+                break;
+            }
+            // Elites survive unchanged.
+            let mut next_genomes: Vec<Vec<f64>> =
+                population.top_k(cfg.elitism).into_iter().map(|e| e.genes.clone()).collect();
+            // Fill the rest by selection → crossover → mutation.
+            while next_genomes.len() < cfg.population_size {
+                let pa = cfg.selection.select(&population, &mut rng);
+                let pb = cfg.selection.select(&population, &mut rng);
+                let (mut c1, mut c2) = if rng.gen::<f64>() < cfg.crossover_rate {
+                    cfg.crossover.recombine(
+                        &population.members()[pa].genes,
+                        &population.members()[pb].genes,
+                        &self.bounds,
+                        &mut rng,
+                    )
+                } else {
+                    (population.members()[pa].genes.clone(), population.members()[pb].genes.clone())
+                };
+                cfg.mutation.mutate(&mut c1, &self.bounds, &mut rng);
+                cfg.mutation.mutate(&mut c2, &self.bounds, &mut rng);
+                next_genomes.push(c1);
+                if next_genomes.len() < cfg.population_size {
+                    next_genomes.push(c2);
+                }
+            }
+            population =
+                evaluate_all(next_genomes, &fitness, cfg.threads, generation, &mut evaluations);
+            record_stats(&population, generation, &mut gen_stats);
+            let gen_best = population.best().expect("population non-empty");
+            if gen_best.fitness > best.fitness + 1e-12 {
+                best = gen_best.clone();
+                stall = 0;
+            } else {
+                stall += 1;
+            }
+            reached_target = reached_target || target_hit(cfg, &best);
+        }
+
+        Ok(GaResult {
+            best,
+            generations: gen_stats,
+            evaluations,
+            final_population: population,
+            reached_target,
+        })
+    }
+}
+
+fn target_hit(cfg: &GaConfig, best: &Individual) -> bool {
+    cfg.target_fitness.is_some_and(|t| best.fitness >= t)
+}
+
+fn record_stats(population: &Population, generation: usize, out: &mut Vec<GenerationStats>) {
+    out.push(GenerationStats {
+        generation,
+        best_fitness: population.best().map(|b| b.fitness).unwrap_or(f64::NAN),
+        mean_fitness: population.mean_fitness(),
+        std_fitness: population.std_fitness(),
+    });
+}
+
+/// Evaluates a batch of genomes (possibly in parallel), appends the
+/// evaluation records, and returns the evaluated population.
+fn evaluate_all<F>(
+    genomes: Vec<Vec<f64>>,
+    fitness: &F,
+    threads: usize,
+    generation: usize,
+    evaluations: &mut Vec<EvaluationRecord>,
+) -> Population
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    let fitnesses = evaluate_batch(&genomes, fitness, threads);
+    let base = evaluations.len();
+    let mut members = Vec::with_capacity(genomes.len());
+    for (i, (genes, fit)) in genomes.into_iter().zip(fitnesses).enumerate() {
+        evaluations.push(EvaluationRecord {
+            index: base + i,
+            generation,
+            genes: genes.clone(),
+            fitness: fit,
+        });
+        members.push(Individual::new(genes, fit));
+    }
+    Population::new(members)
+}
+
+/// Maps `fitness` over `genomes` with `threads` workers (0 = hardware
+/// parallelism), preserving order.
+pub(crate) fn evaluate_batch<F>(genomes: &[Vec<f64>], fitness: &F, threads: usize) -> Vec<f64>
+where
+    F: Fn(&[f64]) -> f64 + Sync,
+{
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = if threads == 0 { hw } else { threads }.min(genomes.len().max(1));
+    if threads <= 1 {
+        return genomes.iter().map(|g| fitness(g)).collect();
+    }
+    let mut out = vec![0.0; genomes.len()];
+    let chunk = genomes.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (slot_chunk, genome_chunk) in out.chunks_mut(chunk).zip(genomes.chunks(chunk)) {
+            scope.spawn(move |_| {
+                for (slot, genome) in slot_chunk.iter_mut().zip(genome_chunk) {
+                    *slot = fitness(genome);
+                }
+            });
+        }
+    })
+    .expect("fitness evaluation worker panicked");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Negative sphere: optimum 0 at the origin.
+    fn neg_sphere(genes: &[f64]) -> f64 {
+        -genes.iter().map(|x| x * x).sum::<f64>()
+    }
+
+    fn bounds(n: usize) -> Bounds {
+        Bounds::uniform(n, -5.0, 5.0).unwrap()
+    }
+
+    #[test]
+    fn improves_over_generations_on_sphere() {
+        let config = GaConfig::new(40, 30).seed(1);
+        let result = GeneticAlgorithm::new(config, bounds(5)).run(neg_sphere);
+        let first = result.generations.first().unwrap().best_fitness;
+        let last = result.generations.last().unwrap().best_fitness;
+        assert!(last > first, "best fitness must improve: {first} -> {last}");
+        assert!(result.best.fitness > -1.0, "near-optimal: {}", result.best.fitness);
+        assert_eq!(result.num_evaluations(), 40 * 30);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let config = GaConfig::new(20, 8).seed(42);
+        let a = GeneticAlgorithm::new(config, bounds(4)).run(neg_sphere);
+        let b = GeneticAlgorithm::new(config, bounds(4)).run(neg_sphere);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.evaluations, b.evaluations);
+        let c = GeneticAlgorithm::new(GaConfig::new(20, 8).seed(43), bounds(4)).run(neg_sphere);
+        assert_ne!(a.best.genes, c.best.genes);
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial() {
+        let config = GaConfig::new(30, 6).seed(7);
+        let serial = GeneticAlgorithm::new(config, bounds(3)).run(neg_sphere);
+        let parallel =
+            GeneticAlgorithm::new(config.threads(4), bounds(3)).run(neg_sphere);
+        assert_eq!(serial.best, parallel.best);
+        assert_eq!(serial.evaluations, parallel.evaluations);
+    }
+
+    #[test]
+    fn elitism_preserves_the_best() {
+        let config = GaConfig::new(24, 15).seed(3).elitism(2);
+        let result = GeneticAlgorithm::new(config, bounds(4)).run(neg_sphere);
+        // With elitism the per-generation best is monotonically
+        // non-decreasing (the elite is re-evaluated but deterministic).
+        for w in result.generations.windows(2) {
+            assert!(
+                w[1].best_fitness >= w[0].best_fitness - 1e-9,
+                "{} -> {}",
+                w[0].best_fitness,
+                w[1].best_fitness
+            );
+        }
+    }
+
+    #[test]
+    fn target_fitness_stops_early() {
+        let config = GaConfig::new(30, 100).seed(5).target_fitness(-10.0);
+        let result = GeneticAlgorithm::new(config, bounds(2)).run(neg_sphere);
+        assert!(result.reached_target);
+        assert!(
+            result.generations.len() < 100,
+            "stopped after {} generations",
+            result.generations.len()
+        );
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let b = bounds(2);
+        for (cfg, field) in [
+            (GaConfig::new(1, 5), "population_size"),
+            (GaConfig::new(10, 0), "generations"),
+            (GaConfig::new(10, 5).elitism(10), "elitism"),
+            (GaConfig::new(10, 5).crossover_rate(1.5), "crossover_rate"),
+        ] {
+            match GeneticAlgorithm::new(cfg, b.clone()).try_run(neg_sphere) {
+                Err(EvoError::InvalidConfig { field: f, .. }) => assert_eq!(f, field),
+                other => panic!("expected InvalidConfig({field}), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_evaluated_genome_is_within_bounds() {
+        let b = bounds(6);
+        let config = GaConfig::new(25, 10).seed(9);
+        let result = GeneticAlgorithm::new(config, b.clone()).run(neg_sphere);
+        for rec in &result.evaluations {
+            assert!(b.contains(&rec.genes), "{:?}", rec.genes);
+        }
+    }
+
+    #[test]
+    fn all_selection_and_crossover_variants_run() {
+        let b = bounds(3);
+        for sel in [Selection::Tournament { size: 3 }, Selection::RouletteWheel, Selection::Rank] {
+            for cx in [
+                Crossover::OnePoint,
+                Crossover::TwoPoint,
+                Crossover::Uniform { p: 0.5 },
+                Crossover::Blx { alpha: 0.3 },
+                Crossover::Sbx { eta: 10.0 },
+            ] {
+                let config = GaConfig::new(16, 5).seed(11).selection(sel).crossover(cx);
+                let result = GeneticAlgorithm::new(config, b.clone()).run(neg_sphere);
+                assert_eq!(result.generations.len(), 5, "{sel:?} {cx:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_records_carry_generation_index() {
+        let config = GaConfig::new(10, 4).seed(2);
+        let result = GeneticAlgorithm::new(config, bounds(2)).run(neg_sphere);
+        for (i, rec) in result.evaluations.iter().enumerate() {
+            assert_eq!(rec.index, i);
+            assert_eq!(rec.generation, i / 10);
+        }
+    }
+}
+
+#[cfg(test)]
+mod stall_tests {
+    use super::*;
+
+    #[test]
+    fn stall_limit_stops_a_flat_landscape() {
+        // Constant fitness: the best never improves after generation 0.
+        let bounds = Bounds::uniform(3, 0.0, 1.0).unwrap();
+        let config = GaConfig::new(10, 50).seed(1).stall_generations(3);
+        let result = GeneticAlgorithm::new(config, bounds).run(|_: &[f64]| 1.0);
+        assert!(
+            result.generations.len() <= 5,
+            "flat fitness must stall out quickly: {} generations",
+            result.generations.len()
+        );
+        assert!(!result.reached_target);
+    }
+
+    #[test]
+    fn improving_landscape_does_not_stall() {
+        let bounds = Bounds::uniform(3, -5.0, 5.0).unwrap();
+        let config = GaConfig::new(20, 12).seed(2).stall_generations(4);
+        let result = GeneticAlgorithm::new(config, bounds)
+            .run(|g: &[f64]| -g.iter().map(|x| x * x).sum::<f64>());
+        assert!(
+            result.generations.len() >= 8,
+            "steady improvement should not trip the stall limit: {}",
+            result.generations.len()
+        );
+    }
+}

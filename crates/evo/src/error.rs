@@ -1,0 +1,59 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when configuring evolutionary searches.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EvoError {
+    /// A bound had `low > high`, or a NaN endpoint.
+    InvalidBound {
+        /// Gene index of the offending bound.
+        gene: usize,
+        /// Lower endpoint supplied.
+        low: f64,
+        /// Upper endpoint supplied.
+        high: f64,
+    },
+    /// The genome width was zero.
+    EmptyGenome,
+    /// A configuration field was out of its valid range.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable constraint that was violated.
+        requirement: &'static str,
+    },
+}
+
+impl fmt::Display for EvoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvoError::InvalidBound { gene, low, high } => {
+                write!(f, "invalid bound for gene {gene}: [{low}, {high}]")
+            }
+            EvoError::EmptyGenome => write!(f, "genome must have at least one gene"),
+            EvoError::InvalidConfig { field, requirement } => {
+                write!(f, "invalid configuration: {field} must {requirement}")
+            }
+        }
+    }
+}
+
+impl Error for EvoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field() {
+        let e = EvoError::InvalidConfig { field: "population_size", requirement: "be at least 2" };
+        assert!(e.to_string().contains("population_size"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<EvoError>();
+    }
+}

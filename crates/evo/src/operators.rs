@@ -1,0 +1,444 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Bounds, Population};
+
+/// Parent selection schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Selection {
+    /// Pick the best of `size` uniformly drawn members. The default; strong,
+    /// scale-free selection pressure.
+    Tournament {
+        /// Tournament size (≥ 1; 1 degenerates to uniform selection).
+        size: usize,
+    },
+    /// Fitness-proportionate selection; fitness is shifted so the minimum
+    /// maps to a small positive weight (handles negative fitness).
+    RouletteWheel,
+    /// Linear ranking: the best member gets twice the sampling weight of
+    /// the median, the worst gets (almost) none.
+    Rank,
+}
+
+impl Default for Selection {
+    fn default() -> Self {
+        Selection::Tournament { size: 2 }
+    }
+}
+
+impl Selection {
+    /// Selects one parent index from `population`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is empty.
+    pub fn select<R: Rng + ?Sized>(&self, population: &Population, rng: &mut R) -> usize {
+        let n = population.len();
+        assert!(n > 0, "cannot select from an empty population");
+        match *self {
+            Selection::Tournament { size } => {
+                let size = size.max(1);
+                let mut best = rng.gen_range(0..n);
+                for _ in 1..size {
+                    let cand = rng.gen_range(0..n);
+                    if population.members()[cand].fitness > population.members()[best].fitness {
+                        best = cand;
+                    }
+                }
+                best
+            }
+            Selection::RouletteWheel => {
+                let members = population.members();
+                let min = members.iter().map(|m| m.fitness).fold(f64::INFINITY, f64::min);
+                let max = members.iter().map(|m| m.fitness).fold(f64::NEG_INFINITY, f64::max);
+                let span = (max - min).max(1e-12);
+                // Shift so the worst still has 5% of the best's weight.
+                let weight = |f: f64| (f - min) + 0.05 * span;
+                let total: f64 = members.iter().map(|m| weight(m.fitness)).sum();
+                let mut u = rng.gen::<f64>() * total;
+                for (i, m) in members.iter().enumerate() {
+                    u -= weight(m.fitness);
+                    if u <= 0.0 {
+                        return i;
+                    }
+                }
+                n - 1
+            }
+            Selection::Rank => {
+                let members = population.members();
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by(|&a, &b| {
+                    members[a]
+                        .fitness
+                        .partial_cmp(&members[b].fitness)
+                        .expect("finite fitness")
+                });
+                // Weight of the r-th worst is r + 1 (linear ranking).
+                let total = (n * (n + 1) / 2) as f64;
+                let mut u = rng.gen::<f64>() * total;
+                for (r, &idx) in order.iter().enumerate() {
+                    u -= (r + 1) as f64;
+                    if u <= 0.0 {
+                        return idx;
+                    }
+                }
+                order[n - 1]
+            }
+        }
+    }
+}
+
+/// Recombination operators for real-coded genomes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Crossover {
+    /// Swap tails after a random cut point.
+    OnePoint,
+    /// Swap the segment between two random cut points.
+    TwoPoint,
+    /// Swap each gene independently with probability `p`.
+    Uniform {
+        /// Per-gene swap probability.
+        p: f64,
+    },
+    /// BLX-α blend: each child gene is uniform on the parents' interval
+    /// expanded by `alpha` on each side, clamped to bounds.
+    Blx {
+        /// Interval expansion factor (0 keeps children inside the parents'
+        /// hyper-rectangle; 0.5 is the classic setting).
+        alpha: f64,
+    },
+    /// Simulated binary crossover with distribution index `eta` (larger =
+    /// children closer to parents).
+    Sbx {
+        /// Distribution index (typically 2–20).
+        eta: f64,
+    },
+}
+
+impl Default for Crossover {
+    fn default() -> Self {
+        Crossover::Blx { alpha: 0.5 }
+    }
+}
+
+impl Crossover {
+    /// Produces two children from two parents. Children are clamped to
+    /// `bounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parent widths differ from the bounds.
+    pub fn recombine<R: Rng + ?Sized>(
+        &self,
+        a: &[f64],
+        b: &[f64],
+        bounds: &Bounds,
+        rng: &mut R,
+    ) -> (Vec<f64>, Vec<f64>) {
+        assert_eq!(a.len(), bounds.len(), "parent width mismatch");
+        assert_eq!(b.len(), bounds.len(), "parent width mismatch");
+        let n = a.len();
+        let (mut c1, mut c2) = (a.to_vec(), b.to_vec());
+        match *self {
+            Crossover::OnePoint => {
+                if n > 1 {
+                    let cut = rng.gen_range(1..n);
+                    c1[cut..].copy_from_slice(&b[cut..]);
+                    c2[cut..].copy_from_slice(&a[cut..]);
+                }
+            }
+            Crossover::TwoPoint => {
+                if n > 1 {
+                    let mut p1 = rng.gen_range(0..n);
+                    let mut p2 = rng.gen_range(0..n);
+                    if p1 > p2 {
+                        std::mem::swap(&mut p1, &mut p2);
+                    }
+                    c1[p1..p2].copy_from_slice(&b[p1..p2]);
+                    c2[p1..p2].copy_from_slice(&a[p1..p2]);
+                }
+            }
+            Crossover::Uniform { p } => {
+                for i in 0..n {
+                    if rng.gen::<f64>() < p {
+                        c1[i] = b[i];
+                        c2[i] = a[i];
+                    }
+                }
+            }
+            Crossover::Blx { alpha } => {
+                for i in 0..n {
+                    let lo = a[i].min(b[i]);
+                    let hi = a[i].max(b[i]);
+                    let span = hi - lo;
+                    let (xl, xh) = (lo - alpha * span, hi + alpha * span);
+                    if xh > xl {
+                        c1[i] = rng.gen_range(xl..=xh);
+                        c2[i] = rng.gen_range(xl..=xh);
+                    }
+                }
+            }
+            Crossover::Sbx { eta } => {
+                for i in 0..n {
+                    if (a[i] - b[i]).abs() < 1e-14 {
+                        continue;
+                    }
+                    let u: f64 = rng.gen();
+                    let beta = if u <= 0.5 {
+                        (2.0 * u).powf(1.0 / (eta + 1.0))
+                    } else {
+                        (1.0 / (2.0 * (1.0 - u))).powf(1.0 / (eta + 1.0))
+                    };
+                    let x1 = 0.5 * ((1.0 + beta) * a[i] + (1.0 - beta) * b[i]);
+                    let x2 = 0.5 * ((1.0 - beta) * a[i] + (1.0 + beta) * b[i]);
+                    c1[i] = x1;
+                    c2[i] = x2;
+                }
+            }
+        }
+        bounds.clamp(&mut c1);
+        bounds.clamp(&mut c2);
+        (c1, c2)
+    }
+}
+
+/// Mutation operators for real-coded genomes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Mutation {
+    /// Add gaussian noise with σ = `sigma_frac` × gene range to each gene,
+    /// independently with probability `per_gene_rate`.
+    Gaussian {
+        /// σ as a fraction of each gene's interval width.
+        sigma_frac: f64,
+        /// Per-gene mutation probability.
+        per_gene_rate: f64,
+    },
+    /// Replace a gene with a fresh uniform draw from its interval,
+    /// independently with probability `per_gene_rate`.
+    UniformReset {
+        /// Per-gene mutation probability.
+        per_gene_rate: f64,
+    },
+    /// Polynomial mutation (Deb) with distribution index `eta`.
+    Polynomial {
+        /// Distribution index (typically 20–100; larger = smaller steps).
+        eta: f64,
+        /// Per-gene mutation probability.
+        per_gene_rate: f64,
+    },
+}
+
+impl Default for Mutation {
+    fn default() -> Self {
+        Mutation::Gaussian { sigma_frac: 0.1, per_gene_rate: 0.25 }
+    }
+}
+
+impl Mutation {
+    /// Mutates `genes` in place, keeping them inside `bounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genome width differs from the bounds.
+    pub fn mutate<R: Rng + ?Sized>(&self, genes: &mut [f64], bounds: &Bounds, rng: &mut R) {
+        assert_eq!(genes.len(), bounds.len(), "genome width mismatch");
+        match *self {
+            Mutation::Gaussian { sigma_frac, per_gene_rate } => {
+                for (i, gene) in genes.iter_mut().enumerate() {
+                    if rng.gen::<f64>() < per_gene_rate {
+                        let sigma = sigma_frac * bounds.width(i);
+                        *gene += standard_normal(rng) * sigma;
+                    }
+                }
+            }
+            Mutation::UniformReset { per_gene_rate } => {
+                for (i, gene) in genes.iter_mut().enumerate() {
+                    if rng.gen::<f64>() < per_gene_rate {
+                        let (lo, hi) = bounds.interval(i);
+                        *gene = if hi > lo { rng.gen_range(lo..hi) } else { lo };
+                    }
+                }
+            }
+            Mutation::Polynomial { eta, per_gene_rate } => {
+                for (i, gene) in genes.iter_mut().enumerate() {
+                    if rng.gen::<f64>() < per_gene_rate {
+                        let (lo, hi) = bounds.interval(i);
+                        let width = hi - lo;
+                        if width <= 0.0 {
+                            continue;
+                        }
+                        let u: f64 = rng.gen();
+                        let delta = if u < 0.5 {
+                            (2.0 * u).powf(1.0 / (eta + 1.0)) - 1.0
+                        } else {
+                            1.0 - (2.0 * (1.0 - u)).powf(1.0 / (eta + 1.0))
+                        };
+                        *gene += delta * width;
+                    }
+                }
+            }
+        }
+        bounds.clamp(genes);
+    }
+}
+
+/// Box–Muller standard normal draw (keeps the crate off `rand_distr`).
+pub(crate) fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Individual;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ranked_population() -> Population {
+        // Fitness equals index: member 9 is the best.
+        (0..10).map(|i| Individual::new(vec![i as f64], i as f64)).collect()
+    }
+
+    #[test]
+    fn tournament_prefers_fitter_members() {
+        let pop = ranked_population();
+        let sel = Selection::Tournament { size: 4 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 4000;
+        let mean: f64 = (0..n)
+            .map(|_| pop.members()[sel.select(&pop, &mut rng)].fitness)
+            .sum::<f64>()
+            / n as f64;
+        // Expected max of 4 uniform draws over 0..9 is ≈ 7.0; far above the
+        // uniform mean of 4.5.
+        assert!(mean > 6.0, "mean selected fitness {mean}");
+    }
+
+    #[test]
+    fn roulette_handles_negative_fitness() {
+        let pop: Population =
+            (0..10).map(|i| Individual::new(vec![i as f64], i as f64 - 100.0)).collect();
+        let sel = Selection::RouletteWheel;
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 4000;
+        let mean: f64 = (0..n)
+            .map(|_| pop.members()[sel.select(&pop, &mut rng)].fitness)
+            .sum::<f64>()
+            / n as f64;
+        assert!(mean > -95.0, "selection still prefers fitter members: {mean}");
+    }
+
+    #[test]
+    fn rank_selection_orders_by_rank_not_magnitude() {
+        // One huge outlier must not dominate rank selection.
+        let mut members: Vec<Individual> =
+            (0..9).map(|i| Individual::new(vec![i as f64], i as f64)).collect();
+        members.push(Individual::new(vec![9.0], 1e9));
+        let pop = Population::new(members);
+        let sel = Selection::Rank;
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 5000;
+        let picked_best =
+            (0..n).filter(|_| sel.select(&pop, &mut rng) == 9).count() as f64 / n as f64;
+        // Linear ranking gives the best member weight 10/55 ≈ 0.18.
+        assert!((picked_best - 10.0 / 55.0).abs() < 0.03, "best pick rate {picked_best}");
+    }
+
+    #[test]
+    fn crossovers_stay_in_bounds_and_mix_genes() {
+        let bounds = Bounds::uniform(6, -1.0, 1.0).unwrap();
+        let a = vec![-1.0; 6];
+        let b = vec![1.0; 6];
+        let mut rng = StdRng::seed_from_u64(4);
+        for op in [
+            Crossover::OnePoint,
+            Crossover::TwoPoint,
+            Crossover::Uniform { p: 0.5 },
+            Crossover::Blx { alpha: 0.5 },
+            Crossover::Sbx { eta: 5.0 },
+        ] {
+            for _ in 0..50 {
+                let (c1, c2) = op.recombine(&a, &b, &bounds, &mut rng);
+                assert!(bounds.contains(&c1), "{op:?} child1 {c1:?}");
+                assert!(bounds.contains(&c2), "{op:?} child2 {c2:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_point_swaps_a_suffix() {
+        let bounds = Bounds::uniform(4, 0.0, 10.0).unwrap();
+        let a = vec![1.0; 4];
+        let b = vec![9.0; 4];
+        let mut rng = StdRng::seed_from_u64(5);
+        let (c1, _) = Crossover::OnePoint.recombine(&a, &b, &bounds, &mut rng);
+        // c1 must be a prefix of 1s followed by a suffix of 9s.
+        let first_nine = c1.iter().position(|&x| x == 9.0).expect("some suffix swapped");
+        assert!(c1[..first_nine].iter().all(|&x| x == 1.0));
+        assert!(c1[first_nine..].iter().all(|&x| x == 9.0));
+    }
+
+    #[test]
+    fn sbx_preserves_parent_mean() {
+        // SBX children are symmetric around the parents' mean (pre-clamp).
+        let bounds = Bounds::uniform(1, -100.0, 100.0).unwrap();
+        let a = vec![3.0];
+        let b = vec![7.0];
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            let (c1, c2) = Crossover::Sbx { eta: 10.0 }.recombine(&a, &b, &bounds, &mut rng);
+            assert!((c1[0] + c2[0] - 10.0).abs() < 1e-9, "{} {}", c1[0], c2[0]);
+        }
+    }
+
+    #[test]
+    fn mutations_stay_in_bounds() {
+        let bounds = Bounds::new(vec![(-1.0, 1.0), (0.0, 100.0), (3.0, 3.0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for op in [
+            Mutation::Gaussian { sigma_frac: 0.5, per_gene_rate: 1.0 },
+            Mutation::UniformReset { per_gene_rate: 1.0 },
+            Mutation::Polynomial { eta: 20.0, per_gene_rate: 1.0 },
+        ] {
+            for _ in 0..100 {
+                let mut g = bounds.sample_uniform(&mut rng);
+                op.mutate(&mut g, &bounds, &mut rng);
+                assert!(bounds.contains(&g), "{op:?} -> {g:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_mutation_is_identity() {
+        let bounds = Bounds::uniform(5, -1.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut g = bounds.sample_uniform(&mut rng);
+        let orig = g.clone();
+        Mutation::Gaussian { sigma_frac: 0.5, per_gene_rate: 0.0 }.mutate(&mut g, &bounds, &mut rng);
+        assert_eq!(g, orig);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 50_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let x = standard_normal(&mut rng);
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

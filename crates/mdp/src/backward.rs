@@ -1,0 +1,199 @@
+use crate::policy::backup;
+use crate::{Mdp, MdpError, Policy, QTable, Result};
+
+/// Per-stage output of [`BackwardInduction`].
+///
+/// Stage `k` holds the optimal Q-table and greedy policy when `k` decision
+/// epochs remain — for collision avoidance tables, "`k` seconds to closest
+/// point of approach".
+#[derive(Debug, Clone)]
+pub struct StagedSolution {
+    /// `stage_values[k]` are the optimal values with `k` stages to go;
+    /// `stage_values[0]` is the supplied terminal value vector.
+    pub stage_values: Vec<Vec<f64>>,
+    /// `stage_q[k - 1]` is the Q-table with `k` stages to go (no decisions
+    /// are taken at the terminal stage, hence one fewer entry).
+    pub stage_q: Vec<QTable>,
+    /// `stage_policies[k - 1]` is the greedy policy with `k` stages to go.
+    pub stage_policies: Vec<Policy>,
+}
+
+impl StagedSolution {
+    /// Number of decision stages (the horizon).
+    pub fn horizon(&self) -> usize {
+        self.stage_q.len()
+    }
+
+    /// The policy to follow when `to_go` stages remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to_go` is zero or exceeds the horizon.
+    pub fn policy_at(&self, to_go: usize) -> &Policy {
+        &self.stage_policies[to_go - 1]
+    }
+
+    /// The Q-table when `to_go` stages remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to_go` is zero or exceeds the horizon.
+    pub fn q_at(&self, to_go: usize) -> &QTable {
+        &self.stage_q[to_go - 1]
+    }
+}
+
+/// Finite-horizon dynamic programming by backward induction.
+///
+/// ACAS X-style logic tables index their cost tables by time-to-CPA τ; the
+/// natural solve is a single backward pass from τ = 0 (terminal) out to the
+/// alerting horizon, rather than iterating a discounted fixed point. This
+/// solver performs exactly one exact backup per stage, so γ = 1 models are
+/// fine.
+#[derive(Debug, Clone, Default)]
+pub struct BackwardInduction {
+    _private: (),
+}
+
+impl BackwardInduction {
+    /// Creates a backward-induction solver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solves `model` over `horizon` stages starting from `terminal_values`
+    /// (the value of each state when no stages remain).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::DimensionMismatch`] if `terminal_values` does not
+    /// have one entry per state, or [`MdpError::EmptyModel`] for a zero
+    /// horizon.
+    pub fn solve<M: Mdp + ?Sized>(
+        &self,
+        model: &M,
+        horizon: usize,
+        terminal_values: Vec<f64>,
+    ) -> Result<StagedSolution> {
+        if horizon == 0 {
+            return Err(MdpError::EmptyModel);
+        }
+        let n = model.num_states();
+        let na = model.num_actions();
+        if terminal_values.len() != n {
+            return Err(MdpError::DimensionMismatch { expected: n, got: terminal_values.len() });
+        }
+        let gamma = model.discount();
+        let mut stage_values = Vec::with_capacity(horizon + 1);
+        let mut stage_q = Vec::with_capacity(horizon);
+        let mut stage_policies = Vec::with_capacity(horizon);
+        stage_values.push(terminal_values);
+
+        let mut scratch = Vec::new();
+        for _k in 1..=horizon {
+            let prev = stage_values.last().expect("at least terminal values");
+            let mut q = QTable::zeros(n, na);
+            for s in 0..n {
+                for a in 0..na {
+                    scratch.clear();
+                    model.transitions_into(s, a, &mut scratch);
+                    q.set(s, a, backup(model.reward(s, a), gamma, &scratch, prev));
+                }
+            }
+            let policy = q.to_policy();
+            let values = q.to_state_values();
+            stage_q.push(q);
+            stage_policies.push(policy);
+            stage_values.push(values);
+        }
+        Ok(StagedSolution { stage_values, stage_q, stage_policies })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DenseMdpBuilder;
+
+    /// Random walk toward a cliff at state 0: terminal value is -100 at the
+    /// cliff, 0 elsewhere; action 0 drifts left, action 1 holds. Reward -1
+    /// for action 1 ("maneuver cost"). With enough stages to go, states near
+    /// the cliff must pay the maneuver cost; far states need not.
+    fn cliff(n: usize) -> crate::DenseMdp {
+        let mut b = DenseMdpBuilder::new(n, 2, 1.0);
+        for s in 0..n {
+            b.transition(s, 0, s.saturating_sub(1), 1.0);
+            b.transition(s, 1, s, 1.0);
+            b.reward(s, 1, -1.0);
+        }
+        b.build().unwrap()
+    }
+
+    fn terminal(n: usize) -> Vec<f64> {
+        let mut t = vec![0.0; n];
+        t[0] = -100.0;
+        t
+    }
+
+    #[test]
+    fn horizon_zero_is_rejected() {
+        let m = cliff(4);
+        assert!(BackwardInduction::new().solve(&m, 0, terminal(4)).is_err());
+    }
+
+    #[test]
+    fn terminal_len_is_checked() {
+        let m = cliff(4);
+        assert!(matches!(
+            BackwardInduction::new().solve(&m, 3, vec![0.0; 3]),
+            Err(MdpError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn near_cliff_states_maneuver_far_states_do_not() {
+        let n = 10;
+        let m = cliff(n);
+        let sol = BackwardInduction::new().solve(&m, 5, terminal(n)).unwrap();
+        assert_eq!(sol.horizon(), 5);
+        // With 5 stages to go, state 1 drifting left hits the cliff; holding
+        // costs only 5. Must hold.
+        assert_eq!(sol.policy_at(5).action(1), 1);
+        // State 9 can never reach the cliff within 5 stages; drifting is free.
+        assert_eq!(sol.policy_at(5).action(9), 0);
+        // With 1 stage to go, state 2 drifts to 1 (value 0): free beats hold.
+        assert_eq!(sol.policy_at(1).action(2), 0);
+    }
+
+    #[test]
+    fn values_propagate_backward_one_stage_per_sweep() {
+        let n = 6;
+        let m = cliff(n);
+        let sol = BackwardInduction::new().solve(&m, 3, terminal(n)).unwrap();
+        // With k stages to go, only states within k of the cliff see it.
+        for k in 1..=3usize {
+            for s in 0..n {
+                let v = sol.stage_values[k][s];
+                if s > k {
+                    assert!((0.0 - v).abs() < 1e-12, "k={k} s={s} v={v}");
+                } else {
+                    assert!(v < 0.0, "k={k} s={s} v={v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q_at_matches_policy_at() {
+        let n = 8;
+        let m = cliff(n);
+        let sol = BackwardInduction::new().solve(&m, 4, terminal(n)).unwrap();
+        for k in 1..=4usize {
+            let q = sol.q_at(k);
+            let p = sol.policy_at(k);
+            for s in 0..n {
+                assert_eq!(q.greedy(s), p.action(s));
+            }
+        }
+    }
+}

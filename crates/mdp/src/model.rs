@@ -1,0 +1,187 @@
+use crate::{MdpError, Result};
+
+/// One stochastic outcome of taking an action: with probability
+/// [`probability`](Transition::probability) the process moves to
+/// [`next_state`](Transition::next_state).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transition {
+    /// Index of the successor state.
+    pub next_state: usize,
+    /// Probability of this outcome; the outcomes of one `(state, action)`
+    /// pair must sum to one.
+    pub probability: f64,
+}
+
+impl Transition {
+    /// Creates a transition outcome.
+    pub fn new(next_state: usize, probability: f64) -> Self {
+        Self { next_state, probability }
+    }
+}
+
+/// A finite, discounted Markov decision process.
+///
+/// States and actions are dense indices `0..num_states()` and
+/// `0..num_actions()`. Rewards are maximized by the solvers in this crate;
+/// model costs (e.g. the collision penalty of an avoidance MDP) as negative
+/// rewards.
+///
+/// The trait is object-safe so heterogeneous models can share solver code.
+pub trait Mdp {
+    /// Number of states in the model. Must be at least 1.
+    fn num_states(&self) -> usize;
+
+    /// Number of actions available in every state. Must be at least 1.
+    ///
+    /// Models where some actions are invalid in some states should make
+    /// those actions harmless (self-loops) with a strongly negative reward,
+    /// or mask them via [`Mdp::action_allowed`].
+    fn num_actions(&self) -> usize;
+
+    /// Discount factor γ ∈ (0, 1]. γ = 1 is only meaningful for models
+    /// solved by finite-horizon backward induction.
+    fn discount(&self) -> f64;
+
+    /// Appends the stochastic outcomes of taking `action` in `state` to
+    /// `out`. Implementations must clear nothing: callers pass a scratch
+    /// buffer they have already cleared.
+    ///
+    /// The appended probabilities must be non-negative and sum to 1.
+    fn transitions_into(&self, state: usize, action: usize, out: &mut Vec<Transition>);
+
+    /// Expected immediate reward of taking `action` in `state`.
+    fn reward(&self, state: usize, action: usize) -> f64;
+
+    /// Whether `action` may be selected in `state`. Defaults to `true` for
+    /// every pair; collision avoidance models override this to encode
+    /// coordination masking or advisory reachability.
+    fn action_allowed(&self, state: usize, action: usize) -> bool {
+        let _ = (state, action);
+        true
+    }
+
+    /// Convenience wrapper returning the transitions as a fresh vector.
+    fn transitions(&self, state: usize, action: usize) -> Vec<Transition> {
+        let mut out = Vec::new();
+        self.transitions_into(state, action, &mut out);
+        out
+    }
+}
+
+/// Validates that a model's basic invariants hold; used by solvers before
+/// they start and available to tests.
+///
+/// # Errors
+///
+/// Returns [`MdpError::EmptyModel`], [`MdpError::InvalidDiscount`] or
+/// [`MdpError::InvalidDistribution`] when the corresponding invariant is
+/// violated. Probability mass is checked to a tolerance of `1e-6`.
+pub(crate) fn validate_model<M: Mdp + ?Sized>(model: &M) -> Result<()> {
+    if model.num_states() == 0 || model.num_actions() == 0 {
+        return Err(MdpError::EmptyModel);
+    }
+    let gamma = model.discount();
+    if !(gamma > 0.0 && gamma <= 1.0) {
+        return Err(MdpError::InvalidDiscount(gamma));
+    }
+    let mut scratch = Vec::new();
+    for s in 0..model.num_states() {
+        for a in 0..model.num_actions() {
+            scratch.clear();
+            model.transitions_into(s, a, &mut scratch);
+            let mut mass = 0.0;
+            for t in &scratch {
+                if t.probability < 0.0 || !t.probability.is_finite() {
+                    return Err(MdpError::InvalidDistribution { state: s, action: a, mass: t.probability });
+                }
+                if t.next_state >= model.num_states() {
+                    return Err(MdpError::StateOutOfRange {
+                        state: t.next_state,
+                        num_states: model.num_states(),
+                    });
+                }
+                mass += t.probability;
+            }
+            if (mass - 1.0).abs() > 1e-6 {
+                return Err(MdpError::InvalidDistribution { state: s, action: a, mass });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Chain;
+
+    impl Mdp for Chain {
+        fn num_states(&self) -> usize {
+            3
+        }
+        fn num_actions(&self) -> usize {
+            1
+        }
+        fn discount(&self) -> f64 {
+            0.9
+        }
+        fn transitions_into(&self, state: usize, _action: usize, out: &mut Vec<Transition>) {
+            out.push(Transition::new((state + 1).min(2), 1.0));
+        }
+        fn reward(&self, state: usize, _action: usize) -> f64 {
+            if state == 2 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+
+    #[test]
+    fn object_safety() {
+        let boxed: Box<dyn Mdp> = Box::new(Chain);
+        assert_eq!(boxed.num_states(), 3);
+        assert_eq!(boxed.transitions(0, 0), vec![Transition::new(1, 1.0)]);
+    }
+
+    #[test]
+    fn validation_accepts_well_formed_chain() {
+        assert!(validate_model(&Chain).is_ok());
+    }
+
+    struct BadMass;
+
+    impl Mdp for BadMass {
+        fn num_states(&self) -> usize {
+            1
+        }
+        fn num_actions(&self) -> usize {
+            1
+        }
+        fn discount(&self) -> f64 {
+            0.9
+        }
+        fn transitions_into(&self, _s: usize, _a: usize, out: &mut Vec<Transition>) {
+            out.push(Transition::new(0, 0.5));
+        }
+        fn reward(&self, _s: usize, _a: usize) -> f64 {
+            0.0
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_mass() {
+        match validate_model(&BadMass) {
+            Err(MdpError::InvalidDistribution { mass, .. }) => {
+                assert!((mass - 0.5).abs() < 1e-12)
+            }
+            other => panic!("expected InvalidDistribution, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_action_mask_allows_everything() {
+        assert!(Chain.action_allowed(0, 0));
+    }
+}

@@ -1,0 +1,261 @@
+use crate::model::validate_model;
+use crate::{Mdp, MdpError, Result, Transition};
+
+/// A memory-compact MDP using CSR-style (compressed sparse row) transition
+/// storage.
+///
+/// All outcomes live in two flat arrays indexed by a per-`(state, action)`
+/// offset table, which keeps large discretized models (hundreds of thousands
+/// of states with a handful of successors each) cache-friendly during value
+/// iteration sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMdp {
+    num_states: usize,
+    num_actions: usize,
+    discount: f64,
+    /// `offsets[state * num_actions + action]..offsets[.. + 1]` indexes into
+    /// `next_states` / `probabilities`.
+    offsets: Vec<u32>,
+    next_states: Vec<u32>,
+    probabilities: Vec<f64>,
+    rewards: Vec<f64>,
+}
+
+impl SparseMdp {
+    /// Materializes any [`Mdp`] implementation into CSR storage.
+    ///
+    /// Useful when an implicit model (computed transitions) is iterated
+    /// many times — e.g. repeated solves during a cost-model sweep — and
+    /// the memory trade is worth the per-backup savings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`SparseMdpBuilder::build`].
+    pub fn from_model<M: Mdp + ?Sized>(model: &M) -> crate::Result<SparseMdp> {
+        let mut builder =
+            SparseMdpBuilder::new(model.num_states(), model.num_actions(), model.discount());
+        let mut scratch = Vec::new();
+        for s in 0..model.num_states() {
+            for a in 0..model.num_actions() {
+                scratch.clear();
+                model.transitions_into(s, a, &mut scratch);
+                builder.push_row(&scratch, model.reward(s, a));
+            }
+        }
+        builder.build()
+    }
+
+    /// Number of stored transition outcomes across the whole model.
+    pub fn num_outcomes(&self) -> usize {
+        self.next_states.len()
+    }
+
+    /// Approximate heap footprint in bytes, useful when sizing models.
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * 4
+            + self.next_states.len() * 4
+            + self.probabilities.len() * 8
+            + self.rewards.len() * 8
+    }
+
+    #[inline]
+    fn range(&self, state: usize, action: usize) -> std::ops::Range<usize> {
+        let idx = state * self.num_actions + action;
+        self.offsets[idx] as usize..self.offsets[idx + 1] as usize
+    }
+}
+
+impl Mdp for SparseMdp {
+    fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    fn num_actions(&self) -> usize {
+        self.num_actions
+    }
+
+    fn discount(&self) -> f64 {
+        self.discount
+    }
+
+    fn transitions_into(&self, state: usize, action: usize, out: &mut Vec<Transition>) {
+        for i in self.range(state, action) {
+            out.push(Transition::new(self.next_states[i] as usize, self.probabilities[i]));
+        }
+    }
+
+    fn reward(&self, state: usize, action: usize) -> f64 {
+        self.rewards[state * self.num_actions + action]
+    }
+}
+
+/// Builder that assembles a [`SparseMdp`] row by row.
+///
+/// Rows **must** be pushed in lexicographic `(state, action)` order via
+/// [`push_row`](Self::push_row); this is what lets the builder write the CSR
+/// arrays directly without a sort.
+#[derive(Debug, Clone)]
+pub struct SparseMdpBuilder {
+    num_states: usize,
+    num_actions: usize,
+    discount: f64,
+    offsets: Vec<u32>,
+    next_states: Vec<u32>,
+    probabilities: Vec<f64>,
+    rewards: Vec<f64>,
+    rows_pushed: usize,
+}
+
+impl SparseMdpBuilder {
+    /// Starts a sparse model with the given dimensions and discount.
+    pub fn new(num_states: usize, num_actions: usize, discount: f64) -> Self {
+        let pairs = num_states * num_actions;
+        let mut offsets = Vec::with_capacity(pairs + 1);
+        offsets.push(0);
+        Self {
+            num_states,
+            num_actions,
+            discount,
+            offsets,
+            next_states: Vec::new(),
+            probabilities: Vec::new(),
+            rewards: Vec::with_capacity(pairs),
+            rows_pushed: 0,
+        }
+    }
+
+    /// Reserves capacity for `n` total outcomes, avoiding reallocation when
+    /// the caller knows the successor fan-out in advance.
+    pub fn reserve_outcomes(&mut self, n: usize) -> &mut Self {
+        self.next_states.reserve(n);
+        self.probabilities.reserve(n);
+        self
+    }
+
+    /// Appends the outcomes and reward for the next `(state, action)` pair in
+    /// lexicographic order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more rows are pushed than the model has `(state, action)`
+    /// pairs, or if a successor index is out of range.
+    pub fn push_row(&mut self, outcomes: &[Transition], reward: f64) -> &mut Self {
+        assert!(
+            self.rows_pushed < self.num_states * self.num_actions,
+            "pushed more rows than state-action pairs"
+        );
+        for t in outcomes {
+            assert!(t.next_state < self.num_states, "successor {} out of range", t.next_state);
+            self.next_states.push(t.next_state as u32);
+            self.probabilities.push(t.probability);
+        }
+        self.offsets.push(self.next_states.len() as u32);
+        self.rewards.push(reward);
+        self.rows_pushed += 1;
+        self
+    }
+
+    /// Finalizes and validates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::EmptyModel`] if not every row was pushed, plus the
+    /// distribution/discount errors of [`crate::Mdp`] validation.
+    pub fn build(self) -> Result<SparseMdp> {
+        if self.num_states == 0 || self.num_actions == 0 {
+            return Err(MdpError::EmptyModel);
+        }
+        if self.rows_pushed != self.num_states * self.num_actions {
+            return Err(MdpError::EmptyModel);
+        }
+        let mdp = SparseMdp {
+            num_states: self.num_states,
+            num_actions: self.num_actions,
+            discount: self.discount,
+            offsets: self.offsets,
+            next_states: self.next_states,
+            probabilities: self.probabilities,
+            rewards: self.rewards,
+        };
+        validate_model(&mdp)?;
+        Ok(mdp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DenseMdpBuilder, ValueIteration};
+
+    fn chain_sparse(n: usize) -> SparseMdp {
+        let mut b = SparseMdpBuilder::new(n, 1, 0.9);
+        for s in 0..n {
+            let next = (s + 1).min(n - 1);
+            let r = if s == n - 1 { 1.0 } else { 0.0 };
+            b.push_row(&[Transition::new(next, 1.0)], r);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trips_transitions() {
+        let m = chain_sparse(4);
+        assert_eq!(m.transitions(0, 0), vec![Transition::new(1, 1.0)]);
+        assert_eq!(m.transitions(3, 0), vec![Transition::new(3, 1.0)]);
+        assert_eq!(m.num_outcomes(), 4);
+        assert!(m.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn sparse_and_dense_agree_under_value_iteration() {
+        let sparse = chain_sparse(5);
+        let mut d = DenseMdpBuilder::new(5, 1, 0.9);
+        for s in 0..5 {
+            d.transition(s, 0, (s + 1).min(4), 1.0);
+            d.reward(s, 0, if s == 4 { 1.0 } else { 0.0 });
+        }
+        let dense = d.build().unwrap();
+        let mut vi = ValueIteration::new();
+        vi.tolerance(1e-10);
+        let vs = vi.solve(&sparse).unwrap();
+        let vd = vi.solve(&dense).unwrap();
+        for s in 0..5 {
+            assert!((vs.values[s] - vd.values[s]).abs() < 1e-8, "state {s}");
+        }
+    }
+
+    #[test]
+    fn from_model_preserves_solution() {
+        let mut d = DenseMdpBuilder::new(6, 2, 0.9);
+        for s in 0..6 {
+            d.transition(s, 0, (s + 1) % 6, 0.7);
+            d.transition(s, 0, s, 0.3);
+            d.transition(s, 1, s.saturating_sub(1), 1.0);
+            d.reward(s, 0, if s == 5 { 2.0 } else { -0.1 });
+        }
+        let dense = d.build().unwrap();
+        let sparse = SparseMdp::from_model(&dense).unwrap();
+        let mut vi = ValueIteration::new();
+        vi.tolerance(1e-10);
+        let a = vi.solve(&dense).unwrap();
+        let b = vi.solve(&sparse).unwrap();
+        for s in 0..6 {
+            assert!((a.values[s] - b.values[s]).abs() < 1e-8);
+            assert_eq!(a.policy.action(s), b.policy.action(s));
+        }
+    }
+
+    #[test]
+    fn incomplete_rows_are_rejected() {
+        let mut b = SparseMdpBuilder::new(2, 1, 0.9);
+        b.push_row(&[Transition::new(0, 1.0)], 0.0);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_successor_panics() {
+        let mut b = SparseMdpBuilder::new(1, 1, 0.9);
+        b.push_row(&[Transition::new(3, 1.0)], 0.0);
+    }
+}

@@ -1,0 +1,393 @@
+use crate::model::validate_model;
+use crate::policy::backup;
+use crate::{Mdp, MdpError, Policy, QTable, Result};
+
+/// Order in which value iteration sweeps states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepOrder {
+    /// Jacobi-style synchronous sweeps: each iteration reads only the
+    /// previous iteration's values. Deterministic and parallelizable.
+    #[default]
+    Synchronous,
+    /// Gauss–Seidel sweeps: updates are visible within the same sweep,
+    /// typically converging in fewer sweeps at the cost of parallelism.
+    GaussSeidel,
+}
+
+/// Convergence statistics reported by [`ValueIteration::solve`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueIterationStats {
+    /// Number of full sweeps performed.
+    pub iterations: usize,
+    /// Final sup-norm Bellman residual.
+    pub residual: f64,
+    /// Number of Q-value backups computed in total.
+    pub backups: u64,
+}
+
+/// The output of a solver: optimal values, Q-table, greedy policy, stats.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Optimal state values `V*(s)`.
+    pub values: Vec<f64>,
+    /// Optimal state-action values `Q*(s, a)`.
+    pub q: QTable,
+    /// Greedy policy extracted from `q`.
+    pub policy: Policy,
+    /// Convergence statistics.
+    pub stats: ValueIterationStats,
+}
+
+/// Value iteration — the dynamic-programming optimizer at the heart of the
+/// model-based development process (paper Sections II–III).
+///
+/// Maximizes discounted expected reward. Construction follows the
+/// non-consuming builder pattern:
+///
+/// ```
+/// use uavca_mdp::{DenseMdpBuilder, SweepOrder, ValueIteration};
+///
+/// let mut b = DenseMdpBuilder::new(1, 1, 0.9);
+/// b.transition(0, 0, 0, 1.0).reward(0, 0, 1.0);
+/// let mdp = b.build()?;
+/// let solution = ValueIteration::new()
+///     .tolerance(1e-8)
+///     .max_iterations(10_000)
+///     .sweep_order(SweepOrder::GaussSeidel)
+///     .solve(&mdp)?;
+/// assert!((solution.values[0] - 10.0).abs() < 1e-5);
+/// # Ok::<(), uavca_mdp::MdpError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ValueIteration {
+    tolerance: f64,
+    max_iterations: usize,
+    sweep_order: SweepOrder,
+    parallel_threads: usize,
+    validate: bool,
+}
+
+impl Default for ValueIteration {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ValueIteration {
+    /// Creates a solver with tolerance `1e-6`, a 100 000-sweep budget,
+    /// synchronous sweeps and no parallelism.
+    pub fn new() -> Self {
+        Self {
+            tolerance: 1e-6,
+            max_iterations: 100_000,
+            sweep_order: SweepOrder::Synchronous,
+            parallel_threads: 1,
+            validate: true,
+        }
+    }
+
+    /// Sets the sup-norm Bellman residual below which the solver stops.
+    pub fn tolerance(&mut self, tol: f64) -> &mut Self {
+        self.tolerance = tol;
+        self
+    }
+
+    /// Sets the maximum number of sweeps before giving up.
+    pub fn max_iterations(&mut self, n: usize) -> &mut Self {
+        self.max_iterations = n;
+        self
+    }
+
+    /// Chooses the sweep order. [`SweepOrder::GaussSeidel`] forces
+    /// single-threaded execution.
+    pub fn sweep_order(&mut self, order: SweepOrder) -> &mut Self {
+        self.sweep_order = order;
+        self
+    }
+
+    /// Number of worker threads for synchronous sweeps. `0` selects the
+    /// available hardware parallelism.
+    pub fn threads(&mut self, n: usize) -> &mut Self {
+        self.parallel_threads = n;
+        self
+    }
+
+    /// Disables up-front model validation (an `O(S·A)` pass); use for large
+    /// models whose construction already guarantees validity.
+    pub fn skip_validation(&mut self) -> &mut Self {
+        self.validate = false;
+        self
+    }
+
+    /// Runs value iteration on `model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::NotConverged`] if the iteration budget is
+    /// exhausted first, plus any model validation error.
+    pub fn solve<M: Mdp + Sync + ?Sized>(&self, model: &M) -> Result<Solution> {
+        if self.validate {
+            validate_model(model)?;
+        }
+        let n = model.num_states();
+        let gamma = model.discount();
+        let mut values = vec![0.0; n];
+        let mut backups: u64 = 0;
+        let mut residual = f64::INFINITY;
+        let mut iterations = 0;
+
+        let threads = effective_threads(self.parallel_threads, n);
+        while iterations < self.max_iterations {
+            iterations += 1;
+            residual = match self.sweep_order {
+                SweepOrder::GaussSeidel => sweep_gauss_seidel(model, gamma, &mut values, &mut backups),
+                SweepOrder::Synchronous if threads <= 1 => {
+                    sweep_synchronous(model, gamma, &mut values, &mut backups)
+                }
+                SweepOrder::Synchronous => {
+                    sweep_parallel(model, gamma, &mut values, &mut backups, threads)
+                }
+            };
+            if residual < self.tolerance {
+                let (q, policy) = extract(model, &values, &mut backups);
+                return Ok(Solution {
+                    values,
+                    q,
+                    policy,
+                    stats: ValueIterationStats { iterations, residual, backups },
+                });
+            }
+        }
+        Err(MdpError::NotConverged { iterations, residual, tolerance: self.tolerance })
+    }
+}
+
+fn effective_threads(requested: usize, num_states: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let t = if requested == 0 { hw } else { requested };
+    // Parallelism does not pay off for tiny models.
+    if num_states < 4096 {
+        1
+    } else {
+        t.min(hw)
+    }
+}
+
+fn best_action_value<M: Mdp + ?Sized>(
+    model: &M,
+    state: usize,
+    gamma: f64,
+    values: &[f64],
+    scratch: &mut Vec<crate::Transition>,
+    backups: &mut u64,
+) -> f64 {
+    let mut best = f64::NEG_INFINITY;
+    for a in 0..model.num_actions() {
+        scratch.clear();
+        model.transitions_into(state, a, scratch);
+        let q = backup(model.reward(state, a), gamma, scratch, values);
+        *backups += 1;
+        if q > best {
+            best = q;
+        }
+    }
+    best
+}
+
+fn sweep_synchronous<M: Mdp + ?Sized>(
+    model: &M,
+    gamma: f64,
+    values: &mut Vec<f64>,
+    backups: &mut u64,
+) -> f64 {
+    let mut next = vec![0.0; values.len()];
+    let mut scratch = Vec::new();
+    let mut delta: f64 = 0.0;
+    for s in 0..values.len() {
+        let v = best_action_value(model, s, gamma, values, &mut scratch, backups);
+        delta = delta.max((v - values[s]).abs());
+        next[s] = v;
+    }
+    *values = next;
+    delta
+}
+
+fn sweep_gauss_seidel<M: Mdp + ?Sized>(
+    model: &M,
+    gamma: f64,
+    values: &mut [f64],
+    backups: &mut u64,
+) -> f64 {
+    let mut scratch = Vec::new();
+    let mut delta: f64 = 0.0;
+    for s in 0..values.len() {
+        let v = best_action_value(model, s, gamma, values, &mut scratch, backups);
+        delta = delta.max((v - values[s]).abs());
+        values[s] = v;
+    }
+    delta
+}
+
+fn sweep_parallel<M: Mdp + Sync + ?Sized>(
+    model: &M,
+    gamma: f64,
+    values: &mut Vec<f64>,
+    backups: &mut u64,
+    threads: usize,
+) -> f64 {
+    let n = values.len();
+    let mut next = vec![0.0; n];
+    let chunk = n.div_ceil(threads);
+    let old: &[f64] = values;
+    let mut local_backups = vec![0u64; threads];
+    let mut local_delta = vec![0.0f64; threads];
+    crossbeam::thread::scope(|scope| {
+        let mut rest: &mut [f64] = &mut next;
+        let mut handles = Vec::new();
+        for (ti, (bk, dl)) in local_backups.iter_mut().zip(local_delta.iter_mut()).enumerate() {
+            let take = chunk.min(rest.len());
+            let (mine, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let start = ti * chunk;
+            handles.push(scope.spawn(move |_| {
+                let mut scratch = Vec::new();
+                let mut delta: f64 = 0.0;
+                for (i, slot) in mine.iter_mut().enumerate() {
+                    let s = start + i;
+                    let v = best_action_value(model, s, gamma, old, &mut scratch, bk);
+                    delta = delta.max((v - old[s]).abs());
+                    *slot = v;
+                }
+                *dl = delta;
+            }));
+        }
+        for h in handles {
+            h.join().expect("value iteration worker panicked");
+        }
+    })
+    .expect("crossbeam scope failed");
+    *backups += local_backups.iter().sum::<u64>();
+    *values = next;
+    local_delta.into_iter().fold(0.0, f64::max)
+}
+
+fn extract<M: Mdp + ?Sized>(model: &M, values: &[f64], backups: &mut u64) -> (QTable, Policy) {
+    let n = model.num_states();
+    let na = model.num_actions();
+    let gamma = model.discount();
+    let mut q = QTable::zeros(n, na);
+    let mut scratch = Vec::new();
+    for s in 0..n {
+        for a in 0..na {
+            scratch.clear();
+            model.transitions_into(s, a, &mut scratch);
+            q.set(s, a, backup(model.reward(s, a), gamma, &scratch, values));
+            *backups += 1;
+        }
+    }
+    let policy = q.to_policy();
+    (q, policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DenseMdpBuilder;
+
+    /// Deterministic 1-D corridor: states 0..n-1, reach the right end for
+    /// reward. Optimal policy is "go right" everywhere.
+    fn corridor(n: usize, gamma: f64) -> crate::DenseMdp {
+        let mut b = DenseMdpBuilder::new(n, 2, gamma);
+        for s in 0..n {
+            let left = s.saturating_sub(1);
+            let right = (s + 1).min(n - 1);
+            b.transition(s, 0, left, 1.0);
+            b.transition(s, 1, right, 1.0);
+            b.reward(s, 1, if right == n - 1 && s != n - 1 { 1.0 } else { 0.0 });
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn corridor_policy_goes_right() {
+        let m = corridor(6, 0.9);
+        let sol = ValueIteration::new().tolerance(1e-10).solve(&m).unwrap();
+        for s in 0..5 {
+            assert_eq!(sol.policy.action(s), 1, "state {s}");
+        }
+        // Values increase toward the goal.
+        for s in 0..4 {
+            assert!(sol.values[s] < sol.values[s + 1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_matches_synchronous() {
+        let m = corridor(10, 0.95);
+        let a = ValueIteration::new().tolerance(1e-12).solve(&m).unwrap();
+        let b = ValueIteration::new()
+            .tolerance(1e-12)
+            .sweep_order(SweepOrder::GaussSeidel)
+            .solve(&m)
+            .unwrap();
+        for s in 0..10 {
+            assert!((a.values[s] - b.values[s]).abs() < 1e-8, "state {s}");
+        }
+        assert!(b.stats.iterations <= a.stats.iterations);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        // Big enough to actually engage the parallel path (>= 4096 states).
+        let m = corridor(5000, 0.9);
+        let serial = ValueIteration::new().tolerance(1e-8).skip_validation().solve(&m).unwrap();
+        let par = ValueIteration::new()
+            .tolerance(1e-8)
+            .threads(4)
+            .skip_validation()
+            .solve(&m)
+            .unwrap();
+        for s in (0..5000).step_by(371) {
+            assert!((serial.values[s] - par.values[s]).abs() < 1e-9, "state {s}");
+        }
+        assert_eq!(serial.stats.iterations, par.stats.iterations);
+    }
+
+    #[test]
+    fn reports_non_convergence() {
+        let m = corridor(50, 0.999);
+        let err = ValueIteration::new().tolerance(1e-14).max_iterations(3).solve(&m);
+        match err {
+            Err(MdpError::NotConverged { iterations, .. }) => assert_eq!(iterations, 3),
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn discounted_self_loop_closed_form() {
+        // V = r / (1 - gamma)
+        for gamma in [0.5, 0.9, 0.99] {
+            let mut b = DenseMdpBuilder::new(1, 1, gamma);
+            b.transition(0, 0, 0, 1.0).reward(0, 0, 2.0);
+            let m = b.build().unwrap();
+            let sol = ValueIteration::new().tolerance(1e-12).solve(&m).unwrap();
+            assert!((sol.values[0] - 2.0 / (1.0 - gamma)).abs() < 1e-6, "gamma {gamma}");
+        }
+    }
+
+    #[test]
+    fn stochastic_expectation_is_respected() {
+        // Action 0: 50/50 between reward-1 absorbing and reward-0 absorbing.
+        let mut b = DenseMdpBuilder::new(3, 1, 0.5);
+        b.transition(0, 0, 1, 0.5);
+        b.transition(0, 0, 2, 0.5);
+        b.transition(1, 0, 1, 1.0).reward(1, 0, 1.0);
+        b.transition(2, 0, 2, 1.0);
+        let m = b.build().unwrap();
+        let sol = ValueIteration::new().tolerance(1e-12).solve(&m).unwrap();
+        // V(1) = 1/(1-0.5) = 2, V(2) = 0, V(0) = 0 + 0.5*(0.5*2 + 0.5*0) = 0.5
+        assert!((sol.values[1] - 2.0).abs() < 1e-9);
+        assert!((sol.values[2] - 0.0).abs() < 1e-9);
+        assert!((sol.values[0] - 0.5).abs() < 1e-9);
+    }
+}

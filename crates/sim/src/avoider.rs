@@ -1,0 +1,141 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{AdsbReport, UavState};
+
+/// Vertical sense of an avoidance maneuver, used both in advisories and in
+/// coordination messages ("do not maneuver in the same direction").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sense {
+    /// Upward maneuver (climb, or do-not-descend restriction on the peer).
+    Up,
+    /// Downward maneuver (descend, or do-not-climb restriction on the peer).
+    Down,
+}
+
+impl Sense {
+    /// The opposite sense.
+    pub fn opposite(self) -> Sense {
+        match self {
+            Sense::Up => Sense::Down,
+            Sense::Down => Sense::Up,
+        }
+    }
+}
+
+/// A resolution maneuver emitted by a [`CollisionAvoider`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ManeuverCommand {
+    /// Target vertical rate, ft/s (positive climbs).
+    pub target_vertical_rate_fps: f64,
+    /// The sense broadcast to the peer for coordination.
+    pub sense: Sense,
+    /// A short human-readable advisory label ("CLIMB", "DES1500", …) used
+    /// in traces; not interpreted by the simulation.
+    pub label: &'static str,
+}
+
+/// Everything an avoidance logic can see when making a decision.
+#[derive(Debug, Clone, Copy)]
+pub struct AvoiderContext<'a> {
+    /// Own true kinematic state (own-ship navigation is assumed accurate;
+    /// the datalink to the *intruder* is the noisy channel).
+    pub own: &'a UavState,
+    /// Latest ADS-B report received from the intruder.
+    pub intruder: &'a AdsbReport,
+    /// Coordination restriction currently in force from the peer: the
+    /// sense this aircraft must **not** choose.
+    pub forbidden_sense: Option<Sense>,
+    /// Current simulation time, seconds.
+    pub time_s: f64,
+    /// Decision interval, seconds.
+    pub dt_s: f64,
+}
+
+/// A pluggable collision avoidance logic (the role ACAS XU plays in the
+/// paper's tool; SVO and "no equipage" are alternative implementations).
+///
+/// Implementations are driven once per decision step and return `None` for
+/// clear-of-conflict or a [`ManeuverCommand`] to maneuver. They are `Send`
+/// so encounter evaluations can fan out across threads.
+pub trait CollisionAvoider: Send {
+    /// Makes one decision. Returning `None` clears any previous command
+    /// (the UAV maintains its current vertical rate).
+    fn decide(&mut self, ctx: &AvoiderContext<'_>) -> Option<ManeuverCommand>;
+
+    /// Resets internal state (advisory memory, alert latches) so the value
+    /// can be reused for a fresh encounter.
+    fn reset(&mut self);
+
+    /// A short name for traces and reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The "no collision avoidance system" baseline: never maneuvers.
+///
+/// Used by the paper's validation harness to (a) establish that a generated
+/// encounter would actually collide without avoidance, and (b) compute
+/// risk ratios for equipped vs unequipped Monte-Carlo runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Unequipped {
+    _private: (),
+}
+
+impl Unequipped {
+    /// Creates the do-nothing avoider.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CollisionAvoider for Unequipped {
+    fn decide(&mut self, _ctx: &AvoiderContext<'_>) -> Option<ManeuverCommand> {
+        None
+    }
+
+    fn reset(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "unequipped"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vec3;
+
+    #[test]
+    fn sense_opposite() {
+        assert_eq!(Sense::Up.opposite(), Sense::Down);
+        assert_eq!(Sense::Down.opposite(), Sense::Up);
+    }
+
+    #[test]
+    fn unequipped_never_maneuvers() {
+        let own = UavState::new(Vec3::ZERO, Vec3::new(100.0, 0.0, 0.0));
+        let intruder = AdsbReport {
+            sender: 1,
+            position: Vec3::new(200.0, 0.0, 0.0),
+            velocity: Vec3::new(-100.0, 0.0, 0.0),
+            time_s: 0.0,
+        };
+        let mut u = Unequipped::new();
+        let ctx = AvoiderContext {
+            own: &own,
+            intruder: &intruder,
+            forbidden_sense: None,
+            time_s: 0.0,
+            dt_s: 1.0,
+        };
+        assert!(u.decide(&ctx).is_none());
+        u.reset();
+        assert_eq!(u.name(), "unequipped");
+    }
+
+    #[test]
+    fn avoider_is_object_safe_and_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        let boxed: Box<dyn CollisionAvoider> = Box::new(Unequipped::new());
+        assert_send(&boxed);
+    }
+}

@@ -1,0 +1,157 @@
+use rand::Rng;
+use rand_distr_shim::sample_standard_normal;
+use serde::{Deserialize, Serialize};
+
+use crate::adsb::SensorNoise;
+use crate::Vec3;
+
+/// White-noise wind gust model perturbing each UAV's effective velocity
+/// every step (the paper's "environment disturbance").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DisturbanceModel {
+    /// Standard deviation of the horizontal gust components, ft/s.
+    pub horizontal_sigma_fps: f64,
+    /// Standard deviation of the vertical gust component, ft/s.
+    pub vertical_sigma_fps: f64,
+}
+
+impl DisturbanceModel {
+    /// No disturbance at all (deterministic dynamics).
+    pub fn none() -> Self {
+        Self { horizontal_sigma_fps: 0.0, vertical_sigma_fps: 0.0 }
+    }
+
+    /// Draws one gust velocity vector.
+    pub fn sample_gust<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec3 {
+        if self.horizontal_sigma_fps == 0.0 && self.vertical_sigma_fps == 0.0 {
+            return Vec3::ZERO;
+        }
+        Vec3::new(
+            sample_standard_normal(rng) * self.horizontal_sigma_fps,
+            sample_standard_normal(rng) * self.horizontal_sigma_fps,
+            sample_standard_normal(rng) * self.vertical_sigma_fps,
+        )
+    }
+}
+
+impl Default for DisturbanceModel {
+    /// Moderate turbulence: σ = 5 ft/s horizontally, 3 ft/s vertically.
+    fn default() -> Self {
+        Self { horizontal_sigma_fps: 5.0, vertical_sigma_fps: 3.0 }
+    }
+}
+
+/// Configuration of an encounter simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Simulation (and decision) step, seconds.
+    pub dt_s: f64,
+    /// Hard stop for the run, seconds.
+    pub max_time_s: f64,
+    /// Wind / turbulence model.
+    pub disturbance: DisturbanceModel,
+    /// ADS-B datalink noise model.
+    pub sensor_noise: SensorNoise,
+    /// Whether the two UAVs exchange maneuver coordination messages
+    /// (Section VI-C: a climb commands the peer not to climb).
+    pub coordination: bool,
+    /// Whether to record a full [`crate::Trace`] of the run.
+    pub record_trace: bool,
+}
+
+impl Default for SimConfig {
+    /// 1 Hz decisions for 100 s with default noise, coordination on, no
+    /// trace recording (headless search mode).
+    fn default() -> Self {
+        Self {
+            dt_s: 1.0,
+            max_time_s: 100.0,
+            disturbance: DisturbanceModel::default(),
+            sensor_noise: SensorNoise::default(),
+            coordination: true,
+            record_trace: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A deterministic configuration: no wind, no sensor noise. Useful in
+    /// tests that need exact geometry.
+    pub fn deterministic() -> Self {
+        Self {
+            disturbance: DisturbanceModel::none(),
+            sensor_noise: SensorNoise::none(),
+            ..Self::default()
+        }
+    }
+
+    /// Number of steps implied by `max_time_s` and `dt_s`.
+    pub fn num_steps(&self) -> usize {
+        (self.max_time_s / self.dt_s).ceil() as usize
+    }
+}
+
+/// Minimal standard-normal sampler built on `Rng::gen` so the crate does not
+/// need `rand_distr`; Box–Muller is plenty for simulation noise.
+pub(crate) mod rand_distr_shim {
+    use rand::Rng;
+
+    /// Samples one standard normal variate via the Box–Muller transform.
+    pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        loop {
+            let u1: f64 = rng.gen::<f64>();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let u2: f64 = rng.gen::<f64>();
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_disturbance_is_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(DisturbanceModel::none().sample_gust(&mut rng), Vec3::ZERO);
+    }
+
+    #[test]
+    fn gust_statistics_match_sigma() {
+        let model = DisturbanceModel { horizontal_sigma_fps: 4.0, vertical_sigma_fps: 2.0 };
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let (mut sum_x, mut sum_x2, mut sum_z2) = (0.0, 0.0, 0.0);
+        for _ in 0..n {
+            let g = model.sample_gust(&mut rng);
+            sum_x += g.x;
+            sum_x2 += g.x * g.x;
+            sum_z2 += g.z * g.z;
+        }
+        let mean_x = sum_x / n as f64;
+        let var_x = sum_x2 / n as f64 - mean_x * mean_x;
+        let var_z = sum_z2 / n as f64;
+        assert!(mean_x.abs() < 0.15, "mean {mean_x}");
+        assert!((var_x.sqrt() - 4.0).abs() < 0.15, "sigma_x {}", var_x.sqrt());
+        assert!((var_z.sqrt() - 2.0).abs() < 0.1, "sigma_z {}", var_z.sqrt());
+    }
+
+    #[test]
+    fn num_steps_rounds_up() {
+        let c = SimConfig { dt_s: 1.0, max_time_s: 10.5, ..SimConfig::default() };
+        assert_eq!(c.num_steps(), 11);
+    }
+
+    #[test]
+    fn deterministic_config_has_no_noise() {
+        let c = SimConfig::deterministic();
+        assert_eq!(c.disturbance, DisturbanceModel::none());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(c.disturbance.sample_gust(&mut rng), Vec3::ZERO);
+    }
+}

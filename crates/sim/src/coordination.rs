@@ -1,0 +1,141 @@
+use crate::Sense;
+
+/// The maneuver coordination channel between the two aircraft.
+///
+/// Mirrors the mechanism of Section VI-C: "if the own-ship chooses a climb
+/// maneuver, it will send a coordination command to the intruder to require
+/// it not to choose maneuvers in the same direction."
+///
+/// Messages posted during step *t* become restrictions for the peer's
+/// decision at step *t+1* (one datalink latency). If both aircraft post the
+/// same sense simultaneously, the lower aircraft id wins and the other is
+/// restricted — the fixed-priority tie-break used by transponder-address
+/// comparison in TCAS-style coordination.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoordinationBoard {
+    /// Sense most recently *posted* by each aircraft (this step).
+    posted: [Option<Sense>; 2],
+    /// Restriction in force against each aircraft (from last commit).
+    in_force: [Option<Sense>; 2],
+}
+
+impl CoordinationBoard {
+    /// Creates an empty board.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that aircraft `id` selected a maneuver with `sense` this
+    /// step (or `None` for clear of conflict).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not 0 or 1.
+    pub fn post(&mut self, id: usize, sense: Option<Sense>) {
+        assert!(id < 2, "two-ship coordination only");
+        self.posted[id] = sense;
+    }
+
+    /// The sense aircraft `id` must currently avoid, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not 0 or 1.
+    pub fn restriction_for(&self, id: usize) -> Option<Sense> {
+        assert!(id < 2, "two-ship coordination only");
+        self.in_force[id]
+    }
+
+    /// Commits this step's postings into next step's restrictions and
+    /// clears the posting slots.
+    ///
+    /// A posted sense restricts the *peer* from maneuvering in the same
+    /// direction. Simultaneous same-sense postings are resolved in favor of
+    /// aircraft 0 (the lower id): aircraft 1 becomes restricted, aircraft 0
+    /// does not.
+    pub fn commit(&mut self) {
+        let p0 = self.posted[0];
+        let p1 = self.posted[1];
+        match (p0, p1) {
+            (Some(s0), Some(s1)) if s0 == s1 => {
+                // Conflict: id 0 keeps its sense, id 1 must not use it.
+                self.in_force[1] = Some(s0);
+                self.in_force[0] = None;
+            }
+            _ => {
+                self.in_force[1] = p0;
+                self.in_force[0] = p1;
+            }
+        }
+        self.posted = [None, None];
+    }
+
+    /// Clears all postings and restrictions.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn posting_restricts_the_peer_after_commit() {
+        let mut b = CoordinationBoard::new();
+        b.post(0, Some(Sense::Up));
+        assert_eq!(b.restriction_for(1), None, "not in force until commit");
+        b.commit();
+        assert_eq!(b.restriction_for(1), Some(Sense::Up));
+        assert_eq!(b.restriction_for(0), None);
+    }
+
+    #[test]
+    fn clear_of_conflict_lifts_restriction() {
+        let mut b = CoordinationBoard::new();
+        b.post(0, Some(Sense::Down));
+        b.commit();
+        assert_eq!(b.restriction_for(1), Some(Sense::Down));
+        b.post(0, None);
+        b.commit();
+        assert_eq!(b.restriction_for(1), None);
+    }
+
+    #[test]
+    fn same_sense_conflict_resolves_by_id() {
+        let mut b = CoordinationBoard::new();
+        b.post(0, Some(Sense::Up));
+        b.post(1, Some(Sense::Up));
+        b.commit();
+        assert_eq!(b.restriction_for(1), Some(Sense::Up), "id 1 yields");
+        assert_eq!(b.restriction_for(0), None, "id 0 keeps its sense");
+    }
+
+    #[test]
+    fn opposite_senses_coexist() {
+        let mut b = CoordinationBoard::new();
+        b.post(0, Some(Sense::Up));
+        b.post(1, Some(Sense::Down));
+        b.commit();
+        assert_eq!(b.restriction_for(0), Some(Sense::Down));
+        assert_eq!(b.restriction_for(1), Some(Sense::Up));
+        // Each is restricted from the *other's* sense, which they were not
+        // using anyway: complementary maneuvers are undisturbed.
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut b = CoordinationBoard::new();
+        b.post(0, Some(Sense::Up));
+        b.commit();
+        b.reset();
+        assert_eq!(b.restriction_for(0), None);
+        assert_eq!(b.restriction_for(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "two-ship")]
+    fn post_rejects_bad_id() {
+        CoordinationBoard::new().post(2, None);
+    }
+}

@@ -1,0 +1,165 @@
+use serde::{Deserialize, Serialize};
+
+use crate::UavState;
+
+/// Horizontal near-mid-air-collision threshold, ft (standard NMAC
+/// definition used across the ACAS X safety literature).
+pub const NMAC_HORIZONTAL_FT: f64 = 500.0;
+
+/// Vertical near-mid-air-collision threshold, ft.
+pub const NMAC_VERTICAL_FT: f64 = 100.0;
+
+/// The paper's *Proximity Measurer*: tracks per-step separations and the
+/// minima experienced so far in a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProximityMeasurer {
+    min_horizontal_ft: f64,
+    min_vertical_ft: f64,
+    min_separation_ft: f64,
+    /// Time at which the smallest 3-D separation was observed.
+    time_of_min_s: f64,
+}
+
+impl Default for ProximityMeasurer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProximityMeasurer {
+    /// Creates a measurer with no observations yet.
+    pub fn new() -> Self {
+        Self {
+            min_horizontal_ft: f64::INFINITY,
+            min_vertical_ft: f64::INFINITY,
+            min_separation_ft: f64::INFINITY,
+            time_of_min_s: 0.0,
+        }
+    }
+
+    /// Records the separation between the two aircraft at time `time_s`.
+    pub fn observe(&mut self, a: &UavState, b: &UavState, time_s: f64) {
+        let horizontal = a.position.horizontal_distance(b.position);
+        let vertical = (a.position.z - b.position.z).abs();
+        let separation = a.position.distance(b.position);
+        self.min_horizontal_ft = self.min_horizontal_ft.min(horizontal);
+        self.min_vertical_ft = self.min_vertical_ft.min(vertical);
+        if separation < self.min_separation_ft {
+            self.min_separation_ft = separation;
+            self.time_of_min_s = time_s;
+        }
+    }
+
+    /// Smallest horizontal separation seen so far, ft.
+    pub fn min_horizontal_ft(&self) -> f64 {
+        self.min_horizontal_ft
+    }
+
+    /// Smallest vertical separation seen so far, ft.
+    pub fn min_vertical_ft(&self) -> f64 {
+        self.min_vertical_ft
+    }
+
+    /// Smallest 3-D separation seen so far, ft. This is the `d_k` of the
+    /// paper's fitness function.
+    pub fn min_separation_ft(&self) -> f64 {
+        self.min_separation_ft
+    }
+
+    /// Time of the closest point of approach observed, s.
+    pub fn time_of_min_s(&self) -> f64 {
+        self.time_of_min_s
+    }
+}
+
+/// The paper's *Accident Detector*: latches when the two aircraft are
+/// simultaneously within the NMAC cylinder (500 ft horizontally **and**
+/// 100 ft vertically).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AccidentDetector {
+    nmac: bool,
+    first_nmac_time_s: Option<f64>,
+}
+
+impl AccidentDetector {
+    /// Creates a detector with no accident recorded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks the NMAC condition at time `time_s`.
+    pub fn observe(&mut self, a: &UavState, b: &UavState, time_s: f64) {
+        let horizontal = a.position.horizontal_distance(b.position);
+        let vertical = (a.position.z - b.position.z).abs();
+        if horizontal < NMAC_HORIZONTAL_FT && vertical < NMAC_VERTICAL_FT && !self.nmac {
+            self.nmac = true;
+            self.first_nmac_time_s = Some(time_s);
+        }
+    }
+
+    /// Whether an NMAC has occurred in this run.
+    pub fn nmac(&self) -> bool {
+        self.nmac
+    }
+
+    /// Time of the first NMAC, if one occurred.
+    pub fn first_nmac_time_s(&self) -> Option<f64> {
+        self.first_nmac_time_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vec3;
+
+    fn at(x: f64, y: f64, z: f64) -> UavState {
+        UavState::new(Vec3::new(x, y, z), Vec3::ZERO)
+    }
+
+    #[test]
+    fn proximity_tracks_minima() {
+        let mut p = ProximityMeasurer::new();
+        p.observe(&at(0.0, 0.0, 0.0), &at(1000.0, 0.0, 300.0), 0.0);
+        p.observe(&at(0.0, 0.0, 0.0), &at(400.0, 0.0, 500.0), 1.0);
+        p.observe(&at(0.0, 0.0, 0.0), &at(800.0, 0.0, 50.0), 2.0);
+        assert!((p.min_horizontal_ft() - 400.0).abs() < 1e-9);
+        assert!((p.min_vertical_ft() - 50.0).abs() < 1e-9);
+        // min 3-D separation is the 400/500 observation: sqrt(400² + 500²)
+        let expected = (400.0f64.powi(2) + 500.0f64.powi(2)).sqrt();
+        assert!((p.min_separation_ft() - expected).abs() < 1e-9);
+        assert_eq!(p.time_of_min_s(), 1.0);
+    }
+
+    #[test]
+    fn nmac_requires_both_thresholds_simultaneously() {
+        let mut d = AccidentDetector::new();
+        // Horizontally close but vertically separated: no NMAC.
+        d.observe(&at(0.0, 0.0, 0.0), &at(100.0, 0.0, 400.0), 0.0);
+        assert!(!d.nmac());
+        // Vertically close but horizontally separated: no NMAC.
+        d.observe(&at(0.0, 0.0, 0.0), &at(2000.0, 0.0, 10.0), 1.0);
+        assert!(!d.nmac());
+        // Both: NMAC.
+        d.observe(&at(0.0, 0.0, 0.0), &at(300.0, 0.0, 50.0), 2.0);
+        assert!(d.nmac());
+        assert_eq!(d.first_nmac_time_s(), Some(2.0));
+    }
+
+    #[test]
+    fn nmac_latches_first_time() {
+        let mut d = AccidentDetector::new();
+        d.observe(&at(0.0, 0.0, 0.0), &at(0.0, 0.0, 0.0), 3.0);
+        d.observe(&at(0.0, 0.0, 0.0), &at(0.0, 0.0, 0.0), 9.0);
+        assert_eq!(d.first_nmac_time_s(), Some(3.0));
+    }
+
+    #[test]
+    fn thresholds_are_strict_boundaries() {
+        let mut d = AccidentDetector::new();
+        d.observe(&at(0.0, 0.0, 0.0), &at(NMAC_HORIZONTAL_FT, 0.0, 0.0), 0.0);
+        assert!(!d.nmac(), "exactly on the horizontal boundary is not NMAC");
+        d.observe(&at(0.0, 0.0, 0.0), &at(0.0, 0.0, NMAC_VERTICAL_FT), 1.0);
+        assert!(!d.nmac(), "exactly on the vertical boundary is not NMAC");
+    }
+}

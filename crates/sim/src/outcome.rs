@@ -1,0 +1,94 @@
+use serde::{Deserialize, Serialize};
+
+/// Aggregated result of one encounter simulation run.
+///
+/// Combines the paper's Proximity Measurer and Accident Detector outputs
+/// with alerting statistics needed for false-alarm analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EncounterOutcome {
+    /// Whether a near mid-air collision occurred.
+    pub nmac: bool,
+    /// Time of the first NMAC, s (if any).
+    pub first_nmac_time_s: Option<f64>,
+    /// Minimum 3-D separation over the run, ft (the fitness `d_k`).
+    pub min_separation_ft: f64,
+    /// Minimum horizontal separation over the run, ft.
+    pub min_horizontal_ft: f64,
+    /// Minimum vertical separation over the run, ft.
+    pub min_vertical_ft: f64,
+    /// Time of the closest point of approach, s.
+    pub time_of_min_s: f64,
+    /// Steps at which aircraft 0 had an active maneuver command.
+    pub own_alert_steps: usize,
+    /// Steps at which aircraft 1 had an active maneuver command.
+    pub intruder_alert_steps: usize,
+    /// Time of the first alert issued by either aircraft, s.
+    pub first_alert_time_s: Option<f64>,
+    /// Number of sense reversals commanded by aircraft 0 (an "undesirable
+    /// event" in ACAS X terms, useful as an alternative search objective).
+    pub own_reversals: usize,
+    /// Total simulated duration, s.
+    pub duration_s: f64,
+}
+
+impl EncounterOutcome {
+    /// Whether either aircraft alerted during the run.
+    pub fn alerted(&self) -> bool {
+        self.own_alert_steps > 0 || self.intruder_alert_steps > 0
+    }
+
+    /// Whether this run counts as a *false alert*: the system maneuvered
+    /// although the unequipped trajectory would not have produced an NMAC.
+    ///
+    /// The caller must supply `unequipped_nmac`, obtained by replaying the
+    /// same encounter (same seed) without avoidance.
+    pub fn false_alert(&self, unequipped_nmac: bool) -> bool {
+        self.alerted() && !unequipped_nmac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> EncounterOutcome {
+        EncounterOutcome {
+            nmac: false,
+            first_nmac_time_s: None,
+            min_separation_ft: 1500.0,
+            min_horizontal_ft: 1200.0,
+            min_vertical_ft: 400.0,
+            time_of_min_s: 40.0,
+            own_alert_steps: 3,
+            intruder_alert_steps: 0,
+            first_alert_time_s: Some(35.0),
+            own_reversals: 0,
+            duration_s: 100.0,
+        }
+    }
+
+    #[test]
+    fn alerted_when_either_side_alerts() {
+        let mut o = outcome();
+        assert!(o.alerted());
+        o.own_alert_steps = 0;
+        assert!(!o.alerted());
+        o.intruder_alert_steps = 2;
+        assert!(o.alerted());
+    }
+
+    #[test]
+    fn false_alert_requires_benign_baseline() {
+        let o = outcome();
+        assert!(o.false_alert(false), "alerted but baseline was safe");
+        assert!(!o.false_alert(true), "alert was justified");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let o = outcome();
+        let json = serde_json::to_string(&o).unwrap();
+        let back: EncounterOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(o, back);
+    }
+}

@@ -1,0 +1,215 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{UavState, Vec3};
+
+/// One recorded simulation step for both aircraft.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStep {
+    /// Simulation time, s.
+    pub time_s: f64,
+    /// Own-ship position, ft.
+    pub own_position: Vec3,
+    /// Own-ship velocity, ft/s.
+    pub own_velocity: Vec3,
+    /// Intruder position, ft.
+    pub intruder_position: Vec3,
+    /// Intruder velocity, ft/s.
+    pub intruder_velocity: Vec3,
+    /// Own-ship advisory label this step (`"COC"` when clear of conflict).
+    pub own_advisory: String,
+    /// Intruder advisory label this step.
+    pub intruder_advisory: String,
+    /// 3-D separation this step, ft.
+    pub separation_ft: f64,
+}
+
+/// A full encounter recording — the headless replacement for the paper's
+/// MASON visualization mode. Supports TSV export (for external plotting)
+/// and a compact ASCII altitude profile for terminal inspection.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    steps: Vec<TraceStep>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one step.
+    pub fn push(&mut self, step: TraceStep) {
+        self.steps.push(step);
+    }
+
+    /// Records a step from raw states.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        time_s: f64,
+        own: &UavState,
+        intruder: &UavState,
+        own_advisory: &str,
+        intruder_advisory: &str,
+    ) {
+        self.push(TraceStep {
+            time_s,
+            own_position: own.position,
+            own_velocity: own.velocity,
+            intruder_position: intruder.position,
+            intruder_velocity: intruder.velocity,
+            own_advisory: own_advisory.to_owned(),
+            intruder_advisory: intruder_advisory.to_owned(),
+            separation_ft: own.position.distance(intruder.position),
+        });
+    }
+
+    /// Recorded steps in time order.
+    pub fn steps(&self) -> &[TraceStep] {
+        &self.steps
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Serializes the trace as tab-separated values with a header row,
+    /// one line per step — convenient for gnuplot/matplotlib.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from(
+            "time_s\town_x\town_y\town_z\tint_x\tint_y\tint_z\town_adv\tint_adv\tseparation_ft\n",
+        );
+        for s in &self.steps {
+            out.push_str(&format!(
+                "{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{}\t{}\t{:.1}\n",
+                s.time_s,
+                s.own_position.x,
+                s.own_position.y,
+                s.own_position.z,
+                s.intruder_position.x,
+                s.intruder_position.y,
+                s.intruder_position.z,
+                s.own_advisory,
+                s.intruder_advisory,
+                s.separation_ft,
+            ));
+        }
+        out
+    }
+
+    /// Renders an ASCII altitude-vs-time profile: `O` marks the own-ship,
+    /// `I` the intruder, `X` overlapping altitudes, `*` on own-ship rows
+    /// while its advisory is active.
+    ///
+    /// `height` is the number of character rows for the altitude span.
+    pub fn render_altitude_profile(&self, height: usize) -> String {
+        if self.steps.is_empty() || height < 2 {
+            return String::new();
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for s in &self.steps {
+            lo = lo.min(s.own_position.z).min(s.intruder_position.z);
+            hi = hi.max(s.own_position.z).max(s.intruder_position.z);
+        }
+        if hi - lo < 1.0 {
+            hi = lo + 1.0;
+        }
+        let cols = self.steps.len();
+        let mut canvas = vec![vec![b' '; cols]; height];
+        let row_of = |z: f64| -> usize {
+            let frac = (z - lo) / (hi - lo);
+            // Row 0 is the top (highest altitude).
+            ((1.0 - frac) * (height - 1) as f64).round() as usize
+        };
+        for (c, s) in self.steps.iter().enumerate() {
+            let ro = row_of(s.own_position.z);
+            let ri = row_of(s.intruder_position.z);
+            if ro == ri {
+                canvas[ro][c] = b'X';
+            } else {
+                canvas[ro][c] = if s.own_advisory == "COC" { b'O' } else { b'*' };
+                canvas[ri][c] = b'I';
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("altitude {:7.0} ft\n", hi));
+        for row in canvas {
+            out.push_str(std::str::from_utf8(&row).expect("ascii canvas"));
+            out.push('\n');
+        }
+        out.push_str(&format!("altitude {:7.0} ft   (time: 0 .. {:.0} s)\n", lo, self
+            .steps
+            .last()
+            .map(|s| s.time_s)
+            .unwrap_or(0.0)));
+        out
+    }
+
+    /// The minimum separation over the recorded steps, ft, or infinity for
+    /// an empty trace.
+    pub fn min_separation_ft(&self) -> f64 {
+        self.steps.iter().map(|s| s.separation_ft).fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_trace() -> Trace {
+        let mut t = Trace::new();
+        for i in 0..10 {
+            let own = UavState::new(
+                Vec3::new(i as f64 * 100.0, 0.0, 1000.0 + i as f64 * 10.0),
+                Vec3::new(100.0, 0.0, 10.0),
+            );
+            let intr = UavState::new(
+                Vec3::new(1000.0 - i as f64 * 100.0, 0.0, 1100.0 - i as f64 * 10.0),
+                Vec3::new(-100.0, 0.0, -10.0),
+            );
+            t.record(i as f64, &own, &intr, if i > 5 { "CLIMB" } else { "COC" }, "COC");
+        }
+        t
+    }
+
+    #[test]
+    fn records_and_reports_min_separation() {
+        let t = mk_trace();
+        assert_eq!(t.len(), 10);
+        assert!(!t.is_empty());
+        assert!(t.min_separation_ft() < 200.0);
+    }
+
+    #[test]
+    fn tsv_has_header_and_rows() {
+        let t = mk_trace();
+        let tsv = t.to_tsv();
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 11);
+        assert!(lines[0].starts_with("time_s\t"));
+        assert!(lines[7].contains("CLIMB"));
+    }
+
+    #[test]
+    fn ascii_profile_has_expected_shape() {
+        let t = mk_trace();
+        let art = t.render_altitude_profile(12);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 14, "height rows + 2 captions");
+        assert!(art.contains('I'));
+        assert!(art.contains('*') || art.contains('X') || art.contains('O'));
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        assert!(Trace::new().render_altitude_profile(10).is_empty());
+        assert_eq!(Trace::new().min_separation_ft(), f64::INFINITY);
+    }
+}

@@ -1,0 +1,174 @@
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A 3-D vector in the simulation frame.
+///
+/// Convention (matching the paper's Fig. 4): `x`/`y` span the horizontal
+/// plane, `z` is altitude. All positions are in feet and velocities in
+/// feet per second unless a function documents otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// Horizontal east component (ft or ft/s).
+    pub x: f64,
+    /// Horizontal north component (ft or ft/s).
+    pub y: f64,
+    /// Vertical component (ft or ft/s), positive up.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a vector from components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Norm of the horizontal (x, y) projection.
+    pub fn horizontal_norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Dot product of the horizontal projections.
+    pub fn horizontal_dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// The vector scaled to unit length, or zero if it is (numerically) zero.
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        if n < 1e-12 {
+            Vec3::ZERO
+        } else {
+            self / n
+        }
+    }
+
+    /// Linear interpolation `self * (1 - t) + other * t`.
+    pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {
+        self * (1.0 - t) + other * t
+    }
+
+    /// Distance to `other`.
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Horizontal-plane distance to `other`.
+    pub fn horizontal_distance(self, other: Vec3) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms() {
+        let v = Vec3::new(3.0, 4.0, 12.0);
+        assert!((v.norm() - 13.0).abs() < 1e-12);
+        assert!((v.horizontal_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a + b, Vec3::new(0.0, 2.5, 5.0));
+        assert_eq!(a - b, Vec3::new(2.0, 1.5, 1.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn normalized_handles_zero() {
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+        let u = Vec3::new(0.0, 3.0, 4.0).normalized();
+        assert!((u.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(10.0, -2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(5.0, -1.0, 2.0));
+    }
+
+    #[test]
+    fn distances() {
+        let a = Vec3::new(0.0, 0.0, 100.0);
+        let b = Vec3::new(300.0, 400.0, 200.0);
+        assert!((a.horizontal_distance(b) - 500.0).abs() < 1e-12);
+        assert!((a.distance(b) - (500.0f64.powi(2) + 100.0f64.powi(2)).sqrt()).abs() < 1e-12);
+    }
+}

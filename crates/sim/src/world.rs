@@ -1,0 +1,501 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{
+    AdsbSensor, AvoiderContext, CollisionAvoider, CoordinationBoard, EncounterOutcome,
+    ProximityMeasurer, Sense, SimConfig, Trace, UavBody, UavPerformance, UavState, Vec3,
+    NMAC_HORIZONTAL_FT, NMAC_VERTICAL_FT,
+};
+
+/// The two-UAV encounter world: the headless agent-based simulation loop
+/// of the paper's Section VI-C.
+///
+/// Each step the world (1) broadcasts noisy ADS-B reports, (2) asks both
+/// [`CollisionAvoider`]s for a decision under the coordination restrictions
+/// in force, (3) commits new coordination messages, (4) advances the UAV
+/// dynamics under wind disturbance, and (5) updates the proximity/accident
+/// monitors, checking the NMAC condition *continuously* along each step's
+/// straight-line motion so fast crossings cannot slip between samples.
+#[derive(Debug)]
+pub struct EncounterWorld {
+    config: SimConfig,
+    uavs: [UavBody; 2],
+    avoiders: [Box<dyn CollisionAvoider>; 2],
+    board: CoordinationBoard,
+    sensor: AdsbSensor,
+    proximity: ProximityMeasurer,
+    nmac: bool,
+    first_nmac_time_s: Option<f64>,
+    trace: Trace,
+    rng: StdRng,
+    time_s: f64,
+    alert_steps: [usize; 2],
+    first_alert_time_s: Option<f64>,
+    reversals: [usize; 2],
+    last_sense: [Option<Sense>; 2],
+}
+
+impl std::fmt::Debug for Box<dyn CollisionAvoider> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CollisionAvoider({})", self.name())
+    }
+}
+
+impl EncounterWorld {
+    /// Creates a world with default UAV performance for both aircraft.
+    ///
+    /// `initial` holds the initial states of aircraft 0 (own-ship) and 1
+    /// (intruder); `avoiders` the corresponding avoidance logics; `seed`
+    /// drives every stochastic element of the run (noise, disturbance).
+    pub fn new(
+        config: SimConfig,
+        initial: [UavState; 2],
+        avoiders: [Box<dyn CollisionAvoider>; 2],
+        seed: u64,
+    ) -> Self {
+        Self::with_performance(config, initial, [UavPerformance::default(); 2], avoiders, seed)
+    }
+
+    /// Creates a world with per-aircraft performance limits.
+    pub fn with_performance(
+        config: SimConfig,
+        initial: [UavState; 2],
+        performance: [UavPerformance; 2],
+        avoiders: [Box<dyn CollisionAvoider>; 2],
+        seed: u64,
+    ) -> Self {
+        let sensor = AdsbSensor::new(config.sensor_noise);
+        Self {
+            config,
+            uavs: [
+                UavBody::new(initial[0], performance[0]),
+                UavBody::new(initial[1], performance[1]),
+            ],
+            avoiders,
+            board: CoordinationBoard::new(),
+            sensor,
+            proximity: ProximityMeasurer::new(),
+            nmac: false,
+            first_nmac_time_s: None,
+            trace: Trace::new(),
+            rng: StdRng::seed_from_u64(seed),
+            time_s: 0.0,
+            alert_steps: [0, 0],
+            first_alert_time_s: None,
+            reversals: [0, 0],
+            last_sense: [None, None],
+        }
+    }
+
+    /// Current simulation time, s.
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    /// The current state of aircraft `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not 0 or 1.
+    pub fn uav_state(&self, id: usize) -> &UavState {
+        self.uavs[id].state()
+    }
+
+    /// The recorded trace (empty unless `config.record_trace` was set).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Advances the world by one step.
+    pub fn step(&mut self) {
+        let dt = self.config.dt_s;
+
+        // 1. ADS-B broadcast: each aircraft receives a noisy report of the
+        //    other. Reports are per-receiver independent draws.
+        let report_of_1 = self.sensor.observe(1, self.uavs[1].state(), self.time_s, &mut self.rng);
+        let report_of_0 = self.sensor.observe(0, self.uavs[0].state(), self.time_s, &mut self.rng);
+
+        // 2. Decisions under the coordination restrictions in force.
+        let mut advisories: [&'static str; 2] = ["COC", "COC"];
+        #[allow(clippy::needless_range_loop)] // `id` indexes four parallel arrays
+        for id in 0..2 {
+            let own_state = *self.uavs[id].state();
+            let intruder_report = if id == 0 { report_of_1 } else { report_of_0 };
+            let forbidden = if self.config.coordination {
+                self.board.restriction_for(id)
+            } else {
+                None
+            };
+            let ctx = AvoiderContext {
+                own: &own_state,
+                intruder: &intruder_report,
+                forbidden_sense: forbidden,
+                time_s: self.time_s,
+                dt_s: dt,
+            };
+            let command = self.avoiders[id].decide(&ctx);
+            match command {
+                Some(cmd) => {
+                    self.uavs[id].command_vertical_rate(cmd.target_vertical_rate_fps);
+                    self.board.post(id, Some(cmd.sense));
+                    advisories[id] = cmd.label;
+                    self.alert_steps[id] += 1;
+                    if self.first_alert_time_s.is_none() {
+                        self.first_alert_time_s = Some(self.time_s);
+                    }
+                    if let Some(prev) = self.last_sense[id] {
+                        if prev == cmd.sense.opposite() {
+                            self.reversals[id] += 1;
+                        }
+                    }
+                    self.last_sense[id] = Some(cmd.sense);
+                }
+                None => {
+                    self.uavs[id].clear_command();
+                    self.board.post(id, None);
+                    self.last_sense[id] = None;
+                }
+            }
+        }
+
+        // 3. Coordination messages posted this step bind from next step.
+        self.board.commit();
+
+        if self.config.record_trace {
+            let own = *self.uavs[0].state();
+            let intr = *self.uavs[1].state();
+            self.trace.record(self.time_s, &own, &intr, advisories[0], advisories[1]);
+        }
+
+        // 4. Dynamics under disturbance.
+        let before = [self.uavs[0].state().position, self.uavs[1].state().position];
+        self.uavs[0].step(dt, &self.config.disturbance, &mut self.rng);
+        self.uavs[1].step(dt, &self.config.disturbance, &mut self.rng);
+        let after = [self.uavs[0].state().position, self.uavs[1].state().position];
+
+        // 5. Continuous monitoring along the step's straight-line motion.
+        let rel0 = before[0] - before[1];
+        let rel1 = after[0] - after[1];
+        let (s_min, d_min) = segment_min_separation(rel0, rel1);
+        let t_at_min = self.time_s + s_min * dt;
+        // Feed the proximity measurer with the interpolated closest states.
+        let own_interp = UavState::new(before[0].lerp(after[0], s_min), self.uavs[0].state().velocity);
+        let intr_interp =
+            UavState::new(before[1].lerp(after[1], s_min), self.uavs[1].state().velocity);
+        debug_assert!((own_interp.position.distance(intr_interp.position) - d_min).abs() < 1e-6);
+        self.proximity.observe(&own_interp, &intr_interp, t_at_min);
+        self.proximity.observe(self.uavs[0].state(), self.uavs[1].state(), self.time_s + dt);
+        if !self.nmac {
+            if let Some(s) = segment_nmac(rel0, rel1) {
+                self.nmac = true;
+                self.first_nmac_time_s = Some(self.time_s + s * dt);
+            }
+        }
+
+        self.time_s += dt;
+    }
+
+    /// Runs the encounter to `config.max_time_s` and returns the outcome.
+    pub fn run(&mut self) -> EncounterOutcome {
+        // Observe the initial geometry so instant conflicts are counted.
+        self.proximity.observe(self.uavs[0].state(), self.uavs[1].state(), 0.0);
+        let rel = self.uavs[0].state().position - self.uavs[1].state().position;
+        if rel.horizontal_norm() < NMAC_HORIZONTAL_FT && rel.z.abs() < NMAC_VERTICAL_FT {
+            self.nmac = true;
+            self.first_nmac_time_s = Some(0.0);
+        }
+        let steps = self.config.num_steps();
+        for _ in 0..steps {
+            self.step();
+        }
+        self.outcome()
+    }
+
+    /// The outcome so far (valid mid-run as well as after [`run`](Self::run)).
+    pub fn outcome(&self) -> EncounterOutcome {
+        EncounterOutcome {
+            nmac: self.nmac,
+            first_nmac_time_s: self.first_nmac_time_s,
+            min_separation_ft: self.proximity.min_separation_ft(),
+            min_horizontal_ft: self.proximity.min_horizontal_ft(),
+            min_vertical_ft: self.proximity.min_vertical_ft(),
+            time_of_min_s: self.proximity.time_of_min_s(),
+            own_alert_steps: self.alert_steps[0],
+            intruder_alert_steps: self.alert_steps[1],
+            first_alert_time_s: self.first_alert_time_s,
+            own_reversals: self.reversals[0],
+            duration_s: self.time_s,
+        }
+    }
+}
+
+/// Minimum separation along the straight-line relative motion from `rel0`
+/// to `rel1` (parametrized `s ∈ [0, 1]`). Returns `(s_at_min, distance)`.
+pub(crate) fn segment_min_separation(rel0: Vec3, rel1: Vec3) -> (f64, f64) {
+    let d = rel1 - rel0;
+    let dd = d.dot(d);
+    let s = if dd < 1e-12 { 0.0 } else { (-rel0.dot(d) / dd).clamp(0.0, 1.0) };
+    let at = rel0 + d * s;
+    (s, at.norm())
+}
+
+/// Whether the NMAC cylinder (horizontal < 500 ft AND vertical < 100 ft)
+/// is entered anywhere along the relative motion `rel0 → rel1`; returns the
+/// earliest such `s ∈ [0, 1]`.
+pub(crate) fn segment_nmac(rel0: Vec3, rel1: Vec3) -> Option<f64> {
+    // Vertical window: |z0 + s dz| < 100.
+    let z0 = rel0.z;
+    let dz = rel1.z - rel0.z;
+    let (v_lo, v_hi) = interval_abs_lt(z0, dz, NMAC_VERTICAL_FT)?;
+    // Horizontal window: |h0 + s dh|^2 < 500^2, a quadratic in s.
+    let h0x = rel0.x;
+    let h0y = rel0.y;
+    let dhx = rel1.x - rel0.x;
+    let dhy = rel1.y - rel0.y;
+    let a = dhx * dhx + dhy * dhy;
+    let b = 2.0 * (h0x * dhx + h0y * dhy);
+    let c = h0x * h0x + h0y * h0y - NMAC_HORIZONTAL_FT * NMAC_HORIZONTAL_FT;
+    let (h_lo, h_hi) = interval_quadratic_lt_zero(a, b, c)?;
+    let lo = v_lo.max(h_lo).max(0.0);
+    let hi = v_hi.min(h_hi).min(1.0);
+    if lo <= hi {
+        Some(lo)
+    } else {
+        None
+    }
+}
+
+/// Solves `|z0 + s*dz| < bound` for `s`, intersected with `[0, 1]`.
+fn interval_abs_lt(z0: f64, dz: f64, bound: f64) -> Option<(f64, f64)> {
+    if dz.abs() < 1e-12 {
+        return if z0.abs() < bound { Some((0.0, 1.0)) } else { None };
+    }
+    let s1 = (-bound - z0) / dz;
+    let s2 = (bound - z0) / dz;
+    let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+    let lo = lo.max(0.0);
+    let hi = hi.min(1.0);
+    if lo <= hi {
+        Some((lo, hi))
+    } else {
+        None
+    }
+}
+
+/// Solves `a s² + b s + c < 0` for `s`, intersected with `[0, 1]`.
+fn interval_quadratic_lt_zero(a: f64, b: f64, c: f64) -> Option<(f64, f64)> {
+    if a.abs() < 1e-12 {
+        // Linear: b s + c < 0.
+        if b.abs() < 1e-12 {
+            return if c < 0.0 { Some((0.0, 1.0)) } else { None };
+        }
+        let root = -c / b;
+        let (lo, hi) = if b > 0.0 { (f64::NEG_INFINITY, root) } else { (root, f64::INFINITY) };
+        let lo = lo.max(0.0);
+        let hi = hi.min(1.0);
+        return if lo <= hi { Some((lo, hi)) } else { None };
+    }
+    let disc = b * b - 4.0 * a * c;
+    if disc <= 0.0 {
+        // No real roots: the parabola never crosses zero. For a > 0 it is
+        // always positive (never < 0); relative horizontal motion always
+        // has a >= 0 here.
+        return if a < 0.0 { Some((0.0, 1.0)) } else { None };
+    }
+    let sq = disc.sqrt();
+    let r1 = (-b - sq) / (2.0 * a);
+    let r2 = (-b + sq) / (2.0 * a);
+    let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+    let lo = lo.max(0.0);
+    let hi = hi.min(1.0);
+    if lo <= hi {
+        Some((lo, hi))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Unequipped;
+
+    fn head_on(distance_ft: f64, speed_fps: f64) -> [UavState; 2] {
+        [
+            UavState::new(Vec3::ZERO, Vec3::new(speed_fps, 0.0, 0.0)),
+            UavState::new(Vec3::new(distance_ft, 0.0, 0.0), Vec3::new(-speed_fps, 0.0, 0.0)),
+        ]
+    }
+
+    fn unequipped_pair() -> [Box<dyn CollisionAvoider>; 2] {
+        [Box::new(Unequipped::new()), Box::new(Unequipped::new())]
+    }
+
+    #[test]
+    fn head_on_without_avoidance_is_nmac() {
+        let mut w = EncounterWorld::new(
+            SimConfig::deterministic(),
+            head_on(8000.0, 150.0),
+            unequipped_pair(),
+            1,
+        );
+        let o = w.run();
+        assert!(o.nmac);
+        assert!(o.min_separation_ft < 1.0);
+        // CPA is at ~26.7 s (8000 / 300).
+        assert!((o.first_nmac_time_s.unwrap() - 8000.0 / 300.0).abs() < 2.0);
+        assert_eq!(o.own_alert_steps, 0);
+        assert!(!o.alerted());
+    }
+
+    #[test]
+    fn fast_crossing_is_detected_between_samples() {
+        // Relative speed 2000 ft/s crosses the whole NMAC cylinder inside
+        // one 1-second step; endpoint sampling alone would miss it.
+        let mut w = EncounterWorld::new(
+            SimConfig::deterministic(),
+            head_on(10_000.0, 1000.0),
+            unequipped_pair(),
+            2,
+        );
+        let o = w.run();
+        assert!(o.nmac, "continuous NMAC check must catch the crossing");
+        assert!(o.min_separation_ft < 1.0, "min sep {}", o.min_separation_ft);
+    }
+
+    #[test]
+    fn vertically_separated_paths_are_safe() {
+        let mut init = head_on(8000.0, 150.0);
+        init[1].position.z = 1000.0;
+        let mut w =
+            EncounterWorld::new(SimConfig::deterministic(), init, unequipped_pair(), 3);
+        let o = w.run();
+        assert!(!o.nmac);
+        assert!((o.min_separation_ft - 1000.0).abs() < 1.0);
+        assert!((o.min_vertical_ft - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn outcome_is_deterministic_for_a_seed() {
+        let run = |seed| {
+            let mut w = EncounterWorld::new(
+                SimConfig::default(),
+                head_on(8000.0, 150.0),
+                unequipped_pair(),
+                seed,
+            );
+            w.run()
+        };
+        let a = run(77);
+        let b = run(77);
+        let c = run(78);
+        assert_eq!(a, b, "same seed, same outcome");
+        assert_ne!(
+            a.min_separation_ft, c.min_separation_ft,
+            "different seeds should differ under noise"
+        );
+    }
+
+    #[test]
+    fn trace_is_recorded_when_enabled() {
+        let mut cfg = SimConfig::deterministic();
+        cfg.record_trace = true;
+        cfg.max_time_s = 20.0;
+        let mut w = EncounterWorld::new(cfg, head_on(8000.0, 150.0), unequipped_pair(), 4);
+        w.run();
+        assert_eq!(w.trace().len(), 20);
+    }
+
+    /// An avoider that flips its commanded sense every step — for
+    /// exercising the reversal bookkeeping.
+    #[derive(Debug)]
+    struct Flapper {
+        up: bool,
+    }
+
+    impl crate::CollisionAvoider for Flapper {
+        fn decide(&mut self, _ctx: &crate::AvoiderContext<'_>) -> Option<crate::ManeuverCommand> {
+            self.up = !self.up;
+            Some(crate::ManeuverCommand {
+                target_vertical_rate_fps: if self.up { 10.0 } else { -10.0 },
+                sense: if self.up { crate::Sense::Up } else { crate::Sense::Down },
+                label: if self.up { "UP" } else { "DOWN" },
+            })
+        }
+        fn reset(&mut self) {}
+        fn name(&self) -> &'static str {
+            "flapper"
+        }
+    }
+
+    #[test]
+    fn reversals_and_alert_steps_are_counted() {
+        let mut cfg = SimConfig::deterministic();
+        cfg.max_time_s = 10.0;
+        let mut w = EncounterWorld::new(
+            cfg,
+            head_on(50_000.0, 150.0),
+            [Box::new(Flapper { up: false }), Box::new(Unequipped::new())],
+            1,
+        );
+        let o = w.run();
+        assert_eq!(o.own_alert_steps, 10, "flapper alerts every step");
+        // Every step after the first flips the sense: 9 reversals.
+        assert_eq!(o.own_reversals, 9);
+        assert_eq!(o.intruder_alert_steps, 0);
+        assert_eq!(o.first_alert_time_s, Some(0.0));
+    }
+
+    #[test]
+    fn outcome_is_queryable_mid_run() {
+        let mut w = EncounterWorld::new(
+            SimConfig::deterministic(),
+            head_on(8000.0, 150.0),
+            unequipped_pair(),
+            1,
+        );
+        for _ in 0..5 {
+            w.step();
+        }
+        let mid = w.outcome();
+        assert_eq!(mid.duration_s, 5.0);
+        assert!(!mid.nmac, "no NMAC after only 5 s");
+        assert!(mid.min_separation_ft < 8000.0, "closing already");
+        assert_eq!(w.time_s(), 5.0);
+        assert!(w.uav_state(0).position.x > 0.0);
+    }
+
+    #[test]
+    fn segment_min_separation_midpoint() {
+        // Relative motion passes through the origin at s = 0.5.
+        let (s, d) = segment_min_separation(Vec3::new(-100.0, 0.0, 0.0), Vec3::new(100.0, 0.0, 0.0));
+        assert!((s - 0.5).abs() < 1e-12);
+        assert!(d < 1e-9);
+    }
+
+    #[test]
+    fn segment_min_separation_endpoint() {
+        // Moving away: minimum at s = 0.
+        let (s, d) = segment_min_separation(Vec3::new(100.0, 0.0, 0.0), Vec3::new(300.0, 0.0, 0.0));
+        assert_eq!(s, 0.0);
+        assert!((d - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_nmac_requires_cylinder_overlap() {
+        // Passes 600 ft abeam: no NMAC even though vertical is 0.
+        let r = segment_nmac(Vec3::new(-5000.0, 600.0, 0.0), Vec3::new(5000.0, 600.0, 0.0));
+        assert!(r.is_none());
+        // Passes 300 ft abeam at 0 vertical: NMAC.
+        let r = segment_nmac(Vec3::new(-5000.0, 300.0, 0.0), Vec3::new(5000.0, 300.0, 0.0));
+        assert!(r.is_some());
+        // Passes 300 ft abeam but 150 ft above: no NMAC.
+        let r = segment_nmac(Vec3::new(-5000.0, 300.0, 150.0), Vec3::new(5000.0, 300.0, 150.0));
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn segment_nmac_stationary_inside() {
+        assert_eq!(segment_nmac(Vec3::new(10.0, 0.0, 5.0), Vec3::new(10.0, 0.0, 5.0)), Some(0.0));
+    }
+}

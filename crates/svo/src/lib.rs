@@ -1,0 +1,654 @@
+//! Selective Velocity Obstacle (SVO) collision avoidance — the simpler
+//! 2-D algorithm (Jenie et al., AIAA GNC 2013) that Zou, Alexander &
+//! McDermid used in their earlier evolutionary-search study (\[7\] in the
+//! DSN 2016 paper) before scaling the approach up to ACAS XU.
+//!
+//! SVO works in the horizontal plane: a conflict exists when the own
+//! velocity lies inside the *velocity obstacle* — the cone of velocities
+//! whose relative motion intersects the intruder's protection disc. The
+//! *selective* rule resolves every conflict by turning to the **right**
+//! (rules-of-the-air style), which makes the maneuver implicitly
+//! cooperative: when both aircraft run SVO they turn in complementary
+//! directions.
+//!
+//! The crate ships the geometric core ([`VelocityObstacle`]), the avoider
+//! ([`SvoAvoider`]), and a lightweight stochastic 2-D encounter simulation
+//! ([`Sim2dConfig`], [`run_encounter_2d`]) used as the system-under-test in
+//! the GA-vs-random search comparison experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use uavca_svo::{run_encounter_2d, Scenario2d, Sim2dConfig};
+//!
+//! // Head-on at 150 ft/s each, 6000 ft apart, both running SVO.
+//! let scenario = Scenario2d::head_on(6000.0, 150.0);
+//! let outcome = run_encounter_2d(&Sim2dConfig::default(), &scenario, [true, true], 1);
+//! assert!(!outcome.collided, "cooperative SVO resolves a head-on");
+//!
+//! let blind = run_encounter_2d(&Sim2dConfig::default(), &scenario, [false, false], 1);
+//! assert!(blind.min_separation_ft < 100.0, "unequipped pair nearly collides");
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A 2-D vector (ft / ft-per-second in the horizontal plane).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// East component.
+    pub x: f64,
+    /// North component.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Creates the vector of length `speed` pointing along `heading_rad`
+    /// (0 = +x, counter-clockwise positive).
+    pub fn from_heading(heading_rad: f64, speed: f64) -> Self {
+        Self::new(speed * heading_rad.cos(), speed * heading_rad.sin())
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Dot product.
+    pub fn dot(self, o: Vec2) -> f64 {
+        self.x * o.x + self.y * o.y
+    }
+
+    /// 2-D cross product (z-component).
+    pub fn cross(self, o: Vec2) -> f64 {
+        self.x * o.y - self.y * o.x
+    }
+
+    /// Heading angle, radians.
+    pub fn heading(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Rotates the vector by `angle_rad` (counter-clockwise positive).
+    pub fn rotated(self, angle_rad: f64) -> Vec2 {
+        let (s, c) = angle_rad.sin_cos();
+        Vec2::new(self.x * c - self.y * s, self.x * s + self.y * c)
+    }
+
+    /// Distance to another point.
+    pub fn distance(self, o: Vec2) -> f64 {
+        (self - o).norm()
+    }
+}
+
+impl std::ops::Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl std::ops::Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl std::ops::Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, s: f64) -> Vec2 {
+        Vec2::new(self.x * s, self.y * s)
+    }
+}
+
+/// The velocity-obstacle test between one pair of aircraft.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VelocityObstacle {
+    /// Relative position (intruder − own), ft.
+    pub relative_position: Vec2,
+    /// Protection-zone radius, ft.
+    pub protection_radius_ft: f64,
+}
+
+impl VelocityObstacle {
+    /// Builds the obstacle for an own/intruder pair.
+    pub fn new(own_position: Vec2, intruder_position: Vec2, protection_radius_ft: f64) -> Self {
+        Self { relative_position: intruder_position - own_position, protection_radius_ft }
+    }
+
+    /// Whether the positions are already inside the protection zone.
+    pub fn in_violation(&self) -> bool {
+        self.relative_position.norm() <= self.protection_radius_ft
+    }
+
+    /// Whether own velocity `v_own` (given intruder velocity `v_int`) lies
+    /// inside the velocity obstacle: the relative velocity points into the
+    /// collision cone.
+    pub fn contains(&self, v_own: Vec2, v_int: Vec2) -> bool {
+        if self.in_violation() {
+            return true;
+        }
+        let w = v_own - v_int; // relative velocity of own w.r.t. intruder
+        let r = self.relative_position;
+        let d = r.norm();
+        if w.norm() < 1e-9 {
+            return false;
+        }
+        // Approaching at all?
+        if w.dot(r) <= 0.0 {
+            return false;
+        }
+        // Angle between w and r below the cone half-angle asin(R/d)?
+        let cos_angle = (w.dot(r) / (w.norm() * d)).clamp(-1.0, 1.0);
+        let angle = cos_angle.acos();
+        let half_angle = (self.protection_radius_ft / d).clamp(-1.0, 1.0).asin();
+        angle < half_angle
+    }
+
+    /// Time until the protection zones first touch if velocities stay
+    /// constant, or `None` when there is no predicted conflict.
+    pub fn time_to_conflict(&self, v_own: Vec2, v_int: Vec2) -> Option<f64> {
+        if self.in_violation() {
+            return Some(0.0);
+        }
+        let w = v_own - v_int;
+        let r = self.relative_position;
+        // Solve |r - w t| = R for the smallest positive t.
+        let a = w.dot(w);
+        if a < 1e-12 {
+            return None;
+        }
+        let b = -2.0 * r.dot(w);
+        let c = r.dot(r) - self.protection_radius_ft * self.protection_radius_ft;
+        let disc = b * b - 4.0 * a * c;
+        if disc < 0.0 {
+            return None;
+        }
+        let t = (-b - disc.sqrt()) / (2.0 * a);
+        (t >= 0.0).then_some(t)
+    }
+}
+
+/// The Selective Velocity Obstacle avoidance logic for one aircraft.
+///
+/// When a conflict is predicted within `lookahead_s`, the avoider searches
+/// clockwise (rightward) heading changes in `resolution_step_rad`
+/// increments until the velocity leaves the obstacle — the "selective"
+/// right-turn rule that makes simultaneous maneuvers cooperative.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SvoAvoider {
+    /// Protection-zone radius, ft.
+    pub protection_radius_ft: f64,
+    /// Only conflicts closer than this horizon trigger maneuvers, s.
+    pub lookahead_s: f64,
+    /// Granularity of the rightward heading search, rad.
+    pub resolution_step_rad: f64,
+}
+
+impl Default for SvoAvoider {
+    fn default() -> Self {
+        Self {
+            protection_radius_ft: 500.0,
+            lookahead_s: 60.0,
+            resolution_step_rad: 2.0_f64.to_radians(),
+        }
+    }
+}
+
+impl SvoAvoider {
+    /// Decides the desired heading (radians) for the own-ship. Returns
+    /// `None` when the current velocity is conflict-free (maintain course).
+    pub fn desired_heading(
+        &self,
+        own_position: Vec2,
+        own_velocity: Vec2,
+        intruder_position: Vec2,
+        intruder_velocity: Vec2,
+    ) -> Option<f64> {
+        let vo = VelocityObstacle::new(own_position, intruder_position, self.protection_radius_ft);
+        let conflict = vo.contains(own_velocity, intruder_velocity)
+            && vo
+                .time_to_conflict(own_velocity, intruder_velocity)
+                .is_some_and(|t| t <= self.lookahead_s);
+        if !conflict {
+            return None;
+        }
+        let speed = own_velocity.norm();
+        let heading = own_velocity.heading();
+        // Search rightward (clockwise = negative rotation) up to 180°.
+        let steps = (std::f64::consts::PI / self.resolution_step_rad).ceil() as usize;
+        for k in 1..=steps {
+            let candidate = heading - k as f64 * self.resolution_step_rad;
+            let v = Vec2::from_heading(candidate, speed);
+            if !vo.contains(v, intruder_velocity) {
+                return Some(candidate);
+            }
+        }
+        // Fully enclosed (deep violation): turn hard right.
+        Some(heading - std::f64::consts::FRAC_PI_2)
+    }
+}
+
+/// One aircraft's kinematic state in the 2-D simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Uav2dState {
+    /// Position, ft.
+    pub position: Vec2,
+    /// Heading, rad.
+    pub heading_rad: f64,
+    /// Speed, ft/s (constant during a run).
+    pub speed_fps: f64,
+}
+
+impl Uav2dState {
+    /// Current velocity vector.
+    pub fn velocity(&self) -> Vec2 {
+        Vec2::from_heading(self.heading_rad, self.speed_fps)
+    }
+}
+
+/// A parameterized 2-D encounter: the planar analogue of the paper's
+/// 9-parameter encoding (6 parameters — no vertical terms).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scenario2d {
+    /// Own speed, ft/s.
+    pub own_speed_fps: f64,
+    /// Time to the closest point of approach, s.
+    pub time_to_cpa_s: f64,
+    /// Horizontal miss distance at the CPA, ft.
+    pub cpa_distance_ft: f64,
+    /// Direction of the CPA offset, rad.
+    pub cpa_angle_rad: f64,
+    /// Intruder speed, ft/s.
+    pub intruder_speed_fps: f64,
+    /// Intruder heading, rad.
+    pub intruder_heading_rad: f64,
+}
+
+/// Canonical parameter bounds for searches over [`Scenario2d`], in field
+/// order: speeds 50–250 ft/s, T 20–60 s, R 0–400 ft, angles free.
+pub const SCENARIO_2D_BOUNDS: [(f64, f64); 6] = [
+    (50.0, 250.0),
+    (20.0, 60.0),
+    (0.0, 400.0),
+    (-std::f64::consts::PI, std::f64::consts::PI),
+    (50.0, 250.0),
+    (-std::f64::consts::PI, std::f64::consts::PI),
+];
+
+impl Scenario2d {
+    /// A zero-miss head-on meeting after `distance_ft / (2 speed)` seconds.
+    pub fn head_on(distance_ft: f64, speed_fps: f64) -> Self {
+        Self {
+            own_speed_fps: speed_fps,
+            time_to_cpa_s: distance_ft / (2.0 * speed_fps),
+            cpa_distance_ft: 0.0,
+            cpa_angle_rad: 0.0,
+            intruder_speed_fps: speed_fps,
+            intruder_heading_rad: std::f64::consts::PI,
+        }
+    }
+
+    /// Flattens to the 6-gene search vector.
+    pub fn to_vector(self) -> [f64; 6] {
+        [
+            self.own_speed_fps,
+            self.time_to_cpa_s,
+            self.cpa_distance_ft,
+            self.cpa_angle_rad,
+            self.intruder_speed_fps,
+            self.intruder_heading_rad,
+        ]
+    }
+
+    /// Rebuilds a scenario from the 6-gene vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != 6`.
+    pub fn from_slice(v: &[f64]) -> Self {
+        assert_eq!(v.len(), 6, "2-D scenario genome has 6 genes");
+        Self {
+            own_speed_fps: v[0],
+            time_to_cpa_s: v[1],
+            cpa_distance_ft: v[2],
+            cpa_angle_rad: v[3],
+            intruder_speed_fps: v[4],
+            intruder_heading_rad: v[5],
+        }
+    }
+
+    /// Instantiates initial states: own at the origin heading +x, intruder
+    /// rolled back from the CPA (same construction as the 3-D generator).
+    pub fn initial_states(&self) -> [Uav2dState; 2] {
+        let own = Uav2dState {
+            position: Vec2::ZERO,
+            heading_rad: 0.0,
+            speed_fps: self.own_speed_fps,
+        };
+        let own_at_cpa = own.position + own.velocity() * self.time_to_cpa_s;
+        let offset = Vec2::from_heading(self.cpa_angle_rad, self.cpa_distance_ft);
+        let intruder_velocity =
+            Vec2::from_heading(self.intruder_heading_rad, self.intruder_speed_fps);
+        let intruder_start = own_at_cpa + offset - intruder_velocity * self.time_to_cpa_s;
+        let intruder = Uav2dState {
+            position: intruder_start,
+            heading_rad: self.intruder_heading_rad,
+            speed_fps: self.intruder_speed_fps,
+        };
+        [own, intruder]
+    }
+}
+
+/// Configuration of the 2-D encounter simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sim2dConfig {
+    /// Step size, s.
+    pub dt_s: f64,
+    /// Run length, s.
+    pub max_time_s: f64,
+    /// Maximum heading change per second, rad/s.
+    pub turn_rate_rad_s: f64,
+    /// Collision distance (both aircraft lost), ft.
+    pub collision_radius_ft: f64,
+    /// Std-dev of per-step heading disturbance, rad.
+    pub heading_noise_rad: f64,
+    /// Std-dev of sensed intruder position error, ft.
+    pub sensor_noise_ft: f64,
+    /// The avoidance logic parameters.
+    pub avoider: SvoAvoider,
+}
+
+impl Default for Sim2dConfig {
+    fn default() -> Self {
+        Self {
+            dt_s: 1.0,
+            max_time_s: 100.0,
+            turn_rate_rad_s: 6.0_f64.to_radians(),
+            collision_radius_ft: 100.0,
+            heading_noise_rad: 0.01,
+            sensor_noise_ft: 30.0,
+            avoider: SvoAvoider::default(),
+        }
+    }
+}
+
+/// Outcome of a 2-D encounter run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Outcome2d {
+    /// Whether the pair came within the collision radius.
+    pub collided: bool,
+    /// Minimum separation over the run, ft.
+    pub min_separation_ft: f64,
+    /// Steps during which either aircraft was maneuvering.
+    pub maneuver_steps: usize,
+}
+
+/// Runs one stochastic 2-D encounter. `equipped[i]` selects whether
+/// aircraft `i` runs SVO; `seed` drives all noise.
+pub fn run_encounter_2d(
+    config: &Sim2dConfig,
+    scenario: &Scenario2d,
+    equipped: [bool; 2],
+    seed: u64,
+) -> Outcome2d {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut states = scenario.initial_states();
+    let mut min_separation = states[0].position.distance(states[1].position);
+    let mut collided = min_separation <= config.collision_radius_ft;
+    let mut maneuver_steps = 0;
+    let steps = (config.max_time_s / config.dt_s).ceil() as usize;
+
+    for _ in 0..steps {
+        // Decisions from (noisy) sensed state.
+        let mut desired = [None, None];
+        for i in 0..2 {
+            if !equipped[i] {
+                continue;
+            }
+            let j = 1 - i;
+            let sensed_pos = states[j].position
+                + Vec2::new(
+                    gauss(&mut rng) * config.sensor_noise_ft,
+                    gauss(&mut rng) * config.sensor_noise_ft,
+                );
+            desired[i] = config.avoider.desired_heading(
+                states[i].position,
+                states[i].velocity(),
+                sensed_pos,
+                states[j].velocity(),
+            );
+        }
+        // Apply heading changes under the turn-rate limit + disturbance.
+        let before = [states[0].position, states[1].position];
+        for i in 0..2 {
+            if let Some(target) = desired[i] {
+                maneuver_steps += 1;
+                let err = wrap_angle(target - states[i].heading_rad);
+                let max_turn = config.turn_rate_rad_s * config.dt_s;
+                states[i].heading_rad += err.clamp(-max_turn, max_turn);
+            }
+            states[i].heading_rad += gauss(&mut rng) * config.heading_noise_rad;
+            let v = states[i].velocity();
+            states[i].position = states[i].position + v * config.dt_s;
+        }
+        // Continuous proximity check along the step's straight-line motion
+        // (endpoint-only sampling would miss fast crossings).
+        let rel0 = before[0] - before[1];
+        let rel1 = states[0].position - states[1].position;
+        let d = segment_min_distance(rel0, rel1);
+        min_separation = min_separation.min(d);
+        if d <= config.collision_radius_ft {
+            collided = true;
+        }
+    }
+    Outcome2d { collided, min_separation_ft: min_separation, maneuver_steps }
+}
+
+/// Minimum of `|rel0 + s (rel1 - rel0)|` over `s ∈ [0, 1]`.
+fn segment_min_distance(rel0: Vec2, rel1: Vec2) -> f64 {
+    let d = rel1 - rel0;
+    let dd = d.dot(d);
+    let s = if dd < 1e-12 { 0.0 } else { (-rel0.dot(d) / dd).clamp(0.0, 1.0) };
+    (rel0 + d * s).norm()
+}
+
+fn wrap_angle(a: f64) -> f64 {
+    let two_pi = std::f64::consts::TAU;
+    let mut x = a % two_pi;
+    if x > std::f64::consts::PI {
+        x -= two_pi;
+    } else if x <= -std::f64::consts::PI {
+        x += two_pi;
+    }
+    x
+}
+
+fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn vo_detects_head_on_and_clears_abeam() {
+        let vo = VelocityObstacle::new(Vec2::ZERO, Vec2::new(5000.0, 0.0), 500.0);
+        let own = Vec2::new(150.0, 0.0);
+        let intr = Vec2::new(-150.0, 0.0);
+        assert!(vo.contains(own, intr), "head-on closing is a conflict");
+        // Intruder moving away.
+        assert!(!vo.contains(own, Vec2::new(200.0, 0.0)), "slower chase never catches up? no: own 150 vs 200 away means diverging");
+        // Passing far abeam.
+        let vo_abeam = VelocityObstacle::new(Vec2::ZERO, Vec2::new(5000.0, 3000.0), 500.0);
+        assert!(!vo_abeam.contains(own, Vec2::new(-150.0, 0.0)));
+    }
+
+    #[test]
+    fn vo_time_to_conflict_head_on() {
+        let vo = VelocityObstacle::new(Vec2::ZERO, Vec2::new(6000.0, 0.0), 500.0);
+        let t = vo.time_to_conflict(Vec2::new(150.0, 0.0), Vec2::new(-150.0, 0.0)).unwrap();
+        // Zones touch when range = 500: (6000-500)/300 ≈ 18.33 s.
+        assert!((t - 5500.0 / 300.0).abs() < 1e-6);
+        // Diverging: no conflict.
+        assert!(vo
+            .time_to_conflict(Vec2::new(-150.0, 0.0), Vec2::new(150.0, 0.0))
+            .is_none());
+    }
+
+    #[test]
+    fn violation_is_immediate_conflict() {
+        let vo = VelocityObstacle::new(Vec2::ZERO, Vec2::new(100.0, 0.0), 500.0);
+        assert!(vo.in_violation());
+        assert!(vo.contains(Vec2::ZERO, Vec2::ZERO));
+        assert_eq!(vo.time_to_conflict(Vec2::ZERO, Vec2::ZERO), Some(0.0));
+    }
+
+    #[test]
+    fn resolution_turns_right() {
+        let avoider = SvoAvoider::default();
+        let heading = avoider
+            .desired_heading(
+                Vec2::ZERO,
+                Vec2::new(150.0, 0.0),
+                Vec2::new(5000.0, 0.0),
+                Vec2::new(-150.0, 0.0),
+            )
+            .expect("head-on must resolve");
+        assert!(heading < 0.0, "selective rule turns right (clockwise): {heading}");
+        assert!(heading > -FRAC_PI_2, "a modest turn suffices: {heading}");
+        // The resolved velocity must be conflict-free.
+        let vo = VelocityObstacle::new(Vec2::ZERO, Vec2::new(5000.0, 0.0), 500.0);
+        assert!(!vo.contains(Vec2::from_heading(heading, 150.0), Vec2::new(-150.0, 0.0)));
+    }
+
+    #[test]
+    fn no_conflict_means_no_command() {
+        let avoider = SvoAvoider::default();
+        assert!(avoider
+            .desired_heading(
+                Vec2::ZERO,
+                Vec2::new(150.0, 0.0),
+                Vec2::new(0.0, 8000.0),
+                Vec2::new(150.0, 0.0),
+            )
+            .is_none());
+    }
+
+    #[test]
+    fn scenario_round_trip_and_cpa_geometry() {
+        let s = Scenario2d {
+            own_speed_fps: 120.0,
+            time_to_cpa_s: 30.0,
+            cpa_distance_ft: 250.0,
+            cpa_angle_rad: 1.0,
+            intruder_speed_fps: 180.0,
+            intruder_heading_rad: 2.5,
+        };
+        assert_eq!(Scenario2d::from_slice(&s.to_vector()), s);
+        let [own, intr] = s.initial_states();
+        let own_cpa = own.position + own.velocity() * 30.0;
+        let intr_cpa = intr.position + intr.velocity() * 30.0;
+        assert!((own_cpa.distance(intr_cpa) - 250.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cooperative_svo_resolves_head_on_but_unequipped_collides() {
+        // Disturbance makes single runs stochastic (the paper's reason for
+        // evaluating encounters over many runs); compare collision counts
+        // over a batch of seeds instead of one run.
+        let cfg = Sim2dConfig::default();
+        let scenario = Scenario2d::head_on(6000.0, 150.0);
+        let seeds = 0..20;
+        let mut unequipped_collisions = 0;
+        let mut equipped_collisions = 0;
+        let mut maneuvered = 0;
+        for seed in seeds {
+            let with = run_encounter_2d(&cfg, &scenario, [true, true], seed);
+            if with.collided {
+                equipped_collisions += 1;
+            }
+            if with.maneuver_steps > 0 {
+                maneuvered += 1;
+            }
+            if run_encounter_2d(&cfg, &scenario, [false, false], seed).collided {
+                unequipped_collisions += 1;
+            }
+        }
+        assert!(unequipped_collisions >= 12, "unequipped head-on mostly collides: {unequipped_collisions}/20");
+        assert_eq!(equipped_collisions, 0, "cooperative SVO must resolve every run");
+        assert_eq!(maneuvered, 20, "every run requires a maneuver");
+    }
+
+    #[test]
+    fn single_equipped_aircraft_still_helps() {
+        let cfg = Sim2dConfig::default();
+        let scenario = Scenario2d::head_on(6000.0, 150.0);
+        let one = run_encounter_2d(&cfg, &scenario, [true, false], 5);
+        assert!(!one.collided, "one-sided SVO should still avoid a head-on");
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let cfg = Sim2dConfig::default();
+        let scenario = Scenario2d::head_on(5000.0, 120.0);
+        let a = run_encounter_2d(&cfg, &scenario, [true, true], 11);
+        let b = run_encounter_2d(&cfg, &scenario, [true, true], 11);
+        assert_eq!(a, b);
+        let c = run_encounter_2d(&cfg, &scenario, [true, true], 12);
+        assert_ne!(a.min_separation_ft, c.min_separation_ft);
+    }
+
+    #[test]
+    fn crossing_traffic_resolved_from_the_right() {
+        // Intruder crossing from the left, right-of-way geometry.
+        let cfg = Sim2dConfig::default();
+        let scenario = Scenario2d {
+            own_speed_fps: 150.0,
+            time_to_cpa_s: 30.0,
+            cpa_distance_ft: 0.0,
+            cpa_angle_rad: 0.0,
+            intruder_speed_fps: 150.0,
+            intruder_heading_rad: -FRAC_PI_2, // southbound, crossing our track
+        };
+        let out = run_encounter_2d(&cfg, &scenario, [true, true], 8);
+        assert!(!out.collided, "min sep {}", out.min_separation_ft);
+    }
+
+    #[test]
+    fn wrap_angle_bounds() {
+        for a in [-7.0, -PI, 0.0, PI, 7.0, 20.0] {
+            let w = wrap_angle(a);
+            assert!(w > -PI - 1e-9 && w <= PI + 1e-9);
+        }
+    }
+
+    #[test]
+    fn bounds_table_matches_genome_width() {
+        assert_eq!(SCENARIO_2D_BOUNDS.len(), 6);
+        let s = Scenario2d::head_on(6000.0, 150.0);
+        assert_eq!(s.to_vector().len(), SCENARIO_2D_BOUNDS.len());
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the velocity-obstacle geometry and the SVO
+//! resolution rule.
+
+use proptest::prelude::*;
+use uavca_svo::{SvoAvoider, Vec2, VelocityObstacle};
+
+fn finite_vec2(range: f64) -> impl Strategy<Value = Vec2> {
+    (-range..range, -range..range).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `contains` and `time_to_conflict` agree: a velocity is inside the
+    /// obstacle iff a future conflict time exists (outside the protection
+    /// zone; inside, both report conflict immediately).
+    #[test]
+    fn contains_iff_time_to_conflict(
+        rel in finite_vec2(20_000.0),
+        v_own in finite_vec2(400.0),
+        v_int in finite_vec2(400.0),
+    ) {
+        let vo = VelocityObstacle::new(Vec2::ZERO, rel, 500.0);
+        let inside = vo.contains(v_own, v_int);
+        let ttc = vo.time_to_conflict(v_own, v_int);
+        if vo.in_violation() {
+            prop_assert!(inside);
+            prop_assert_eq!(ttc, Some(0.0));
+        } else if inside {
+            prop_assert!(ttc.is_some(), "conflict velocity must have a conflict time");
+        } else if let Some(t) = ttc {
+            // The closed cone boundary can disagree with the strict `<`
+            // angular test by numerical hair; require the conflict to be
+            // either far in the future or a grazing contact.
+            let w = v_own - v_int;
+            let closest = {
+                // distance at time t must be ~the protection radius
+                let px = rel.x - w.x * t;
+                let py = rel.y - w.y * t;
+                (px * px + py * py).sqrt()
+            };
+            prop_assert!((closest - 500.0).abs() < 1.0, "non-contained velocity with ttc {} reaching {}", t, closest);
+        }
+    }
+
+    /// The resolution heading returned by SVO is always conflict-free and
+    /// always a right (clockwise) turn relative to the current heading.
+    #[test]
+    fn resolution_exits_the_obstacle_rightward(
+        dist in 1200.0f64..15_000.0,
+        bearing in -std::f64::consts::PI..std::f64::consts::PI,
+        own_speed in 60.0f64..250.0,
+        int_speed in 60.0f64..250.0,
+        int_heading in -std::f64::consts::PI..std::f64::consts::PI,
+    ) {
+        let intruder_pos = Vec2::from_heading(bearing, dist);
+        let own_vel = Vec2::new(own_speed, 0.0);
+        let int_vel = Vec2::from_heading(int_heading, int_speed);
+        let avoider = SvoAvoider::default();
+        if let Some(heading) = avoider.desired_heading(Vec2::ZERO, own_vel, intruder_pos, int_vel) {
+            // Conflict-free after the turn (unless geometrically enclosed —
+            // the hard-right fallback at π/2).
+            let resolved = Vec2::from_heading(heading, own_speed);
+            let vo = VelocityObstacle::new(Vec2::ZERO, intruder_pos, avoider.protection_radius_ft);
+            let fallback = (heading - (-std::f64::consts::FRAC_PI_2)).abs() < 1e-9;
+            if !fallback {
+                prop_assert!(!vo.contains(resolved, int_vel),
+                    "resolved heading {} must exit the obstacle", heading);
+            }
+            // Rightward: the new heading is clockwise of the old one.
+            prop_assert!(heading < 0.0 + 1e-12, "turns must be rightward: {}", heading);
+        }
+    }
+
+    /// Rotation preserves vector length.
+    #[test]
+    fn rotation_is_an_isometry(v in finite_vec2(1000.0), angle in -10.0f64..10.0) {
+        let r = v.rotated(angle);
+        prop_assert!((r.norm() - v.norm()).abs() < 1e-9);
+    }
+
+    /// Scenario round trip through the 6-gene vector.
+    #[test]
+    fn scenario_vector_round_trip(
+        own in 50.0f64..250.0,
+        t in 20.0f64..60.0,
+        r in 0.0f64..400.0,
+        theta in -3.0f64..3.0,
+        int in 50.0f64..250.0,
+        heading in -3.0f64..3.0,
+    ) {
+        let s = uavca_svo::Scenario2d {
+            own_speed_fps: own,
+            time_to_cpa_s: t,
+            cpa_distance_ft: r,
+            cpa_angle_rad: theta,
+            intruder_speed_fps: int,
+            intruder_heading_rad: heading,
+        };
+        prop_assert_eq!(uavca_svo::Scenario2d::from_slice(&s.to_vector()), s);
+        // CPA geometry holds exactly.
+        let [o, i] = s.initial_states();
+        let d = (o.position + o.velocity() * t).distance(i.position + i.velocity() * t);
+        prop_assert!((d - r).abs() < 1e-6);
+    }
+}

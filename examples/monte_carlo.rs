@@ -1,0 +1,50 @@
+//! Monte-Carlo evaluation — the classical technique the paper's search
+//! approach complements (Sections II & IV).
+//!
+//! Samples encounters from the statistical encounter model, simulates each
+//! several times equipped and unequipped on identical seeds, and reports
+//! NMAC rates with Wilson confidence intervals plus the risk ratio.
+//!
+//! Run with `cargo run --release --example monte_carlo [--full]`.
+
+use uavca::validation::{EncounterRunner, MonteCarloConfig, MonteCarloEstimator, TextTable};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (runner, config) = if full {
+        (
+            EncounterRunner::with_default_table(),
+            MonteCarloConfig { num_encounters: 2000, runs_per_encounter: 10, seed: 0 },
+        )
+    } else {
+        (
+            EncounterRunner::with_coarse_table(),
+            MonteCarloConfig { num_encounters: 300, runs_per_encounter: 4, seed: 0 },
+        )
+    };
+    println!(
+        "Monte-Carlo campaign: {} encounters x {} runs (x2 for the unequipped replay)",
+        config.num_encounters, config.runs_per_encounter
+    );
+    let started = std::time::Instant::now();
+    let estimate = MonteCarloEstimator::new(runner, config).estimate();
+    let elapsed = started.elapsed();
+
+    let mut table = TextTable::new(["metric", "estimate"]);
+    table.row(["unequipped NMAC rate", &estimate.unequipped_nmac.to_string()]);
+    table.row(["equipped NMAC rate", &estimate.equipped_nmac.to_string()]);
+    table.row(["risk ratio", &format!("{:.3}", estimate.risk_ratio)]);
+    table.row(["alert rate", &estimate.alert_rate.to_string()]);
+    table.row(["false alert rate", &estimate.false_alert_rate.to_string()]);
+    println!("\n{table}");
+    println!("wall time: {:.1} s", elapsed.as_secs_f64());
+    println!(
+        "\nNote the cost structure: {} simulations for a {}-wide NMAC interval — the \
+         motivation for guided search when hunting rare events.",
+        2 * config.num_encounters * config.runs_per_encounter,
+        format_args!(
+            "{:.4}",
+            estimate.equipped_nmac.ci_high - estimate.equipped_nmac.ci_low
+        ),
+    );
+}

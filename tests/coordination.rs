@@ -1,0 +1,118 @@
+//! Integration test: the maneuver-coordination mechanism of Section VI-C —
+//! "if the own-ship chooses a climb maneuver, it will send a coordination
+//! command to the intruder to require it not to choose maneuvers in the
+//! same direction."
+
+use uavca::encounter::{EncounterParams, ScenarioGenerator};
+use uavca::sim::{EncounterWorld, SimConfig, Trace};
+use uavca::validation::EncounterRunner;
+
+/// Runs a head-on with tracing and returns the advisory label pairs per
+/// step.
+fn advisory_pairs(trace: &Trace) -> Vec<(String, String)> {
+    trace
+        .steps()
+        .iter()
+        .map(|s| (s.own_advisory.clone(), s.intruder_advisory.clone()))
+        .collect()
+}
+
+fn sense_of(label: &str) -> Option<char> {
+    match label {
+        "CL1500" | "SCL2500" | "DND" => Some('u'),
+        "DES1500" | "SDES2500" | "DNC" => Some('d'),
+        _ => None,
+    }
+}
+
+#[test]
+fn same_sense_advisories_never_persist_two_consecutive_steps() {
+    // The coordination channel has one step of latency, so both aircraft
+    // may transiently pick the same sense in the step where they flip
+    // simultaneously — but the restriction committed that step must break
+    // the tie by the next decision. Two consecutive same-sense steps would
+    // mean coordination is broken.
+    let runner = EncounterRunner::with_coarse_table();
+    let params = EncounterParams::head_on_template();
+    for seed in 0..8 {
+        let (outcome, trace) = runner.run_traced(&params, seed);
+        assert!(!outcome.nmac, "coordinated head-on must resolve (seed {seed})");
+        let pairs = advisory_pairs(&trace);
+        let mut prev_same_sense = false;
+        for (own, intr) in pairs {
+            let same = matches!(
+                (sense_of(&own), sense_of(&intr)),
+                (Some(a), Some(b)) if a == b
+            );
+            assert!(
+                !(same && prev_same_sense),
+                "same-sense advisories persisted two steps (seed {seed}): {own} / {intr}"
+            );
+            prev_same_sense = same;
+        }
+    }
+}
+
+#[test]
+fn coordination_improves_on_disabled_coordination() {
+    // With coordination disabled the two logics can pick the same sense
+    // (both climb), leaving separation to noise. Across seeds, the
+    // coordinated configuration must produce at least as few NMACs and
+    // larger minimum separations on average.
+    let runner = EncounterRunner::with_coarse_table();
+    let params = EncounterParams::head_on_template();
+
+    let coordinated = SimConfig { coordination: true, ..SimConfig::default() };
+    let uncoordinated = SimConfig { coordination: false, ..SimConfig::default() };
+
+    let runner_coord = runner.clone().sim_config(coordinated);
+    let runner_unco = runner.clone().sim_config(uncoordinated);
+
+    let seeds = 0..15;
+    let mut coord_nmacs = 0;
+    let mut unco_nmacs = 0;
+    let mut coord_sep = 0.0;
+    let mut unco_sep = 0.0;
+    for seed in seeds {
+        let a = runner_coord.run_once(&params, seed);
+        let b = runner_unco.run_once(&params, seed);
+        coord_nmacs += a.nmac as usize;
+        unco_nmacs += b.nmac as usize;
+        coord_sep += a.min_separation_ft;
+        unco_sep += b.min_separation_ft;
+    }
+    assert!(
+        coord_nmacs <= unco_nmacs,
+        "coordination must not increase NMACs: {coord_nmacs} vs {unco_nmacs}"
+    );
+    assert!(
+        coord_sep >= unco_sep * 0.8,
+        "coordinated separation should not collapse: {coord_sep} vs {unco_sep}"
+    );
+}
+
+#[test]
+fn world_exposes_consistent_trace_and_outcome() {
+    let params = EncounterParams::head_on_template();
+    let enc = ScenarioGenerator::default().generate(&params);
+    let mut config = SimConfig::deterministic();
+    config.record_trace = true;
+    let table = EncounterRunner::with_coarse_table();
+    let mut world = EncounterWorld::new(
+        config,
+        [enc.own, enc.intruder],
+        [
+            Box::new(uavca::acasx::AcasXu::new(table.table().clone())),
+            Box::new(uavca::acasx::AcasXu::new(table.table().clone())),
+        ],
+        3,
+    );
+    let outcome = world.run();
+    let trace = world.trace();
+    assert_eq!(trace.len(), config.num_steps());
+    // Alert step counts in the outcome match advisory labels in the trace.
+    let own_alerts = trace.steps().iter().filter(|s| s.own_advisory != "COC").count();
+    assert_eq!(own_alerts, outcome.own_alert_steps);
+    let intr_alerts = trace.steps().iter().filter(|s| s.intruder_advisory != "COC").count();
+    assert_eq!(intr_alerts, outcome.intruder_alert_steps);
+}

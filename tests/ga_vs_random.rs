@@ -1,0 +1,63 @@
+//! Integration test: the efficiency claim from the paper's Section V
+//! (established in the authors' earlier study [7]) — GA-guided search
+//! reaches collision situations with less effort than random search.
+//!
+//! Uses the cheap 2-D SVO simulation as the system under test so the test
+//! stays fast; the full ACAS XU comparison is the `ga_vs_random`
+//! experiment binary.
+
+use uavca::evo::{Bounds, GaConfig, GeneticAlgorithm, RandomSearch};
+use uavca::svo::{run_encounter_2d, Scenario2d, Sim2dConfig, SCENARIO_2D_BOUNDS};
+
+fn svo_fitness(genes: &[f64]) -> f64 {
+    let scenario = Scenario2d::from_slice(genes);
+    let config = Sim2dConfig::default();
+    let mut seed: u64 = 0x9e37_79b9_7f4a_7c15;
+    for g in genes {
+        seed ^= g.to_bits();
+        seed = seed.wrapping_mul(0x1000_0000_01b3);
+    }
+    let runs = 5;
+    (0..runs)
+        .map(|k| {
+            let o = run_encounter_2d(&config, &scenario, [true, true], seed.wrapping_add(k));
+            10_000.0 / (1.0 + o.min_separation_ft)
+        })
+        .sum::<f64>()
+        / runs as f64
+}
+
+#[test]
+fn ga_beats_random_search_on_equal_budget() {
+    let bounds = Bounds::new(SCENARIO_2D_BOUNDS.to_vec()).unwrap();
+    let budget = 300;
+    let mut ga_wins = 0;
+    let trials = 3;
+    for seed in 0..trials {
+        let ga = GeneticAlgorithm::new(GaConfig::new(30, 10).seed(seed), bounds.clone())
+            .run(svo_fitness);
+        let random =
+            RandomSearch::new(bounds.clone(), budget).seed(seed).run(svo_fitness);
+        assert_eq!(ga.num_evaluations(), budget);
+        assert_eq!(random.num_evaluations(), budget);
+        if ga.best.fitness > random.best.fitness {
+            ga_wins += 1;
+        }
+    }
+    assert!(
+        ga_wins >= trials - 1,
+        "GA should beat random search in nearly every trial: {ga_wins}/{trials}"
+    );
+}
+
+#[test]
+fn ga_progress_is_visible_in_generation_stats() {
+    let bounds = Bounds::new(SCENARIO_2D_BOUNDS.to_vec()).unwrap();
+    let ga = GeneticAlgorithm::new(GaConfig::new(24, 8).seed(11), bounds).run(svo_fitness);
+    let first_mean = ga.generations.first().unwrap().mean_fitness;
+    let last_mean = ga.generations.last().unwrap().mean_fitness;
+    assert!(
+        last_mean > first_mean,
+        "mean fitness should rise across generations: {first_mean} -> {last_mean}"
+    );
+}

@@ -1,0 +1,68 @@
+//! Integration test: the paper's Section VII finding, in the form this
+//! reproduction supports — aligned low-closure geometries (tail approach /
+//! overtake) are the hardest class for the generated logic, head-ons the
+//! easiest.
+//!
+//! The paper reports 80–90/100 collisions for tail approaches vs < 5/100
+//! for head-ons with the authors' Java ACAS XU re-implementation. Our
+//! online logic includes a DMOD range floor and table-driven alerting that
+//! close most of that gap (see EXPERIMENTS.md), so the *ordering* and the
+//! *mechanism* (low closure ⇒ the pair dwells inside the horizontal NMAC
+//! band ⇒ less margin after the alert) are asserted rather than the
+//! absolute rates.
+
+use uavca::encounter::EncounterParams;
+use uavca::validation::{EncounterRunner, FitnessFunction, ScenarioSpace};
+
+#[test]
+fn tail_family_scores_higher_proximity_fitness_than_head_on() {
+    let runner = EncounterRunner::with_coarse_table();
+    let fitness = FitnessFunction::new(runner, ScenarioSpace::default(), 20);
+    let head_on = fitness.evaluate_params(&EncounterParams::head_on_template());
+    let tail = fitness.evaluate_params(&EncounterParams::tail_approach_template());
+    assert!(
+        tail > 1.5 * head_on,
+        "tail approach must be clearly harder in proximity terms: tail {tail:.1} vs head-on {head_on:.1}"
+    );
+}
+
+#[test]
+fn tail_family_min_separation_is_smaller_than_head_on() {
+    let runner = EncounterRunner::with_coarse_table();
+    let mean_min_sep = |params: &EncounterParams| {
+        let outs = runner.run_repeated(params, 20, 500);
+        outs.iter().map(|o| o.min_separation_ft).sum::<f64>() / outs.len() as f64
+    };
+    let head_on = mean_min_sep(&EncounterParams::head_on_template());
+    let tail = mean_min_sep(&EncounterParams::tail_approach_template());
+    assert!(
+        tail < head_on,
+        "the logic keeps less separation in tail approaches: {tail:.0} ft vs {head_on:.0} ft"
+    );
+}
+
+#[test]
+fn head_on_nmac_rate_is_low() {
+    // The paper: "in a head-on encounter less than 5 out of 100 simulation
+    // runs might result in mid-air collisions". Ours should match that.
+    let runner = EncounterRunner::with_coarse_table();
+    let outs = runner.run_repeated(&EncounterParams::head_on_template(), 40, 0);
+    let rate = FitnessFunction::nmac_rate(&outs);
+    assert!(rate <= 0.05, "head-on NMAC rate must stay below 5%: {rate}");
+}
+
+#[test]
+fn unequipped_baseline_confirms_both_templates_are_real_conflicts() {
+    // The search restricts itself to encounters that would (nearly)
+    // collide unmitigated; both canonical templates must satisfy that.
+    let runner =
+        EncounterRunner::with_coarse_table().equipage(uavca::validation::Equipage::Neither);
+    for params in [
+        EncounterParams::head_on_template(),
+        EncounterParams::tail_approach_template(),
+    ] {
+        let outcomes = runner.run_repeated(&params, 20, 50);
+        let rate = FitnessFunction::nmac_rate(&outcomes);
+        assert!(rate > 0.5, "unmitigated template must usually collide: {rate} for {params:?}");
+    }
+}

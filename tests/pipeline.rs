@@ -1,0 +1,125 @@
+//! Integration test: the full development-and-validation pipeline of the
+//! paper's Fig. 1 + Fig. 3, across every crate.
+//!
+//! Model (MDP) → optimization (logic table) → simulation evaluation →
+//! GA search for challenging situations → analysis.
+
+use std::sync::Arc;
+
+use uavca::acasx::{AcasConfig, LogicTable};
+use uavca::encounter::{EncounterParams, GeometryClass};
+use uavca::validation::{
+    analysis, EncounterRunner, Equipage, FitnessFunction, ScenarioSpace, SearchConfig,
+    SearchHarness,
+};
+
+fn coarse_runner() -> EncounterRunner {
+    EncounterRunner::with_coarse_table()
+}
+
+#[test]
+fn generated_logic_outperforms_unequipped_across_geometries() {
+    let runner = coarse_runner();
+    let templates = [
+        EncounterParams::head_on_template(),
+        {
+            let mut p = EncounterParams::head_on_template();
+            p.intruder_bearing_rad = std::f64::consts::FRAC_PI_2; // crossing
+            p
+        },
+    ];
+    for params in templates {
+        let mut equipped_nmacs = 0;
+        let mut unequipped_nmacs = 0;
+        for seed in 0..12 {
+            if runner.run_once_with(&params, seed, Equipage::Both).nmac {
+                equipped_nmacs += 1;
+            }
+            if runner.run_once_with(&params, seed, Equipage::Neither).nmac {
+                unequipped_nmacs += 1;
+            }
+        }
+        assert!(
+            equipped_nmacs < unequipped_nmacs,
+            "equipage must reduce NMACs: {equipped_nmacs} vs {unequipped_nmacs} for {params:?}"
+        );
+        assert!(unequipped_nmacs >= 9, "zero-miss template should almost always collide");
+    }
+}
+
+#[test]
+fn ga_smoke_search_finds_higher_fitness_than_population_start() {
+    let outcome = SearchHarness::new(coarse_runner(), SearchConfig::smoke().seed(5)).run_ga();
+    let gen0_best = outcome.result.generations[0].best_fitness;
+    let overall_best = outcome.result.best.fitness;
+    assert!(
+        overall_best >= gen0_best,
+        "evolution must not lose the best: {overall_best} vs {gen0_best}"
+    );
+    assert!(!outcome.top_scenarios.is_empty());
+    // The searched scenarios must decode into the search space.
+    let space = ScenarioSpace::default();
+    for s in &outcome.top_scenarios {
+        assert!(space.ranges().contains(&s.params), "{:?}", s.params);
+    }
+}
+
+#[test]
+fn table_save_load_preserves_online_behaviour() {
+    let table = LogicTable::solve(&AcasConfig::coarse());
+    let mut buf = Vec::new();
+    table.save(&mut buf).unwrap();
+    let reloaded = LogicTable::load(buf.as_slice()).unwrap();
+
+    let runner_a = EncounterRunner::new(Arc::new(table));
+    let runner_b = EncounterRunner::new(Arc::new(reloaded));
+    let params = EncounterParams::head_on_template();
+    for seed in 0..5 {
+        assert_eq!(
+            runner_a.run_once(&params, seed),
+            runner_b.run_once(&params, seed),
+            "reloaded table must fly identically (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn analysis_clusters_search_output() {
+    let outcome = SearchHarness::new(coarse_runner(), SearchConfig::smoke().seed(9)).run_ga();
+    let space = ScenarioSpace::default();
+    let scenarios: Vec<(Vec<f64>, f64)> = outcome
+        .result
+        .evaluations
+        .iter()
+        .map(|e| (e.genes.clone(), e.fitness))
+        .collect();
+    let clusters = analysis::cluster_scenarios(&space, &scenarios, 3, 0);
+    assert!(!clusters.is_empty() && clusters.len() <= 3);
+    let total: usize = clusters.iter().map(|c| c.size).sum();
+    assert_eq!(total, scenarios.len(), "every scenario lands in exactly one cluster");
+    // Clusters are sorted by mean fitness.
+    for w in clusters.windows(2) {
+        assert!(w[0].mean_fitness >= w[1].mean_fitness);
+    }
+    let rows = analysis::class_summary(&scenarios);
+    assert_eq!(rows.len(), GeometryClass::ALL.len());
+    assert_eq!(rows.iter().map(|r| r.1).sum::<usize>(), scenarios.len());
+}
+
+#[test]
+fn fitness_reflects_simulation_proximity() {
+    let runner = coarse_runner();
+    let fitness = FitnessFunction::new(runner.clone(), ScenarioSpace::default(), 6);
+    // A scenario with a guaranteed large miss (R at the box edge, Y at the
+    // box edge) must score below a zero-miss scenario.
+    let mut far = EncounterParams::head_on_template();
+    far.cpa_horizontal_ft = 500.0;
+    far.cpa_vertical_ft = 100.0;
+    let near = EncounterParams::head_on_template();
+    let f_far = fitness.evaluate_params(&far);
+    let f_near = fitness.evaluate_params(&near);
+    assert!(
+        f_near > f_far,
+        "closer unmitigated geometry must score higher: {f_near} vs {f_far}"
+    );
+}
