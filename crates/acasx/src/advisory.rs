@@ -40,7 +40,10 @@ impl Advisory {
 
     /// The canonical action index of this advisory.
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&a| a == self).expect("advisory in ALL")
+        Self::ALL
+            .iter()
+            .position(|&a| a == self)
+            .expect("advisory in ALL")
     }
 
     /// The advisory with action index `i`.
@@ -120,9 +123,7 @@ impl Advisory {
     /// Whether switching from `self` to `next` strengthens an existing
     /// advisory in the same sense.
     pub fn strengthens_to(self, next: Advisory) -> bool {
-        self.sense().is_some()
-            && self.sense() == next.sense()
-            && next.strength() > self.strength()
+        self.sense().is_some() && self.sense() == next.sense() && next.strength() > self.strength()
     }
 
     /// The mirror advisory under a vertical flip (climb ↔ descend).
@@ -201,9 +202,18 @@ mod tests {
 
         assert!(Advisory::Cl1500.strengthens_to(Advisory::Scl2500));
         assert!(Advisory::Dnd.strengthens_to(Advisory::Cl1500));
-        assert!(!Advisory::Scl2500.strengthens_to(Advisory::Cl1500), "weakening");
-        assert!(!Advisory::Cl1500.strengthens_to(Advisory::Sdes2500), "reversal, not strengthening");
-        assert!(!Advisory::Coc.strengthens_to(Advisory::Cl1500), "initial alert, not strengthening");
+        assert!(
+            !Advisory::Scl2500.strengthens_to(Advisory::Cl1500),
+            "weakening"
+        );
+        assert!(
+            !Advisory::Cl1500.strengthens_to(Advisory::Sdes2500),
+            "reversal, not strengthening"
+        );
+        assert!(
+            !Advisory::Coc.strengthens_to(Advisory::Cl1500),
+            "initial alert, not strengthening"
+        );
     }
 
     #[test]

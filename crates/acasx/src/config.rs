@@ -48,7 +48,12 @@ impl AcasConfig {
     /// of the logic (alert near conflict, coordinate senses) survives the
     /// coarseness.
     pub fn coarse() -> Self {
-        Self { h_points: 13, rate_points: 5, tau_max_s: 12, ..Self::default() }
+        Self {
+            h_points: 13,
+            rate_points: 5,
+            tau_max_s: 12,
+            ..Self::default()
+        }
     }
 
     /// Builds the 3-D interpolation grid over `(h, ḣ_own, ḣ_int)`.

@@ -100,8 +100,7 @@ mod tests {
         let c = CostModel::default();
         // New alert from COC.
         assert!(
-            (c.action_cost(Advisory::Coc, Advisory::Cl1500)
-                - (c.rate_advisory + c.new_alert))
+            (c.action_cost(Advisory::Coc, Advisory::Cl1500) - (c.rate_advisory + c.new_alert))
                 .abs()
                 < 1e-12
         );
@@ -118,8 +117,7 @@ mod tests {
         );
         // Reversal.
         assert!(
-            (c.action_cost(Advisory::Cl1500, Advisory::Des1500)
-                - (c.rate_advisory + c.reversal))
+            (c.action_cost(Advisory::Cl1500, Advisory::Des1500) - (c.rate_advisory + c.reversal))
                 .abs()
                 < 1e-12
         );
@@ -139,7 +137,8 @@ mod tests {
     #[test]
     fn nmac_dwarfs_everything_else() {
         let c = CostModel::default();
-        let worst_operational = c.strengthened_advisory + c.strengthening + c.reversal + c.new_alert;
+        let worst_operational =
+            c.strengthened_advisory + c.strengthening + c.reversal + c.new_alert;
         assert!(c.nmac > 50.0 * worst_operational);
     }
 }

@@ -57,7 +57,9 @@ impl VerticalDynamics {
                 current_rate_fps + (target - current_rate_fps).clamp(-max_dv, max_dv)
             }
         };
-        OwnResponse { next_rate_fps: next.clamp(-self.max_rate_fps, self.max_rate_fps) }
+        OwnResponse {
+            next_rate_fps: next.clamp(-self.max_rate_fps, self.max_rate_fps),
+        }
     }
 
     /// The three-point sigma noise kernel `{(-w, ¼), (0, ½), (+w, ¼)}`.
@@ -88,7 +90,9 @@ impl VerticalDynamics {
                 let intr_next =
                     (intruder_rate_fps + w1).clamp(-self.max_rate_fps, self.max_rate_fps);
                 let h_next = h_ft
-                    + 0.5 * ((intruder_rate_fps + intr_next) - (own_rate_fps + own_next)) * self.dt_s;
+                    + 0.5
+                        * ((intruder_rate_fps + intr_next) - (own_rate_fps + own_next))
+                        * self.dt_s;
                 out.push((h_next, own_next, intr_next, p0 * p1));
             }
         }
@@ -156,11 +160,20 @@ mod tests {
     fn climb_advisory_reduces_relative_altitude_growth() {
         let d = VerticalDynamics::default();
         // Intruder level above us; climbing reduces h = z_int − z_own.
-        let coc: f64 =
-            d.successors(300.0, 0.0, 0.0, Advisory::Coc).iter().map(|s| s.0 * s.3).sum();
-        let climb: f64 =
-            d.successors(300.0, 0.0, 0.0, Advisory::Cl1500).iter().map(|s| s.0 * s.3).sum();
-        assert!(climb < coc, "climbing closes toward an intruder above: {climb} vs {coc}");
+        let coc: f64 = d
+            .successors(300.0, 0.0, 0.0, Advisory::Coc)
+            .iter()
+            .map(|s| s.0 * s.3)
+            .sum();
+        let climb: f64 = d
+            .successors(300.0, 0.0, 0.0, Advisory::Cl1500)
+            .iter()
+            .map(|s| s.0 * s.3)
+            .sum();
+        assert!(
+            climb < coc,
+            "climbing closes toward an intruder above: {climb} vs {coc}"
+        );
     }
 
     #[test]
@@ -172,12 +185,24 @@ mod tests {
         // probabilities (noise kernel is symmetric).
         let mut up_sorted: Vec<_> = up
             .iter()
-            .map(|&(h, o, i, p)| ((h * 1e6) as i64, (o * 1e6) as i64, (i * 1e6) as i64, (p * 1e6) as i64))
+            .map(|&(h, o, i, p)| {
+                (
+                    (h * 1e6) as i64,
+                    (o * 1e6) as i64,
+                    (i * 1e6) as i64,
+                    (p * 1e6) as i64,
+                )
+            })
             .collect();
         let mut down_flipped: Vec<_> = down
             .iter()
             .map(|&(h, o, i, p)| {
-                ((-h * 1e6) as i64, (-o * 1e6) as i64, (-i * 1e6) as i64, (p * 1e6) as i64)
+                (
+                    (-h * 1e6) as i64,
+                    (-o * 1e6) as i64,
+                    (-i * 1e6) as i64,
+                    (p * 1e6) as i64,
+                )
             })
             .collect();
         up_sorted.sort();

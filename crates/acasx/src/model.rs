@@ -62,8 +62,12 @@ impl VerticalMdp {
         let mut grid_terminal = Vec::with_capacity(gp);
         for (_, point) in self.grid.iter_points() {
             let h = point[0];
-            grid_terminal
-                .push(-self.config.costs.terminal_cost(h, self.config.nmac_half_height_ft));
+            grid_terminal.push(
+                -self
+                    .config
+                    .costs
+                    .terminal_cost(h, self.config.nmac_half_height_ft),
+            );
         }
         let mut out = Vec::with_capacity(gp * Advisory::COUNT);
         for _ in 0..Advisory::COUNT {
@@ -90,8 +94,10 @@ impl Mdp for VerticalMdp {
         let (_previous, grid_flat) = self.decode_state(state);
         let point = self.grid.point(grid_flat).expect("state index in range");
         let advisory = Advisory::from_index(action);
-        let successors =
-            self.config.dynamics.successors(point[0], point[1], point[2], advisory);
+        let successors = self
+            .config
+            .dynamics
+            .successors(point[0], point[1], point[2], advisory);
         let next_sra_offset = advisory.index() * self.grid_points();
         for (h, own, intr, p) in successors {
             let weights = self
@@ -108,7 +114,10 @@ impl Mdp for VerticalMdp {
 
     fn reward(&self, state: usize, action: usize) -> f64 {
         let (previous, _) = self.decode_state(state);
-        -self.config.costs.action_cost(previous, Advisory::from_index(action))
+        -self
+            .config
+            .costs
+            .action_cost(previous, Advisory::from_index(action))
     }
 }
 

@@ -45,7 +45,12 @@ pub fn estimate_tau(rx: f64, ry: f64, vx: f64, vy: f64, dmod_ft: f64) -> TauEsti
     let mx = rx + vx * tau;
     let my = ry + vy * tau;
     let hmd = (mx * mx + my * my).sqrt();
-    TauEstimate { tau_s: tau, hmd_ft: hmd, range_ft: range, diverging: false }
+    TauEstimate {
+        tau_s: tau,
+        hmd_ft: hmd,
+        range_ft: range,
+        diverging: false,
+    }
 }
 
 /// The online ACAS XU-like collision avoidance system: wraps a solved
@@ -134,8 +139,7 @@ impl CollisionAvoider for AcasXu {
         let rel_vel = intruder_vel - ctx.own.velocity;
         let tau = estimate_tau(rel_pos.x, rel_pos.y, rel_vel.x, rel_vel.y, self.dmod_ft);
 
-        let horizon_s =
-            self.table.num_stages() as f64 * self.table.config().dynamics.dt_s;
+        let horizon_s = self.table.num_stages() as f64 * self.table.config().dynamics.dt_s;
         let eligible = tau.tau_s <= horizon_s
             && (tau.hmd_ft <= self.hmd_threshold_ft || tau.range_ft <= self.dmod_ft);
 
@@ -170,7 +174,11 @@ impl CollisionAvoider for AcasXu {
                         _ => true,
                     }
                 },
-                if self.previous.is_alert() { self.hysteresis_bonus } else { 0.0 },
+                if self.previous.is_alert() {
+                    self.hysteresis_bonus
+                } else {
+                    0.0
+                },
             )
         } else {
             Advisory::Coc
@@ -178,12 +186,12 @@ impl CollisionAvoider for AcasXu {
         self.previous = advisory;
 
         advisory.sense().map(|sense| ManeuverCommand {
-                target_vertical_rate_fps: advisory
-                    .target_rate_fps(ctx.own.velocity.z)
-                    .expect("alerting advisories define a target"),
-                sense,
-                label: advisory.label(),
-            })
+            target_vertical_rate_fps: advisory
+                .target_rate_fps(ctx.own.velocity.z)
+                .expect("alerting advisories define a target"),
+            sense,
+            label: advisory.label(),
+        })
     }
 
     fn reset(&mut self) {
@@ -213,11 +221,22 @@ mod tests {
         intruder: &'a AdsbReport,
         forbidden: Option<Sense>,
     ) -> AvoiderContext<'a> {
-        AvoiderContext { own, intruder, forbidden_sense: forbidden, time_s: 0.0, dt_s: 1.0 }
+        AvoiderContext {
+            own,
+            intruder,
+            forbidden_sense: forbidden,
+            time_s: 0.0,
+            dt_s: 1.0,
+        }
     }
 
     fn report(position: Vec3, velocity: Vec3) -> AdsbReport {
-        AdsbReport { sender: 1, position, velocity, time_s: 0.0 }
+        AdsbReport {
+            sender: 1,
+            position,
+            velocity,
+            time_s: 0.0,
+        }
     }
 
     #[test]
@@ -263,7 +282,10 @@ mod tests {
         acas.reset();
         assert_eq!(acas.current_advisory(), Advisory::Coc);
         // Same range but passing 8000 ft abeam: no alert.
-        let intr = report(Vec3::new(3000.0, 8000.0, 4000.0), Vec3::new(-150.0, 0.0, 0.0));
+        let intr = report(
+            Vec3::new(3000.0, 8000.0, 4000.0),
+            Vec3::new(-150.0, 0.0, 0.0),
+        );
         let cmd = acas.decide(&ctx(&own, &intr, None));
         assert!(cmd.is_none(), "large miss distance must not alert");
     }
@@ -273,7 +295,9 @@ mod tests {
         let mut acas = AcasXu::new(table());
         let own = UavState::new(Vec3::new(0.0, 0.0, 4000.0), Vec3::new(150.0, 0.0, 0.0));
         let intr = report(Vec3::new(2400.0, 0.0, 4250.0), Vec3::new(-150.0, 0.0, 0.0));
-        let cmd = acas.decide(&ctx(&own, &intr, None)).expect("conflict alerts");
+        let cmd = acas
+            .decide(&ctx(&own, &intr, None))
+            .expect("conflict alerts");
         assert_eq!(cmd.sense, Sense::Down);
         assert!(cmd.target_vertical_rate_fps <= 0.0);
     }
@@ -284,7 +308,9 @@ mod tests {
         let own = UavState::new(Vec3::new(0.0, 0.0, 4000.0), Vec3::new(150.0, 0.0, 0.0));
         let intr = report(Vec3::new(2400.0, 0.0, 4000.0), Vec3::new(-150.0, 0.0, 0.0));
         // Peer took the up sense; we must not.
-        let cmd = acas.decide(&ctx(&own, &intr, Some(Sense::Up))).expect("conflict alerts");
+        let cmd = acas
+            .decide(&ctx(&own, &intr, Some(Sense::Up)))
+            .expect("conflict alerts");
         assert_eq!(cmd.sense, Sense::Down);
     }
 
@@ -293,7 +319,10 @@ mod tests {
         let mut acas = AcasXu::new(table());
         let own = UavState::new(Vec3::new(0.0, 0.0, 4000.0), Vec3::new(150.0, 0.0, 0.0));
         // Head-on but 200 s away (coarse horizon is 12 s).
-        let intr = report(Vec3::new(60_000.0, 0.0, 4000.0), Vec3::new(-150.0, 0.0, 0.0));
+        let intr = report(
+            Vec3::new(60_000.0, 0.0, 4000.0),
+            Vec3::new(-150.0, 0.0, 0.0),
+        );
         assert!(acas.decide(&ctx(&own, &intr, None)).is_none());
     }
 
@@ -302,7 +331,9 @@ mod tests {
         let mut acas = AcasXu::new(table());
         let own = UavState::new(Vec3::new(0.0, 0.0, 4000.0), Vec3::new(150.0, 0.0, 0.0));
         let intr = report(Vec3::new(2400.0, 0.0, 3900.0), Vec3::new(-150.0, 0.0, 0.0));
-        let cmd = acas.decide(&ctx(&own, &intr, None)).expect("conflict alerts");
+        let cmd = acas
+            .decide(&ctx(&own, &intr, None))
+            .expect("conflict alerts");
         assert_eq!(cmd.label, acas.current_advisory().label());
         assert_eq!(acas.name(), "acas-xu");
     }
@@ -334,12 +365,15 @@ mod tests {
         let intr = report(Vec3::new(2400.0, 0.0, 4000.0), Vec3::new(-150.0, 0.0, 0.0));
         let first = acas.decide(&ctx(&own, &intr, None)).expect("alerts");
         for _ in 0..5 {
-            let again = acas.decide(&ctx(&own, &intr, None)).expect("still alerting");
+            let again = acas
+                .decide(&ctx(&own, &intr, None))
+                .expect("still alerting");
             assert_eq!(again.sense, first.sense, "sense lock must hold");
         }
         // A coordination restriction against our sense forces the reversal.
-        let forced =
-            acas.decide(&ctx(&own, &intr, Some(first.sense))).expect("conflict still present");
+        let forced = acas
+            .decide(&ctx(&own, &intr, Some(first.sense)))
+            .expect("conflict still present");
         assert_eq!(forced.sense, first.sense.opposite());
     }
 }

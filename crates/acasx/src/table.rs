@@ -33,7 +33,11 @@ impl LogicTable {
         let solution = BackwardInduction::new()
             .solve(&model, config.num_stages(), terminal)
             .expect("model construction guarantees a well-formed MDP");
-        LogicTable { config: config.clone(), grid: model.grid().clone(), stage_q: solution.stage_q }
+        LogicTable {
+            config: config.clone(),
+            grid: model.grid().clone(),
+            stage_q: solution.stage_q,
+        }
     }
 
     /// The configuration the table was generated from.
@@ -259,7 +263,11 @@ mod tests {
         let t = coarse_table();
         // Co-altitude, both level, 8 s out: must alert.
         let best = t.best_advisory(0.0, 0.0, 0.0, 8.0, Advisory::Coc, None, 0.0);
-        assert_ne!(best, Advisory::Coc, "imminent co-altitude collision must alert");
+        assert_ne!(
+            best,
+            Advisory::Coc,
+            "imminent co-altitude collision must alert"
+        );
         // 1100 ft above and diverging rates, 8 s out: COC is fine.
         let best = t.best_advisory(1100.0, -5.0, 5.0, 8.0, Advisory::Coc, None, 0.0);
         assert_eq!(best, Advisory::Coc);
@@ -282,9 +290,11 @@ mod tests {
         // Q(mirror(s), mirror(a)). (Argmax alone is not a fair check —
         // exactly symmetric states tie and tie-breaking is positional.)
         let t = coarse_table();
-        for (h, own, intr, tau) in
-            [(0.0, 0.0, 0.0, 6.0), (150.0, 5.0, -5.0, 9.0), (-300.0, -10.0, 3.0, 4.0)]
-        {
+        for (h, own, intr, tau) in [
+            (0.0, 0.0, 0.0, 6.0),
+            (150.0, 5.0, -5.0, 9.0),
+            (-300.0, -10.0, 3.0, 4.0),
+        ] {
             for prev in Advisory::ALL {
                 let q = t.q_values(h, own, intr, tau, prev);
                 let qm = t.q_values(-h, -own, -intr, tau, prev.mirrored());
@@ -314,7 +324,11 @@ mod tests {
             0.0,
         );
         assert_ne!(best.sense(), Some(uavca_sim::Sense::Up));
-        assert_ne!(best, Advisory::Coc, "must still resolve the conflict downward");
+        assert_ne!(
+            best,
+            Advisory::Coc,
+            "must still resolve the conflict downward"
+        );
     }
 
     #[test]
@@ -375,7 +389,10 @@ mod tests {
         );
         let top = lines[1];
         let body: String = top.chars().skip_while(|&c| c != '|').skip(1).collect();
-        assert!(body.chars().all(|c| c == '.'), "h=+max must be COC everywhere: {top}");
+        assert!(
+            body.chars().all(|c| c == '.'),
+            "h=+max must be COC everywhere: {top}"
+        );
     }
 
     #[test]
@@ -390,7 +407,12 @@ mod tests {
             let b = back.q_values(h, 0.0, 0.0, tau, Advisory::Coc);
             for i in 0..Advisory::COUNT {
                 // JSON float round-trips are not guaranteed bit-exact.
-                assert!((a[i] - b[i]).abs() < 1e-9, "action {i}: {} vs {}", a[i], b[i]);
+                assert!(
+                    (a[i] - b[i]).abs() < 1e-9,
+                    "action {i}: {} vs {}",
+                    a[i],
+                    b[i]
+                );
             }
         }
         assert!(t.q_bytes() > 0);

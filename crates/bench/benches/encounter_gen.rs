@@ -10,7 +10,9 @@ use uavca_encounter::{classify, ParamRanges, ScenarioGenerator, StatisticalEncou
 fn bench_uniform_sampling(c: &mut Criterion) {
     let ranges = ParamRanges::default();
     let mut rng = StdRng::seed_from_u64(1);
-    c.bench_function("uniform_param_sample", |b| b.iter(|| ranges.sample_uniform(&mut rng)));
+    c.bench_function("uniform_param_sample", |b| {
+        b.iter(|| ranges.sample_uniform(&mut rng))
+    });
 }
 
 fn bench_generation(c: &mut Criterion) {
@@ -30,7 +32,9 @@ fn bench_generation(c: &mut Criterion) {
 fn bench_statistical_model(c: &mut Criterion) {
     let model = StatisticalEncounterModel::default();
     let mut rng = StdRng::seed_from_u64(3);
-    c.bench_function("statistical_model_sample", |b| b.iter(|| model.sample(&mut rng)));
+    c.bench_function("statistical_model_sample", |b| {
+        b.iter(|| model.sample(&mut rng))
+    });
 }
 
 fn bench_classification(c: &mut Criterion) {

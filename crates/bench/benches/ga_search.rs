@@ -46,12 +46,15 @@ fn bench_one_svo_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ga_generation_svo");
     group.sample_size(10);
     group.bench_function("20_individuals_x_5_runs", |b| {
-        b.iter(|| {
-            GeneticAlgorithm::new(GaConfig::new(20, 1).seed(2), bounds.clone()).run(fitness)
-        })
+        b.iter(|| GeneticAlgorithm::new(GaConfig::new(20, 1).seed(2), bounds.clone()).run(fitness))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_ga_machinery, bench_random_machinery, bench_one_svo_generation);
+criterion_group!(
+    benches,
+    bench_ga_machinery,
+    bench_random_machinery,
+    bench_one_svo_generation
+);
 criterion_main!(benches);

@@ -49,5 +49,10 @@ fn bench_paper_evaluation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_run, bench_unequipped_run, bench_paper_evaluation);
+criterion_group!(
+    benches,
+    bench_single_run,
+    bench_unequipped_run,
+    bench_paper_evaluation
+);
 criterion_main!(benches);

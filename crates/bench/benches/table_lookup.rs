@@ -51,5 +51,10 @@ fn bench_interp_weights(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_q_lookup, bench_best_advisory, bench_interp_weights);
+criterion_group!(
+    benches,
+    bench_q_lookup,
+    bench_best_advisory,
+    bench_interp_weights
+);
 criterion_main!(benches);

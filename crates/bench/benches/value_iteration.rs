@@ -12,7 +12,11 @@ use uavca_mdp::{BackwardInduction, SweepOrder, ValueIteration};
 fn bench_toy_value_iteration(c: &mut Criterion) {
     let mut group = c.benchmark_group("toy_2d_value_iteration");
     for (label, y, x) in [("paper_7x10x7", 3, 9), ("double_13x19x13", 6, 18)] {
-        let config = Ca2dConfig { y_extent: y, x_extent: x, ..Ca2dConfig::default() };
+        let config = Ca2dConfig {
+            y_extent: y,
+            x_extent: x,
+            ..Ca2dConfig::default()
+        };
         let mdp = build_mdp(&config).expect("model builds");
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| {
@@ -47,7 +51,13 @@ fn bench_acasx_backward_stage(c: &mut Criterion) {
     for (label, config) in [
         ("coarse", AcasConfig::coarse()),
         // bench a 5-stage slice of the default model, not the whole horizon
-        ("default_5stages", AcasConfig { tau_max_s: 5, ..AcasConfig::default() }),
+        (
+            "default_5stages",
+            AcasConfig {
+                tau_max_s: 5,
+                ..AcasConfig::default()
+            },
+        ),
     ] {
         let model = VerticalMdp::new(config.clone());
         let terminal = model.terminal_values();

@@ -5,7 +5,9 @@
 //! `cargo run --release -p uavca-bench --bin cluster_regions [--full]`
 
 use uavca_bench::{full_scale, runner_for_scale, seed_arg};
-use uavca_validation::{analysis, FitnessKind, ScenarioSpace, SearchConfig, SearchHarness, TextTable};
+use uavca_validation::{
+    analysis, FitnessKind, ScenarioSpace, SearchConfig, SearchHarness, TextTable,
+};
 
 fn main() {
     let runner = runner_for_scale();
@@ -55,7 +57,10 @@ fn main() {
             format!("{:.0}", c.mean_fitness),
             c.dominant_class.to_string(),
             format!("{closure:.0}"),
-            format!("{:.0}/{:.0}", c.centroid.own_vertical_speed_fpm, c.centroid.intruder_vertical_speed_fpm),
+            format!(
+                "{:.0}/{:.0}",
+                c.centroid.own_vertical_speed_fpm, c.centroid.intruder_vertical_speed_fpm
+            ),
             format!("{:.0}", c.centroid.time_to_cpa_s),
         ]);
     }

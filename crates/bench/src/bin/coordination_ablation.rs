@@ -24,8 +24,14 @@ fn main() {
     model.max_cpa_horizontal_ft = search_box.bound(3).1;
     model.max_cpa_vertical_ft = search_box.bound(5).1;
 
-    let coord_on = SimConfig { coordination: true, ..SimConfig::default() };
-    let coord_off = SimConfig { coordination: false, ..SimConfig::default() };
+    let coord_on = SimConfig {
+        coordination: true,
+        ..SimConfig::default()
+    };
+    let coord_off = SimConfig {
+        coordination: false,
+        ..SimConfig::default()
+    };
 
     let configs: [(&str, SimConfig, Equipage); 3] = [
         ("both + coordination", coord_on, Equipage::Both),
@@ -42,8 +48,9 @@ fn main() {
     ]);
     for class in GeometryClass::ALL {
         let mut rng = StdRng::seed_from_u64(seed_arg());
-        let params: Vec<_> =
-            (0..encounters).map(|_| model.sample_in_class(class, &mut rng)).collect();
+        let params: Vec<_> = (0..encounters)
+            .map(|_| model.sample_in_class(class, &mut rng))
+            .collect();
         let rate_for = |sim: SimConfig, equipage: Equipage| -> f64 {
             let runner = base_runner.clone().sim_config(sim).equipage(equipage);
             let mut nmacs = 0;
@@ -51,8 +58,7 @@ fn main() {
             for (i, p) in params.iter().enumerate() {
                 for k in 0..runs {
                     trials += 1;
-                    nmacs +=
-                        runner.run_once(p, (i * runs + k) as u64).nmac as usize;
+                    nmacs += runner.run_once(p, (i * runs + k) as u64).nmac as usize;
                 }
             }
             nmacs as f64 / trials as f64

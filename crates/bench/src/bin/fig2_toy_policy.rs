@@ -24,7 +24,10 @@ fn main() {
 
     let started = std::time::Instant::now();
     let system = Ca2dSystem::solve(&config).expect("toy model solves");
-    println!("value iteration solved the model in {:.3} s\n", started.elapsed().as_secs_f64());
+    println!(
+        "value iteration solved the model in {:.3} s\n",
+        started.elapsed().as_secs_f64()
+    );
 
     for x_r in [1, 2, 4, 8] {
         println!("{}", system.render_policy_slice(x_r).expect("x_r on grid"));
@@ -35,7 +38,9 @@ fn main() {
     let (pi_solution, pi_stats) = PolicyIteration::new().solve(&mdp).expect("PI converges");
     let mut disagreements = 0;
     for s in 0..mdp.num_states() {
-        let vi_v = system.value_of(config.decode(s).0, config.decode(s).1, config.decode(s).2).unwrap();
+        let vi_v = system
+            .value_of(config.decode(s).0, config.decode(s).1, config.decode(s).2)
+            .unwrap();
         if (vi_v - pi_solution.values[s]).abs() > 1e-3 {
             disagreements += 1;
         }
@@ -48,10 +53,13 @@ fn main() {
     // Collision probabilities by start state (the evaluation loop of Fig. 1).
     let policy = system.policy();
     let mut rng = StdRng::seed_from_u64(7);
-    let mut table = TextTable::new(["start (y_o, x_r, y_i)", "unequipped P(col)", "equipped P(col)"]);
+    let mut table = TextTable::new([
+        "start (y_o, x_r, y_i)",
+        "unequipped P(col)",
+        "equipped P(col)",
+    ]);
     for (y_o, x_r, y_i) in [(0, 9, 0), (0, 9, 2), (2, 9, -2), (0, 5, 0), (0, 3, 0)] {
-        let without =
-            estimate_collision_probability(&config, None, y_o, x_r, y_i, 4000, &mut rng);
+        let without = estimate_collision_probability(&config, None, y_o, x_r, y_i, 4000, &mut rng);
         let with =
             estimate_collision_probability(&config, Some(&policy), y_o, x_r, y_i, 4000, &mut rng);
         table.row([
@@ -61,5 +69,7 @@ fn main() {
         ]);
     }
     println!("\n{table}");
-    println!("series: the generated logic cuts collision probability in every conflict start state");
+    println!(
+        "series: the generated logic cuts collision probability in every conflict start state"
+    );
 }

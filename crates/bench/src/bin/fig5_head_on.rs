@@ -19,12 +19,27 @@ fn main() {
 
     let mut table = TextTable::new(["metric", "value"]);
     table.row(["NMAC", &outcome.nmac.to_string()]);
-    table.row(["min separation (ft)", &format!("{:.0}", outcome.min_separation_ft)]);
-    table.row(["min horizontal (ft)", &format!("{:.0}", outcome.min_horizontal_ft)]);
-    table.row(["min vertical (ft)", &format!("{:.0}", outcome.min_vertical_ft)]);
-    table.row(["first alert (s)", &format!("{:?}", outcome.first_alert_time_s)]);
+    table.row([
+        "min separation (ft)",
+        &format!("{:.0}", outcome.min_separation_ft),
+    ]);
+    table.row([
+        "min horizontal (ft)",
+        &format!("{:.0}", outcome.min_horizontal_ft),
+    ]);
+    table.row([
+        "min vertical (ft)",
+        &format!("{:.0}", outcome.min_vertical_ft),
+    ]);
+    table.row([
+        "first alert (s)",
+        &format!("{:?}", outcome.first_alert_time_s),
+    ]);
     table.row(["own alert steps", &outcome.own_alert_steps.to_string()]);
-    table.row(["intruder alert steps", &outcome.intruder_alert_steps.to_string()]);
+    table.row([
+        "intruder alert steps",
+        &outcome.intruder_alert_steps.to_string(),
+    ]);
     println!("{table}");
 
     println!("advisory timeline (own / intruder):");
@@ -47,6 +62,9 @@ fn main() {
             || (down.contains(&s.own_advisory.as_str())
                 && up.contains(&s.intruder_advisory.as_str()))
     });
-    assert!(complementary, "coordination must yield complementary senses");
+    assert!(
+        complementary,
+        "coordination must yield complementary senses"
+    );
     println!("\nresult: NMAC avoided by coordinated complementary maneuvers — matches Fig. 5");
 }

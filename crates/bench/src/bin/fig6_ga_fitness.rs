@@ -38,7 +38,9 @@ fn main() {
 
     // Per-generation fitness histogram: the textual analogue of the
     // scatter in Fig. 6.
-    let buckets = [0.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0];
+    let buckets = [
+        0.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+    ];
     let mut table = TextTable::new([
         "generation",
         "<25",
@@ -84,8 +86,12 @@ fn main() {
     let first_mean = outcome.result.generations.first().unwrap().mean_fitness;
     let last_mean = outcome.result.generations.last().unwrap().mean_fitness;
     let first_best = outcome.result.generations.first().unwrap().best_fitness;
-    let last_best =
-        outcome.result.generations.iter().map(|g| g.best_fitness).fold(f64::NEG_INFINITY, f64::max);
+    let last_best = outcome
+        .result
+        .generations
+        .iter()
+        .map(|g| g.best_fitness)
+        .fold(f64::NEG_INFINITY, f64::max);
     println!(
         "mean fitness {first_mean:.0} -> {last_mean:.0}, best fitness {first_best:.0} -> {last_best:.0}"
     );

@@ -43,11 +43,9 @@ fn main() {
     for (rank, s) in outcome.top_scenarios.iter().take(10).enumerate() {
         let outs = runner.run_repeated(&s.params, revalidation_runs, 12345);
         let nmacs = outs.iter().filter(|o| o.nmac).count();
-        let mean_sep =
-            outs.iter().map(|o| o.min_separation_ft).sum::<f64>() / outs.len() as f64;
+        let mean_sep = outs.iter().map(|o| o.min_separation_ft).sum::<f64>() / outs.len() as f64;
         // Horizontal closure rate along-track (aligned geometries).
-        let closure = (s.params.intruder_ground_speed_kt
-            * (s.params.intruder_bearing_rad.cos())
+        let closure = (s.params.intruder_ground_speed_kt * (s.params.intruder_bearing_rad.cos())
             - s.params.own_ground_speed_kt)
             .abs();
         table.row([
@@ -57,7 +55,10 @@ fn main() {
             format!("{nmacs}"),
             format!("{mean_sep:.0}"),
             format!("{closure:.0}"),
-            format!("{:.0}/{:.0}", s.params.own_vertical_speed_fpm, s.params.intruder_vertical_speed_fpm),
+            format!(
+                "{:.0}/{:.0}",
+                s.params.own_vertical_speed_fpm, s.params.intruder_vertical_speed_fpm
+            ),
         ]);
         for entry in class_counts.iter_mut() {
             if entry.0 == s.class {

@@ -34,16 +34,29 @@ fn main() {
     let bounds = Bounds::new(SCENARIO_2D_BOUNDS.to_vec()).expect("valid bounds");
     let (pop, gens) = if full_scale() { (100, 10) } else { (40, 6) };
     let budget = pop * gens;
-    let mut table = TextTable::new(["seed", "GA best", "random best", "GA evals to 5000", "random evals to 5000"]);
+    let mut table = TextTable::new([
+        "seed",
+        "GA best",
+        "random best",
+        "GA evals to 5000",
+        "random evals to 5000",
+    ]);
     let mut ga_better = 0;
     for t in 0..trials {
         let seed = base_seed + t;
         let ga = GeneticAlgorithm::new(
-            GaConfig::new(pop, gens).seed(seed).threads(0).target_fitness(5000.0),
+            GaConfig::new(pop, gens)
+                .seed(seed)
+                .threads(0)
+                .target_fitness(5000.0),
             bounds.clone(),
         )
         .run(svo_fitness);
-        let ga_hit = ga.evaluations.iter().position(|e| e.fitness >= 5000.0).map(|i| i + 1);
+        let ga_hit = ga
+            .evaluations
+            .iter()
+            .position(|e| e.fitness >= 5000.0)
+            .map(|i| i + 1);
         let random = RandomSearch::new(bounds.clone(), budget)
             .seed(seed)
             .threads(0)

@@ -19,7 +19,11 @@ use uavca_encounter::EncounterParams;
 use uavca_validation::{EncounterRunner, FitnessFunction, TextTable};
 
 fn main() {
-    let horizons: &[usize] = if full_scale() { &[8, 12, 16, 20, 28, 40] } else { &[8, 12, 20, 40] };
+    let horizons: &[usize] = if full_scale() {
+        &[8, 12, 16, 20, 28, 40]
+    } else {
+        &[8, 12, 20, 40]
+    };
     let runs = if full_scale() { 100 } else { 30 };
     println!("== ABL-HORIZON: NMAC rate vs alerting horizon (runs = {runs}/geometry) ==\n");
 
@@ -32,7 +36,11 @@ fn main() {
         "tail alert lead (s)",
     ]);
     for &h in horizons {
-        let mut config = if full_scale() { AcasConfig::default() } else { AcasConfig::coarse() };
+        let mut config = if full_scale() {
+            AcasConfig::default()
+        } else {
+            AcasConfig::coarse()
+        };
         config.tau_max_s = h;
         let started = std::time::Instant::now();
         let lt = Arc::new(LogicTable::solve(&config));
@@ -49,8 +57,11 @@ fn main() {
             .iter()
             .filter_map(|o| o.first_alert_time_s.map(|t| o.time_of_min_s - t))
             .collect();
-        let mean_lead =
-            if lead.is_empty() { f64::NAN } else { lead.iter().sum::<f64>() / lead.len() as f64 };
+        let mean_lead = if lead.is_empty() {
+            f64::NAN
+        } else {
+            lead.iter().sum::<f64>() / lead.len() as f64
+        };
         table.row([
             h.to_string(),
             format!("{solve_s:.1}"),

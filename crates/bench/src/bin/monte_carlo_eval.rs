@@ -12,9 +12,19 @@ use uavca_validation::{MonteCarloConfig, MonteCarloEstimator, TextTable};
 fn main() {
     let runner = runner_for_scale();
     let config = if full_scale() {
-        MonteCarloConfig { num_encounters: 5000, runs_per_encounter: 10, seed: seed_arg() }
+        MonteCarloConfig {
+            num_encounters: 5000,
+            runs_per_encounter: 10,
+            seed: seed_arg(),
+            threads: 0,
+        }
     } else {
-        MonteCarloConfig { num_encounters: 400, runs_per_encounter: 4, seed: seed_arg() }
+        MonteCarloConfig {
+            num_encounters: 400,
+            runs_per_encounter: 4,
+            seed: seed_arg(),
+            threads: 0,
+        }
     };
     println!(
         "== PIPE-MC: Monte-Carlo campaign, {} encounters x {} runs ==\n",
@@ -26,15 +36,24 @@ fn main() {
     let wall = started.elapsed().as_secs_f64();
 
     let mut table = TextTable::new(["metric", "estimate"]);
-    table.row(["unequipped NMAC rate", &estimate.unequipped_nmac.to_string()]);
+    table.row([
+        "unequipped NMAC rate",
+        &estimate.unequipped_nmac.to_string(),
+    ]);
     table.row(["equipped NMAC rate", &estimate.equipped_nmac.to_string()]);
-    table.row(["risk ratio (equipped/unequipped)", &format!("{:.3}", estimate.risk_ratio)]);
+    table.row([
+        "risk ratio (equipped/unequipped)",
+        &format!("{:.3}", estimate.risk_ratio),
+    ]);
     table.row(["alert rate", &estimate.alert_rate.to_string()]);
     table.row(["false alert rate", &estimate.false_alert_rate.to_string()]);
     println!("{table}");
 
     let sims = 2 * config.num_encounters * config.runs_per_encounter;
-    println!("{sims} simulations in {wall:.1} s ({:.0} sims/s)", sims as f64 / wall);
+    println!(
+        "{sims} simulations in {wall:.1} s ({:.0} sims/s)",
+        sims as f64 / wall
+    );
     println!(
         "\nshape check (paper Sections II & IV): the equipped system cuts the NMAC rate \
          (risk ratio {:.3} « 1), but the CI on the equipped rate is still {:.4} wide — \
@@ -42,5 +61,8 @@ fn main() {
         estimate.risk_ratio,
         estimate.equipped_nmac.ci_high - estimate.equipped_nmac.ci_low
     );
-    assert!(estimate.risk_ratio < 0.5, "the generated logic must cut risk substantially");
+    assert!(
+        estimate.risk_ratio < 0.5,
+        "the generated logic must cut risk substantially"
+    );
 }

@@ -26,10 +26,14 @@ fn main() {
     println!("== EXT-POMDP: MDP policy under observation noise ({runs} rollouts/cell) ==\n");
 
     let mut rng = StdRng::seed_from_u64(2016);
-    let unequipped =
-        estimate_collision_probability(&config, None, 0, 9, 0, runs, &mut rng);
+    let unequipped = estimate_collision_probability(&config, None, 0, 9, 0, runs, &mut rng);
 
-    let mut table = TextTable::new(["observation error p", "P(collision)", "vs perfect", "vs unequipped"]);
+    let mut table = TextTable::new([
+        "observation error p",
+        "P(collision)",
+        "vs perfect",
+        "vs unequipped",
+    ]);
     let mut perfect = None;
     for p in [0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
         let rate = (0..runs)

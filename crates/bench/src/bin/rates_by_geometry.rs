@@ -62,15 +62,30 @@ fn main() {
             class.to_string(),
             format!("{eq_nmacs}/{trials} = {eq_rate:.3}"),
             format!("{un_nmacs}/{trials} = {un_rate:.3}"),
-            format!("{:.3}", if un_nmacs > 0 { eq_rate / un_rate } else { f64::NAN }),
+            format!(
+                "{:.3}",
+                if un_nmacs > 0 {
+                    eq_rate / un_rate
+                } else {
+                    f64::NAN
+                }
+            ),
             format!("{:.2}", alerts as f64 / trials as f64),
             format!("{:.0}", sep_sum / trials as f64),
         ]);
     }
     println!("{table}");
 
-    let head_on = summary.iter().find(|s| s.0 == GeometryClass::HeadOn).unwrap().1;
-    let tail = summary.iter().find(|s| s.0 == GeometryClass::TailApproach).unwrap().1;
+    let head_on = summary
+        .iter()
+        .find(|s| s.0 == GeometryClass::HeadOn)
+        .unwrap()
+        .1;
+    let tail = summary
+        .iter()
+        .find(|s| s.0 == GeometryClass::TailApproach)
+        .unwrap()
+        .1;
     println!(
         "shape check (paper Section VII): tail-approach equipped NMAC rate ({tail:.3}) vs \
          head-on ({head_on:.3}) — tail/aligned geometries are the weak spot"

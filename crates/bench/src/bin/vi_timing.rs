@@ -14,27 +14,44 @@ fn main() {
     println!("== CLAIM-VI-TIME: offline solve time vs state-space resolution ==\n");
     let mut configs: Vec<(&str, AcasConfig)> = vec![
         ("coarse (13h x 5v x 12tau)", AcasConfig::coarse()),
-        ("medium (19h x 9v x 24tau)", AcasConfig {
-            h_points: 19,
-            rate_points: 9,
-            tau_max_s: 24,
-            ..AcasConfig::default()
-        }),
+        (
+            "medium (19h x 9v x 24tau)",
+            AcasConfig {
+                h_points: 19,
+                rate_points: 9,
+                tau_max_s: 24,
+                ..AcasConfig::default()
+            },
+        ),
         ("default (25h x 13v x 40tau)", AcasConfig::default()),
     ];
     if full_scale() {
         configs.push((
             "fine (41h x 17v x 40tau)",
-            AcasConfig { h_points: 41, rate_points: 17, ..AcasConfig::default() },
+            AcasConfig {
+                h_points: 41,
+                rate_points: 17,
+                ..AcasConfig::default()
+            },
         ));
         configs.push((
             "very fine (61h x 21v x 60tau)",
-            AcasConfig { h_points: 61, rate_points: 21, tau_max_s: 60, ..AcasConfig::default() },
+            AcasConfig {
+                h_points: 61,
+                rate_points: 21,
+                tau_max_s: 60,
+                ..AcasConfig::default()
+            },
         ));
     }
 
-    let mut table =
-        TextTable::new(["resolution", "states/stage", "stages", "solve time (s)", "table (MiB)"]);
+    let mut table = TextTable::new([
+        "resolution",
+        "states/stage",
+        "stages",
+        "solve time (s)",
+        "table (MiB)",
+    ]);
     let mut series: Vec<(usize, f64)> = Vec::new();
     for (name, config) in configs {
         let states = config.build_grid_points() * 7;

@@ -31,14 +31,20 @@ pub fn seed_arg() -> u64 {
 /// search experiments expose (see the `horizon_ablation` binary).
 pub fn horizon_arg() -> Option<usize> {
     let args: Vec<String> = std::env::args().collect();
-    args.windows(2).find(|w| w[0] == "--horizon").and_then(|w| w[1].parse().ok())
+    args.windows(2)
+        .find(|w| w[0] == "--horizon")
+        .and_then(|w| w[1].parse().ok())
 }
 
 /// Solves the logic table at the scale selected by `--full` and wraps it
 /// in a runner. Prints the solve time (the paper's footnote 2 claims the
 /// real model solves in under five minutes on a laptop).
 pub fn runner_for_scale() -> EncounterRunner {
-    let mut config = if full_scale() { AcasConfig::default() } else { AcasConfig::coarse() };
+    let mut config = if full_scale() {
+        AcasConfig::default()
+    } else {
+        AcasConfig::coarse()
+    };
     if let Some(h) = horizon_arg() {
         config.tau_max_s = h;
     }
@@ -51,6 +57,12 @@ pub fn runner_for_scale() -> EncounterRunner {
         started.elapsed().as_secs_f64()
     );
     EncounterRunner::new(table)
+}
+
+/// A runner over the coarse logic table, for criterion benches that must
+/// set up quickly regardless of `--full`.
+pub fn coarse_runner() -> EncounterRunner {
+    EncounterRunner::with_coarse_table()
 }
 
 /// A genome-derived seed identical to the one used by fitness evaluation.

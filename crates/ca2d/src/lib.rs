@@ -148,14 +148,19 @@ impl Ca2dConfig {
     /// Returns [`MdpError::StateOutOfRange`] if any coordinate is outside
     /// the grid.
     pub fn state_index(&self, y_o: i32, x_r: i32, y_i: i32) -> Result<usize, MdpError> {
-        let yo = self
-            .y_index(y_o)
-            .ok_or(MdpError::StateOutOfRange { state: 0, num_states: self.num_states() })?;
-        let yi = self
-            .y_index(y_i)
-            .ok_or(MdpError::StateOutOfRange { state: 0, num_states: self.num_states() })?;
+        let yo = self.y_index(y_o).ok_or(MdpError::StateOutOfRange {
+            state: 0,
+            num_states: self.num_states(),
+        })?;
+        let yi = self.y_index(y_i).ok_or(MdpError::StateOutOfRange {
+            state: 0,
+            num_states: self.num_states(),
+        })?;
         if x_r < 0 || x_r > self.x_extent {
-            return Err(MdpError::StateOutOfRange { state: 0, num_states: self.num_states() });
+            return Err(MdpError::StateOutOfRange {
+                state: 0,
+                num_states: self.num_states(),
+            });
         }
         Ok((yo * self.num_distances() + x_r as usize) * self.num_altitudes() + yi)
     }
@@ -237,7 +242,11 @@ pub fn build_mdp(config: &Ca2dConfig) -> Result<DenseMdp, MdpError> {
                 OwnAction::Level => config.level_reward,
                 _ => -config.maneuver_cost,
             };
-            b.reward(state, a, action_reward - config.collision_cost * expected_collision);
+            b.reward(
+                state,
+                a,
+                action_reward - config.collision_cost * expected_collision,
+            );
         }
     }
     b.build()
@@ -284,13 +293,22 @@ impl Ca2dSystem {
     /// Propagates model-construction and convergence errors.
     pub fn solve(config: &Ca2dConfig) -> Result<Ca2dSystem, MdpError> {
         let mdp = build_mdp(config)?;
-        let solution = ValueIteration::new().tolerance(1e-9).skip_validation().solve(&mdp)?;
-        Ok(Ca2dSystem { config: config.clone(), solution })
+        let solution = ValueIteration::new()
+            .tolerance(1e-9)
+            .skip_validation()
+            .solve(&mdp)?;
+        Ok(Ca2dSystem {
+            config: config.clone(),
+            solution,
+        })
     }
 
     /// The generated logic table.
     pub fn policy(&self) -> Ca2dPolicy {
-        Ca2dPolicy { config: self.config.clone(), policy: self.solution.policy.clone() }
+        Ca2dPolicy {
+            config: self.config.clone(),
+            policy: self.solution.policy.clone(),
+        }
     }
 
     /// The optimal value of state `{y_o, x_r, y_i}`.
@@ -317,7 +335,9 @@ impl Ca2dSystem {
     pub fn render_policy_slice(&self, x_r: i32) -> Result<String, MdpError> {
         let policy = self.policy();
         let mut out = String::new();
-        out.push_str(&format!("policy at x_r = {x_r} (rows y_o top-down, cols y_i)\n"));
+        out.push_str(&format!(
+            "policy at x_r = {x_r} (rows y_o top-down, cols y_i)\n"
+        ));
         for y_o in (-self.config.y_extent..=self.config.y_extent).rev() {
             for y_i in -self.config.y_extent..=self.config.y_extent {
                 let ch = match policy.action_for(y_o, x_r, y_i)? {
@@ -359,7 +379,9 @@ pub fn simulate_encounter<R: Rng + ?Sized>(
     let mut maneuvers = 0;
     while x_r > 0 {
         let action = match policy {
-            Some(p) => p.action_for(y_o, x_r, y_i).expect("coordinates stay on-grid"),
+            Some(p) => p
+                .action_for(y_o, x_r, y_i)
+                .expect("coordinates stay on-grid"),
             None => OwnAction::Level,
         };
         if action != OwnAction::Level {
@@ -408,7 +430,10 @@ pub fn simulate_encounter<R: Rng + ?Sized>(
         y_i = config.clamp_y(y_i + dy_i);
         x_r -= 1;
     }
-    RolloutOutcome { collided: y_o == y_i, maneuvers }
+    RolloutOutcome {
+        collided: y_o == y_i,
+        maneuvers,
+    }
 }
 
 /// Estimates the collision probability over `runs` rollouts from the given
@@ -457,8 +482,9 @@ pub fn simulate_encounter_noisy_observation<R: Rng + ?Sized>(
         } else {
             y_i
         };
-        let action =
-            policy.action_for(y_o, x_r, observed_y_i).expect("coordinates stay on-grid");
+        let action = policy
+            .action_for(y_o, x_r, observed_y_i)
+            .expect("coordinates stay on-grid");
         if action != OwnAction::Level {
             maneuvers += 1;
         }
@@ -503,7 +529,10 @@ pub fn simulate_encounter_noisy_observation<R: Rng + ?Sized>(
         y_i = config.clamp_y(y_i + dy_i);
         x_r -= 1;
     }
-    RolloutOutcome { collided: y_o == y_i, maneuvers }
+    RolloutOutcome {
+        collided: y_o == y_i,
+        maneuvers,
+    }
 }
 
 #[cfg(test)]
@@ -575,25 +604,14 @@ mod tests {
         let s = system();
         let policy = s.policy();
         let mut rng = StdRng::seed_from_u64(2024);
-        let p_unequipped = estimate_collision_probability(
-            s.config(),
-            None,
-            0,
-            9,
-            0,
-            4000,
-            &mut rng,
+        let p_unequipped =
+            estimate_collision_probability(s.config(), None, 0, 9, 0, 4000, &mut rng);
+        let p_equipped =
+            estimate_collision_probability(s.config(), Some(&policy), 0, 9, 0, 4000, &mut rng);
+        assert!(
+            p_unequipped > 0.08,
+            "head-on drift should collide often: {p_unequipped}"
         );
-        let p_equipped = estimate_collision_probability(
-            s.config(),
-            Some(&policy),
-            0,
-            9,
-            0,
-            4000,
-            &mut rng,
-        );
-        assert!(p_unequipped > 0.08, "head-on drift should collide often: {p_unequipped}");
         // The theoretical floor (min-collision DP, ignoring maneuver costs)
         // is ≈ 3.6% from this start state — the intruder's ±2 drift and the
         // clamped grid put a hard limit on what any policy can do. The
@@ -619,8 +637,22 @@ mod tests {
     fn rollouts_are_deterministic_per_seed() {
         let s = system();
         let policy = s.policy();
-        let a = simulate_encounter(s.config(), Some(&policy), 0, 9, 0, &mut StdRng::seed_from_u64(7));
-        let b = simulate_encounter(s.config(), Some(&policy), 0, 9, 0, &mut StdRng::seed_from_u64(7));
+        let a = simulate_encounter(
+            s.config(),
+            Some(&policy),
+            0,
+            9,
+            0,
+            &mut StdRng::seed_from_u64(7),
+        );
+        let b = simulate_encounter(
+            s.config(),
+            Some(&policy),
+            0,
+            9,
+            0,
+            &mut StdRng::seed_from_u64(7),
+        );
         assert_eq!(a, b);
     }
 
@@ -643,7 +675,8 @@ mod tests {
         let policy = s.policy();
         let runs = 4000;
         let mut rng = StdRng::seed_from_u64(99);
-        let clean = estimate_collision_probability(s.config(), Some(&policy), 0, 9, 0, runs, &mut rng);
+        let clean =
+            estimate_collision_probability(s.config(), Some(&policy), 0, 9, 0, runs, &mut rng);
         let noisy = (0..runs)
             .filter(|_| {
                 simulate_encounter_noisy_observation(s.config(), &policy, 0, 9, 0, 0.4, &mut rng)
@@ -651,10 +684,15 @@ mod tests {
             })
             .count() as f64
             / runs as f64;
-        let unequipped =
-            estimate_collision_probability(s.config(), None, 0, 9, 0, runs, &mut rng);
-        assert!(noisy >= clean - 0.01, "noise must not help: {noisy} vs {clean}");
-        assert!(noisy < unequipped, "even a noisy policy beats no policy: {noisy} vs {unequipped}");
+        let unequipped = estimate_collision_probability(s.config(), None, 0, 9, 0, runs, &mut rng);
+        assert!(
+            noisy >= clean - 0.01,
+            "noise must not help: {noisy} vs {clean}"
+        );
+        assert!(
+            noisy < unequipped,
+            "even a noisy policy beats no policy: {noisy} vs {unequipped}"
+        );
     }
 
     #[test]

@@ -120,8 +120,7 @@ pub fn cluster_scenarios(
     // Summarize.
     let mut clusters = Vec::new();
     for (j, centroid) in centroids.iter().enumerate() {
-        let members: Vec<usize> =
-            (0..points.len()).filter(|&i| assignment[i] == j).collect();
+        let members: Vec<usize> = (0..points.len()).filter(|&i| assignment[i] == j).collect();
         if members.is_empty() {
             continue;
         }
@@ -211,7 +210,10 @@ mod tests {
         assert_eq!(clusters[0].dominant_class, GeometryClass::HeadOn);
         assert_eq!(clusters[1].dominant_class, GeometryClass::TailApproach);
         // Centroids decode to valid parameters near their group.
-        assert!(clusters[0].centroid.intruder_bearing_rad.abs() > 2.0, "head-on bearing ~ ±π");
+        assert!(
+            clusters[0].centroid.intruder_bearing_rad.abs() > 2.0,
+            "head-on bearing ~ ±π"
+        );
     }
 
     #[test]
@@ -224,7 +226,10 @@ mod tests {
     #[test]
     fn degenerate_inputs_are_handled() {
         assert!(cluster_scenarios(&space(), &[], 3, 0).is_empty());
-        let one = vec![(EncounterParams::head_on_template().to_vector().to_vec(), 5.0)];
+        let one = vec![(
+            EncounterParams::head_on_template().to_vector().to_vec(),
+            5.0,
+        )];
         let c = cluster_scenarios(&space(), &one, 5, 0);
         assert_eq!(c.len(), 1);
         assert_eq!(c[0].size, 1);
@@ -238,7 +243,10 @@ mod tests {
         let head_on = rows.iter().find(|r| r.0 == GeometryClass::HeadOn).unwrap();
         assert_eq!(head_on.1, 10);
         assert!(head_on.2 > 8000.0);
-        let crossing = rows.iter().find(|r| r.0 == GeometryClass::Crossing).unwrap();
+        let crossing = rows
+            .iter()
+            .find(|r| r.0 == GeometryClass::Crossing)
+            .unwrap();
         assert_eq!(crossing.1, 0);
         assert_eq!(crossing.2, 0.0);
     }

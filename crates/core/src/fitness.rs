@@ -2,7 +2,7 @@ use serde::{Deserialize, Serialize};
 use uavca_encounter::EncounterParams;
 use uavca_sim::EncounterOutcome;
 
-use crate::{EncounterRunner, ScenarioSpace};
+use crate::{BatchRunner, EncounterRunner, ScenarioSpace};
 
 /// Which undesired event the search hunts for.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -29,7 +29,7 @@ pub enum FitnessKind {
 /// the [`crate::SearchHarness`] adapts it into the GA's closure form.
 #[derive(Debug, Clone)]
 pub struct FitnessFunction {
-    runner: EncounterRunner,
+    batch: BatchRunner,
     space: ScenarioSpace,
     kind: FitnessKind,
     /// Simulation runs averaged per evaluation (paper: 100).
@@ -40,9 +40,23 @@ pub struct FitnessFunction {
 }
 
 impl FitnessFunction {
-    /// Creates the paper's proximity fitness with `runs_per_eval` runs.
+    /// Creates the paper's proximity fitness with `runs_per_eval` runs,
+    /// evaluated in-thread (the GA already parallelizes across genomes).
     pub fn new(runner: EncounterRunner, space: ScenarioSpace, runs_per_eval: usize) -> Self {
-        Self { runner, space, kind: FitnessKind::Proximity, runs_per_eval, base_gain: 10_000.0 }
+        Self::with_batch(BatchRunner::serial(runner), space, runs_per_eval)
+    }
+
+    /// Creates the proximity fitness over an explicit batch engine —
+    /// use an executor with threads when evaluations are *not* already
+    /// nested under a parallel population loop.
+    pub fn with_batch(batch: BatchRunner, space: ScenarioSpace, runs_per_eval: usize) -> Self {
+        Self {
+            batch,
+            space,
+            kind: FitnessKind::Proximity,
+            runs_per_eval,
+            base_gain: 10_000.0,
+        }
     }
 
     /// Selects a different search objective.
@@ -63,7 +77,12 @@ impl FitnessFunction {
 
     /// The runner in use.
     pub fn runner(&self) -> &EncounterRunner {
-        &self.runner
+        self.batch.runner()
+    }
+
+    /// The batch engine in use.
+    pub fn batch(&self) -> &BatchRunner {
+        &self.batch
     }
 
     /// Scores one genome.
@@ -72,30 +91,31 @@ impl FitnessFunction {
         self.evaluate_params(&params)
     }
 
-    /// Scores decoded parameters.
+    /// Scores decoded parameters by submitting the evaluation's
+    /// `runs_per_eval` simulations as one batch.
     pub fn evaluate_params(&self, params: &EncounterParams) -> f64 {
         let seed_base = EncounterRunner::seed_for(params);
         match self.kind {
             FitnessKind::Proximity => {
-                let outcomes = self.runner.run_repeated(params, self.runs_per_eval, seed_base);
+                let outcomes = self
+                    .batch
+                    .run_repeated(params, self.runs_per_eval, seed_base);
                 self.proximity_fitness(&outcomes)
             }
             FitnessKind::FalseAlarm => {
-                let mut false_alerts = 0usize;
-                for k in 0..self.runs_per_eval {
-                    let seed = seed_base.wrapping_add(k as u64);
-                    let equipped =
-                        self.runner.run_once_with(params, seed, crate::Equipage::Both);
-                    let unequipped =
-                        self.runner.run_once_with(params, seed, crate::Equipage::Neither);
-                    if equipped.false_alert(unequipped.nmac) {
-                        false_alerts += 1;
-                    }
-                }
+                let jobs = BatchRunner::repeated_paired_jobs(params, self.runs_per_eval, seed_base);
+                let false_alerts = self
+                    .batch
+                    .run_paired(&jobs)
+                    .iter()
+                    .filter(|p| p.false_alert())
+                    .count();
                 self.base_gain * false_alerts as f64 / self.runs_per_eval.max(1) as f64
             }
             FitnessKind::Reversals => {
-                let outcomes = self.runner.run_repeated(params, self.runs_per_eval, seed_base);
+                let outcomes = self
+                    .batch
+                    .run_repeated(params, self.runs_per_eval, seed_base);
                 1000.0 * outcomes.iter().map(|o| o.own_reversals as f64).sum::<f64>()
                     / self.runs_per_eval.max(1) as f64
             }
@@ -134,7 +154,11 @@ mod tests {
     fn fitness() -> &'static FitnessFunction {
         static F: OnceLock<FitnessFunction> = OnceLock::new();
         F.get_or_init(|| {
-            FitnessFunction::new(EncounterRunner::with_coarse_table(), ScenarioSpace::default(), 8)
+            FitnessFunction::new(
+                EncounterRunner::with_coarse_table(),
+                ScenarioSpace::default(),
+                8,
+            )
         })
     }
 
@@ -173,16 +197,19 @@ mod tests {
 
     #[test]
     fn nmac_rate_counts() {
-        let outs =
-            vec![outcome_with_sep(0.0, true), outcome_with_sep(50.0, true), outcome_with_sep(900.0, false)];
+        let outs = vec![
+            outcome_with_sep(0.0, true),
+            outcome_with_sep(50.0, true),
+            outcome_with_sep(900.0, false),
+        ];
         assert!((FitnessFunction::nmac_rate(&outs) - 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn fitness_is_a_pure_function_of_the_genome() {
         let f = fitness();
-        let genes = ScenarioSpace::default()
-            .encode(&uavca_encounter::EncounterParams::head_on_template());
+        let genes =
+            ScenarioSpace::default().encode(&uavca_encounter::EncounterParams::head_on_template());
         let a = f.evaluate(&genes);
         let b = f.evaluate(&genes);
         assert_eq!(a, b, "same genome must replay identical noise");
@@ -205,14 +232,10 @@ mod tests {
     #[test]
     fn alternative_objectives_produce_finite_scores() {
         let base = fitness();
-        let f_false = FitnessFunction::new(
-            base.runner().clone(),
-            ScenarioSpace::default(),
-            4,
-        )
-        .kind(FitnessKind::FalseAlarm);
-        let genes = ScenarioSpace::default()
-            .encode(&uavca_encounter::EncounterParams::head_on_template());
+        let f_false = FitnessFunction::new(base.runner().clone(), ScenarioSpace::default(), 4)
+            .kind(FitnessKind::FalseAlarm);
+        let genes =
+            ScenarioSpace::default().encode(&uavca_encounter::EncounterParams::head_on_template());
         let v = f_false.evaluate(&genes);
         assert!(v.is_finite() && v >= 0.0);
         assert_eq!(f_false.current_kind(), FitnessKind::FalseAlarm);

@@ -98,7 +98,12 @@ impl SearchOutcome {
     pub fn class_histogram(&self) -> Vec<(GeometryClass, usize)> {
         GeometryClass::ALL
             .iter()
-            .map(|&c| (c, self.top_scenarios.iter().filter(|s| s.class == c).count()))
+            .map(|&c| {
+                (
+                    c,
+                    self.top_scenarios.iter().filter(|s| s.class == c).count(),
+                )
+            })
             .collect()
     }
 
@@ -136,7 +141,11 @@ pub struct SearchHarness {
 impl SearchHarness {
     /// Creates a harness over the default scenario space.
     pub fn new(runner: EncounterRunner, config: SearchConfig) -> Self {
-        Self { runner, space: ScenarioSpace::default(), config }
+        Self {
+            runner,
+            space: ScenarioSpace::default(),
+            config,
+        }
     }
 
     /// Overrides the scenario space.
@@ -151,8 +160,15 @@ impl SearchHarness {
     }
 
     fn fitness(&self) -> FitnessFunction {
-        FitnessFunction::new(self.runner.clone(), self.space.clone(), self.config.runs_per_eval)
-            .kind(self.config.objective)
+        // Per-genome evaluations go through a serial BatchRunner: the GA
+        // fans out across genomes on the shared Executor pool, so the
+        // inner per-evaluation batch must stay in-thread.
+        FitnessFunction::with_batch(
+            crate::BatchRunner::serial(self.runner.clone()),
+            self.space.clone(),
+            self.config.runs_per_eval,
+        )
+        .kind(self.config.objective)
     }
 
     /// Runs the GA search.
@@ -164,7 +180,10 @@ impl SearchHarness {
         let ga = GeneticAlgorithm::new(ga_config, self.space.bounds());
         let result = ga.run(|genes: &[f64]| fitness.evaluate(genes));
         let top_scenarios = self.extract_top(&result.evaluations, 20);
-        SearchOutcome { result, top_scenarios }
+        SearchOutcome {
+            result,
+            top_scenarios,
+        }
     }
 
     /// Runs uniform random search with the same evaluation budget — the
@@ -225,12 +244,20 @@ impl SearchHarness {
             let unit = self.space.normalize(&rec.genes);
             let dup = out.iter().any(|s| {
                 let u = self.space.normalize(&self.space.encode(&s.params));
-                u.iter().zip(&unit).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max) < 1e-6
+                u.iter()
+                    .zip(&unit)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0, f64::max)
+                    < 1e-6
             });
             if dup {
                 continue;
             }
-            out.push(FoundScenario { params, fitness: rec.fitness, class: classify(&params) });
+            out.push(FoundScenario {
+                params,
+                fitness: rec.fitness,
+                class: classify(&params),
+            });
         }
         out
     }
@@ -251,7 +278,10 @@ mod tests {
     #[test]
     fn ga_search_produces_full_budget_and_top_scenarios() {
         let outcome = harness().run_ga();
-        assert_eq!(outcome.result.num_evaluations(), SearchConfig::smoke().evaluation_budget());
+        assert_eq!(
+            outcome.result.num_evaluations(),
+            SearchConfig::smoke().evaluation_budget()
+        );
         assert!(!outcome.top_scenarios.is_empty());
         // Top scenarios are sorted by fitness.
         for w in outcome.top_scenarios.windows(2) {
@@ -267,7 +297,10 @@ mod tests {
     #[test]
     fn random_search_uses_the_same_budget() {
         let result = harness().run_random_search();
-        assert_eq!(result.num_evaluations(), SearchConfig::smoke().evaluation_budget());
+        assert_eq!(
+            result.num_evaluations(),
+            SearchConfig::smoke().evaluation_budget()
+        );
     }
 
     #[test]
@@ -284,7 +317,10 @@ mod tests {
         outcome.save(&mut buf).unwrap();
         let back = SearchOutcome::load(buf.as_slice()).unwrap();
         assert_eq!(back.top_scenarios, outcome.top_scenarios);
-        assert_eq!(back.result.num_evaluations(), outcome.result.num_evaluations());
+        assert_eq!(
+            back.result.num_evaluations(),
+            outcome.result.num_evaluations()
+        );
     }
 
     #[test]

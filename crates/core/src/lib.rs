@@ -11,6 +11,9 @@
 //! * [`ScenarioSpace`]: the 9-parameter encounter encoding as a GA genome,
 //! * [`EncounterRunner`]: wires a scenario into the 3-D simulation with a
 //!   chosen equipage (ACAS XU both sides, one side, or none),
+//! * [`BatchRunner`]: the batch-evaluation engine — every "run N
+//!   simulations" site expressed as [`SimJob`]/[`PairedJob`] batches on a
+//!   shared worker pool, deterministic across thread counts,
 //! * [`FitnessFunction`]: the paper's Section VII fitness
 //!   `mean(10000 / (1 + d_k))` over `K` stochastic runs, plus alternative
 //!   objectives (alert-rate for false-alarm hunting),
@@ -38,6 +41,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod analysis;
+mod engine;
 mod fitness;
 mod harness;
 mod montecarlo;
@@ -45,9 +49,10 @@ mod report;
 mod runner;
 mod scenario;
 
+pub use engine::{BatchRunner, PairedJob, PairedOutcome, SimJob};
 pub use fitness::{FitnessFunction, FitnessKind};
 pub use harness::{SearchConfig, SearchHarness, SearchOutcome};
 pub use montecarlo::{MonteCarloConfig, MonteCarloEstimate, MonteCarloEstimator, RateEstimate};
 pub use report::TextTable;
-pub use runner::{EncounterRunner, Equipage};
+pub use runner::{EncounterRunner, Equipage, RunScratch};
 pub use scenario::ScenarioSpace;

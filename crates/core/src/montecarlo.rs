@@ -2,8 +2,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use uavca_encounter::StatisticalEncounterModel;
+use uavca_exec::Executor;
 
-use crate::{EncounterRunner, Equipage};
+use crate::{BatchRunner, EncounterRunner, PairedJob};
 
 /// Configuration of a Monte-Carlo evaluation campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -14,11 +15,19 @@ pub struct MonteCarloConfig {
     pub runs_per_encounter: usize,
     /// RNG seed (drives encounter sampling; run seeds derive from it).
     pub seed: u64,
+    /// Worker threads for the simulation batch (0 = hardware parallelism).
+    /// The estimate is bit-identical for every thread count.
+    pub threads: usize,
 }
 
 impl Default for MonteCarloConfig {
     fn default() -> Self {
-        Self { num_encounters: 200, runs_per_encounter: 10, seed: 0 }
+        Self {
+            num_encounters: 200,
+            runs_per_encounter: 10,
+            seed: 0,
+            threads: 0,
+        }
     }
 }
 
@@ -41,7 +50,13 @@ impl RateEstimate {
     /// Computes the Wilson-score interval for `events` out of `trials`.
     pub fn wilson(events: usize, trials: usize) -> RateEstimate {
         if trials == 0 {
-            return RateEstimate { events, trials, rate: f64::NAN, ci_low: 0.0, ci_high: 1.0 };
+            return RateEstimate {
+                events,
+                trials,
+                rate: f64::NAN,
+                ci_low: 0.0,
+                ci_high: 1.0,
+            };
         }
         let n = trials as f64;
         let p = events as f64 / n;
@@ -102,7 +117,11 @@ pub struct MonteCarloEstimator {
 impl MonteCarloEstimator {
     /// Creates an estimator with the default statistical model.
     pub fn new(runner: EncounterRunner, config: MonteCarloConfig) -> Self {
-        Self { runner, model: StatisticalEncounterModel::default(), config }
+        Self {
+            runner,
+            model: StatisticalEncounterModel::default(),
+            config,
+        }
     }
 
     /// Overrides the statistical encounter model.
@@ -111,37 +130,49 @@ impl MonteCarloEstimator {
         self
     }
 
-    /// Runs the campaign. Every `(encounter, run)` pair is simulated twice
-    /// — equipped and unequipped — on identical seeds, so the risk ratio is
-    /// a paired estimate.
+    /// Runs the campaign as one declarative batch on the shared worker
+    /// pool. Every `(encounter, run)` pair is simulated twice — equipped
+    /// and unequipped — on identical seeds from a single scenario
+    /// generation, so the risk ratio is a paired estimate. Encounter
+    /// sampling is serial (it is a trivially cheap RNG walk) and job
+    /// results are folded in job order, so the estimate is bit-identical
+    /// for every `threads` setting.
     pub fn estimate(&self) -> MonteCarloEstimate {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let mut equipped_nmacs = 0usize;
-        let mut unequipped_nmacs = 0usize;
-        let mut alerts = 0usize;
-        let mut false_alerts = 0usize;
-        let mut trials = 0usize;
+        let mut jobs =
+            Vec::with_capacity(self.config.num_encounters * self.config.runs_per_encounter);
         for i in 0..self.config.num_encounters {
             let params = self.model.sample(&mut rng);
             let seed_base =
                 EncounterRunner::seed_for(&params).wrapping_add(i as u64) ^ self.config.seed;
             for k in 0..self.config.runs_per_encounter {
-                let seed = seed_base.wrapping_add(k as u64);
-                let equipped = self.runner.run_once_with(&params, seed, Equipage::Both);
-                let unequipped = self.runner.run_once_with(&params, seed, Equipage::Neither);
-                trials += 1;
-                if equipped.nmac {
-                    equipped_nmacs += 1;
-                }
-                if unequipped.nmac {
-                    unequipped_nmacs += 1;
-                }
-                if equipped.alerted() {
-                    alerts += 1;
-                }
-                if equipped.false_alert(unequipped.nmac) {
-                    false_alerts += 1;
-                }
+                jobs.push(PairedJob {
+                    params,
+                    seed: seed_base.wrapping_add(k as u64),
+                });
+            }
+        }
+
+        let batch = BatchRunner::new(self.runner.clone(), Executor::new(self.config.threads));
+        let outcomes = batch.run_paired(&jobs);
+
+        let trials = outcomes.len();
+        let mut equipped_nmacs = 0usize;
+        let mut unequipped_nmacs = 0usize;
+        let mut alerts = 0usize;
+        let mut false_alerts = 0usize;
+        for pair in &outcomes {
+            if pair.equipped.nmac {
+                equipped_nmacs += 1;
+            }
+            if pair.unequipped.nmac {
+                unequipped_nmacs += 1;
+            }
+            if pair.equipped.alerted() {
+                alerts += 1;
+            }
+            if pair.false_alert() {
+                false_alerts += 1;
             }
         }
         MonteCarloEstimate {
@@ -184,7 +215,12 @@ mod tests {
     #[test]
     fn equipped_system_cuts_risk() {
         let runner = EncounterRunner::with_coarse_table();
-        let config = MonteCarloConfig { num_encounters: 60, runs_per_encounter: 2, seed: 7 };
+        let config = MonteCarloConfig {
+            num_encounters: 60,
+            runs_per_encounter: 2,
+            seed: 7,
+            threads: 0,
+        };
         let est = MonteCarloEstimator::new(runner, config).estimate();
         assert_eq!(est.equipped_nmac.trials, 120);
         assert!(
@@ -202,7 +238,12 @@ mod tests {
     #[test]
     fn estimates_are_deterministic() {
         let runner = EncounterRunner::with_coarse_table();
-        let config = MonteCarloConfig { num_encounters: 10, runs_per_encounter: 2, seed: 3 };
+        let config = MonteCarloConfig {
+            num_encounters: 10,
+            runs_per_encounter: 2,
+            seed: 3,
+            threads: 2,
+        };
         let a = MonteCarloEstimator::new(runner.clone(), config).estimate();
         let b = MonteCarloEstimator::new(runner, config).estimate();
         assert_eq!(a, b);

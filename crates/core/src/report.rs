@@ -16,7 +16,10 @@ impl TextTable {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row; missing cells render empty, extra cells are kept.
@@ -35,7 +38,10 @@ impl TextTable {
     }
 
     fn widths(&self) -> Vec<usize> {
-        let cols = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.len());

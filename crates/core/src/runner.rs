@@ -3,7 +3,36 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 use uavca_acasx::{AcasConfig, AcasXu, LogicTable};
 use uavca_encounter::{EncounterParams, ScenarioGenerator};
-use uavca_sim::{CollisionAvoider, EncounterOutcome, EncounterWorld, SimConfig, Trace, Unequipped};
+use uavca_sim::{
+    CollisionAvoider, EncounterOutcome, EncounterWorld, SimConfig, Trace, UavState, Unequipped,
+};
+
+/// Reusable per-worker simulation state: one warm [`EncounterWorld`] per
+/// equipage, so repeated runs pay zero avoider/world allocations.
+///
+/// Create one scratch per worker thread (never share across runners — the
+/// warmed worlds embed the owning runner's logic table and simulation
+/// configuration). [`crate::BatchRunner`] does this automatically.
+#[derive(Debug, Default)]
+pub struct RunScratch {
+    worlds: [Option<EncounterWorld>; 3],
+}
+
+impl RunScratch {
+    /// An empty (cold) scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn world(&mut self, equipage: Equipage) -> &mut Option<EncounterWorld> {
+        let idx = match equipage {
+            Equipage::Both => 0,
+            Equipage::OwnOnly => 1,
+            Equipage::Neither => 2,
+        };
+        &mut self.worlds[idx]
+    }
+}
 
 /// What collision avoidance each aircraft carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -114,36 +143,93 @@ impl EncounterRunner {
         seed: u64,
         equipage: Equipage,
     ) -> EncounterOutcome {
+        self.run_once_reusing(params, seed, equipage, &mut RunScratch::new())
+    }
+
+    /// Runs one simulation reusing `scratch`'s warm simulation worlds.
+    ///
+    /// Outcomes are bit-identical to [`run_once_with`](Self::run_once_with)
+    /// — reuse only skips the avoider/world allocations. `scratch` must
+    /// only ever be used with the runner that warmed it (the worlds embed
+    /// this runner's logic table and simulation config); the batch engine
+    /// owns that invariant by keeping scratch worker-local.
+    pub fn run_once_reusing(
+        &self,
+        params: &EncounterParams,
+        seed: u64,
+        equipage: Equipage,
+        scratch: &mut RunScratch,
+    ) -> EncounterOutcome {
         let enc = self.generator.generate(params);
-        let mut world =
-            EncounterWorld::new(self.sim, [enc.own, enc.intruder], self.avoiders(equipage), seed);
+        self.run_generated(&[enc.own, enc.intruder], seed, equipage, scratch)
+    }
+
+    /// Runs the equipped/unequipped pair on one seed from a **single**
+    /// scenario generation — the unit of paired Monte-Carlo estimation.
+    /// Returns `(equipped, unequipped)` where "equipped" is this runner's
+    /// configured equipage.
+    pub fn run_pair_reusing(
+        &self,
+        params: &EncounterParams,
+        seed: u64,
+        scratch: &mut RunScratch,
+    ) -> (EncounterOutcome, EncounterOutcome) {
+        let enc = self.generator.generate(params);
+        let initial = [enc.own, enc.intruder];
+        let equipped = self.run_generated(&initial, seed, self.equipage, scratch);
+        let unequipped = self.run_generated(&initial, seed, Equipage::Neither, scratch);
+        (equipped, unequipped)
+    }
+
+    fn run_generated(
+        &self,
+        initial: &[UavState; 2],
+        seed: u64,
+        equipage: Equipage,
+        scratch: &mut RunScratch,
+    ) -> EncounterOutcome {
+        let world = scratch.world(equipage).get_or_insert_with(|| {
+            EncounterWorld::new(self.sim, *initial, self.avoiders(equipage), seed)
+        });
+        world.reset(*initial, seed);
         world.run()
     }
 
     /// Runs `runs` independent simulations with seeds `seed_base..`,
     /// returning all outcomes (the paper evaluates every encounter over
-    /// 100 runs).
+    /// 100 runs). One warm world serves all runs; use
+    /// [`crate::BatchRunner::run_repeated`] for the multi-threaded variant.
     pub fn run_repeated(
         &self,
         params: &EncounterParams,
         runs: usize,
         seed_base: u64,
     ) -> Vec<EncounterOutcome> {
-        (0..runs).map(|k| self.run_once(params, seed_base.wrapping_add(k as u64))).collect()
+        let mut scratch = RunScratch::new();
+        (0..runs)
+            .map(|k| {
+                self.run_once_reusing(
+                    params,
+                    seed_base.wrapping_add(k as u64),
+                    self.equipage,
+                    &mut scratch,
+                )
+            })
+            .collect()
     }
 
     /// Runs one simulation with trace recording enabled and returns the
     /// trace alongside the outcome (the "visualization mode" replacement).
-    pub fn run_traced(
-        &self,
-        params: &EncounterParams,
-        seed: u64,
-    ) -> (EncounterOutcome, Trace) {
+    pub fn run_traced(&self, params: &EncounterParams, seed: u64) -> (EncounterOutcome, Trace) {
         let mut sim = self.sim;
         sim.record_trace = true;
         let enc = self.generator.generate(params);
-        let mut world =
-            EncounterWorld::new(sim, [enc.own, enc.intruder], self.avoiders(self.equipage), seed);
+        let mut world = EncounterWorld::new(
+            sim,
+            [enc.own, enc.intruder],
+            self.avoiders(self.equipage),
+            seed,
+        );
         let outcome = world.run();
         (outcome, world.trace().clone())
     }
@@ -162,7 +248,7 @@ impl EncounterRunner {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use std::sync::OnceLock;
 
@@ -193,7 +279,10 @@ mod tests {
                 nmacs += 1;
             }
         }
-        assert!(nmacs <= 2, "one-sided avoidance handles most head-ons: {nmacs}/10");
+        assert!(
+            nmacs <= 2,
+            "one-sided avoidance handles most head-ons: {nmacs}/10"
+        );
     }
 
     #[test]

@@ -4,12 +4,10 @@ use uavca_evo::Bounds;
 
 /// The searchable scenario space: the paper's 9-parameter encounter
 /// encoding with box constraints, exposed as GA genome [`Bounds`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct ScenarioSpace {
     ranges: ParamRanges,
 }
-
 
 impl ScenarioSpace {
     /// Wraps explicit parameter ranges.

@@ -95,7 +95,10 @@ mod tests {
 
     #[test]
     fn templates_classify_as_named() {
-        assert_eq!(classify(&EncounterParams::head_on_template()), GeometryClass::HeadOn);
+        assert_eq!(
+            classify(&EncounterParams::head_on_template()),
+            GeometryClass::HeadOn
+        );
         assert_eq!(
             classify(&EncounterParams::tail_approach_template()),
             GeometryClass::TailApproach
@@ -147,7 +150,11 @@ mod tests {
         p.intruder_bearing_rad = 0.0;
         p.own_vertical_speed_fpm = -150.0;
         p.intruder_vertical_speed_fpm = 150.0;
-        assert_eq!(classify(&p), GeometryClass::Overtake, "below the 200 fpm threshold");
+        assert_eq!(
+            classify(&p),
+            GeometryClass::Overtake,
+            "below the 200 fpm threshold"
+        );
     }
 
     #[test]

@@ -32,14 +32,20 @@ pub struct ScenarioGenerator {
 
 impl Default for ScenarioGenerator {
     fn default() -> Self {
-        Self { own_initial_position: Vec3::new(0.0, 0.0, 4000.0), own_initial_bearing_rad: 0.0 }
+        Self {
+            own_initial_position: Vec3::new(0.0, 0.0, 4000.0),
+            own_initial_bearing_rad: 0.0,
+        }
     }
 }
 
 impl ScenarioGenerator {
     /// Creates a generator with an explicit own-ship anchor.
     pub fn new(own_initial_position: Vec3, own_initial_bearing_rad: f64) -> Self {
-        Self { own_initial_position, own_initial_bearing_rad }
+        Self {
+            own_initial_position,
+            own_initial_bearing_rad,
+        }
     }
 
     /// Instantiates the encounter described by `params`.
@@ -138,7 +144,10 @@ mod tests {
             let enc = generator.generate(&params);
             let (h, v) = separation_at(&enc, params.time_to_cpa_s);
             assert!((h - params.cpa_horizontal_ft).abs() < 1e-6, "{params:?}");
-            assert!((v - params.cpa_vertical_ft.abs()).abs() < 1e-6, "{params:?}");
+            assert!(
+                (v - params.cpa_vertical_ft.abs()).abs() < 1e-6,
+                "{params:?}"
+            );
         }
     }
 

@@ -74,7 +74,11 @@ impl EncounterParams {
     /// Panics if `v.len() != 9`; genome widths are fixed at construction in
     /// this crate's callers, so a mismatch is a programming error.
     pub fn from_slice(v: &[f64]) -> Self {
-        assert_eq!(v.len(), NUM_PARAMS, "encounter genome must have {NUM_PARAMS} genes");
+        assert_eq!(
+            v.len(),
+            NUM_PARAMS,
+            "encounter genome must have {NUM_PARAMS} genes"
+        );
         let mut a = [0.0; NUM_PARAMS];
         a.copy_from_slice(v);
         Self::from_vector(&a)
@@ -205,7 +209,11 @@ impl ParamRanges {
     pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> EncounterParams {
         let mut v = [0.0; NUM_PARAMS];
         for (x, (lo, hi)) in v.iter_mut().zip(self.bounds.iter()) {
-            *x = if hi > lo { rng.gen_range(*lo..*hi) } else { *lo };
+            *x = if hi > lo {
+                rng.gen_range(*lo..*hi)
+            } else {
+                *lo
+            };
         }
         EncounterParams::from_vector(&v)
     }

@@ -20,7 +20,12 @@ impl Default for ClassWeights {
     /// En-route-like mix: crossings dominate, head-ons are common on
     /// airway-like tracks, tail geometries are rarer.
     fn default() -> Self {
-        Self { head_on: 0.25, tail_approach: 0.10, overtake: 0.15, crossing: 0.50 }
+        Self {
+            head_on: 0.25,
+            tail_approach: 0.10,
+            overtake: 0.15,
+            crossing: 0.50,
+        }
     }
 }
 
@@ -111,7 +116,8 @@ impl StatisticalEncounterModel {
         let vs_any =
             |rng: &mut R| rng.gen_range(-self.max_vertical_speed_fpm..self.max_vertical_speed_fpm);
         // Vertical rate that is clearly "active" in a required direction.
-        let vs_active = |rng: &mut R, sign: f64| sign * rng.gen_range(250.0..self.max_vertical_speed_fpm);
+        let vs_active =
+            |rng: &mut R, sign: f64| sign * rng.gen_range(250.0..self.max_vertical_speed_fpm);
         // Vertical rate that is clearly level-ish (avoids flipping the class).
         let vs_level = |rng: &mut R| rng.gen_range(-180.0..180.0);
 
@@ -208,7 +214,11 @@ mod tests {
                 p.cpa_horizontal_ft > 500.0 || p.cpa_vertical_ft.abs() > 100.0
             })
             .count();
-        assert!(benign as f64 / n as f64 > 0.6, "benign fraction {}", benign as f64 / n as f64);
+        assert!(
+            benign as f64 / n as f64 > 0.6,
+            "benign fraction {}",
+            benign as f64 / n as f64
+        );
     }
 
     #[test]

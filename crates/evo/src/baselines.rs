@@ -42,7 +42,14 @@ pub struct RandomSearch {
 impl RandomSearch {
     /// Creates a random search drawing `budget` samples.
     pub fn new(bounds: Bounds, budget: usize) -> Self {
-        Self { bounds, budget, seed: 0, threads: 1, target_fitness: None, batch: 64 }
+        Self {
+            bounds,
+            budget,
+            seed: 0,
+            threads: 1,
+            target_fitness: None,
+            batch: 64,
+        }
     }
 
     /// Sets the RNG seed.
@@ -74,12 +81,18 @@ impl RandomSearch {
         let mut first_hit = None;
         'outer: while evaluations.len() < self.budget {
             let n = self.batch.min(self.budget - evaluations.len());
-            let genomes: Vec<Vec<f64>> =
-                (0..n).map(|_| self.bounds.sample_uniform(&mut rng)).collect();
+            let genomes: Vec<Vec<f64>> = (0..n)
+                .map(|_| self.bounds.sample_uniform(&mut rng))
+                .collect();
             let fits = evaluate_batch(&genomes, &fitness, self.threads);
             for (genes, fit) in genomes.into_iter().zip(fits) {
                 let index = evaluations.len();
-                evaluations.push(EvaluationRecord { index, generation: 0, genes: genes.clone(), fitness: fit });
+                evaluations.push(EvaluationRecord {
+                    index,
+                    generation: 0,
+                    genes: genes.clone(),
+                    fitness: fit,
+                });
                 if best.as_ref().is_none_or(|b| fit > b.fitness) {
                     best = Some(Individual::new(genes, fit));
                 }
@@ -112,7 +125,13 @@ impl HillClimber {
     /// Creates a climber with `budget` evaluations and step size
     /// σ = 10% of each gene's range.
     pub fn new(bounds: Bounds, budget: usize) -> Self {
-        Self { bounds, budget, seed: 0, sigma_frac: 0.1, target_fitness: None }
+        Self {
+            bounds,
+            budget,
+            seed: 0,
+            sigma_frac: 0.1,
+            target_fitness: None,
+        }
     }
 
     /// Sets the RNG seed.
@@ -149,8 +168,10 @@ impl HillClimber {
             fitness: current_fit,
         });
         let mut best = Individual::new(current.clone(), current_fit);
-        let mut first_hit =
-            self.target_fitness.is_some_and(|t| current_fit >= t).then_some(0);
+        let mut first_hit = self
+            .target_fitness
+            .is_some_and(|t| current_fit >= t)
+            .then_some(0);
         let mut accepted = 0usize;
         while evaluations.len() < self.budget && first_hit.is_none() {
             let mut child = current.clone();
@@ -178,7 +199,11 @@ impl HillClimber {
                 first_hit = Some(index);
             }
         }
-        SearchResult { best, evaluations, first_hit }
+        SearchResult {
+            best,
+            evaluations,
+            first_hit,
+        }
     }
 }
 
@@ -198,7 +223,11 @@ mod tests {
     fn random_search_respects_budget_and_tracks_best() {
         let r = RandomSearch::new(bounds(), 200).seed(1).run(neg_sphere);
         assert_eq!(r.num_evaluations(), 200);
-        let max = r.evaluations.iter().map(|e| e.fitness).fold(f64::NEG_INFINITY, f64::max);
+        let max = r
+            .evaluations
+            .iter()
+            .map(|e| e.fitness)
+            .fold(f64::NEG_INFINITY, f64::max);
         assert_eq!(r.best.fitness, max);
         assert!(r.first_hit.is_none());
     }
@@ -206,7 +235,10 @@ mod tests {
     #[test]
     fn random_search_stops_at_target() {
         // Target is easy: any sample with fitness > -40 (most are).
-        let r = RandomSearch::new(bounds(), 10_000).seed(2).target_fitness(-40.0).run(neg_sphere);
+        let r = RandomSearch::new(bounds(), 10_000)
+            .seed(2)
+            .target_fitness(-40.0)
+            .run(neg_sphere);
         let hit = r.first_hit.expect("easy target must be found");
         assert!(r.num_evaluations() <= hit + 64, "stops soon after the hit");
         assert!(r.evaluations[hit].fitness >= -40.0);
@@ -222,13 +254,20 @@ mod tests {
     #[test]
     fn hill_climber_improves_monotonically_in_accepted_moves() {
         let r = HillClimber::new(bounds(), 400).seed(3).run(neg_sphere);
-        assert!(r.best.fitness > -1.0, "hill climbing on a sphere gets close: {}", r.best.fitness);
+        assert!(
+            r.best.fitness > -1.0,
+            "hill climbing on a sphere gets close: {}",
+            r.best.fitness
+        );
         assert_eq!(r.num_evaluations(), 400);
     }
 
     #[test]
     fn hill_climber_stops_at_target() {
-        let r = HillClimber::new(bounds(), 100_000).seed(4).target_fitness(-0.5).run(neg_sphere);
+        let r = HillClimber::new(bounds(), 100_000)
+            .seed(4)
+            .target_fitness(-0.5)
+            .run(neg_sphere);
         assert!(r.first_hit.is_some());
         assert!(r.num_evaluations() < 100_000);
     }

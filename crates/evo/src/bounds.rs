@@ -29,7 +29,11 @@ impl Bounds {
             // `!(lo <= hi)` deliberately also rejects NaN endpoints.
             #[allow(clippy::neg_cmp_op_on_partial_ord)]
             if !(lo <= hi) || !lo.is_finite() || !hi.is_finite() {
-                return Err(EvoError::InvalidBound { gene: i, low: lo, high: hi });
+                return Err(EvoError::InvalidBound {
+                    gene: i,
+                    low: lo,
+                    high: hi,
+                });
             }
         }
         Ok(Self { intervals })
@@ -88,7 +92,10 @@ impl Bounds {
     /// Whether `genes` lies inside the box (inclusive).
     pub fn contains(&self, genes: &[f64]) -> bool {
         genes.len() == self.intervals.len()
-            && genes.iter().zip(&self.intervals).all(|(g, &(lo, hi))| *g >= lo && *g <= hi)
+            && genes
+                .iter()
+                .zip(&self.intervals)
+                .all(|(g, &(lo, hi))| *g >= lo && *g <= hi)
     }
 
     /// Samples a genome uniformly from the box.
@@ -109,7 +116,10 @@ mod tests {
     #[test]
     fn rejects_bad_intervals() {
         assert!(matches!(Bounds::new(vec![]), Err(EvoError::EmptyGenome)));
-        assert!(matches!(Bounds::new(vec![(1.0, 0.0)]), Err(EvoError::InvalidBound { .. })));
+        assert!(matches!(
+            Bounds::new(vec![(1.0, 0.0)]),
+            Err(EvoError::InvalidBound { .. })
+        ));
         assert!(matches!(
             Bounds::new(vec![(f64::NAN, 1.0)]),
             Err(EvoError::InvalidBound { .. })

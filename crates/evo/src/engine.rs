@@ -245,10 +245,10 @@ impl GeneticAlgorithm {
         let mut gen_stats = Vec::new();
 
         // Generation 0: uniform random population.
-        let genomes: Vec<Vec<f64>> =
-            (0..cfg.population_size).map(|_| self.bounds.sample_uniform(&mut rng)).collect();
-        let mut population =
-            evaluate_all(genomes, &fitness, cfg.threads, 0, &mut evaluations);
+        let genomes: Vec<Vec<f64>> = (0..cfg.population_size)
+            .map(|_| self.bounds.sample_uniform(&mut rng))
+            .collect();
+        let mut population = evaluate_all(genomes, &fitness, cfg.threads, 0, &mut evaluations);
         record_stats(&population, 0, &mut gen_stats);
 
         let mut best = population.best().expect("population non-empty").clone();
@@ -263,8 +263,11 @@ impl GeneticAlgorithm {
                 break;
             }
             // Elites survive unchanged.
-            let mut next_genomes: Vec<Vec<f64>> =
-                population.top_k(cfg.elitism).into_iter().map(|e| e.genes.clone()).collect();
+            let mut next_genomes: Vec<Vec<f64>> = population
+                .top_k(cfg.elitism)
+                .into_iter()
+                .map(|e| e.genes.clone())
+                .collect();
             // Fill the rest by selection → crossover → mutation.
             while next_genomes.len() < cfg.population_size {
                 let pa = cfg.selection.select(&population, &mut rng);
@@ -277,7 +280,10 @@ impl GeneticAlgorithm {
                         &mut rng,
                     )
                 } else {
-                    (population.members()[pa].genes.clone(), population.members()[pb].genes.clone())
+                    (
+                        population.members()[pa].genes.clone(),
+                        population.members()[pb].genes.clone(),
+                    )
                 };
                 cfg.mutation.mutate(&mut c1, &self.bounds, &mut rng);
                 cfg.mutation.mutate(&mut c2, &self.bounds, &mut rng);
@@ -286,8 +292,13 @@ impl GeneticAlgorithm {
                     next_genomes.push(c2);
                 }
             }
-            population =
-                evaluate_all(next_genomes, &fitness, cfg.threads, generation, &mut evaluations);
+            population = evaluate_all(
+                next_genomes,
+                &fitness,
+                cfg.threads,
+                generation,
+                &mut evaluations,
+            );
             record_stats(&population, generation, &mut gen_stats);
             let gen_best = population.best().expect("population non-empty");
             if gen_best.fitness > best.fitness + 1e-12 {
@@ -351,28 +362,16 @@ where
 
 /// Maps `fitness` over `genomes` with `threads` workers (0 = hardware
 /// parallelism), preserving order.
+///
+/// Runs on the workspace-wide [`uavca_exec::Executor`] pool abstraction,
+/// the same one the validation layer's `BatchRunner` uses — fitness is a
+/// pure function of the genome, so results are identical for any thread
+/// count.
 pub(crate) fn evaluate_batch<F>(genomes: &[Vec<f64>], fitness: &F, threads: usize) -> Vec<f64>
 where
     F: Fn(&[f64]) -> f64 + Sync,
 {
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let threads = if threads == 0 { hw } else { threads }.min(genomes.len().max(1));
-    if threads <= 1 {
-        return genomes.iter().map(|g| fitness(g)).collect();
-    }
-    let mut out = vec![0.0; genomes.len()];
-    let chunk = genomes.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (slot_chunk, genome_chunk) in out.chunks_mut(chunk).zip(genomes.chunks(chunk)) {
-            scope.spawn(move |_| {
-                for (slot, genome) in slot_chunk.iter_mut().zip(genome_chunk) {
-                    *slot = fitness(genome);
-                }
-            });
-        }
-    })
-    .expect("fitness evaluation worker panicked");
-    out
+    uavca_exec::Executor::new(threads).map(genomes, |g| fitness(g))
 }
 
 #[cfg(test)]
@@ -395,7 +394,11 @@ mod tests {
         let first = result.generations.first().unwrap().best_fitness;
         let last = result.generations.last().unwrap().best_fitness;
         assert!(last > first, "best fitness must improve: {first} -> {last}");
-        assert!(result.best.fitness > -1.0, "near-optimal: {}", result.best.fitness);
+        assert!(
+            result.best.fitness > -1.0,
+            "near-optimal: {}",
+            result.best.fitness
+        );
         assert_eq!(result.num_evaluations(), 40 * 30);
     }
 
@@ -414,8 +417,7 @@ mod tests {
     fn parallel_evaluation_matches_serial() {
         let config = GaConfig::new(30, 6).seed(7);
         let serial = GeneticAlgorithm::new(config, bounds(3)).run(neg_sphere);
-        let parallel =
-            GeneticAlgorithm::new(config.threads(4), bounds(3)).run(neg_sphere);
+        let parallel = GeneticAlgorithm::new(config.threads(4), bounds(3)).run(neg_sphere);
         assert_eq!(serial.best, parallel.best);
         assert_eq!(serial.evaluations, parallel.evaluations);
     }
@@ -477,7 +479,11 @@ mod tests {
     #[test]
     fn all_selection_and_crossover_variants_run() {
         let b = bounds(3);
-        for sel in [Selection::Tournament { size: 3 }, Selection::RouletteWheel, Selection::Rank] {
+        for sel in [
+            Selection::Tournament { size: 3 },
+            Selection::RouletteWheel,
+            Selection::Rank,
+        ] {
             for cx in [
                 Crossover::OnePoint,
                 Crossover::TwoPoint,

@@ -47,7 +47,10 @@ mod tests {
 
     #[test]
     fn display_mentions_field() {
-        let e = EvoError::InvalidConfig { field: "population_size", requirement: "be at least 2" };
+        let e = EvoError::InvalidConfig {
+            field: "population_size",
+            requirement: "be at least 2",
+        };
         assert!(e.to_string().contains("population_size"));
     }
 

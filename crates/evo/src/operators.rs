@@ -49,8 +49,14 @@ impl Selection {
             }
             Selection::RouletteWheel => {
                 let members = population.members();
-                let min = members.iter().map(|m| m.fitness).fold(f64::INFINITY, f64::min);
-                let max = members.iter().map(|m| m.fitness).fold(f64::NEG_INFINITY, f64::max);
+                let min = members
+                    .iter()
+                    .map(|m| m.fitness)
+                    .fold(f64::INFINITY, f64::min);
+                let max = members
+                    .iter()
+                    .map(|m| m.fitness)
+                    .fold(f64::NEG_INFINITY, f64::max);
                 let span = (max - min).max(1e-12);
                 // Shift so the worst still has 5% of the best's weight.
                 let weight = |f: f64| (f - min) + 0.05 * span;
@@ -230,7 +236,10 @@ pub enum Mutation {
 
 impl Default for Mutation {
     fn default() -> Self {
-        Mutation::Gaussian { sigma_frac: 0.1, per_gene_rate: 0.25 }
+        Mutation::Gaussian {
+            sigma_frac: 0.1,
+            per_gene_rate: 0.25,
+        }
     }
 }
 
@@ -243,7 +252,10 @@ impl Mutation {
     pub fn mutate<R: Rng + ?Sized>(&self, genes: &mut [f64], bounds: &Bounds, rng: &mut R) {
         assert_eq!(genes.len(), bounds.len(), "genome width mismatch");
         match *self {
-            Mutation::Gaussian { sigma_frac, per_gene_rate } => {
+            Mutation::Gaussian {
+                sigma_frac,
+                per_gene_rate,
+            } => {
                 for (i, gene) in genes.iter_mut().enumerate() {
                     if rng.gen::<f64>() < per_gene_rate {
                         let sigma = sigma_frac * bounds.width(i);
@@ -303,7 +315,9 @@ mod tests {
 
     fn ranked_population() -> Population {
         // Fitness equals index: member 9 is the best.
-        (0..10).map(|i| Individual::new(vec![i as f64], i as f64)).collect()
+        (0..10)
+            .map(|i| Individual::new(vec![i as f64], i as f64))
+            .collect()
     }
 
     #[test]
@@ -323,8 +337,9 @@ mod tests {
 
     #[test]
     fn roulette_handles_negative_fitness() {
-        let pop: Population =
-            (0..10).map(|i| Individual::new(vec![i as f64], i as f64 - 100.0)).collect();
+        let pop: Population = (0..10)
+            .map(|i| Individual::new(vec![i as f64], i as f64 - 100.0))
+            .collect();
         let sel = Selection::RouletteWheel;
         let mut rng = StdRng::seed_from_u64(2);
         let n = 4000;
@@ -332,14 +347,18 @@ mod tests {
             .map(|_| pop.members()[sel.select(&pop, &mut rng)].fitness)
             .sum::<f64>()
             / n as f64;
-        assert!(mean > -95.0, "selection still prefers fitter members: {mean}");
+        assert!(
+            mean > -95.0,
+            "selection still prefers fitter members: {mean}"
+        );
     }
 
     #[test]
     fn rank_selection_orders_by_rank_not_magnitude() {
         // One huge outlier must not dominate rank selection.
-        let mut members: Vec<Individual> =
-            (0..9).map(|i| Individual::new(vec![i as f64], i as f64)).collect();
+        let mut members: Vec<Individual> = (0..9)
+            .map(|i| Individual::new(vec![i as f64], i as f64))
+            .collect();
         members.push(Individual::new(vec![9.0], 1e9));
         let pop = Population::new(members);
         let sel = Selection::Rank;
@@ -348,7 +367,10 @@ mod tests {
         let picked_best =
             (0..n).filter(|_| sel.select(&pop, &mut rng) == 9).count() as f64 / n as f64;
         // Linear ranking gives the best member weight 10/55 ≈ 0.18.
-        assert!((picked_best - 10.0 / 55.0).abs() < 0.03, "best pick rate {picked_best}");
+        assert!(
+            (picked_best - 10.0 / 55.0).abs() < 0.03,
+            "best pick rate {picked_best}"
+        );
     }
 
     #[test]
@@ -380,7 +402,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let (c1, _) = Crossover::OnePoint.recombine(&a, &b, &bounds, &mut rng);
         // c1 must be a prefix of 1s followed by a suffix of 9s.
-        let first_nine = c1.iter().position(|&x| x == 9.0).expect("some suffix swapped");
+        let first_nine = c1
+            .iter()
+            .position(|&x| x == 9.0)
+            .expect("some suffix swapped");
         assert!(c1[..first_nine].iter().all(|&x| x == 1.0));
         assert!(c1[first_nine..].iter().all(|&x| x == 9.0));
     }
@@ -403,9 +428,15 @@ mod tests {
         let bounds = Bounds::new(vec![(-1.0, 1.0), (0.0, 100.0), (3.0, 3.0)]).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         for op in [
-            Mutation::Gaussian { sigma_frac: 0.5, per_gene_rate: 1.0 },
+            Mutation::Gaussian {
+                sigma_frac: 0.5,
+                per_gene_rate: 1.0,
+            },
             Mutation::UniformReset { per_gene_rate: 1.0 },
-            Mutation::Polynomial { eta: 20.0, per_gene_rate: 1.0 },
+            Mutation::Polynomial {
+                eta: 20.0,
+                per_gene_rate: 1.0,
+            },
         ] {
             for _ in 0..100 {
                 let mut g = bounds.sample_uniform(&mut rng);
@@ -421,7 +452,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let mut g = bounds.sample_uniform(&mut rng);
         let orig = g.clone();
-        Mutation::Gaussian { sigma_frac: 0.5, per_gene_rate: 0.0 }.mutate(&mut g, &bounds, &mut rng);
+        Mutation::Gaussian {
+            sigma_frac: 0.5,
+            per_gene_rate: 0.0,
+        }
+        .mutate(&mut g, &bounds, &mut rng);
         assert_eq!(g, orig);
     }
 

@@ -64,7 +64,11 @@ impl Population {
             return f64::NAN;
         }
         let mean = self.mean_fitness();
-        let var = self.members.iter().map(|m| (m.fitness - mean).powi(2)).sum::<f64>()
+        let var = self
+            .members
+            .iter()
+            .map(|m| (m.fitness - mean).powi(2))
+            .sum::<f64>()
             / self.members.len() as f64;
         var.sqrt()
     }
@@ -136,7 +140,9 @@ mod tests {
 
     #[test]
     fn collect_and_extend() {
-        let mut p: Population = (0..3).map(|i| Individual::new(vec![i as f64], i as f64)).collect();
+        let mut p: Population = (0..3)
+            .map(|i| Individual::new(vec![i as f64], i as f64))
+            .collect();
         p.extend([Individual::new(vec![9.0], 9.0)]);
         assert_eq!(p.len(), 4);
         assert_eq!(p.best().unwrap().fitness, 9.0);

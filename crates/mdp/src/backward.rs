@@ -81,7 +81,10 @@ impl BackwardInduction {
         let n = model.num_states();
         let na = model.num_actions();
         if terminal_values.len() != n {
-            return Err(MdpError::DimensionMismatch { expected: n, got: terminal_values.len() });
+            return Err(MdpError::DimensionMismatch {
+                expected: n,
+                got: terminal_values.len(),
+            });
         }
         let gamma = model.discount();
         let mut stage_values = Vec::with_capacity(horizon + 1);
@@ -106,7 +109,11 @@ impl BackwardInduction {
             stage_policies.push(policy);
             stage_values.push(values);
         }
-        Ok(StagedSolution { stage_values, stage_q, stage_policies })
+        Ok(StagedSolution {
+            stage_values,
+            stage_q,
+            stage_policies,
+        })
     }
 }
 

@@ -93,10 +93,19 @@ impl DenseMdpBuilder {
     /// Panics if `state`, `action` or `next_state` are out of range — these
     /// are programming errors in model construction code, not runtime
     /// conditions.
-    pub fn transition(&mut self, state: usize, action: usize, next_state: usize, p: f64) -> &mut Self {
+    pub fn transition(
+        &mut self,
+        state: usize,
+        action: usize,
+        next_state: usize,
+        p: f64,
+    ) -> &mut Self {
         assert!(state < self.num_states, "state {state} out of range");
         assert!(action < self.num_actions, "action {action} out of range");
-        assert!(next_state < self.num_states, "next_state {next_state} out of range");
+        assert!(
+            next_state < self.num_states,
+            "next_state {next_state} out of range"
+        );
         let idx = state * self.num_actions + action;
         self.transitions[idx].push(Transition::new(next_state, p));
         self
@@ -138,7 +147,9 @@ impl DenseMdpBuilder {
             let mut merged: Vec<Transition> = Vec::with_capacity(outs.len());
             for t in outs.iter() {
                 match merged.last_mut() {
-                    Some(last) if last.next_state == t.next_state => last.probability += t.probability,
+                    Some(last) if last.next_state == t.next_state => {
+                        last.probability += t.probability
+                    }
                     _ => merged.push(*t),
                 }
             }
@@ -189,7 +200,10 @@ mod tests {
     fn bad_mass_is_rejected() {
         let mut b = DenseMdpBuilder::new(2, 1, 0.9);
         b.transition(0, 0, 1, 0.7);
-        assert!(matches!(b.build(), Err(MdpError::InvalidDistribution { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(MdpError::InvalidDistribution { .. })
+        ));
     }
 
     #[test]
@@ -208,7 +222,13 @@ mod tests {
 
     #[test]
     fn empty_model_is_rejected() {
-        assert!(matches!(DenseMdpBuilder::new(0, 1, 0.9).build(), Err(MdpError::EmptyModel)));
-        assert!(matches!(DenseMdpBuilder::new(1, 0, 0.9).build(), Err(MdpError::EmptyModel)));
+        assert!(matches!(
+            DenseMdpBuilder::new(0, 1, 0.9).build(),
+            Err(MdpError::EmptyModel)
+        ));
+        assert!(matches!(
+            DenseMdpBuilder::new(1, 0, 0.9).build(),
+            Err(MdpError::EmptyModel)
+        ));
     }
 }

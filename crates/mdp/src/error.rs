@@ -61,12 +61,25 @@ impl fmt::Display for MdpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MdpError::StateOutOfRange { state, num_states } => {
-                write!(f, "state index {state} out of range (model has {num_states} states)")
+                write!(
+                    f,
+                    "state index {state} out of range (model has {num_states} states)"
+                )
             }
-            MdpError::ActionOutOfRange { action, num_actions } => {
-                write!(f, "action index {action} out of range (model has {num_actions} actions)")
+            MdpError::ActionOutOfRange {
+                action,
+                num_actions,
+            } => {
+                write!(
+                    f,
+                    "action index {action} out of range (model has {num_actions} actions)"
+                )
             }
-            MdpError::InvalidDistribution { state, action, mass } => write!(
+            MdpError::InvalidDistribution {
+                state,
+                action,
+                mass,
+            } => write!(
                 f,
                 "transition probabilities for state {state}, action {action} sum to {mass}, not 1"
             ),
@@ -74,7 +87,11 @@ impl fmt::Display for MdpError {
                 write!(f, "discount factor {gamma} is not in (0, 1]")
             }
             MdpError::EmptyModel => write!(f, "model has no states or no actions"),
-            MdpError::NotConverged { iterations, residual, tolerance } => write!(
+            MdpError::NotConverged {
+                iterations,
+                residual,
+                tolerance,
+            } => write!(
                 f,
                 "solver stopped after {iterations} iterations with residual {residual:.3e} \
                  (tolerance {tolerance:.3e})"
@@ -97,10 +114,17 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = MdpError::StateOutOfRange { state: 7, num_states: 3 };
+        let e = MdpError::StateOutOfRange {
+            state: 7,
+            num_states: 3,
+        };
         assert!(e.to_string().contains('7'));
         assert!(e.to_string().contains('3'));
-        let e = MdpError::NotConverged { iterations: 10, residual: 0.5, tolerance: 1e-6 };
+        let e = MdpError::NotConverged {
+            iterations: 10,
+            residual: 0.5,
+            tolerance: 1e-6,
+        };
         assert!(e.to_string().contains("10"));
     }
 

@@ -26,7 +26,11 @@ impl InterpWeights {
     /// Panics if any stored index is out of range for `values` — the weights
     /// are only meaningful for tables over the grid that produced them.
     pub fn apply(&self, values: &[f64]) -> f64 {
-        self.indices.iter().zip(&self.weights).map(|(&i, &w)| values[i] * w).sum()
+        self.indices
+            .iter()
+            .zip(&self.weights)
+            .map(|(&i, &w)| values[i] * w)
+            .sum()
     }
 }
 
@@ -77,7 +81,11 @@ impl RectGrid {
             strides[i] = acc;
             acc *= axis.len();
         }
-        Ok(Self { axes, strides, num_points: acc })
+        Ok(Self {
+            axes,
+            strides,
+            num_points: acc,
+        })
     }
 
     /// Number of dimensions.
@@ -107,12 +115,18 @@ impl RectGrid {
     /// [`MdpError::StateOutOfRange`] when a component exceeds its axis.
     pub fn flat_index(&self, multi: &[usize]) -> Result<usize> {
         if multi.len() != self.axes.len() {
-            return Err(MdpError::DimensionMismatch { expected: self.axes.len(), got: multi.len() });
+            return Err(MdpError::DimensionMismatch {
+                expected: self.axes.len(),
+                got: multi.len(),
+            });
         }
         let mut flat = 0;
         for ((&i, axis), &stride) in multi.iter().zip(&self.axes).zip(&self.strides) {
             if i >= axis.len() {
-                return Err(MdpError::StateOutOfRange { state: i, num_states: axis.len() });
+                return Err(MdpError::StateOutOfRange {
+                    state: i,
+                    num_states: axis.len(),
+                });
             }
             flat += i * stride;
         }
@@ -127,7 +141,10 @@ impl RectGrid {
     /// [`num_points`](Self::num_points).
     pub fn multi_index(&self, flat: usize) -> Result<Vec<usize>> {
         if flat >= self.num_points {
-            return Err(MdpError::StateOutOfRange { state: flat, num_states: self.num_points });
+            return Err(MdpError::StateOutOfRange {
+                state: flat,
+                num_states: self.num_points,
+            });
         }
         let mut rem = flat;
         let mut multi = Vec::with_capacity(self.axes.len());
@@ -145,7 +162,11 @@ impl RectGrid {
     /// Returns [`MdpError::StateOutOfRange`] if `flat` is out of range.
     pub fn point(&self, flat: usize) -> Result<Vec<f64>> {
         let multi = self.multi_index(flat)?;
-        Ok(multi.iter().zip(&self.axes).map(|(&i, axis)| axis[i]).collect())
+        Ok(multi
+            .iter()
+            .zip(&self.axes)
+            .map(|(&i, axis)| axis[i])
+            .collect())
     }
 
     /// Clamps `query` to the grid's bounding box, component-wise.
@@ -155,7 +176,10 @@ impl RectGrid {
     /// Returns [`MdpError::DimensionMismatch`] for wrong arity.
     pub fn clamp(&self, query: &[f64]) -> Result<Vec<f64>> {
         if query.len() != self.axes.len() {
-            return Err(MdpError::DimensionMismatch { expected: self.axes.len(), got: query.len() });
+            return Err(MdpError::DimensionMismatch {
+                expected: self.axes.len(),
+                got: query.len(),
+            });
         }
         Ok(query
             .iter()
@@ -217,7 +241,10 @@ impl RectGrid {
     /// `values` does not have one entry per grid point.
     pub fn interpolate(&self, query: &[f64], values: &[f64]) -> Result<f64> {
         if values.len() != self.num_points {
-            return Err(MdpError::DimensionMismatch { expected: self.num_points, got: values.len() });
+            return Err(MdpError::DimensionMismatch {
+                expected: self.num_points,
+                got: values.len(),
+            });
         }
         Ok(self.interp_weights(query)?.apply(values))
     }
@@ -287,7 +314,9 @@ impl RectGridBuilder {
         let coords = if n <= 1 {
             vec![lo]
         } else {
-            (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64).collect()
+            (0..n)
+                .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+                .collect()
         };
         self.axes.push(coords);
         self
@@ -339,7 +368,13 @@ mod tests {
     #[test]
     fn weights_sum_to_one_and_are_convex() {
         let g = grid2();
-        for q in [[0.5, 0.0], [0.0, -1.0], [3.0, 1.0], [-5.0, 9.0], [2.9, 0.99]] {
+        for q in [
+            [0.5, 0.0],
+            [0.0, -1.0],
+            [3.0, 1.0],
+            [-5.0, 9.0],
+            [2.9, 0.99],
+        ] {
             let w = g.interp_weights(&q).unwrap();
             let total: f64 = w.weights.iter().sum();
             assert!((total - 1.0).abs() < 1e-12, "{q:?}");
@@ -359,8 +394,10 @@ mod tests {
     fn interpolation_reproduces_linear_functions() {
         // f(x, y) = 2x - 3y + 1 must be reproduced exactly inside each cell.
         let g = grid2();
-        let values: Vec<f64> =
-            g.iter_points().map(|(_, p)| 2.0 * p[0] - 3.0 * p[1] + 1.0).collect();
+        let values: Vec<f64> = g
+            .iter_points()
+            .map(|(_, p)| 2.0 * p[0] - 3.0 * p[1] + 1.0)
+            .collect();
         for q in [[0.25, -0.5], [2.0, 0.0], [0.0, 1.0], [2.999, 0.999]] {
             let got = g.interpolate(&q, &values).unwrap();
             let want = 2.0 * q[0] - 3.0 * q[1] + 1.0;
@@ -380,14 +417,27 @@ mod tests {
     #[test]
     fn nearest_picks_closest_axis_point() {
         let g = grid2();
-        assert_eq!(g.nearest(&[0.4, -1.0]).unwrap(), g.flat_index(&[0, 0]).unwrap());
-        assert_eq!(g.nearest(&[0.6, -1.0]).unwrap(), g.flat_index(&[1, 0]).unwrap());
-        assert_eq!(g.nearest(&[99.0, 99.0]).unwrap(), g.flat_index(&[2, 1]).unwrap());
+        assert_eq!(
+            g.nearest(&[0.4, -1.0]).unwrap(),
+            g.flat_index(&[0, 0]).unwrap()
+        );
+        assert_eq!(
+            g.nearest(&[0.6, -1.0]).unwrap(),
+            g.flat_index(&[1, 0]).unwrap()
+        );
+        assert_eq!(
+            g.nearest(&[99.0, 99.0]).unwrap(),
+            g.flat_index(&[2, 1]).unwrap()
+        );
     }
 
     #[test]
     fn single_point_axis_is_allowed() {
-        let g = RectGridBuilder::new().axis(vec![5.0]).axis_linspace(0.0, 1.0, 3).build().unwrap();
+        let g = RectGridBuilder::new()
+            .axis(vec![5.0])
+            .axis_linspace(0.0, 1.0, 3)
+            .build()
+            .unwrap();
         assert_eq!(g.num_points(), 3);
         let w = g.interp_weights(&[5.0, 0.5]).unwrap();
         let total: f64 = w.weights.iter().sum();
@@ -396,7 +446,10 @@ mod tests {
 
     #[test]
     fn linspace_endpoints_are_exact() {
-        let g = RectGridBuilder::new().axis_linspace(-2.0, 2.0, 5).build().unwrap();
+        let g = RectGridBuilder::new()
+            .axis_linspace(-2.0, 2.0, 5)
+            .build()
+            .unwrap();
         assert_eq!(g.axis(0), &[-2.0, -1.0, 0.0, 1.0, 2.0]);
     }
 }

@@ -15,7 +15,10 @@ pub struct Transition {
 impl Transition {
     /// Creates a transition outcome.
     pub fn new(next_state: usize, probability: f64) -> Self {
-        Self { next_state, probability }
+        Self {
+            next_state,
+            probability,
+        }
     }
 }
 
@@ -92,7 +95,11 @@ pub(crate) fn validate_model<M: Mdp + ?Sized>(model: &M) -> Result<()> {
             let mut mass = 0.0;
             for t in &scratch {
                 if t.probability < 0.0 || !t.probability.is_finite() {
-                    return Err(MdpError::InvalidDistribution { state: s, action: a, mass: t.probability });
+                    return Err(MdpError::InvalidDistribution {
+                        state: s,
+                        action: a,
+                        mass: t.probability,
+                    });
                 }
                 if t.next_state >= model.num_states() {
                     return Err(MdpError::StateOutOfRange {
@@ -103,7 +110,11 @@ pub(crate) fn validate_model<M: Mdp + ?Sized>(model: &M) -> Result<()> {
                 mass += t.probability;
             }
             if (mass - 1.0).abs() > 1e-6 {
-                return Err(MdpError::InvalidDistribution { state: s, action: a, mass });
+                return Err(MdpError::InvalidDistribution {
+                    state: s,
+                    action: a,
+                    mass,
+                });
             }
         }
     }

@@ -60,7 +60,12 @@ impl Policy {
         if self.actions.is_empty() {
             return Ok(1.0);
         }
-        let same = self.actions.iter().zip(&other.actions).filter(|(a, b)| a == b).count();
+        let same = self
+            .actions
+            .iter()
+            .zip(&other.actions)
+            .filter(|(a, b)| a == b)
+            .count();
         Ok(same as f64 / self.actions.len() as f64)
     }
 }
@@ -80,7 +85,11 @@ pub struct QTable {
 impl QTable {
     /// Creates a zero-initialized table.
     pub fn zeros(num_states: usize, num_actions: usize) -> Self {
-        Self { num_states, num_actions, values: vec![0.0; num_states * num_actions] }
+        Self {
+            num_states,
+            num_actions,
+            values: vec![0.0; num_states * num_actions],
+        }
     }
 
     /// Wraps a row-major `num_states × num_actions` value buffer.
@@ -96,7 +105,11 @@ impl QTable {
                 got: values.len(),
             });
         }
-        Ok(Self { num_states, num_actions, values })
+        Ok(Self {
+            num_states,
+            num_actions,
+            values,
+        })
     }
 
     /// Number of states.
@@ -133,7 +146,11 @@ impl QTable {
     /// Ties break toward the lowest action index, which by convention is the
     /// "do nothing" / clear-of-conflict action in avoidance models, biasing
     /// the logic away from spurious alerts.
-    pub fn greedy_masked(&self, state: usize, mut allowed: impl FnMut(usize) -> bool) -> Option<usize> {
+    pub fn greedy_masked(
+        &self,
+        state: usize,
+        mut allowed: impl FnMut(usize) -> bool,
+    ) -> Option<usize> {
         let row = self.row(state);
         let mut best: Option<(usize, f64)> = None;
         for (a, &q) in row.iter().enumerate() {
@@ -150,7 +167,8 @@ impl QTable {
 
     /// Greedy action in `state` over all actions.
     pub fn greedy(&self, state: usize) -> usize {
-        self.greedy_masked(state, |_| true).expect("num_actions >= 1")
+        self.greedy_masked(state, |_| true)
+            .expect("num_actions >= 1")
     }
 
     /// Extracts the greedy deterministic policy.
@@ -161,7 +179,12 @@ impl QTable {
     /// State values `V(s) = max_a Q(s, a)`.
     pub fn to_state_values(&self) -> Vec<f64> {
         (0..self.num_states)
-            .map(|s| self.row(s).iter().copied().fold(f64::NEG_INFINITY, f64::max))
+            .map(|s| {
+                self.row(s)
+                    .iter()
+                    .copied()
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
             .collect()
     }
 }

@@ -36,7 +36,12 @@ impl PolicyIteration {
     /// Creates a solver with evaluation tolerance `1e-9`, 10 000 evaluation
     /// sweeps per round and a 1 000-round budget.
     pub fn new() -> Self {
-        Self { eval_tolerance: 1e-9, eval_max_sweeps: 10_000, max_rounds: 1_000, validate: true }
+        Self {
+            eval_tolerance: 1e-9,
+            eval_max_sweeps: 10_000,
+            max_rounds: 1_000,
+            validate: true,
+        }
     }
 
     /// Sets the tolerance used when evaluating the current policy.
@@ -114,9 +119,16 @@ impl PolicyIteration {
                         values,
                         policy,
                         q,
-                        stats: ValueIterationStats { iterations: round, residual: 0.0, backups: 0 },
+                        stats: ValueIterationStats {
+                            iterations: round,
+                            residual: 0.0,
+                            backups: 0,
+                        },
                     },
-                    PolicyIterationStats { improvement_rounds: round, evaluation_sweeps },
+                    PolicyIterationStats {
+                        improvement_rounds: round,
+                        evaluation_sweeps,
+                    },
                 ));
             }
         }

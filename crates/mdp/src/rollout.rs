@@ -20,7 +20,10 @@ pub struct RolloutSimulator<'a, M: Mdp + ?Sized> {
 impl<'a, M: Mdp + ?Sized> RolloutSimulator<'a, M> {
     /// Creates a simulator over `model` seeded with `seed`.
     pub fn new(model: &'a M, seed: u64) -> Self {
-        Self { model, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            model,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Samples one transition: returns `(next_state, reward)`.
@@ -123,8 +126,9 @@ mod tests {
         let solution = ValueIteration::new().tolerance(1e-12).solve(&m).unwrap();
         let mut sim = RolloutSimulator::new(&m, 42);
         for start in 0..2 {
-            let estimate =
-                sim.estimate_value(&solution.policy, start, 400, 3000).unwrap();
+            let estimate = sim
+                .estimate_value(&solution.policy, start, 400, 3000)
+                .unwrap();
             assert!(
                 (estimate - solution.values[start]).abs() < 0.1,
                 "state {start}: sampled {estimate:.3} vs analytic {:.3}",
@@ -137,10 +141,16 @@ mod tests {
     fn rollouts_are_deterministic_per_seed() {
         let m = model();
         let policy = Policy::from_actions(vec![1, 0]);
-        let a = RolloutSimulator::new(&m, 7).rollout(&policy, 0, 50).unwrap();
-        let b = RolloutSimulator::new(&m, 7).rollout(&policy, 0, 50).unwrap();
+        let a = RolloutSimulator::new(&m, 7)
+            .rollout(&policy, 0, 50)
+            .unwrap();
+        let b = RolloutSimulator::new(&m, 7)
+            .rollout(&policy, 0, 50)
+            .unwrap();
         assert_eq!(a, b);
-        let c = RolloutSimulator::new(&m, 8).rollout(&policy, 0, 50).unwrap();
+        let c = RolloutSimulator::new(&m, 8)
+            .rollout(&policy, 0, 50)
+            .unwrap();
         assert_ne!(a, c);
     }
 
@@ -148,8 +158,14 @@ mod tests {
     fn invalid_indices_are_rejected() {
         let m = model();
         let mut sim = RolloutSimulator::new(&m, 0);
-        assert!(matches!(sim.step(5, 0), Err(MdpError::StateOutOfRange { .. })));
-        assert!(matches!(sim.step(0, 9), Err(MdpError::ActionOutOfRange { .. })));
+        assert!(matches!(
+            sim.step(5, 0),
+            Err(MdpError::StateOutOfRange { .. })
+        ));
+        assert!(matches!(
+            sim.step(0, 9),
+            Err(MdpError::ActionOutOfRange { .. })
+        ));
     }
 
     #[test]

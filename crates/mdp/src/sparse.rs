@@ -80,7 +80,10 @@ impl Mdp for SparseMdp {
 
     fn transitions_into(&self, state: usize, action: usize, out: &mut Vec<Transition>) {
         for i in self.range(state, action) {
-            out.push(Transition::new(self.next_states[i] as usize, self.probabilities[i]));
+            out.push(Transition::new(
+                self.next_states[i] as usize,
+                self.probabilities[i],
+            ));
         }
     }
 
@@ -145,7 +148,11 @@ impl SparseMdpBuilder {
             "pushed more rows than state-action pairs"
         );
         for t in outcomes {
-            assert!(t.next_state < self.num_states, "successor {} out of range", t.next_state);
+            assert!(
+                t.next_state < self.num_states,
+                "successor {} out of range",
+                t.next_state
+            );
             self.next_states.push(t.next_state as u32);
             self.probabilities.push(t.probability);
         }

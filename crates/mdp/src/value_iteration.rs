@@ -140,7 +140,9 @@ impl ValueIteration {
         while iterations < self.max_iterations {
             iterations += 1;
             residual = match self.sweep_order {
-                SweepOrder::GaussSeidel => sweep_gauss_seidel(model, gamma, &mut values, &mut backups),
+                SweepOrder::GaussSeidel => {
+                    sweep_gauss_seidel(model, gamma, &mut values, &mut backups)
+                }
                 SweepOrder::Synchronous if threads <= 1 => {
                     sweep_synchronous(model, gamma, &mut values, &mut backups)
                 }
@@ -154,16 +156,26 @@ impl ValueIteration {
                     values,
                     q,
                     policy,
-                    stats: ValueIterationStats { iterations, residual, backups },
+                    stats: ValueIterationStats {
+                        iterations,
+                        residual,
+                        backups,
+                    },
                 });
             }
         }
-        Err(MdpError::NotConverged { iterations, residual, tolerance: self.tolerance })
+        Err(MdpError::NotConverged {
+            iterations,
+            residual,
+            tolerance: self.tolerance,
+        })
     }
 }
 
 fn effective_threads(requested: usize, num_states: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let t = if requested == 0 { hw } else { requested };
     // Parallelism does not pay off for tiny models.
     if num_states < 4096 {
@@ -236,39 +248,36 @@ fn sweep_parallel<M: Mdp + Sync + ?Sized>(
     threads: usize,
 ) -> f64 {
     let n = values.len();
-    let mut next = vec![0.0; n];
-    let chunk = n.div_ceil(threads);
     let old: &[f64] = values;
-    let mut local_backups = vec![0u64; threads];
-    let mut local_delta = vec![0.0f64; threads];
-    crossbeam::thread::scope(|scope| {
-        let mut rest: &mut [f64] = &mut next;
-        let mut handles = Vec::new();
-        for (ti, (bk, dl)) in local_backups.iter_mut().zip(local_delta.iter_mut()).enumerate() {
-            let take = chunk.min(rest.len());
-            let (mine, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let start = ti * chunk;
-            handles.push(scope.spawn(move |_| {
-                let mut scratch = Vec::new();
-                let mut delta: f64 = 0.0;
-                for (i, slot) in mine.iter_mut().enumerate() {
-                    let s = start + i;
-                    let v = best_action_value(model, s, gamma, old, &mut scratch, bk);
-                    delta = delta.max((v - old[s]).abs());
-                    *slot = v;
-                }
-                *dl = delta;
-            }));
+    let executor = uavca_exec::Executor::new(threads);
+    // Blocks of states keep the per-job overhead negligible while still
+    // letting the pool balance uneven transition fan-outs.
+    let workers = executor.resolved_threads(n);
+    let block = n.div_ceil(workers * 8).max(1);
+    let blocks: Vec<(usize, usize)> = (0..n)
+        .step_by(block)
+        .map(|lo| (lo, (lo + block).min(n)))
+        .collect();
+    let results = executor.map_with(&blocks, Vec::new, |scratch, &(lo, hi)| {
+        let mut vs = Vec::with_capacity(hi - lo);
+        let mut delta: f64 = 0.0;
+        let mut block_backups = 0u64;
+        for s in lo..hi {
+            let v = best_action_value(model, s, gamma, old, scratch, &mut block_backups);
+            delta = delta.max((v - old[s]).abs());
+            vs.push(v);
         }
-        for h in handles {
-            h.join().expect("value iteration worker panicked");
-        }
-    })
-    .expect("crossbeam scope failed");
-    *backups += local_backups.iter().sum::<u64>();
+        (vs, delta, block_backups)
+    });
+    let mut next = Vec::with_capacity(n);
+    let mut delta: f64 = 0.0;
+    for (vs, block_delta, block_backups) in results {
+        next.extend(vs);
+        delta = delta.max(block_delta);
+        *backups += block_backups;
+    }
     *values = next;
-    local_delta.into_iter().fold(0.0, f64::max)
+    delta
 }
 
 fn extract<M: Mdp + ?Sized>(model: &M, values: &[f64], backups: &mut u64) -> (QTable, Policy) {
@@ -303,7 +312,15 @@ mod tests {
             let right = (s + 1).min(n - 1);
             b.transition(s, 0, left, 1.0);
             b.transition(s, 1, right, 1.0);
-            b.reward(s, 1, if right == n - 1 && s != n - 1 { 1.0 } else { 0.0 });
+            b.reward(
+                s,
+                1,
+                if right == n - 1 && s != n - 1 {
+                    1.0
+                } else {
+                    0.0
+                },
+            );
         }
         b.build().unwrap()
     }
@@ -340,7 +357,11 @@ mod tests {
     fn parallel_matches_serial() {
         // Big enough to actually engage the parallel path (>= 4096 states).
         let m = corridor(5000, 0.9);
-        let serial = ValueIteration::new().tolerance(1e-8).skip_validation().solve(&m).unwrap();
+        let serial = ValueIteration::new()
+            .tolerance(1e-8)
+            .skip_validation()
+            .solve(&m)
+            .unwrap();
         let par = ValueIteration::new()
             .tolerance(1e-8)
             .threads(4)
@@ -356,7 +377,10 @@ mod tests {
     #[test]
     fn reports_non_convergence() {
         let m = corridor(50, 0.999);
-        let err = ValueIteration::new().tolerance(1e-14).max_iterations(3).solve(&m);
+        let err = ValueIteration::new()
+            .tolerance(1e-14)
+            .max_iterations(3)
+            .solve(&m);
         match err {
             Err(MdpError::NotConverged { iterations, .. }) => assert_eq!(iterations, 3),
             other => panic!("expected NotConverged, got {other:?}"),
@@ -371,7 +395,10 @@ mod tests {
             b.transition(0, 0, 0, 1.0).reward(0, 0, 2.0);
             let m = b.build().unwrap();
             let sol = ValueIteration::new().tolerance(1e-12).solve(&m).unwrap();
-            assert!((sol.values[0] - 2.0 / (1.0 - gamma)).abs() < 1e-6, "gamma {gamma}");
+            assert!(
+                (sol.values[0] - 2.0 / (1.0 - gamma)).abs() < 1e-6,
+                "gamma {gamma}"
+            );
         }
     }
 

@@ -98,7 +98,12 @@ impl AdsbSensor {
                 sample_standard_normal(rng) * n.horizontal_velocity_sigma_fps,
                 sample_standard_normal(rng) * n.vertical_velocity_sigma_fps,
             );
-        AdsbReport { sender, position, velocity, time_s }
+        AdsbReport {
+            sender,
+            position,
+            velocity,
+            time_s,
+        }
     }
 }
 
@@ -109,7 +114,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn state() -> UavState {
-        UavState::new(Vec3::new(1000.0, 2000.0, 4500.0), Vec3::new(100.0, 0.0, -10.0))
+        UavState::new(
+            Vec3::new(1000.0, 2000.0, 4500.0),
+            Vec3::new(100.0, 0.0, -10.0),
+        )
     }
 
     #[test]

@@ -18,7 +18,10 @@ pub struct DisturbanceModel {
 impl DisturbanceModel {
     /// No disturbance at all (deterministic dynamics).
     pub fn none() -> Self {
-        Self { horizontal_sigma_fps: 0.0, vertical_sigma_fps: 0.0 }
+        Self {
+            horizontal_sigma_fps: 0.0,
+            vertical_sigma_fps: 0.0,
+        }
     }
 
     /// Draws one gust velocity vector.
@@ -37,7 +40,10 @@ impl DisturbanceModel {
 impl Default for DisturbanceModel {
     /// Moderate turbulence: σ = 5 ft/s horizontally, 3 ft/s vertically.
     fn default() -> Self {
-        Self { horizontal_sigma_fps: 5.0, vertical_sigma_fps: 3.0 }
+        Self {
+            horizontal_sigma_fps: 5.0,
+            vertical_sigma_fps: 3.0,
+        }
     }
 }
 
@@ -123,7 +129,10 @@ mod tests {
 
     #[test]
     fn gust_statistics_match_sigma() {
-        let model = DisturbanceModel { horizontal_sigma_fps: 4.0, vertical_sigma_fps: 2.0 };
+        let model = DisturbanceModel {
+            horizontal_sigma_fps: 4.0,
+            vertical_sigma_fps: 2.0,
+        };
         let mut rng = StdRng::seed_from_u64(7);
         let n = 20_000;
         let (mut sum_x, mut sum_x2, mut sum_z2) = (0.0, 0.0, 0.0);
@@ -137,13 +146,21 @@ mod tests {
         let var_x = sum_x2 / n as f64 - mean_x * mean_x;
         let var_z = sum_z2 / n as f64;
         assert!(mean_x.abs() < 0.15, "mean {mean_x}");
-        assert!((var_x.sqrt() - 4.0).abs() < 0.15, "sigma_x {}", var_x.sqrt());
+        assert!(
+            (var_x.sqrt() - 4.0).abs() < 0.15,
+            "sigma_x {}",
+            var_x.sqrt()
+        );
         assert!((var_z.sqrt() - 2.0).abs() < 0.1, "sigma_z {}", var_z.sqrt());
     }
 
     #[test]
     fn num_steps_rounds_up() {
-        let c = SimConfig { dt_s: 1.0, max_time_s: 10.5, ..SimConfig::default() };
+        let c = SimConfig {
+            dt_s: 1.0,
+            max_time_s: 10.5,
+            ..SimConfig::default()
+        };
         assert_eq!(c.num_steps(), 11);
     }
 

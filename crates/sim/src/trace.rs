@@ -144,18 +144,21 @@ impl Trace {
             out.push_str(std::str::from_utf8(&row).expect("ascii canvas"));
             out.push('\n');
         }
-        out.push_str(&format!("altitude {:7.0} ft   (time: 0 .. {:.0} s)\n", lo, self
-            .steps
-            .last()
-            .map(|s| s.time_s)
-            .unwrap_or(0.0)));
+        out.push_str(&format!(
+            "altitude {:7.0} ft   (time: 0 .. {:.0} s)\n",
+            lo,
+            self.steps.last().map(|s| s.time_s).unwrap_or(0.0)
+        ));
         out
     }
 
     /// The minimum separation over the recorded steps, ft, or infinity for
     /// an empty trace.
     pub fn min_separation_ft(&self) -> f64 {
-        self.steps.iter().map(|s| s.separation_ft).fold(f64::INFINITY, f64::min)
+        self.steps
+            .iter()
+            .map(|s| s.separation_ft)
+            .fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -174,7 +177,13 @@ mod tests {
                 Vec3::new(1000.0 - i as f64 * 100.0, 0.0, 1100.0 - i as f64 * 10.0),
                 Vec3::new(-100.0, 0.0, -10.0),
             );
-            t.record(i as f64, &own, &intr, if i > 5 { "CLIMB" } else { "COC" }, "COC");
+            t.record(
+                i as f64,
+                &own,
+                &intr,
+                if i > 5 { "CLIMB" } else { "COC" },
+                "COC",
+            );
         }
         t
     }

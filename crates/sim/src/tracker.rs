@@ -38,9 +38,16 @@ impl AlphaBetaTracker {
     /// Panics if the gains are outside `(0, 1]` — gains are configuration
     /// constants, not runtime data.
     pub fn new(alpha: f64, beta: f64) -> Self {
-        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha in (0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&alpha) && alpha > 0.0,
+            "alpha in (0, 1]"
+        );
         assert!((0.0..=1.0).contains(&beta) && beta > 0.0, "beta in (0, 1]");
-        Self { alpha, beta, state: None }
+        Self {
+            alpha,
+            beta,
+            state: None,
+        }
     }
 
     /// A reasonable default for 1 Hz ADS-B: α = 0.6, β = 0.2.
@@ -63,8 +70,11 @@ impl AlphaBetaTracker {
     pub fn update(&mut self, report: &AdsbReport) -> (Vec3, Vec3) {
         match self.state {
             None => {
-                let s =
-                    TrackState { position: report.position, velocity: report.velocity, time_s: report.time_s };
+                let s = TrackState {
+                    position: report.position,
+                    velocity: report.velocity,
+                    time_s: report.time_s,
+                };
                 self.state = Some(s);
                 (s.position, s.velocity)
             }
@@ -79,7 +89,11 @@ impl AlphaBetaTracker {
                 // Blend the reported velocity too: ADS-B carries a velocity
                 // measurement, which a pure alpha-beta filter ignores.
                 let velocity = velocity.lerp(report.velocity, 0.5);
-                let s = TrackState { position, velocity, time_s: report.time_s };
+                let s = TrackState {
+                    position,
+                    velocity,
+                    time_s: report.time_s,
+                };
                 self.state = Some(s);
                 (position, velocity)
             }
@@ -100,7 +114,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn report_at(t: f64, position: Vec3, velocity: Vec3) -> AdsbReport {
-        AdsbReport { sender: 1, position, velocity, time_s: t }
+        AdsbReport {
+            sender: 1,
+            position,
+            velocity,
+            time_s: t,
+        }
     }
 
     #[test]

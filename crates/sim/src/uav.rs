@@ -84,7 +84,12 @@ pub struct UavBody {
 impl UavBody {
     /// Creates a body at `state` with `perf` limits.
     pub fn new(state: UavState, perf: UavPerformance) -> Self {
-        Self { state, perf, commanded_vs: None, response_remaining_s: 0.0 }
+        Self {
+            state,
+            perf,
+            commanded_vs: None,
+            response_remaining_s: 0.0,
+        }
     }
 
     /// Current kinematic state.
@@ -106,7 +111,10 @@ impl UavBody {
     /// after the performance response delay and is clamped to the vehicle's
     /// vertical-rate envelope.
     pub fn command_vertical_rate(&mut self, vs_fps: f64) {
-        let clamped = vs_fps.clamp(-self.perf.max_vertical_rate_fps, self.perf.max_vertical_rate_fps);
+        let clamped = vs_fps.clamp(
+            -self.perf.max_vertical_rate_fps,
+            self.perf.max_vertical_rate_fps,
+        );
         // Re-issuing the same command must not re-trigger the delay,
         // otherwise a logic that repeats its advisory every second would
         // never start the maneuver.
@@ -180,7 +188,7 @@ mod tests {
         let mut uav = level_uav();
         let mut rng = StdRng::seed_from_u64(2);
         uav.command_vertical_rate(25.0); // 1500 fpm climb
-        // First second: response delay, no vertical rate change.
+                                         // First second: response delay, no vertical rate change.
         uav.step(1.0, &calm(), &mut rng);
         assert_eq!(uav.state().velocity.z, 0.0);
         // Then accelerate at <= 8 ft/s².
@@ -191,7 +199,10 @@ mod tests {
         uav.step(1.0, &calm(), &mut rng);
         assert!((uav.state().velocity.z - 24.0).abs() < 1e-9);
         uav.step(1.0, &calm(), &mut rng);
-        assert!((uav.state().velocity.z - 25.0).abs() < 1e-9, "converges to target");
+        assert!(
+            (uav.state().velocity.z - 25.0).abs() < 1e-9,
+            "converges to target"
+        );
         uav.step(1.0, &calm(), &mut rng);
         assert!((uav.state().velocity.z - 25.0).abs() < 1e-9, "holds target");
     }
@@ -201,8 +212,7 @@ mod tests {
         let mut uav = level_uav();
         uav.command_vertical_rate(10_000.0);
         assert!(
-            (uav.commanded_vertical_rate().unwrap()
-                - uav.performance().max_vertical_rate_fps)
+            (uav.commanded_vertical_rate().unwrap() - uav.performance().max_vertical_rate_fps)
                 .abs()
                 < 1e-12
         );

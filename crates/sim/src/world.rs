@@ -53,7 +53,13 @@ impl EncounterWorld {
         avoiders: [Box<dyn CollisionAvoider>; 2],
         seed: u64,
     ) -> Self {
-        Self::with_performance(config, initial, [UavPerformance::default(); 2], avoiders, seed)
+        Self::with_performance(
+            config,
+            initial,
+            [UavPerformance::default(); 2],
+            avoiders,
+            seed,
+        )
     }
 
     /// Creates a world with per-aircraft performance limits.
@@ -87,6 +93,38 @@ impl EncounterWorld {
         }
     }
 
+    /// Rearms the world for a fresh encounter, reusing the avoider
+    /// allocations (and whatever solved tables they share).
+    ///
+    /// After `reset`, the world behaves exactly as a newly constructed one
+    /// with the same `config`, per-aircraft performance, `initial` states
+    /// and `seed`: every monitor, counter, coordination slot and RNG is
+    /// reinitialized, and each avoider's [`CollisionAvoider::reset`] clears
+    /// its advisory memory. This is the allocation-free hot path batch
+    /// evaluation engines loop on — constructing a world per run costs two
+    /// boxed avoiders (and, for table-driven logics, their setup) per
+    /// encounter, which dominates small-encounter throughput.
+    pub fn reset(&mut self, initial: [UavState; 2], seed: u64) {
+        for avoider in &mut self.avoiders {
+            avoider.reset();
+        }
+        self.uavs = [
+            UavBody::new(initial[0], *self.uavs[0].performance()),
+            UavBody::new(initial[1], *self.uavs[1].performance()),
+        ];
+        self.board.reset();
+        self.proximity = ProximityMeasurer::new();
+        self.nmac = false;
+        self.first_nmac_time_s = None;
+        self.trace = Trace::new();
+        self.rng = StdRng::seed_from_u64(seed);
+        self.time_s = 0.0;
+        self.alert_steps = [0, 0];
+        self.first_alert_time_s = None;
+        self.reversals = [0, 0];
+        self.last_sense = [None, None];
+    }
+
     /// Current simulation time, s.
     pub fn time_s(&self) -> f64 {
         self.time_s
@@ -112,8 +150,12 @@ impl EncounterWorld {
 
         // 1. ADS-B broadcast: each aircraft receives a noisy report of the
         //    other. Reports are per-receiver independent draws.
-        let report_of_1 = self.sensor.observe(1, self.uavs[1].state(), self.time_s, &mut self.rng);
-        let report_of_0 = self.sensor.observe(0, self.uavs[0].state(), self.time_s, &mut self.rng);
+        let report_of_1 = self
+            .sensor
+            .observe(1, self.uavs[1].state(), self.time_s, &mut self.rng);
+        let report_of_0 = self
+            .sensor
+            .observe(0, self.uavs[0].state(), self.time_s, &mut self.rng);
 
         // 2. Decisions under the coordination restrictions in force.
         let mut advisories: [&'static str; 2] = ["COC", "COC"];
@@ -164,7 +206,8 @@ impl EncounterWorld {
         if self.config.record_trace {
             let own = *self.uavs[0].state();
             let intr = *self.uavs[1].state();
-            self.trace.record(self.time_s, &own, &intr, advisories[0], advisories[1]);
+            self.trace
+                .record(self.time_s, &own, &intr, advisories[0], advisories[1]);
         }
 
         // 4. Dynamics under disturbance.
@@ -179,12 +222,18 @@ impl EncounterWorld {
         let (s_min, d_min) = segment_min_separation(rel0, rel1);
         let t_at_min = self.time_s + s_min * dt;
         // Feed the proximity measurer with the interpolated closest states.
-        let own_interp = UavState::new(before[0].lerp(after[0], s_min), self.uavs[0].state().velocity);
-        let intr_interp =
-            UavState::new(before[1].lerp(after[1], s_min), self.uavs[1].state().velocity);
+        let own_interp = UavState::new(
+            before[0].lerp(after[0], s_min),
+            self.uavs[0].state().velocity,
+        );
+        let intr_interp = UavState::new(
+            before[1].lerp(after[1], s_min),
+            self.uavs[1].state().velocity,
+        );
         debug_assert!((own_interp.position.distance(intr_interp.position) - d_min).abs() < 1e-6);
         self.proximity.observe(&own_interp, &intr_interp, t_at_min);
-        self.proximity.observe(self.uavs[0].state(), self.uavs[1].state(), self.time_s + dt);
+        self.proximity
+            .observe(self.uavs[0].state(), self.uavs[1].state(), self.time_s + dt);
         if !self.nmac {
             if let Some(s) = segment_nmac(rel0, rel1) {
                 self.nmac = true;
@@ -198,7 +247,8 @@ impl EncounterWorld {
     /// Runs the encounter to `config.max_time_s` and returns the outcome.
     pub fn run(&mut self) -> EncounterOutcome {
         // Observe the initial geometry so instant conflicts are counted.
-        self.proximity.observe(self.uavs[0].state(), self.uavs[1].state(), 0.0);
+        self.proximity
+            .observe(self.uavs[0].state(), self.uavs[1].state(), 0.0);
         let rel = self.uavs[0].state().position - self.uavs[1].state().position;
         if rel.horizontal_norm() < NMAC_HORIZONTAL_FT && rel.z.abs() < NMAC_VERTICAL_FT {
             self.nmac = true;
@@ -234,7 +284,11 @@ impl EncounterWorld {
 pub(crate) fn segment_min_separation(rel0: Vec3, rel1: Vec3) -> (f64, f64) {
     let d = rel1 - rel0;
     let dd = d.dot(d);
-    let s = if dd < 1e-12 { 0.0 } else { (-rel0.dot(d) / dd).clamp(0.0, 1.0) };
+    let s = if dd < 1e-12 {
+        0.0
+    } else {
+        (-rel0.dot(d) / dd).clamp(0.0, 1.0)
+    };
     let at = rel0 + d * s;
     (s, at.norm())
 }
@@ -268,7 +322,11 @@ pub(crate) fn segment_nmac(rel0: Vec3, rel1: Vec3) -> Option<f64> {
 /// Solves `|z0 + s*dz| < bound` for `s`, intersected with `[0, 1]`.
 fn interval_abs_lt(z0: f64, dz: f64, bound: f64) -> Option<(f64, f64)> {
     if dz.abs() < 1e-12 {
-        return if z0.abs() < bound { Some((0.0, 1.0)) } else { None };
+        return if z0.abs() < bound {
+            Some((0.0, 1.0))
+        } else {
+            None
+        };
     }
     let s1 = (-bound - z0) / dz;
     let s2 = (bound - z0) / dz;
@@ -290,7 +348,11 @@ fn interval_quadratic_lt_zero(a: f64, b: f64, c: f64) -> Option<(f64, f64)> {
             return if c < 0.0 { Some((0.0, 1.0)) } else { None };
         }
         let root = -c / b;
-        let (lo, hi) = if b > 0.0 { (f64::NEG_INFINITY, root) } else { (root, f64::INFINITY) };
+        let (lo, hi) = if b > 0.0 {
+            (f64::NEG_INFINITY, root)
+        } else {
+            (root, f64::INFINITY)
+        };
         let lo = lo.max(0.0);
         let hi = hi.min(1.0);
         return if lo <= hi { Some((lo, hi)) } else { None };
@@ -323,7 +385,10 @@ mod tests {
     fn head_on(distance_ft: f64, speed_fps: f64) -> [UavState; 2] {
         [
             UavState::new(Vec3::ZERO, Vec3::new(speed_fps, 0.0, 0.0)),
-            UavState::new(Vec3::new(distance_ft, 0.0, 0.0), Vec3::new(-speed_fps, 0.0, 0.0)),
+            UavState::new(
+                Vec3::new(distance_ft, 0.0, 0.0),
+                Vec3::new(-speed_fps, 0.0, 0.0),
+            ),
         ]
     }
 
@@ -367,8 +432,7 @@ mod tests {
     fn vertically_separated_paths_are_safe() {
         let mut init = head_on(8000.0, 150.0);
         init[1].position.z = 1000.0;
-        let mut w =
-            EncounterWorld::new(SimConfig::deterministic(), init, unequipped_pair(), 3);
+        let mut w = EncounterWorld::new(SimConfig::deterministic(), init, unequipped_pair(), 3);
         let o = w.run();
         assert!(!o.nmac);
         assert!((o.min_separation_ft - 1000.0).abs() < 1.0);
@@ -418,11 +482,17 @@ mod tests {
             self.up = !self.up;
             Some(crate::ManeuverCommand {
                 target_vertical_rate_fps: if self.up { 10.0 } else { -10.0 },
-                sense: if self.up { crate::Sense::Up } else { crate::Sense::Down },
+                sense: if self.up {
+                    crate::Sense::Up
+                } else {
+                    crate::Sense::Down
+                },
                 label: if self.up { "UP" } else { "DOWN" },
             })
         }
-        fn reset(&mut self) {}
+        fn reset(&mut self) {
+            self.up = false;
+        }
         fn name(&self) -> &'static str {
             "flapper"
         }
@@ -447,6 +517,45 @@ mod tests {
     }
 
     #[test]
+    fn reset_world_matches_fresh_world_bit_for_bit() {
+        let init_a = head_on(8000.0, 150.0);
+        let mut init_b = head_on(9000.0, 170.0);
+        init_b[1].position.z = 80.0;
+        // Fresh worlds for reference outcomes.
+        let fresh = |init: [UavState; 2], seed| {
+            EncounterWorld::new(SimConfig::default(), init, unequipped_pair(), seed).run()
+        };
+        // One world, reset between runs — including after a mid-run abort
+        // and with an avoider carrying advisory state.
+        let mut w = EncounterWorld::new(
+            SimConfig::default(),
+            init_a,
+            [Box::new(Flapper { up: false }), Box::new(Unequipped::new())],
+            7,
+        );
+        for _ in 0..3 {
+            w.step(); // dirty every piece of internal state
+        }
+        w.reset(init_a, 41);
+        let flapper_outcome = w.run();
+        let fresh_flapper = EncounterWorld::new(
+            SimConfig::default(),
+            init_a,
+            [Box::new(Flapper { up: false }), Box::new(Unequipped::new())],
+            41,
+        )
+        .run();
+        assert_eq!(flapper_outcome, fresh_flapper, "avoider state must reset");
+
+        let mut w = EncounterWorld::new(SimConfig::default(), init_a, unequipped_pair(), 7);
+        w.run();
+        w.reset(init_b, 99);
+        assert_eq!(w.run(), fresh(init_b, 99), "reset must equal construction");
+        w.reset(init_a, 7);
+        assert_eq!(w.run(), fresh(init_a, 7), "reset back to the first case");
+    }
+
+    #[test]
     fn outcome_is_queryable_mid_run() {
         let mut w = EncounterWorld::new(
             SimConfig::deterministic(),
@@ -468,7 +577,8 @@ mod tests {
     #[test]
     fn segment_min_separation_midpoint() {
         // Relative motion passes through the origin at s = 0.5.
-        let (s, d) = segment_min_separation(Vec3::new(-100.0, 0.0, 0.0), Vec3::new(100.0, 0.0, 0.0));
+        let (s, d) =
+            segment_min_separation(Vec3::new(-100.0, 0.0, 0.0), Vec3::new(100.0, 0.0, 0.0));
         assert!((s - 0.5).abs() < 1e-12);
         assert!(d < 1e-9);
     }
@@ -484,18 +594,30 @@ mod tests {
     #[test]
     fn segment_nmac_requires_cylinder_overlap() {
         // Passes 600 ft abeam: no NMAC even though vertical is 0.
-        let r = segment_nmac(Vec3::new(-5000.0, 600.0, 0.0), Vec3::new(5000.0, 600.0, 0.0));
+        let r = segment_nmac(
+            Vec3::new(-5000.0, 600.0, 0.0),
+            Vec3::new(5000.0, 600.0, 0.0),
+        );
         assert!(r.is_none());
         // Passes 300 ft abeam at 0 vertical: NMAC.
-        let r = segment_nmac(Vec3::new(-5000.0, 300.0, 0.0), Vec3::new(5000.0, 300.0, 0.0));
+        let r = segment_nmac(
+            Vec3::new(-5000.0, 300.0, 0.0),
+            Vec3::new(5000.0, 300.0, 0.0),
+        );
         assert!(r.is_some());
         // Passes 300 ft abeam but 150 ft above: no NMAC.
-        let r = segment_nmac(Vec3::new(-5000.0, 300.0, 150.0), Vec3::new(5000.0, 300.0, 150.0));
+        let r = segment_nmac(
+            Vec3::new(-5000.0, 300.0, 150.0),
+            Vec3::new(5000.0, 300.0, 150.0),
+        );
         assert!(r.is_none());
     }
 
     #[test]
     fn segment_nmac_stationary_inside() {
-        assert_eq!(segment_nmac(Vec3::new(10.0, 0.0, 5.0), Vec3::new(10.0, 0.0, 5.0)), Some(0.0));
+        assert_eq!(
+            segment_nmac(Vec3::new(10.0, 0.0, 5.0), Vec3::new(10.0, 0.0, 5.0)),
+            Some(0.0)
+        );
     }
 }

@@ -1,0 +1,260 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Runs each property over `ProptestConfig::cases` pseudo-random inputs
+//! drawn from [`Strategy`] values. The RNG seed is derived from the test
+//! name, so failures are reproducible run-to-run; on failure the offending
+//! inputs are printed before the panic propagates. Unlike the real
+//! proptest there is **no shrinking** — the printed counterexample is the
+//! raw draw.
+//!
+//! Supported strategy surface (what this workspace uses): numeric ranges
+//! (`a..b`, `a..=b`), tuples of strategies, `Vec<Strategy>` (one draw per
+//! element), and [`Strategy::prop_map`].
+
+#![deny(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+pub use rand::SeedableRng;
+use rand::{Rng, RngCore};
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of pseudo-random values for property tests.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident : $idx:tt),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+);
+
+/// Creates the deterministic per-test RNG (FNV-1a over the test name).
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Advances an RNG to a fresh, independent stream for the next case.
+pub fn next_case_rng(rng: &mut StdRng) -> StdRng {
+    StdRng::seed_from_u64(rng.next_u64())
+}
+
+/// Defines property tests: `fn name(arg in strategy, ...) { body }`.
+///
+/// Emits one `#[test]`-able function per property (the `#[test]`
+/// attribute itself comes from the user-written attributes, exactly as in
+/// real proptest).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut seeder = $crate::test_rng(stringify!($name));
+            for case in 0..config.cases {
+                let mut rng = $crate::next_case_rng(&mut seeder);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $body
+                }));
+                if let ::std::result::Result::Err(payload) = outcome {
+                    ::std::eprintln!(
+                        "proptest: property `{}` failed on case {}/{} with inputs:",
+                        stringify!($name),
+                        case + 1,
+                        config.cases
+                    );
+                    $(::std::eprintln!("  {} = {:?}", stringify!($arg), $arg);)+
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { ::std::assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { ::std::assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { ::std::assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { ::std::assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { ::std::assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { ::std::assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Glob-import convenience mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -3.0f64..3.0, n in 1usize..10, s in 0u64..u64::MAX) {
+            prop_assert!((-3.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(s < u64::MAX);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            v in (0.0f64..1.0, 0usize..5).prop_map(|(a, b)| a + b as f64)
+        ) {
+            prop_assert!((0.0..5.0).contains(&v));
+        }
+
+        #[test]
+        fn vec_of_strategies_draws_each(xs in vec![0.0f64..1.0, 5.0..6.0, -2.0..-1.0]) {
+            prop_assert_eq!(xs.len(), 3);
+            prop_assert!((0.0..1.0).contains(&xs[0]));
+            prop_assert!((5.0..6.0).contains(&xs[1]));
+            prop_assert!((-2.0..-1.0).contains(&xs[2]));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_test_name() {
+        let mut a = crate::test_rng("some_test");
+        let mut b = crate::test_rng("some_test");
+        let sa: Vec<f64> = (0..5).map(|_| (0.0f64..1.0).generate(&mut a)).collect();
+        let sb: Vec<f64> = (0..5).map(|_| (0.0f64..1.0).generate(&mut b)).collect();
+        assert_eq!(sa, sb);
+    }
+}

@@ -1,0 +1,434 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Prints and parses the [`serde::Value`] tree of the workspace's serde
+//! stand-in. Two deliberate deviations from strict JSON, both in service
+//! of exact round trips of simulation artifacts:
+//!
+//! * floats print via Rust's shortest-round-trip formatting, so
+//!   `from_str(&to_string(x))` reproduces every finite `f64` bit-exactly;
+//! * non-finite floats are written as the extended literals `NaN`,
+//!   `Infinity` and `-Infinity` (as `serde_json` does with its
+//!   `arbitrary_precision`-less writers disabled — strict JSON has no
+//!   representation at all), and the parser accepts them back.
+
+#![deny(missing_docs)]
+
+use std::io::{Read, Write};
+
+use serde::{Deserialize, Serialize};
+pub use serde::{Error, Value};
+
+/// Serializes `value` to a JSON string.
+///
+/// # Errors
+///
+/// This stand-in's writer is infallible; the `Result` mirrors the real
+/// `serde_json` signature.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize());
+    Ok(out)
+}
+
+/// Serializes `value` as JSON into `writer`.
+///
+/// # Errors
+///
+/// Returns an [`Error`] wrapping any I/O failure of `writer`.
+pub fn to_writer<W: Write, T: Serialize>(mut writer: W, value: &T) -> Result<(), Error> {
+    let s = to_string(value)?;
+    writer
+        .write_all(s.as_bytes())
+        .map_err(|e| Error::new(format!("I/O error while writing JSON: {e}")))
+}
+
+/// Deserializes a value of type `T` from a JSON string.
+///
+/// # Errors
+///
+/// Returns an [`Error`] describing the first syntax or shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse(s)?;
+    T::deserialize(&value)
+}
+
+/// Deserializes a value of type `T` from a reader.
+///
+/// # Errors
+///
+/// Returns an [`Error`] wrapping I/O, syntax, or shape mismatches.
+pub fn from_reader<R: Read, T: Deserialize>(mut reader: R) -> Result<T, Error> {
+    let mut buf = String::new();
+    reader
+        .read_to_string(&mut buf)
+        .map_err(|e| Error::new(format!("I/O error while reading JSON: {e}")))?;
+    from_str(&buf)
+}
+
+// ---- writer ----------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_nan() {
+        out.push_str("NaN");
+    } else if f == f64::INFINITY {
+        out.push_str("Infinity");
+    } else if f == f64::NEG_INFINITY {
+        out.push_str("-Infinity");
+    } else {
+        // `{:?}` keeps a trailing `.0` on integral floats, so the value
+        // parses back as a float, not an integer.
+        out.push_str(&format!("{f:?}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser ----------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses a JSON document into a [`Value`].
+///
+/// # Errors
+///
+/// Returns an [`Error`] with byte-offset context on malformed input.
+pub fn parse(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b'N') if self.eat_keyword("NaN") => Ok(Value::Float(f64::NAN)),
+            Some(b'I') if self.eat_keyword("Infinity") => Ok(Value::Float(f64::INFINITY)),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+            if self.eat_keyword("Infinity") {
+                return Ok(Value::Float(f64::NEG_INFINITY));
+            }
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err("invalid float"))
+        } else if let Ok(i) = text.parse::<i64>() {
+            Ok(Value::Int(i))
+        } else if let Ok(u) = text.parse::<u64>() {
+            Ok(Value::UInt(u))
+        } else {
+            // Integer too large for 64 bits: fall back to float.
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.err("invalid number"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-42),
+            Value::UInt(u64::MAX),
+            Value::Float(0.1),
+            Value::Float(1.0),
+            Value::Float(f64::INFINITY),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Str("a \"quoted\"\nline\t🚁".to_string()),
+        ] {
+            let mut s = String::new();
+            write_value(&mut s, &v);
+            assert_eq!(parse(&s).unwrap(), v, "{s}");
+        }
+        // NaN != NaN, check by pattern.
+        let mut s = String::new();
+        write_value(&mut s, &Value::Float(f64::NAN));
+        assert!(matches!(parse(&s).unwrap(), Value::Float(f) if f.is_nan()));
+    }
+
+    #[test]
+    fn float_round_trips_are_bit_exact() {
+        let mut x = 0.1f64;
+        for _ in 0..50 {
+            x = x * 1.7 + 0.3;
+            let s = to_string(&x).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn integral_floats_keep_their_type() {
+        let s = to_string(&2.0f64).unwrap();
+        assert_eq!(s, "2.0");
+        assert!(matches!(parse(&s).unwrap(), Value::Float(_)));
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Value::Object(vec![
+            (
+                "xs".into(),
+                Value::Array(vec![Value::Int(1), Value::Float(2.5), Value::Null]),
+            ),
+            (
+                "nested".into(),
+                Value::Object(vec![("k".into(), Value::Str("v".into()))]),
+            ),
+            ("empty_arr".into(), Value::Array(vec![])),
+            ("empty_obj".into(), Value::Object(vec![])),
+        ]);
+        let mut s = String::new();
+        write_value(&mut s, &v);
+        assert_eq!(parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn whitespace_and_errors() {
+        assert_eq!(
+            parse(" [ 1 , 2 ] ").unwrap(),
+            Value::Array(vec![Value::Int(1), Value::Int(2)])
+        );
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("[1] junk").is_err());
+        let msg = parse("nope").unwrap_err().to_string();
+        assert!(msg.contains("byte"), "{msg}");
+    }
+
+    #[test]
+    fn reader_and_writer_entry_points() {
+        let mut buf = Vec::new();
+        to_writer(&mut buf, &vec![1.5f64, -2.25]).unwrap();
+        let back: Vec<f64> = from_reader(buf.as_slice()).unwrap();
+        assert_eq!(back, vec![1.5, -2.25]);
+    }
+}

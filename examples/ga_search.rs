@@ -14,7 +14,10 @@ use uavca::validation::{EncounterRunner, SearchConfig, SearchHarness, TextTable}
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let (runner, config) = if full {
-        (EncounterRunner::with_default_table(), SearchConfig::default())
+        (
+            EncounterRunner::with_default_table(),
+            SearchConfig::default(),
+        )
     } else {
         (
             EncounterRunner::with_coarse_table(),
@@ -52,7 +55,16 @@ fn main() {
     println!("\n{table}");
 
     println!("top found scenarios:");
-    let mut top = TextTable::new(["fitness", "class", "T (s)", "Gs_o (kt)", "Vs_o (fpm)", "Gs_i (kt)", "psi_i (deg)", "Vs_i (fpm)"]);
+    let mut top = TextTable::new([
+        "fitness",
+        "class",
+        "T (s)",
+        "Gs_o (kt)",
+        "Vs_o (fpm)",
+        "Gs_i (kt)",
+        "psi_i (deg)",
+        "Vs_i (fpm)",
+    ]);
     for s in outcome.top_scenarios.iter().take(8) {
         top.row([
             format!("{:.0}", s.fitness),

@@ -14,12 +14,22 @@ fn main() {
     let (runner, config) = if full {
         (
             EncounterRunner::with_default_table(),
-            MonteCarloConfig { num_encounters: 2000, runs_per_encounter: 10, seed: 0 },
+            MonteCarloConfig {
+                num_encounters: 2000,
+                runs_per_encounter: 10,
+                seed: 0,
+                threads: 0,
+            },
         )
     } else {
         (
             EncounterRunner::with_coarse_table(),
-            MonteCarloConfig { num_encounters: 300, runs_per_encounter: 4, seed: 0 },
+            MonteCarloConfig {
+                num_encounters: 300,
+                runs_per_encounter: 4,
+                seed: 0,
+                threads: 0,
+            },
         )
     };
     println!(
@@ -31,7 +41,10 @@ fn main() {
     let elapsed = started.elapsed();
 
     let mut table = TextTable::new(["metric", "estimate"]);
-    table.row(["unequipped NMAC rate", &estimate.unequipped_nmac.to_string()]);
+    table.row([
+        "unequipped NMAC rate",
+        &estimate.unequipped_nmac.to_string(),
+    ]);
     table.row(["equipped NMAC rate", &estimate.equipped_nmac.to_string()]);
     table.row(["risk ratio", &format!("{:.3}", estimate.risk_ratio)]);
     table.row(["alert rate", &estimate.alert_rate.to_string()]);

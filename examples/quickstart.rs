@@ -27,9 +27,10 @@ fn main() {
     let policy = system.policy();
     let mut rng = StdRng::seed_from_u64(1);
     let p_without = estimate_collision_probability(&config, None, 0, 9, 0, 2000, &mut rng);
-    let p_with =
-        estimate_collision_probability(&config, Some(&policy), 0, 9, 0, 2000, &mut rng);
-    println!("collision probability from (0, 9, 0): unequipped {p_without:.3}, equipped {p_with:.3}");
+    let p_with = estimate_collision_probability(&config, Some(&policy), 0, 9, 0, 2000, &mut rng);
+    println!(
+        "collision probability from (0, 9, 0): unequipped {p_without:.3}, equipped {p_with:.3}"
+    );
 
     // ---- Part 2: the 3-D ACAS XU-like logic -----------------------------
     println!("\n== ACAS XU-like logic: offline solve + one encounter ==");
@@ -45,7 +46,10 @@ fn main() {
     let mut world = EncounterWorld::new(
         SimConfig::default(),
         [encounter.own, encounter.intruder],
-        [Box::new(AcasXu::new(table.clone())), Box::new(AcasXu::new(table))],
+        [
+            Box::new(AcasXu::new(table.clone())),
+            Box::new(AcasXu::new(table)),
+        ],
         42,
     );
     let outcome = world.run();
@@ -53,6 +57,9 @@ fn main() {
         "head-on encounter: NMAC = {}, min separation {:.0} ft, first alert at {:?} s",
         outcome.nmac, outcome.min_separation_ft, outcome.first_alert_time_s
     );
-    assert!(!outcome.nmac, "the coordinated pair should resolve a plain head-on");
+    assert!(
+        !outcome.nmac,
+        "the coordinated pair should resolve a plain head-on"
+    );
     println!("quickstart OK");
 }

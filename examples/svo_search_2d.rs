@@ -42,11 +42,18 @@ fn main() {
     let ga_time = started.elapsed();
 
     let started = std::time::Instant::now();
-    let random = RandomSearch::new(bounds, budget).seed(7).threads(0).run(fitness);
+    let random = RandomSearch::new(bounds, budget)
+        .seed(7)
+        .threads(0)
+        .run(fitness);
     let random_time = started.elapsed();
 
     let mut table = TextTable::new(["search", "best fitness", "wall time (s)"]);
-    table.row(["GA", &format!("{:.0}", ga.best.fitness), &format!("{:.1}", ga_time.as_secs_f64())]);
+    table.row([
+        "GA",
+        &format!("{:.0}", ga.best.fitness),
+        &format!("{:.1}", ga_time.as_secs_f64()),
+    ]);
     table.row([
         "random",
         &format!("{:.0}", random.best.fitness),

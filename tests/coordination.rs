@@ -36,7 +36,10 @@ fn same_sense_advisories_never_persist_two_consecutive_steps() {
     let params = EncounterParams::head_on_template();
     for seed in 0..8 {
         let (outcome, trace) = runner.run_traced(&params, seed);
-        assert!(!outcome.nmac, "coordinated head-on must resolve (seed {seed})");
+        assert!(
+            !outcome.nmac,
+            "coordinated head-on must resolve (seed {seed})"
+        );
         let pairs = advisory_pairs(&trace);
         let mut prev_same_sense = false;
         for (own, intr) in pairs {
@@ -62,8 +65,14 @@ fn coordination_improves_on_disabled_coordination() {
     let runner = EncounterRunner::with_coarse_table();
     let params = EncounterParams::head_on_template();
 
-    let coordinated = SimConfig { coordination: true, ..SimConfig::default() };
-    let uncoordinated = SimConfig { coordination: false, ..SimConfig::default() };
+    let coordinated = SimConfig {
+        coordination: true,
+        ..SimConfig::default()
+    };
+    let uncoordinated = SimConfig {
+        coordination: false,
+        ..SimConfig::default()
+    };
 
     let runner_coord = runner.clone().sim_config(coordinated);
     let runner_unco = runner.clone().sim_config(uncoordinated);
@@ -111,8 +120,16 @@ fn world_exposes_consistent_trace_and_outcome() {
     let trace = world.trace();
     assert_eq!(trace.len(), config.num_steps());
     // Alert step counts in the outcome match advisory labels in the trace.
-    let own_alerts = trace.steps().iter().filter(|s| s.own_advisory != "COC").count();
+    let own_alerts = trace
+        .steps()
+        .iter()
+        .filter(|s| s.own_advisory != "COC")
+        .count();
     assert_eq!(own_alerts, outcome.own_alert_steps);
-    let intr_alerts = trace.steps().iter().filter(|s| s.intruder_advisory != "COC").count();
+    let intr_alerts = trace
+        .steps()
+        .iter()
+        .filter(|s| s.intruder_advisory != "COC")
+        .count();
     assert_eq!(intr_alerts, outcome.intruder_alert_steps);
 }

@@ -36,8 +36,9 @@ fn ga_beats_random_search_on_equal_budget() {
     for seed in 0..trials {
         let ga = GeneticAlgorithm::new(GaConfig::new(30, 10).seed(seed), bounds.clone())
             .run(svo_fitness);
-        let random =
-            RandomSearch::new(bounds.clone(), budget).seed(seed).run(svo_fitness);
+        let random = RandomSearch::new(bounds.clone(), budget)
+            .seed(seed)
+            .run(svo_fitness);
         assert_eq!(ga.num_evaluations(), budget);
         assert_eq!(random.num_evaluations(), budget);
         if ga.best.fitness > random.best.fitness {

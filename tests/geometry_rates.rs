@@ -63,6 +63,9 @@ fn unequipped_baseline_confirms_both_templates_are_real_conflicts() {
     ] {
         let outcomes = runner.run_repeated(&params, 20, 50);
         let rate = FitnessFunction::nmac_rate(&outcomes);
-        assert!(rate > 0.5, "unmitigated template must usually collide: {rate} for {params:?}");
+        assert!(
+            rate > 0.5,
+            "unmitigated template must usually collide: {rate} for {params:?}"
+        );
     }
 }
