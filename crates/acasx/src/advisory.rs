@@ -38,12 +38,11 @@ impl Advisory {
     /// Number of advisories.
     pub const COUNT: usize = 7;
 
-    /// The canonical action index of this advisory.
+    /// The canonical action index of this advisory (its discriminant — the
+    /// variants are declared in `ALL` order).
+    #[inline]
     pub fn index(self) -> usize {
-        Self::ALL
-            .iter()
-            .position(|&a| a == self)
-            .expect("advisory in ALL")
+        self as usize
     }
 
     /// The advisory with action index `i`.
@@ -67,6 +66,19 @@ impl Advisory {
             Advisory::Coc => None,
             Advisory::Dnc | Advisory::Des1500 | Advisory::Sdes2500 => Some(Sense::Down),
             Advisory::Dnd | Advisory::Cl1500 | Advisory::Scl2500 => Some(Sense::Up),
+        }
+    }
+
+    /// Whether this advisory is permitted under a coordination restriction
+    /// against `forbidden`: senseless advisories (COC) are always allowed,
+    /// and a sensed advisory is allowed unless it matches the forbidden
+    /// sense. The single definition of the restriction rule — every
+    /// advisory-selection path (scalar, batched, online) routes through it.
+    #[inline]
+    pub fn sense_allowed(self, forbidden: Option<Sense>) -> bool {
+        match (self.sense(), forbidden) {
+            (Some(s), Some(f)) => s != f,
+            _ => true,
         }
     }
 

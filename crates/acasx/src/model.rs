@@ -99,12 +99,12 @@ impl Mdp for VerticalMdp {
             .dynamics
             .successors(point[0], point[1], point[2], advisory);
         let next_sra_offset = advisory.index() * self.grid_points();
+        let mut corners = uavca_mdp::InterpCorners::empty();
         for (h, own, intr, p) in successors {
-            let weights = self
-                .grid
-                .interp_weights(&[h, own, intr])
+            self.grid
+                .interp_weights_into(&[h, own, intr], &mut corners)
                 .expect("query arity matches grid");
-            for (&idx, &w) in weights.indices.iter().zip(&weights.weights) {
+            for (idx, w) in corners.iter() {
                 if w > 0.0 {
                     out.push(Transition::new(next_sra_offset + idx, p * w));
                 }

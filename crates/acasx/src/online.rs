@@ -66,6 +66,11 @@ pub fn estimate_tau(rx: f64, ry: f64, vx: f64, vy: f64, dmod_ft: f64) -> TauEsti
 pub struct AcasXu {
     table: Arc<LogicTable>,
     previous: Advisory,
+    /// Cached per-decision constants: the table horizon in seconds and the
+    /// state-offset base of `previous`'s block, refreshed only when the
+    /// advisory changes instead of being recomputed every `decide`.
+    horizon_s: f64,
+    prev_offset: usize,
     /// Q-value bonus retained by the current advisory (anti-chattering).
     hysteresis_bonus: f64,
     /// Projected-miss-distance alerting threshold, ft.
@@ -81,9 +86,13 @@ impl AcasXu {
     /// parameters (hysteresis 3 cost units, HMD threshold 1500 ft, DMOD
     /// 3000 ft, no track smoothing).
     pub fn new(table: Arc<LogicTable>) -> Self {
+        let horizon_s = table.horizon_s();
+        let prev_offset = table.prev_offset(Advisory::Coc);
         Self {
             table,
             previous: Advisory::Coc,
+            horizon_s,
+            prev_offset,
             hysteresis_bonus: 3.0,
             hmd_threshold_ft: 1500.0,
             dmod_ft: 3000.0,
@@ -139,8 +148,7 @@ impl CollisionAvoider for AcasXu {
         let rel_vel = intruder_vel - ctx.own.velocity;
         let tau = estimate_tau(rel_pos.x, rel_pos.y, rel_vel.x, rel_vel.y, self.dmod_ft);
 
-        let horizon_s = self.table.num_stages() as f64 * self.table.config().dynamics.dt_s;
-        let eligible = tau.tau_s <= horizon_s
+        let eligible = tau.tau_s <= self.horizon_s
             && (tau.hmd_ft <= self.hmd_threshold_ft || tau.range_ft <= self.dmod_ft);
 
         let advisory = if eligible {
@@ -156,20 +164,18 @@ impl CollisionAvoider for AcasXu {
                 _ => None,
             };
             let forbidden = ctx.forbidden_sense;
-            self.table.best_advisory_masked(
+            self.table.best_advisory_masked_with_offset(
                 rel_pos.z,
                 ctx.own.velocity.z,
                 intruder_vel.z,
                 tau.tau_s,
                 self.previous,
+                self.prev_offset,
                 |adv| {
-                    let sense = adv.sense();
-                    if let (Some(s), Some(f)) = (sense, forbidden) {
-                        if s == f {
-                            return false;
-                        }
+                    if !adv.sense_allowed(forbidden) {
+                        return false;
                     }
-                    match (sense, locked) {
+                    match (adv.sense(), locked) {
                         (Some(s), Some(l)) => s == l,
                         _ => true,
                     }
@@ -183,7 +189,10 @@ impl CollisionAvoider for AcasXu {
         } else {
             Advisory::Coc
         };
-        self.previous = advisory;
+        if advisory != self.previous {
+            self.previous = advisory;
+            self.prev_offset = self.table.prev_offset(advisory);
+        }
 
         advisory.sense().map(|sense| ManeuverCommand {
             target_vertical_rate_fps: advisory
@@ -196,6 +205,7 @@ impl CollisionAvoider for AcasXu {
 
     fn reset(&mut self) {
         self.previous = Advisory::Coc;
+        self.prev_offset = self.table.prev_offset(Advisory::Coc);
         if let Some(tracker) = &mut self.tracker {
             tracker.reset();
         }

@@ -2,10 +2,62 @@ use std::io;
 use std::path::Path;
 
 use serde::{Deserialize, Serialize};
-use uavca_mdp::{BackwardInduction, QTable, RectGrid};
+use uavca_mdp::{BackwardInduction, InterpCorners, QTable, RectGrid};
 use uavca_sim::Sense;
 
 use crate::{AcasConfig, Advisory, VerticalMdp};
+
+/// Reusable working memory for the batched lookup paths
+/// ([`LogicTable::q_values_batch`], [`LogicTable::best_advisory_batch`]).
+///
+/// One scratch per worker/avoider; the internal buffers are cleared and
+/// refilled on every batch call but keep their capacity, so steady-state
+/// batches perform zero heap allocation. A scratch carries no table state
+/// and may be used with any [`LogicTable`].
+#[derive(Debug, Clone, Default)]
+pub struct LookupScratch {
+    corners: Vec<InterpCorners>,
+}
+
+/// A structure-of-arrays view over a set of continuous lookup states: the
+/// `i`-th query is `(h_ft[i], own_rate_fps[i], intruder_rate_fps[i],
+/// tau_s[i], previous[i])`. All five slices must have equal length.
+#[derive(Debug, Clone, Copy)]
+pub struct StateBatch<'a> {
+    /// Relative altitude (intruder minus own), ft.
+    pub h_ft: &'a [f64],
+    /// Own-ship vertical rate, ft/s.
+    pub own_rate_fps: &'a [f64],
+    /// Intruder vertical rate, ft/s.
+    pub intruder_rate_fps: &'a [f64],
+    /// Time to closest point of approach, s.
+    pub tau_s: &'a [f64],
+    /// Advisory currently in force.
+    pub previous: &'a [Advisory],
+}
+
+impl StateBatch<'_> {
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.h_ft.len()
+    }
+
+    /// Whether the batch holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.h_ft.is_empty()
+    }
+
+    fn assert_coherent(&self) {
+        let n = self.len();
+        assert!(
+            self.own_rate_fps.len() == n
+                && self.intruder_rate_fps.len() == n
+                && self.tau_s.len() == n
+                && self.previous.len() == n,
+            "StateBatch slices must have equal lengths"
+        );
+    }
+}
 
 /// The offline product of the development process: the "logic table"
 /// (paper Fig. 1) mapping discretized encounter states to advisory costs.
@@ -14,8 +66,33 @@ use crate::{AcasConfig, Advisory, VerticalMdp};
 /// decision steps left to the closest point of approach". Online lookups
 /// interpolate multilinearly over the kinematic grid and linearly between
 /// the two bracketing τ stages.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// # Storage layout
+///
+/// The Q data is one contiguous stage-major buffer:
+/// `q[((k - 1) * states_per_stage + s) * 7 + a]`, where
+/// `s = previous.index() * grid_points + grid_flat` and `a` is the advisory
+/// index. A lookup therefore reads, per interpolation corner, the full
+/// 7-advisory row contiguously (corner-outer / action-inner accumulation) —
+/// ~8 contiguous row FMAs per stage instead of an action-outer re-walk of
+/// scattered per-stage tables. The serialized (JSON) representation keeps
+/// the historical per-stage `QTable` format for compatibility.
+#[derive(Debug, Clone)]
 pub struct LogicTable {
+    config: AcasConfig,
+    grid: RectGrid,
+    num_stages: usize,
+    /// `Advisory::COUNT * grid.num_points()` — the state count of one stage.
+    states_per_stage: usize,
+    /// Stage-major contiguous Q buffer (see the layout note above).
+    q: Vec<f64>,
+}
+
+/// The serialized (wire) shape of a [`LogicTable`]: the historical
+/// per-stage representation, kept so tables saved before the
+/// structure-of-arrays repack still load.
+#[derive(Debug, Serialize, Deserialize)]
+struct LogicTableRepr {
     config: AcasConfig,
     grid: RectGrid,
     /// `stage_q[k - 1]` is the Q-table with `k` stages to go.
@@ -33,11 +110,75 @@ impl LogicTable {
         let solution = BackwardInduction::new()
             .solve(&model, config.num_stages(), terminal)
             .expect("model construction guarantees a well-formed MDP");
-        LogicTable {
-            config: config.clone(),
-            grid: model.grid().clone(),
-            stage_q: solution.stage_q,
+        Self::from_parts(config.clone(), model.grid().clone(), solution.stage_q)
+            .expect("backward induction produces consistently shaped stages")
+    }
+
+    /// Packs per-stage Q-tables into the contiguous stage-major buffer,
+    /// validating every shape against `config` first (the checks
+    /// [`load`](Self::load) relies on to reject inconsistent files).
+    fn from_parts(
+        config: AcasConfig,
+        grid: RectGrid,
+        stage_q: Vec<QTable>,
+    ) -> Result<LogicTable, String> {
+        if grid != config.build_grid() {
+            return Err(format!(
+                "grid does not match the configuration (expected {} points over 3 axes, \
+                 got {} points over {} axes)",
+                config.build_grid().num_points(),
+                grid.num_points(),
+                grid.num_dims()
+            ));
         }
+        if stage_q.len() != config.num_stages() {
+            return Err(format!(
+                "stage count {} does not match the configured horizon ({} stages)",
+                stage_q.len(),
+                config.num_stages()
+            ));
+        }
+        let states_per_stage = Advisory::COUNT * grid.num_points();
+        let mut q = Vec::with_capacity(stage_q.len() * states_per_stage * Advisory::COUNT);
+        for (k, stage) in stage_q.iter().enumerate() {
+            if stage.num_states() != states_per_stage
+                || stage.num_actions() != Advisory::COUNT
+                || !stage.is_consistent()
+            {
+                return Err(format!(
+                    "stage {} is {}x{} ({}consistent buffer), expected {}x{}",
+                    k + 1,
+                    stage.num_states(),
+                    stage.num_actions(),
+                    if stage.is_consistent() { "" } else { "in" },
+                    states_per_stage,
+                    Advisory::COUNT
+                ));
+            }
+            for s in 0..states_per_stage {
+                q.extend_from_slice(stage.row(s));
+            }
+        }
+        Ok(LogicTable {
+            config,
+            grid,
+            num_stages: stage_q.len(),
+            states_per_stage,
+            q,
+        })
+    }
+
+    /// Unpacks the contiguous buffer back into per-stage Q-tables (the
+    /// serialization shape). Cold path: allocates freely.
+    fn to_stage_q(&self) -> Vec<QTable> {
+        let stage_len = self.states_per_stage * Advisory::COUNT;
+        self.q
+            .chunks_exact(stage_len)
+            .map(|chunk| {
+                QTable::from_values(self.states_per_stage, Advisory::COUNT, chunk.to_vec())
+                    .expect("stage chunk length matches by construction")
+            })
+            .collect()
     }
 
     /// The configuration the table was generated from.
@@ -47,12 +188,79 @@ impl LogicTable {
 
     /// Number of decision stages in the table.
     pub fn num_stages(&self) -> usize {
-        self.stage_q.len()
+        self.num_stages
+    }
+
+    /// The alerting horizon in seconds: `num_stages * dt`.
+    pub fn horizon_s(&self) -> f64 {
+        self.num_stages as f64 * self.config.dynamics.dt_s
     }
 
     /// Approximate in-memory size of the Q data, bytes.
     pub fn q_bytes(&self) -> usize {
-        self.stage_q.len() * self.grid.num_points() * Advisory::COUNT * 8
+        self.q.len() * 8
+    }
+
+    /// The state-offset base of `previous`'s block within a stage
+    /// (`previous.index() * grid_points`) — cacheable by callers that hold
+    /// an advisory across many lookups, e.g. [`crate::AcasXu`].
+    #[inline]
+    pub(crate) fn prev_offset(&self, previous: Advisory) -> usize {
+        previous.index() * self.grid.num_points()
+    }
+
+    /// τ-stage blending: the two bracketing stages and the upper fraction.
+    #[inline]
+    fn tau_blend(&self, tau_s: f64) -> (usize, usize, f64) {
+        let stages = self.num_stages as f64;
+        let dt = self.config.dynamics.dt_s;
+        let t = (tau_s / dt).clamp(1.0, stages);
+        let k_lo = t.floor() as usize;
+        let k_hi = t.ceil() as usize;
+        (k_lo, k_hi, t - k_lo as f64)
+    }
+
+    /// Accumulates `scale *` the interpolated 7-advisory row of stage `k`
+    /// into `out`: one contiguous row read-and-FMA per corner.
+    #[inline]
+    fn accumulate_stage(
+        &self,
+        k: usize,
+        state_base: usize,
+        corners: &InterpCorners,
+        scale: f64,
+        out: &mut [f64; Advisory::COUNT],
+    ) {
+        let stage_len = self.states_per_stage * Advisory::COUNT;
+        let stage = &self.q[(k - 1) * stage_len..k * stage_len];
+        for (idx, w) in corners.iter() {
+            let row = &stage[(state_base + idx) * Advisory::COUNT..][..Advisory::COUNT];
+            let ws = w * scale;
+            for (slot, &v) in out.iter_mut().zip(row) {
+                *slot += ws * v;
+            }
+        }
+    }
+
+    /// The full lookup for one query whose kinematic corners are already
+    /// interpolated — shared by the scalar and batched public paths, which
+    /// is what makes them bit-identical.
+    #[inline]
+    fn q_values_at(
+        &self,
+        corners: &InterpCorners,
+        tau_s: f64,
+        prev_offset: usize,
+    ) -> [f64; Advisory::COUNT] {
+        let (k_lo, k_hi, frac) = self.tau_blend(tau_s);
+        let mut out = [0.0; Advisory::COUNT];
+        if k_lo == k_hi {
+            self.accumulate_stage(k_lo, prev_offset, corners, 1.0, &mut out);
+        } else {
+            self.accumulate_stage(k_lo, prev_offset, corners, 1.0 - frac, &mut out);
+            self.accumulate_stage(k_hi, prev_offset, corners, frac, &mut out);
+        }
+        out
     }
 
     /// Interpolated Q-values (higher = better) of all 7 advisories at the
@@ -60,6 +268,8 @@ impl LogicTable {
     ///
     /// Kinematics are clamped to the grid box; τ is clamped to
     /// `[dt, horizon]` and blended linearly between the bracketing stages.
+    /// Performs no heap allocation: the interpolation corners live on the
+    /// stack and the Q rows are read contiguously.
     pub fn q_values(
         &self,
         h_ft: f64,
@@ -68,36 +278,95 @@ impl LogicTable {
         tau_s: f64,
         previous: Advisory,
     ) -> [f64; Advisory::COUNT] {
-        let weights = self
-            .grid
-            .interp_weights(&[h_ft, own_rate_fps, intruder_rate_fps])
-            .expect("arity matches the 3-D grid");
-        let stages = self.num_stages() as f64;
-        let dt = self.config.dynamics.dt_s;
-        let t = (tau_s / dt).clamp(1.0, stages);
-        let k_lo = t.floor() as usize;
-        let k_hi = t.ceil() as usize;
-        let frac = t - k_lo as f64;
-        let offset = previous.index() * self.grid.num_points();
+        self.q_values_with_offset(
+            h_ft,
+            own_rate_fps,
+            intruder_rate_fps,
+            tau_s,
+            self.prev_offset(previous),
+        )
+    }
 
-        let mut out = [0.0; Advisory::COUNT];
-        for (a, slot) in out.iter_mut().enumerate() {
-            let q_at = |k: usize| -> f64 {
-                let q = &self.stage_q[k - 1];
-                weights
-                    .indices
-                    .iter()
-                    .zip(&weights.weights)
-                    .map(|(&i, &w)| q.get(offset + i, a) * w)
-                    .sum()
-            };
-            *slot = if k_lo == k_hi {
-                q_at(k_lo)
-            } else {
-                q_at(k_lo) * (1.0 - frac) + q_at(k_hi) * frac
-            };
+    /// [`q_values`](Self::q_values) with the previous-advisory offset
+    /// already resolved (see [`prev_offset`](Self::prev_offset)).
+    #[inline]
+    pub(crate) fn q_values_with_offset(
+        &self,
+        h_ft: f64,
+        own_rate_fps: f64,
+        intruder_rate_fps: f64,
+        tau_s: f64,
+        prev_offset: usize,
+    ) -> [f64; Advisory::COUNT] {
+        let mut corners = InterpCorners::empty();
+        self.grid
+            .interp_weights_into(&[h_ft, own_rate_fps, intruder_rate_fps], &mut corners)
+            .expect("arity matches the 3-D grid");
+        self.q_values_at(&corners, tau_s, prev_offset)
+    }
+
+    /// Batched [`q_values`](Self::q_values) over a structure-of-arrays
+    /// query set: interpolation brackets each grid axis once per query set,
+    /// Q rows are read contiguously per corner, and all working memory
+    /// comes from `scratch`/`out` (cleared, capacity reused — zero
+    /// steady-state allocation). Results are bit-identical to calling
+    /// [`q_values`](Self::q_values) per element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch slices have unequal lengths.
+    pub fn q_values_batch(
+        &self,
+        batch: &StateBatch<'_>,
+        scratch: &mut LookupScratch,
+        out: &mut Vec<[f64; Advisory::COUNT]>,
+    ) {
+        batch.assert_coherent();
+        out.clear();
+        out.reserve(batch.len());
+        self.for_each_tile(batch, scratch, |table, corners, j| {
+            out.push(table.q_values_at(
+                corners,
+                batch.tau_s[j],
+                table.prev_offset(batch.previous[j]),
+            ));
+        });
+    }
+
+    /// Drives the tiled batch pipeline: queries are processed in
+    /// cache-sized tiles — per tile the grid brackets each axis once over
+    /// the whole tile (SoA, axis-major), then `consume(self, corners, j)`
+    /// runs per query `j`. Tiling keeps the interpolation-corner working
+    /// set L1-resident regardless of batch size; per-query results are
+    /// independent of the tile size.
+    #[inline]
+    fn for_each_tile(
+        &self,
+        batch: &StateBatch<'_>,
+        scratch: &mut LookupScratch,
+        mut consume: impl FnMut(&Self, &InterpCorners, usize),
+    ) {
+        /// 64 queries × ~264 B of corner state ≈ 17 KB: comfortably inside
+        /// L1 together with the Q rows the lookups pull in.
+        const LOOKUP_TILE: usize = 64;
+        let mut start = 0;
+        while start < batch.len() {
+            let end = (start + LOOKUP_TILE).min(batch.len());
+            self.grid
+                .interp_weights_batch_into(
+                    &[
+                        &batch.h_ft[start..end],
+                        &batch.own_rate_fps[start..end],
+                        &batch.intruder_rate_fps[start..end],
+                    ],
+                    &mut scratch.corners,
+                )
+                .expect("arity matches the 3-D grid");
+            for (i, corners) in scratch.corners.iter().enumerate() {
+                consume(self, corners, start + i);
+            }
+            start = end;
         }
-        out
     }
 
     /// The best advisory at a continuous state, with optional coordination
@@ -122,10 +391,7 @@ impl LogicTable {
             intruder_rate_fps,
             tau_s,
             previous,
-            |adv| match (adv.sense(), forbidden) {
-                (Some(s), Some(f)) => s != f,
-                _ => true,
-            },
+            |adv| adv.sense_allowed(forbidden),
             hysteresis_bonus,
         )
     }
@@ -141,53 +407,141 @@ impl LogicTable {
         intruder_rate_fps: f64,
         tau_s: f64,
         previous: Advisory,
-        mut allowed: impl FnMut(Advisory) -> bool,
+        allowed: impl FnMut(Advisory) -> bool,
         hysteresis_bonus: f64,
     ) -> Advisory {
-        let mut q = self.q_values(h_ft, own_rate_fps, intruder_rate_fps, tau_s, previous);
-        q[previous.index()] += hysteresis_bonus;
-        let mut best = Advisory::Coc;
-        let mut best_q = q[Advisory::Coc.index()];
-        for adv in Advisory::ALL {
-            if adv != Advisory::Coc && !allowed(adv) {
-                continue;
-            }
-            let val = q[adv.index()];
-            if val > best_q {
-                best_q = val;
-                best = adv;
-            }
-        }
-        best
+        self.best_advisory_masked_with_offset(
+            h_ft,
+            own_rate_fps,
+            intruder_rate_fps,
+            tau_s,
+            previous,
+            self.prev_offset(previous),
+            allowed,
+            hysteresis_bonus,
+        )
+    }
+
+    /// [`best_advisory_masked`](Self::best_advisory_masked) with the
+    /// previous-advisory offset already resolved, so per-step callers
+    /// (e.g. [`crate::AcasXu`]) can cache it across decisions.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub(crate) fn best_advisory_masked_with_offset(
+        &self,
+        h_ft: f64,
+        own_rate_fps: f64,
+        intruder_rate_fps: f64,
+        tau_s: f64,
+        previous: Advisory,
+        prev_offset: usize,
+        allowed: impl FnMut(Advisory) -> bool,
+        hysteresis_bonus: f64,
+    ) -> Advisory {
+        let q =
+            self.q_values_with_offset(h_ft, own_rate_fps, intruder_rate_fps, tau_s, prev_offset);
+        argmax_masked(&q, previous, allowed, hysteresis_bonus)
+    }
+
+    /// Batched [`best_advisory`](Self::best_advisory) over a
+    /// structure-of-arrays query set: `forbidden[i]` is the coordination
+    /// restriction of query `i`. Element-for-element identical to the
+    /// scalar path; all working memory comes from `scratch`/`out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch slices or `forbidden` have unequal lengths.
+    pub fn best_advisory_batch(
+        &self,
+        batch: &StateBatch<'_>,
+        forbidden: &[Option<Sense>],
+        hysteresis_bonus: f64,
+        scratch: &mut LookupScratch,
+        out: &mut Vec<Advisory>,
+    ) {
+        batch.assert_coherent();
+        assert_eq!(
+            forbidden.len(),
+            batch.len(),
+            "forbidden mask must have one entry per query"
+        );
+        out.clear();
+        out.reserve(batch.len());
+        self.for_each_tile(batch, scratch, |table, corners, j| {
+            let previous = batch.previous[j];
+            let q = table.q_values_at(corners, batch.tau_s[j], table.prev_offset(previous));
+            let restriction = forbidden[j];
+            out.push(argmax_masked(
+                &q,
+                previous,
+                |adv| adv.sense_allowed(restriction),
+                hysteresis_bonus,
+            ));
+        });
     }
 
     /// Renders an ASCII advisory map over relative altitude (rows, top =
     /// high) and τ (columns, left = far) for fixed vertical rates — the
     /// classic "policy plot" the ACAS X reports use to inspect generated
-    /// logic.
+    /// logic. Allocates its own scratch; see
+    /// [`render_advisory_map_with`](Self::render_advisory_map_with).
     ///
     /// Legend: `.` COC, `^`/`v` climb/descend 1500, `N`/`U` do-not-climb /
     /// do-not-descend, `+`/`-` strengthened climb/descend.
     pub fn render_advisory_map(&self, own_rate_fps: f64, intruder_rate_fps: f64) -> String {
-        let h_axis: Vec<f64> = self.grid.axis(0).to_vec();
-        let mut out = format!(
-            "advisory map (own rate {:.0} ft/s, intruder rate {:.0} ft/s); rows h, cols tau {}..1 s\n",
+        self.render_advisory_map_with(
             own_rate_fps,
             intruder_rate_fps,
-            self.num_stages()
+            &mut LookupScratch::default(),
+        )
+    }
+
+    /// [`render_advisory_map`](Self::render_advisory_map) reusing a caller
+    /// scratch. Each altitude row is evaluated as one
+    /// [`best_advisory_batch`](Self::best_advisory_batch) over the τ
+    /// columns, so the per-row lookup buffers come from `scratch`; the
+    /// constant column vectors (τ, rates, masks) are still built once per
+    /// map render — a cold-path cost this method does not try to cache.
+    pub fn render_advisory_map_with(
+        &self,
+        own_rate_fps: f64,
+        intruder_rate_fps: f64,
+        scratch: &mut LookupScratch,
+    ) -> String {
+        let cols = self.num_stages();
+        let taus: Vec<f64> = (1..=cols)
+            .rev()
+            .map(|k| k as f64 * self.config.dynamics.dt_s)
+            .collect();
+        let own_rates = vec![own_rate_fps; cols];
+        let intruder_rates = vec![intruder_rate_fps; cols];
+        let previous = vec![Advisory::Coc; cols];
+        let forbidden = vec![None; cols];
+        let mut hs = vec![0.0; cols];
+        let mut advisories = Vec::with_capacity(cols);
+
+        let mut out = format!(
+            "advisory map (own rate {:.0} ft/s, intruder rate {:.0} ft/s); rows h, cols tau {}..1 s\n",
+            own_rate_fps, intruder_rate_fps, cols
         );
-        for &h in h_axis.iter().rev() {
+        for row in (0..self.grid.axis(0).len()).rev() {
+            let h = self.grid.axis(0)[row];
             out.push_str(&format!("{h:>7.0} ft |"));
-            for k in (1..=self.num_stages()).rev() {
-                let adv = self.best_advisory(
-                    h,
-                    own_rate_fps,
-                    intruder_rate_fps,
-                    k as f64 * self.config.dynamics.dt_s,
-                    Advisory::Coc,
-                    None,
-                    0.0,
-                );
+            hs.fill(h);
+            self.best_advisory_batch(
+                &StateBatch {
+                    h_ft: &hs,
+                    own_rate_fps: &own_rates,
+                    intruder_rate_fps: &intruder_rates,
+                    tau_s: &taus,
+                    previous: &previous,
+                },
+                &forbidden,
+                0.0,
+                scratch,
+                &mut advisories,
+            );
+            for &adv in &advisories {
                 out.push(match adv {
                     Advisory::Coc => '.',
                     Advisory::Dnc => 'N',
@@ -203,23 +557,38 @@ impl LogicTable {
         out
     }
 
-    /// Serializes the table as JSON to `writer`.
+    /// Serializes the table as JSON to `writer` (the historical per-stage
+    /// format; see the struct-level layout note).
     ///
     /// # Errors
     ///
     /// Returns any I/O or serialization error as `io::Error`.
     pub fn save<W: io::Write>(&self, writer: W) -> io::Result<()> {
-        serde_json::to_writer(writer, self).map_err(io::Error::other)
+        let repr = LogicTableRepr {
+            config: self.config.clone(),
+            grid: self.grid.clone(),
+            stage_q: self.to_stage_q(),
+        };
+        serde_json::to_writer(writer, &repr).map_err(io::Error::other)
     }
 
     /// Reads a table back from JSON. A mut reference can be passed as the
     /// reader.
     ///
+    /// The stage/grid/action shapes of the file are validated against its
+    /// embedded configuration: a file whose grid does not match the config,
+    /// whose stage count disagrees with the horizon, or whose Q-tables have
+    /// the wrong state/action arity is rejected here instead of panicking
+    /// on a later lookup.
+    ///
     /// # Errors
     ///
-    /// Returns any I/O or deserialization error as `io::Error`.
+    /// Returns I/O and deserialization errors as `io::Error`, and shape
+    /// inconsistencies as [`io::ErrorKind::InvalidData`].
     pub fn load<R: io::Read>(reader: R) -> io::Result<LogicTable> {
-        serde_json::from_reader(reader).map_err(io::Error::other)
+        let repr: LogicTableRepr = serde_json::from_reader(reader).map_err(io::Error::other)?;
+        Self::from_parts(repr.config, repr.grid, repr.stage_q)
+            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))
     }
 
     /// Saves to a file path.
@@ -239,6 +608,34 @@ impl LogicTable {
     pub fn load_from_path<P: AsRef<Path>>(path: P) -> io::Result<LogicTable> {
         Self::load(io::BufReader::new(std::fs::File::open(path)?))
     }
+}
+
+/// The masked, hysteresis-biased argmax shared by every advisory-selection
+/// path (scalar and batched), so all of them break ties identically. COC is
+/// always considered even if the mask rejects it, so a decision always
+/// exists.
+#[inline]
+fn argmax_masked(
+    q: &[f64; Advisory::COUNT],
+    previous: Advisory,
+    mut allowed: impl FnMut(Advisory) -> bool,
+    hysteresis_bonus: f64,
+) -> Advisory {
+    let mut q = *q;
+    q[previous.index()] += hysteresis_bonus;
+    let mut best = Advisory::Coc;
+    let mut best_q = q[Advisory::Coc.index()];
+    for adv in Advisory::ALL {
+        if adv != Advisory::Coc && !allowed(adv) {
+            continue;
+        }
+        let val = q[adv.index()];
+        if val > best_q {
+            best_q = val;
+            best = adv;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -416,5 +813,121 @@ mod tests {
             }
         }
         assert!(t.q_bytes() > 0);
+    }
+
+    #[test]
+    fn load_rejects_inconsistent_shapes() {
+        let t = coarse_table();
+        let mut json = Vec::new();
+        t.save(&mut json).unwrap();
+        let json = String::from_utf8(json).unwrap();
+
+        // Pristine round trip loads.
+        assert!(LogicTable::load(json.as_bytes()).is_ok());
+
+        // A config whose horizon disagrees with the stored stage count.
+        let wrong_horizon = json.replacen("\"tau_max_s\":12", "\"tau_max_s\":10", 1);
+        assert_ne!(wrong_horizon, json, "substitution must hit");
+        let err = LogicTable::load(wrong_horizon.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("stage count"), "{err}");
+
+        // A grid that no longer matches the config's axes.
+        let wrong_grid = json.replacen("\"h_max_ft\":1200", "\"h_max_ft\":1300", 1);
+        assert_ne!(wrong_grid, json, "substitution must hit");
+        let err = LogicTable::load(wrong_grid.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("grid"), "{err}");
+
+        // A stage whose action arity is wrong: drop one value from the
+        // first stage's buffer. QTable's own deserialization validates the
+        // buffer length, so this surfaces as a parse error rather than a
+        // lookup panic.
+        let pos = json.find("\"values\":[").expect("stage values present");
+        let comma = json[pos..].find(',').expect("more than one value") + pos;
+        let mut truncated = json.clone();
+        truncated.replace_range(pos + "\"values\":[".len()..=comma, "");
+        assert!(LogicTable::load(truncated.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn batched_lookups_match_scalar_exactly() {
+        let t = coarse_table();
+        let h: Vec<f64> = vec![-1500.0, -300.0, 0.0, 150.0, 333.3, 1200.0, 4000.0];
+        let own: Vec<f64> = vec![0.0, -20.0, 5.0, 12.5, -3.3, 40.0, 0.1];
+        let intr: Vec<f64> = vec![10.0, 0.0, -5.0, 7.0, 21.0, -40.0, 0.2];
+        let tau: Vec<f64> = vec![-2.0, 0.5, 3.0, 4.5, 6.0, 11.9, 500.0];
+        let prev: Vec<Advisory> = (0..7).map(Advisory::from_index).collect();
+        let batch = StateBatch {
+            h_ft: &h,
+            own_rate_fps: &own,
+            intruder_rate_fps: &intr,
+            tau_s: &tau,
+            previous: &prev,
+        };
+        let mut scratch = LookupScratch::default();
+        let mut q_out = Vec::new();
+        t.q_values_batch(&batch, &mut scratch, &mut q_out);
+        assert_eq!(q_out.len(), batch.len());
+        for i in 0..batch.len() {
+            let scalar = t.q_values(h[i], own[i], intr[i], tau[i], prev[i]);
+            assert_eq!(q_out[i], scalar, "query {i}");
+        }
+
+        let forbidden = [
+            None,
+            Some(Sense::Up),
+            Some(Sense::Down),
+            None,
+            Some(Sense::Up),
+            None,
+            Some(Sense::Down),
+        ];
+        let mut best_out = Vec::new();
+        t.best_advisory_batch(&batch, &forbidden, 3.0, &mut scratch, &mut best_out);
+        for i in 0..batch.len() {
+            let scalar = t.best_advisory(h[i], own[i], intr[i], tau[i], prev[i], forbidden[i], 3.0);
+            assert_eq!(best_out[i], scalar, "query {i}");
+        }
+
+        // Reusing the same scratch/outputs for a smaller batch leaves no
+        // stale entries.
+        let small = StateBatch {
+            h_ft: &h[..2],
+            own_rate_fps: &own[..2],
+            intruder_rate_fps: &intr[..2],
+            tau_s: &tau[..2],
+            previous: &prev[..2],
+        };
+        t.q_values_batch(&small, &mut scratch, &mut q_out);
+        assert_eq!(q_out.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn ragged_batches_panic() {
+        let t = coarse_table();
+        let batch = StateBatch {
+            h_ft: &[0.0, 1.0],
+            own_rate_fps: &[0.0],
+            intruder_rate_fps: &[0.0, 0.0],
+            tau_s: &[5.0, 5.0],
+            previous: &[Advisory::Coc, Advisory::Coc],
+        };
+        t.q_values_batch(&batch, &mut LookupScratch::default(), &mut Vec::new());
+    }
+
+    #[test]
+    fn advisory_map_with_scratch_matches_plain_rendering() {
+        let t = coarse_table();
+        let mut scratch = LookupScratch::default();
+        assert_eq!(
+            t.render_advisory_map(5.0, -5.0),
+            t.render_advisory_map_with(5.0, -5.0, &mut scratch)
+        );
+        assert_eq!(
+            t.horizon_s(),
+            t.num_stages() as f64 * t.config().dynamics.dt_s
+        );
     }
 }

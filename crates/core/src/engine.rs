@@ -23,9 +23,12 @@
 //!   bit-identical results for 1 thread or N (covered by tests in
 //!   `tests/determinism.rs`).
 //! * **Allocation reuse.** Each worker holds a [`RunScratch`](crate::RunScratch)
-//!   — warm [`uavca_sim::EncounterWorld`]s per equipage — so steady-state
-//!   batches run allocation-free and `AcasXu` construction stays out of
-//!   the hot loop (the solved `LogicTable` is `Arc`-shared throughout).
+//!   — warm [`uavca_sim::EncounterWorld`]s per equipage plus a
+//!   [`uavca_acasx::LookupScratch`] for direct batched table interrogation
+//!   — so steady-state batches run allocation-free and `AcasXu`
+//!   construction stays out of the hot loop (the solved `LogicTable` is
+//!   `Arc`-shared throughout, and its lookup path itself allocates
+//!   nothing per decision).
 //!
 //! Consumers in this crate: [`crate::MonteCarloEstimator`] (paired
 //! campaigns), [`crate::FitnessFunction`] (per-genome evaluation, used by

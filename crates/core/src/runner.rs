@@ -1,14 +1,16 @@
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
-use uavca_acasx::{AcasConfig, AcasXu, LogicTable};
+use uavca_acasx::{AcasConfig, AcasXu, LogicTable, LookupScratch};
 use uavca_encounter::{EncounterParams, ScenarioGenerator};
 use uavca_sim::{
     CollisionAvoider, EncounterOutcome, EncounterWorld, SimConfig, Trace, UavState, Unequipped,
 };
 
 /// Reusable per-worker simulation state: one warm [`EncounterWorld`] per
-/// equipage, so repeated runs pay zero avoider/world allocations.
+/// equipage (so repeated runs pay zero avoider/world allocations) plus a
+/// [`LookupScratch`] for direct batched logic-table interrogation (policy
+/// maps, cost-surface scans) from the same worker.
 ///
 /// Create one scratch per worker thread (never share across runners — the
 /// warmed worlds embed the owning runner's logic table and simulation
@@ -16,12 +18,20 @@ use uavca_sim::{
 #[derive(Debug, Default)]
 pub struct RunScratch {
     worlds: [Option<EncounterWorld>; 3],
+    lookup: LookupScratch,
 }
 
 impl RunScratch {
     /// An empty (cold) scratch.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The worker's logic-table lookup scratch, for job closures that
+    /// interrogate the table directly through the batched
+    /// [`uavca_acasx::LogicTable`] APIs.
+    pub fn lookup_scratch(&mut self) -> &mut LookupScratch {
+        &mut self.lookup
     }
 
     fn world(&mut self, equipage: Equipage) -> &mut Option<EncounterWorld> {
@@ -218,6 +228,19 @@ impl EncounterRunner {
             .collect()
     }
 
+    /// Renders the logic table's advisory map for fixed vertical rates,
+    /// reusing `scratch`'s lookup buffers (each altitude row is one batched
+    /// table query) — the worker-friendly policy-plot entry point.
+    pub fn advisory_map(
+        &self,
+        own_rate_fps: f64,
+        intruder_rate_fps: f64,
+        scratch: &mut RunScratch,
+    ) -> String {
+        self.table
+            .render_advisory_map_with(own_rate_fps, intruder_rate_fps, &mut scratch.lookup)
+    }
+
     /// Runs one simulation with trace recording enabled and returns the
     /// trace alongside the outcome (the "visualization mode" replacement).
     pub fn run_traced(&self, params: &EncounterParams, seed: u64) -> (EncounterOutcome, Trace) {
@@ -301,6 +324,19 @@ pub(crate) mod tests {
         let b = EncounterParams::tail_approach_template();
         assert_eq!(EncounterRunner::seed_for(&a), EncounterRunner::seed_for(&a));
         assert_ne!(EncounterRunner::seed_for(&a), EncounterRunner::seed_for(&b));
+    }
+
+    #[test]
+    fn advisory_map_reuses_worker_lookup_scratch() {
+        let r = runner();
+        let mut scratch = RunScratch::new();
+        let via_scratch = r.advisory_map(0.0, 0.0, &mut scratch);
+        assert_eq!(via_scratch, r.table().render_advisory_map(0.0, 0.0));
+        // The same scratch serves simulation runs and further maps.
+        let params = EncounterParams::head_on_template();
+        let outcome = r.run_once_reusing(&params, 3, Equipage::Both, &mut scratch);
+        assert_eq!(outcome, r.run_once(&params, 3));
+        assert_eq!(r.advisory_map(0.0, 0.0, &mut scratch), via_scratch);
     }
 
     #[test]

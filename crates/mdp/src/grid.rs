@@ -2,6 +2,15 @@ use serde::{Deserialize, Serialize};
 
 use crate::{MdpError, Result};
 
+/// Maximum grid dimensionality served by the zero-allocation interpolation
+/// path ([`RectGrid::interp_weights_into`] and the batch variant). The
+/// allocating [`RectGrid::interp_weights`] remains total for higher
+/// dimensionalities.
+pub const MAX_INTERP_DIMS: usize = 4;
+
+/// Corner capacity of [`InterpCorners`]: `2^MAX_INTERP_DIMS`.
+pub const MAX_INTERP_CORNERS: usize = 1 << MAX_INTERP_DIMS;
+
 /// Interpolation support for one query point: up to `2^d` grid corners with
 /// convex weights.
 ///
@@ -31,6 +40,91 @@ impl InterpWeights {
             .zip(&self.weights)
             .map(|(&i, &w)| values[i] * w)
             .sum()
+    }
+}
+
+/// Fixed-capacity interpolation corner set: the zero-allocation counterpart
+/// of [`InterpWeights`] for grids of up to [`MAX_INTERP_DIMS`] dimensions.
+///
+/// Filled in place by [`RectGrid::interp_weights_into`] /
+/// [`RectGrid::interp_weights_batch_into`]; lives on the stack or inside a
+/// caller-owned scratch buffer, so hot lookup loops never touch the heap.
+/// Corner order, values and the zero-weight-skipping behaviour are
+/// identical to [`RectGrid::interp_weights`].
+#[derive(Debug, Clone, Copy)]
+pub struct InterpCorners {
+    indices: [usize; MAX_INTERP_CORNERS],
+    weights: [f64; MAX_INTERP_CORNERS],
+    len: usize,
+}
+
+impl PartialEq for InterpCorners {
+    /// Compares only the live corners; slots beyond `len` are scratch space
+    /// and may hold stale values.
+    fn eq(&self, other: &Self) -> bool {
+        self.indices() == other.indices() && self.weights() == other.weights()
+    }
+}
+
+impl Default for InterpCorners {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl InterpCorners {
+    /// A corner set with no corners (the state before the first fill).
+    pub const fn empty() -> Self {
+        Self {
+            indices: [0; MAX_INTERP_CORNERS],
+            weights: [0.0; MAX_INTERP_CORNERS],
+            len: 0,
+        }
+    }
+
+    /// Number of participating corners (`1..=2^d`).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set holds no corners.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Flat grid indices of the participating corners.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices[..self.len]
+    }
+
+    /// Convex weight of each corner, aligned with [`indices`](Self::indices).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights[..self.len]
+    }
+
+    /// Iterates over `(flat_index, weight)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.indices()
+            .iter()
+            .zip(self.weights())
+            .map(|(&i, &w)| (i, w))
+    }
+
+    /// Applies the weights to a per-grid-point value table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any stored index is out of range for `values`.
+    pub fn apply(&self, values: &[f64]) -> f64 {
+        self.iter().map(|(i, w)| values[i] * w).sum()
+    }
+
+    /// Copies into the allocating representation.
+    pub fn to_weights(&self) -> InterpWeights {
+        InterpWeights {
+            indices: self.indices().to_vec(),
+            weights: self.weights().to_vec(),
+        }
     }
 }
 
@@ -195,10 +289,18 @@ impl RectGrid {
     /// has up to `2^d` corners; axes where the query hits a grid line
     /// exactly contribute a single corner.
     ///
+    /// This is the allocating convenience wrapper; hot paths should prefer
+    /// [`interp_weights_into`](Self::interp_weights_into).
+    ///
     /// # Errors
     ///
     /// Returns [`MdpError::DimensionMismatch`] for wrong arity.
     pub fn interp_weights(&self, query: &[f64]) -> Result<InterpWeights> {
+        if self.num_dims() <= MAX_INTERP_DIMS {
+            let mut corners = InterpCorners::empty();
+            self.interp_weights_into(query, &mut corners)?;
+            return Ok(corners.to_weights());
+        }
         let q = self.clamp(query)?;
         // Per-axis: (lower index, weight of the *upper* neighbor).
         let mut lows = Vec::with_capacity(q.len());
@@ -211,26 +313,129 @@ impl RectGrid {
         let d = q.len();
         let mut indices = Vec::with_capacity(1 << d.min(20));
         let mut weights = Vec::with_capacity(1 << d.min(20));
-        // Enumerate corners as bitmasks; skip zero-weight corners so exact
-        // hits collapse to fewer points.
-        'corner: for mask in 0u64..(1u64 << d) {
-            let mut w = 1.0;
-            let mut flat = 0;
-            for dim in 0..d {
-                let hi = mask >> dim & 1 == 1;
-                let frac = fracs[dim];
-                let wd = if hi { frac } else { 1.0 - frac };
-                if wd == 0.0 {
-                    continue 'corner;
-                }
-                w *= wd;
-                let idx = lows[dim] + usize::from(hi);
-                flat += idx * self.strides[dim];
-            }
+        expand_corners_with(&self.strides, &lows, &fracs, |flat, w| {
             indices.push(flat);
             weights.push(w);
-        }
+        });
         Ok(InterpWeights { indices, weights })
+    }
+
+    /// Zero-allocation multilinear interpolation weights for `query`,
+    /// written into `out`.
+    ///
+    /// Semantics (clamping, corner order, zero-weight skipping) are
+    /// identical to [`interp_weights`](Self::interp_weights); all working
+    /// state lives in fixed-size stack arrays, so no heap allocation happens
+    /// per call. Clamping is performed implicitly: the per-axis bracketing
+    /// saturates at the axis ends, which yields exactly the clamped weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::DimensionMismatch`] for wrong query arity, or if
+    /// the grid has more than [`MAX_INTERP_DIMS`] dimensions (use the
+    /// allocating API for those).
+    pub fn interp_weights_into(&self, query: &[f64], out: &mut InterpCorners) -> Result<()> {
+        let d = self.check_interp_dims(query.len())?;
+        let mut lows = [0usize; MAX_INTERP_DIMS];
+        let mut fracs = [0.0f64; MAX_INTERP_DIMS];
+        for (dim, (x, axis)) in query.iter().zip(&self.axes).enumerate() {
+            let (lo, frac) = bracket(axis, *x);
+            lows[dim] = lo;
+            fracs[dim] = frac;
+        }
+        self.expand_corners(d, &lows, &fracs, out);
+        Ok(())
+    }
+
+    /// Batched interpolation weights over a structure-of-arrays query set:
+    /// `queries_by_axis[dim][i]` is the `dim`-th coordinate of query `i`.
+    ///
+    /// Each axis is bracketed once over the whole query set (one contiguous
+    /// pass per axis — the axis stays in cache instead of being re-walked
+    /// per query), then the corners of each query are expanded. `out` is
+    /// cleared and refilled; its capacity is reused across calls, so
+    /// steady-state batches allocate nothing. Per-query results are
+    /// bit-identical to [`interp_weights_into`](Self::interp_weights_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::DimensionMismatch`] if the outer slice does not
+    /// have one entry per grid axis or the grid exceeds
+    /// [`MAX_INTERP_DIMS`] dimensions, and [`MdpError::RaggedBatch`] if the
+    /// per-axis slices have unequal lengths.
+    pub fn interp_weights_batch_into(
+        &self,
+        queries_by_axis: &[&[f64]],
+        out: &mut Vec<InterpCorners>,
+    ) -> Result<()> {
+        let d = self.check_interp_dims(queries_by_axis.len())?;
+        let n = queries_by_axis.first().map_or(0, |q| q.len());
+        for (axis, qs) in queries_by_axis.iter().enumerate() {
+            if qs.len() != n {
+                return Err(MdpError::RaggedBatch {
+                    axis,
+                    expected: n,
+                    got: qs.len(),
+                });
+            }
+        }
+        // Size without re-initializing surviving entries: every live slot of
+        // every entry is overwritten below, and slots beyond `len` are
+        // scratch space by contract.
+        out.resize(n, InterpCorners::empty());
+        // Pass 1, axis-major: bracket every query against one axis before
+        // moving to the next. The per-axis (low, frac) pairs are stashed in
+        // the first `d` corner slots of each output entry.
+        for (dim, (qs, axis)) in queries_by_axis.iter().zip(&self.axes).enumerate() {
+            for (x, corners) in qs.iter().zip(out.iter_mut()) {
+                let (lo, frac) = bracket(axis, *x);
+                corners.indices[dim] = lo;
+                corners.weights[dim] = frac;
+            }
+        }
+        // Pass 2, query-major: expand the stashed brackets into corners.
+        for corners in out.iter_mut() {
+            let mut lows = [0usize; MAX_INTERP_DIMS];
+            let mut fracs = [0.0f64; MAX_INTERP_DIMS];
+            lows[..d].copy_from_slice(&corners.indices[..d]);
+            fracs[..d].copy_from_slice(&corners.weights[..d]);
+            self.expand_corners(d, &lows, &fracs, corners);
+        }
+        Ok(())
+    }
+
+    /// Validates an interpolation arity against the grid and the fixed-size
+    /// corner capacity, returning the dimensionality.
+    fn check_interp_dims(&self, got: usize) -> Result<usize> {
+        let d = self.num_dims();
+        if got != d {
+            return Err(MdpError::DimensionMismatch { expected: d, got });
+        }
+        if d > MAX_INTERP_DIMS {
+            return Err(MdpError::DimensionMismatch {
+                expected: MAX_INTERP_DIMS,
+                got: d,
+            });
+        }
+        Ok(d)
+    }
+
+    /// Expands per-axis `(low, frac)` brackets into weighted corners, in the
+    /// same bitmask order (and with the same zero-weight skipping) as
+    /// [`interp_weights`](Self::interp_weights).
+    fn expand_corners(
+        &self,
+        d: usize,
+        lows: &[usize; MAX_INTERP_DIMS],
+        fracs: &[f64; MAX_INTERP_DIMS],
+        out: &mut InterpCorners,
+    ) {
+        out.len = 0;
+        expand_corners_with(&self.strides, &lows[..d], &fracs[..d], |flat, w| {
+            out.indices[out.len] = flat;
+            out.weights[out.len] = w;
+            out.len += 1;
+        });
     }
 
     /// Interpolates a value table at `query` (multilinear, clamped).
@@ -269,6 +474,37 @@ impl RectGrid {
     /// Iterates over all grid points as `(flat_index, coordinates)`.
     pub fn iter_points(&self) -> impl Iterator<Item = (usize, Vec<f64>)> + '_ {
         (0..self.num_points).map(move |i| (i, self.point(i).expect("index in range")))
+    }
+}
+
+/// Enumerates the weighted corners spanned by per-axis `(low, frac)`
+/// brackets: bitmask order, with zero-weight corners skipped so exact hits
+/// collapse to fewer points. The single corner-expansion algorithm behind
+/// every interpolation path (allocating, in-place and batched) — keep the
+/// semantics here so the paths cannot diverge.
+#[inline]
+fn expand_corners_with(
+    strides: &[usize],
+    lows: &[usize],
+    fracs: &[f64],
+    mut push: impl FnMut(usize, f64),
+) {
+    let d = lows.len();
+    'corner: for mask in 0u64..(1u64 << d) {
+        let mut w = 1.0;
+        let mut flat = 0;
+        for dim in 0..d {
+            let hi = mask >> dim & 1 == 1;
+            let frac = fracs[dim];
+            let wd = if hi { frac } else { 1.0 - frac };
+            if wd == 0.0 {
+                continue 'corner;
+            }
+            w *= wd;
+            let idx = lows[dim] + usize::from(hi);
+            flat += idx * strides[dim];
+        }
+        push(flat, w);
     }
 }
 
@@ -442,6 +678,91 @@ mod tests {
         let w = g.interp_weights(&[5.0, 0.5]).unwrap();
         let total: f64 = w.weights.iter().sum();
         assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interp_weights_into_matches_allocating_path() {
+        let g = grid2();
+        let mut corners = InterpCorners::empty();
+        for q in [
+            [0.5, 0.0],
+            [0.0, -1.0],
+            [3.0, 1.0],
+            [-5.0, 9.0],
+            [2.9, 0.99],
+            [1.0, 1.0],
+        ] {
+            let alloc = g.interp_weights(&q).unwrap();
+            g.interp_weights_into(&q, &mut corners).unwrap();
+            assert_eq!(corners.indices(), alloc.indices.as_slice(), "{q:?}");
+            assert_eq!(corners.weights(), alloc.weights.as_slice(), "{q:?}");
+            let values: Vec<f64> = (0..g.num_points()).map(|i| i as f64).collect();
+            assert_eq!(corners.apply(&values), alloc.apply(&values));
+        }
+        assert!(g.interp_weights_into(&[0.0], &mut corners).is_err());
+    }
+
+    #[test]
+    fn batch_interp_matches_scalar_bit_for_bit() {
+        let g = RectGridBuilder::new()
+            .axis_linspace(-10.0, 10.0, 7)
+            .axis(vec![-5.0, -1.0, 0.0, 2.0])
+            .axis_linspace(0.0, 30.0, 4)
+            .build()
+            .unwrap();
+        let q0 = [-11.0, 0.3, 4.9, 10.0, 7.7];
+        let q1 = [-5.0, -0.5, 1.9, 99.0, 0.0];
+        let q2 = [0.0, 29.9, 15.0, -3.0, 30.0];
+        let mut batch = Vec::new();
+        g.interp_weights_batch_into(&[&q0, &q1, &q2], &mut batch)
+            .unwrap();
+        assert_eq!(batch.len(), q0.len());
+        let mut scalar = InterpCorners::empty();
+        for (i, corners) in batch.iter().enumerate() {
+            g.interp_weights_into(&[q0[i], q1[i], q2[i]], &mut scalar)
+                .unwrap();
+            assert_eq!(corners, &scalar, "query {i}");
+        }
+        // Capacity is reused: refilling a smaller batch leaves no stale
+        // entries behind.
+        g.interp_weights_batch_into(&[&q0[..2], &q1[..2], &q2[..2]], &mut batch)
+            .unwrap();
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn batch_interp_rejects_ragged_and_wrong_arity_inputs() {
+        let g = grid2();
+        let mut out = Vec::new();
+        assert!(g.interp_weights_batch_into(&[&[0.0]], &mut out).is_err());
+        assert!(g
+            .interp_weights_batch_into(&[&[0.0, 1.0], &[0.0]], &mut out)
+            .is_err());
+        assert!(g
+            .interp_weights_batch_into(&[&[][..], &[][..]], &mut out)
+            .is_ok());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn high_dimensional_grids_fall_back_to_the_allocating_path() {
+        let g = RectGridBuilder::new()
+            .axis(vec![0.0, 1.0])
+            .axis(vec![0.0, 1.0])
+            .axis(vec![0.0, 1.0])
+            .axis(vec![0.0, 1.0])
+            .axis(vec![0.0, 1.0])
+            .build()
+            .unwrap();
+        assert_eq!(g.num_dims(), MAX_INTERP_DIMS + 1);
+        let q = [0.5; 5];
+        let w = g.interp_weights(&q).unwrap();
+        assert_eq!(w.indices.len(), 32);
+        let mut corners = InterpCorners::empty();
+        assert!(g.interp_weights_into(&q, &mut corners).is_err());
+        assert!(g
+            .interp_weights_batch_into(&[&q, &q, &q, &q, &q], &mut Vec::new())
+            .is_err());
     }
 
     #[test]

@@ -53,7 +53,9 @@ mod value_iteration;
 pub use backward::{BackwardInduction, StagedSolution};
 pub use dense::{DenseMdp, DenseMdpBuilder};
 pub use error::MdpError;
-pub use grid::{InterpWeights, RectGrid, RectGridBuilder};
+pub use grid::{
+    InterpCorners, InterpWeights, RectGrid, RectGridBuilder, MAX_INTERP_CORNERS, MAX_INTERP_DIMS,
+};
 pub use model::{Mdp, Transition};
 pub use policy::{Policy, QTable};
 pub use policy_iteration::{PolicyIteration, PolicyIterationStats};

@@ -119,6 +119,20 @@ proptest! {
         prop_assert!((total - 1.0).abs() < 1e-9);
         prop_assert!(w.weights.iter().all(|&x| x >= 0.0));
         prop_assert!(w.indices.iter().all(|&i| i < g.num_points()));
+
+        // The zero-allocation and batched paths agree bit-for-bit with the
+        // allocating one.
+        let mut corners = uavca_mdp::InterpCorners::empty();
+        g.interp_weights_into(&[q0, q1, q2], &mut corners).unwrap();
+        prop_assert_eq!(corners.indices(), w.indices.as_slice());
+        prop_assert_eq!(corners.weights(), w.weights.as_slice());
+        let mut batch = Vec::new();
+        g.interp_weights_batch_into(&[&[q0, q0], &[q1, q1], &[q2, q2]], &mut batch)
+            .unwrap();
+        prop_assert_eq!(batch.len(), 2);
+        for b in &batch {
+            prop_assert_eq!(b, &corners);
+        }
     }
 
     /// Multilinear interpolation is exact on affine functions inside the box.
