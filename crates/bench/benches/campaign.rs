@@ -1,0 +1,103 @@
+//! Criterion bench: uniform vs adaptive stratified Monte-Carlo.
+//!
+//! Two readings:
+//!
+//! 1. A **runs-to-target comparison** (printed once, recorded in
+//!    BENCH_campaign.json): how many paired simulations each allocation
+//!    policy needs before the combined risk-ratio CI half-width reaches
+//!    the target on the conflict-enriched benchmark scenario. This is
+//!    the payoff claim of importance splitting — fewer simulations for
+//!    the same statistical precision.
+//! 2. **Wall-clock timings** of fixed-budget campaigns, showing the
+//!    planner's per-round overhead (stratum sampling, reallocation,
+//!    estimate folding) is noise next to the simulations themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uavca_encounter::{StatisticalEncounterModel, Stratification};
+use uavca_validation::{CampaignConfig, CampaignOutcome, CampaignPlanner};
+
+/// The benchmark scenario: conflict-enriched model (tighter CPA
+/// envelope), five CPA bands, the regime recorded in EXPERIMENTS.md.
+fn benchmark_planner(seed: u64, target: f64) -> CampaignPlanner {
+    let model = StatisticalEncounterModel {
+        max_cpa_horizontal_ft: 2500.0,
+        max_cpa_vertical_ft: 500.0,
+        ..StatisticalEncounterModel::default()
+    };
+    CampaignPlanner::new(
+        uavca_bench::coarse_runner(),
+        CampaignConfig {
+            seed,
+            pilot_per_stratum: 30,
+            round_runs: 400,
+            max_rounds: 60,
+            target_half_width: target,
+            threads: 0,
+        },
+    )
+    .model(model)
+    .stratification(Stratification::new(5))
+}
+
+fn print_runs_to_target() {
+    // Respect the CI smoke budget: under a tiny BENCH_TARGET_MS the
+    // comparison still runs (bench-rot guard) but at one seed and a
+    // loose target instead of the full recorded scale.
+    let smoke = std::env::var("BENCH_TARGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .is_some_and(|ms| ms < 50);
+    let (target, seeds) = if smoke { (0.04, 1u64) } else { (0.015, 3u64) };
+    let to_target = |o: &CampaignOutcome| o.runs_to_half_width(target);
+    println!("campaign: paired runs to risk-ratio CI half-width <= {target}");
+    let mut savings = Vec::new();
+    for seed in 0..seeds {
+        let planner = benchmark_planner(seed, target);
+        let adaptive = to_target(&planner.run());
+        let uniform = to_target(&planner.run_uniform());
+        if let (Some(a), Some(u)) = (adaptive, uniform) {
+            savings.push(100.0 * (1.0 - a as f64 / u as f64));
+            println!("  seed {seed}: uniform {u}  adaptive {a}");
+        } else {
+            println!(
+                "  seed {seed}: target not reached (uniform {uniform:?}, adaptive {adaptive:?})"
+            );
+        }
+    }
+    if !savings.is_empty() {
+        savings.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        println!(
+            "  median saving {:.0}% across {} seeds",
+            savings[savings.len() / 2],
+            savings.len()
+        );
+    }
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    print_runs_to_target();
+
+    // Fixed-budget campaigns for wall-clock comparison: identical run
+    // counts, so the timing gap is pure planner overhead difference.
+    let fixed = |seed: u64| {
+        benchmark_planner(seed, 0.0).config_with(|c| {
+            c.pilot_per_stratum = 5;
+            c.round_runs = 100;
+            c.max_rounds = 3;
+        })
+    };
+    let mut group = c.benchmark_group("campaign_400_pairs");
+    group.sample_size(10);
+    group.bench_function("adaptive", |b| {
+        let planner = fixed(11);
+        b.iter(|| planner.run())
+    });
+    group.bench_function("uniform", |b| {
+        let planner = fixed(11);
+        b.iter(|| planner.run_uniform())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Uniform vs adaptive stratified Monte-Carlo: runs-to-target-CI.
+//!
+//! For a set of campaign seeds, runs the same risk-ratio estimation with
+//! (a) mass-proportional ("uniform") allocation and (b) the adaptive
+//! planner (Neyman reallocation on observed disagreement), and reports
+//! how many paired simulations each needed before the combined
+//! risk-ratio CI half-width reached the target. The recorded numbers
+//! live in BENCH_campaign.json / EXPERIMENTS.md.
+//!
+//! Flags: `--full` (full-resolution table), `--seed N` (first seed),
+//! `--seeds K` (number of seeds, default 5), `--bins B` (CPA bands,
+//! default 4), `--target X` (CI half-width target, default 0.1),
+//! `--enriched` (conflict-enriched model variant).
+
+use uavca_encounter::{StatisticalEncounterModel, Stratification};
+use uavca_validation::{CampaignConfig, CampaignOutcome, CampaignPlanner, TextTable};
+
+fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
+}
+
+fn main() {
+    let runner = uavca_bench::runner_for_scale();
+    let seeds: u64 = flag_value("--seeds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let first_seed = uavca_bench::seed_arg();
+    let bins: usize = flag_value("--bins")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let target: f64 = flag_value("--target")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.1);
+    let enriched = std::env::args().any(|a| a == "--enriched");
+
+    let mut model = StatisticalEncounterModel::default();
+    if enriched {
+        // Conflict-enriched variant: tighter CPA envelope, so NMACs are
+        // common enough to estimate but still concentrated in the inner
+        // bands — the regime importance splitting targets.
+        model.max_cpa_horizontal_ft = 2500.0;
+        model.max_cpa_vertical_ft = 500.0;
+    }
+
+    let config = CampaignConfig {
+        seed: first_seed,
+        pilot_per_stratum: 30,
+        round_runs: 400,
+        max_rounds: 60,
+        target_half_width: target,
+        threads: 0,
+    };
+    println!(
+        "campaign_eval: {} seeds, {} CPA bands, target half-width {target}, enriched={enriched}",
+        seeds, bins
+    );
+
+    let to_target = |o: &CampaignOutcome| o.runs_to_half_width(target);
+    let mut table = TextTable::new([
+        "seed",
+        "uniform runs",
+        "adaptive runs",
+        "saving",
+        "uniform RR",
+        "adaptive RR",
+    ]);
+    let mut savings = Vec::new();
+    for k in 0..seeds {
+        let config = CampaignConfig {
+            seed: first_seed + k,
+            ..config
+        };
+        let planner = CampaignPlanner::new(runner.clone(), config)
+            .model(model)
+            .stratification(Stratification::new(bins));
+        let adaptive = planner.run();
+        let uniform = planner.run_uniform();
+        let (a, u) = (to_target(&adaptive), to_target(&uniform));
+        let saving = match (a, u) {
+            (Some(a), Some(u)) => {
+                let s = 100.0 * (1.0 - a as f64 / u as f64);
+                savings.push(s);
+                format!("{s:.0}%")
+            }
+            _ => "n/a".to_string(),
+        };
+        table.row([
+            config.seed.to_string(),
+            u.map_or("-".into(), |r| r.to_string()),
+            a.map_or("-".into(), |r| r.to_string()),
+            saving,
+            format!("{:.3}", uniform.estimate.risk_ratio.ratio),
+            format!("{:.3}", adaptive.estimate.risk_ratio.ratio),
+        ]);
+    }
+    print!("{table}");
+    if !savings.is_empty() {
+        savings.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        println!(
+            "\nmedian saving {:.0}%  (min {:.0}%, max {:.0}%, {} of {} seeds compared)",
+            savings[savings.len() / 2],
+            savings[0],
+            savings[savings.len() - 1],
+            savings.len(),
+            seeds
+        );
+    }
+}

@@ -1,19 +1,23 @@
-//! Post-search analysis: geometry classification summaries and k-means
-//! clustering of found scenarios.
+//! Post-search analysis: geometry classification summaries, k-means
+//! clustering of found scenarios, and campaign convergence series.
 //!
 //! The paper's conclusion notes that the search "only directly identifies
 //! discrete situations" and suggests data mining (clustering) to find
 //! *areas* of the search space with high accident rates. This module
 //! implements that extension: scenarios are normalized to the unit box and
 //! clustered with k-means++, and each cluster is summarized by its
-//! centroid, size and dominant geometry class.
+//! centroid, size and dominant geometry class. It also turns the
+//! round-by-round [`RoundSummary`] stream of adaptive Monte-Carlo
+//! campaigns into convergence series (CI half-width vs runs spent) and
+//! runs-to-target readings — the quantities the uniform-vs-adaptive
+//! efficiency comparison reports.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use uavca_encounter::{classify, EncounterParams, GeometryClass};
 
-use crate::ScenarioSpace;
+use crate::{RatioEstimate, RoundSummary, ScenarioSpace};
 
 /// One cluster of scenarios in parameter space.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -153,6 +157,44 @@ fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
+/// One point of a campaign convergence series: budget spent vs estimate
+/// precision after a round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergencePoint {
+    /// Round number (0 is the pilot).
+    pub round: usize,
+    /// Cumulative paired runs after this round.
+    pub total_runs: usize,
+    /// Risk ratio after this round.
+    pub risk_ratio: RatioEstimate,
+    /// Risk-ratio CI half-width (infinite while undefined).
+    pub half_width: f64,
+}
+
+/// The convergence series of a campaign's executed rounds, in order.
+pub fn convergence_series(rounds: &[RoundSummary]) -> Vec<ConvergencePoint> {
+    rounds
+        .iter()
+        .map(|r| ConvergencePoint {
+            round: r.round,
+            total_runs: r.total_runs,
+            risk_ratio: r.risk_ratio,
+            half_width: r.risk_ratio.half_width(),
+        })
+        .collect()
+}
+
+/// Cumulative runs after the first round whose risk-ratio CI half-width
+/// is at most `target` — the runs-to-target reading the
+/// uniform-vs-adaptive comparison is scored on. `None` when no executed
+/// round got there.
+pub fn runs_to_half_width(series: &[ConvergencePoint], target: f64) -> Option<usize> {
+    series
+        .iter()
+        .find(|p| p.half_width <= target)
+        .map(|p| p.total_runs)
+}
+
 /// Per-class fitness summary of a scenario batch: `(class, count, mean
 /// fitness)` rows, the paper's Section VII analysis in table form.
 pub fn class_summary(scenarios: &[(Vec<f64>, f64)]) -> Vec<(GeometryClass, usize, f64)> {
@@ -234,6 +276,44 @@ mod tests {
         assert_eq!(c.len(), 1);
         assert_eq!(c[0].size, 1);
         assert!(cluster_scenarios(&space(), &one, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn convergence_series_and_runs_to_target() {
+        use crate::WeightedRate;
+        let rate = |r: f64| WeightedRate {
+            rate: r,
+            std_err: 0.01,
+            ci_low: r - 0.02,
+            ci_high: r + 0.02,
+        };
+        let rounds: Vec<RoundSummary> = [(0, 120, f64::INFINITY), (1, 300, 0.4), (2, 600, 0.15)]
+            .iter()
+            .map(|&(round, total_runs, hw)| RoundSummary {
+                round,
+                allocated: vec![total_runs],
+                runs_this_round: total_runs,
+                total_runs,
+                equipped_nmac: rate(0.1),
+                unequipped_nmac: rate(0.3),
+                risk_ratio: RatioEstimate {
+                    ratio: 0.33,
+                    ci_low: if hw.is_finite() { 0.33 - hw } else { 0.0 },
+                    ci_high: if hw.is_finite() {
+                        0.33 + hw
+                    } else {
+                        f64::INFINITY
+                    },
+                },
+            })
+            .collect();
+        let series = convergence_series(&rounds);
+        assert_eq!(series.len(), 3);
+        assert!(series[0].half_width.is_infinite());
+        assert!((series[2].half_width - 0.15).abs() < 1e-12);
+        assert_eq!(runs_to_half_width(&series, 0.5), Some(300));
+        assert_eq!(runs_to_half_width(&series, 0.15), Some(600));
+        assert_eq!(runs_to_half_width(&series, 0.01), None);
     }
 
     #[test]

@@ -1,0 +1,745 @@
+//! Adaptive stratified Monte-Carlo campaigns with importance splitting.
+//!
+//! Uniform Monte-Carlo wastes almost its entire budget on encounters
+//! whose outcome is a foregone conclusion: either far outside any
+//! conflict, or so deep inside the NMAC cylinder that equipped and
+//! unequipped runs collide alike. The information for a *risk ratio*
+//! lives where the two arms **disagree** — and under the statistical
+//! encounter model that region concentrates in a few strata (small CPA
+//! miss distances, specific geometries).
+//!
+//! [`CampaignPlanner`] exploits that structure:
+//!
+//! 1. **Stratify.** The [`StatisticalEncounterModel`] is partitioned by a
+//!    [`Stratification`] (geometry class × CPA band) with exact
+//!    per-stratum mass, so stratified estimates stay unbiased.
+//! 2. **Pilot.** A fixed number of [`PairedJob`]s per stratum measures
+//!    each stratum's equipped/unequipped **disagreement rate**.
+//! 3. **Reallocate.** Each refinement round splits its budget across
+//!    strata by Neyman allocation on the observed disagreement standard
+//!    deviation (`n_s ∝ w_s·σ̃_s`, Laplace-smoothed so no stratum is ever
+//!    written off on a small sample).
+//! 4. **Stop early.** After every round the combined risk-ratio CI is
+//!    recomputed; the campaign ends as soon as its half-width reaches the
+//!    configured target.
+//!
+//! # Determinism
+//!
+//! Every job seed derives from `(campaign_seed, stratum, round, index)`
+//! via [`campaign_job_seed`] — never from execution order — and batches
+//! run on the deterministic [`BatchRunner`], so a campaign's every number
+//! is bit-identical for any worker-thread count and reproducible from its
+//! config alone (enforced by `tests/campaign_determinism.rs`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use uavca_encounter::{StatisticalEncounterModel, Stratification, Stratum};
+use uavca_exec::Executor;
+
+use crate::{BatchRunner, EncounterRunner, PairedJob, PairedOutcome, RateEstimate};
+
+/// 97.5th percentile of the standard normal (95% two-sided intervals).
+const Z95: f64 = 1.959_963_984_540_054;
+
+/// Domain-separation tag for the simulation-seed stream (vs the
+/// parameter-sampling stream) derived from one job seed.
+const SIM_STREAM: u64 = 0x5349_4d5f_5354_5245; // "SIM_STRE"
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The campaign seed-derivation rule: a job's base seed is a pure
+/// function of `(campaign_seed, stratum_index, round, index_in_round)`.
+///
+/// This is what keeps adaptive campaigns bit-identical across thread
+/// counts — reallocation changes *how many* jobs a stratum gets, but a
+/// given `(stratum, round, index)` job always replays the same encounter
+/// and noise, no matter which worker runs it or when.
+pub fn campaign_job_seed(campaign_seed: u64, stratum: usize, round: usize, index: usize) -> u64 {
+    let mut h = splitmix64(campaign_seed ^ 0x4341_4d50_4149_474e); // "CAMPAIGN"
+    h = splitmix64(h ^ stratum as u64);
+    h = splitmix64(h ^ round as u64);
+    h ^ splitmix64(h ^ index as u64)
+}
+
+/// Configuration of an adaptive stratified campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Campaign seed: the single source of every job seed.
+    pub seed: u64,
+    /// Paired runs per stratum in the pilot round (round 0).
+    pub pilot_per_stratum: usize,
+    /// Paired runs added by each refinement round.
+    pub round_runs: usize,
+    /// Maximum refinement rounds after the pilot.
+    pub max_rounds: usize,
+    /// Early-stop target on the risk-ratio CI half-width (`<= 0`
+    /// disables early stopping and always runs `max_rounds` rounds).
+    pub target_half_width: f64,
+    /// Worker threads for the simulation batches (0 = hardware
+    /// parallelism). Results are bit-identical for every setting.
+    pub threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            pilot_per_stratum: 25,
+            round_runs: 300,
+            max_rounds: 10,
+            target_half_width: 0.1,
+            threads: 0,
+        }
+    }
+}
+
+/// A weighted (stratified) proportion with a normal-approximation 95% CI.
+///
+/// The point estimate is the exact stratified combination
+/// `p̂ = Σ w_s·p̂_s`; the standard error uses the stratified variance
+/// `Σ w_s²·p̃_s(1-p̃_s)/n_s` with Anscombe-smoothed per-stratum rates
+/// (`p̃ = (e+½)/(n+1)`) so a stratum observed at 0 or 1 keeps a
+/// non-degenerate variance contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightedRate {
+    /// Stratified point estimate.
+    pub rate: f64,
+    /// Stratified standard error.
+    pub std_err: f64,
+    /// Lower 95% bound, clamped to `[0, 1]`.
+    pub ci_low: f64,
+    /// Upper 95% bound, clamped to `[0, 1]`.
+    pub ci_high: f64,
+}
+
+impl WeightedRate {
+    /// Combines per-stratum `(weight, events, trials)` cells. Strata with
+    /// zero trials are excluded and the remaining weights renormalized
+    /// (only possible before the pilot covers every stratum).
+    pub fn combine(cells: &[(f64, usize, usize)]) -> WeightedRate {
+        let covered: f64 = cells
+            .iter()
+            .filter(|(_, _, n)| *n > 0)
+            .map(|(w, _, _)| *w)
+            .sum();
+        if covered <= 0.0 {
+            return WeightedRate {
+                rate: f64::NAN,
+                std_err: f64::NAN,
+                ci_low: 0.0,
+                ci_high: 1.0,
+            };
+        }
+        let mut rate = 0.0;
+        let mut var = 0.0;
+        for &(w, events, trials) in cells {
+            if trials == 0 {
+                continue;
+            }
+            let w = w / covered;
+            let n = trials as f64;
+            rate += w * events as f64 / n;
+            let smoothed = (events as f64 + 0.5) / (n + 1.0);
+            var += w * w * smoothed * (1.0 - smoothed) / n;
+        }
+        // The exact stratified combination of proportions lies in [0, 1];
+        // clamp away float drift so the rate can never escape its own
+        // (clamped) interval.
+        let rate = rate.clamp(0.0, 1.0);
+        let std_err = var.sqrt();
+        WeightedRate {
+            rate,
+            std_err,
+            ci_low: (rate - Z95 * std_err).max(0.0),
+            ci_high: (rate + Z95 * std_err).min(1.0),
+        }
+    }
+
+    /// Half the CI width.
+    pub fn half_width(&self) -> f64 {
+        (self.ci_high - self.ci_low) / 2.0
+    }
+}
+
+impl std::fmt::Display for WeightedRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4} [95% CI {:.4}, {:.4}]",
+            self.rate, self.ci_low, self.ci_high
+        )
+    }
+}
+
+/// A ratio of two [`WeightedRate`]s with a log-scale delta-method 95% CI.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatioEstimate {
+    /// Point estimate `numerator / denominator` (NaN when the denominator
+    /// is zero).
+    pub ratio: f64,
+    /// Lower 95% bound (0 when undefined).
+    pub ci_low: f64,
+    /// Upper 95% bound (infinite when undefined).
+    pub ci_high: f64,
+}
+
+impl RatioEstimate {
+    /// The delta-method CI on the log scale:
+    /// `exp(ln r ∓ z·√(se_n²/p_n² + se_d²/p_d²))`.
+    ///
+    /// The two arms are *paired* (identical seeds), so their positive
+    /// covariance is ignored here — the interval is conservative (wider
+    /// than the exact paired CI), which is the safe direction for an
+    /// early-stop criterion. When either rate is zero the interval is
+    /// `[0, ∞)`: no early stop until both arms have events.
+    pub fn from_rates(numerator: &WeightedRate, denominator: &WeightedRate) -> RatioEstimate {
+        let ratio = if denominator.rate > 0.0 {
+            numerator.rate / denominator.rate
+        } else {
+            f64::NAN
+        };
+        let defined = numerator.rate > 0.0 && denominator.rate > 0.0;
+        if !defined {
+            return RatioEstimate {
+                ratio,
+                ci_low: 0.0,
+                ci_high: f64::INFINITY,
+            };
+        }
+        let se_log = ((numerator.std_err / numerator.rate).powi(2)
+            + (denominator.std_err / denominator.rate).powi(2))
+        .sqrt();
+        RatioEstimate {
+            ratio,
+            ci_low: ratio * (-Z95 * se_log).exp(),
+            ci_high: ratio * (Z95 * se_log).exp(),
+        }
+    }
+
+    /// Half the CI width; infinite while the interval is undefined (the
+    /// early-stop comparison then never triggers).
+    pub fn half_width(&self) -> f64 {
+        if self.ci_high.is_finite() && self.ci_low.is_finite() {
+            (self.ci_high - self.ci_low) / 2.0
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl std::fmt::Display for RatioEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.ci_high.is_finite() {
+            write!(
+                f,
+                "{:.3} [95% CI {:.3}, {:.3}]",
+                self.ratio, self.ci_low, self.ci_high
+            )
+        } else {
+            write!(f, "{:.3} [95% CI undefined]", self.ratio)
+        }
+    }
+}
+
+/// Per-stratum outcome counts with Wilson intervals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StratumEstimate {
+    /// The stratum.
+    pub stratum: Stratum,
+    /// Its probability mass under the model.
+    pub weight: f64,
+    /// Paired runs spent here.
+    pub runs: usize,
+    /// Equipped NMAC rate.
+    pub equipped_nmac: RateEstimate,
+    /// Unequipped NMAC rate on identical seeds.
+    pub unequipped_nmac: RateEstimate,
+    /// Rate of pairs whose two arms disagree on NMAC — the quantity
+    /// Neyman allocation targets.
+    pub disagreement: RateEstimate,
+    /// Fraction of equipped runs with at least one alert.
+    pub alert: RateEstimate,
+    /// Fraction of runs alerting although the unequipped replay stayed
+    /// NMAC-free.
+    pub false_alert: RateEstimate,
+}
+
+/// The stratified analogue of [`crate::MonteCarloEstimate`]: per-stratum
+/// Wilson intervals plus exactly-weighted combined rates and the combined
+/// risk-ratio CI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StratifiedEstimate {
+    /// Per-stratum estimates, in canonical stratum order.
+    pub strata: Vec<StratumEstimate>,
+    /// Total paired runs across all strata.
+    pub total_runs: usize,
+    /// Combined NMAC rate with the configured equipage.
+    pub equipped_nmac: WeightedRate,
+    /// Combined NMAC rate of the identical-seed unequipped replays.
+    pub unequipped_nmac: WeightedRate,
+    /// Combined equipped/unequipped disagreement rate.
+    pub disagreement: WeightedRate,
+    /// Combined alert rate.
+    pub alert: WeightedRate,
+    /// Combined false-alert rate.
+    pub false_alert: WeightedRate,
+    /// `equipped / unequipped` NMAC risk ratio with its CI.
+    pub risk_ratio: RatioEstimate,
+}
+
+/// Convergence snapshot appended after every campaign round — the series
+/// [`crate::analysis::convergence_series`] and the report tables render.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundSummary {
+    /// Round number (0 is the pilot).
+    pub round: usize,
+    /// Paired runs allocated to each stratum this round (canonical
+    /// stratum order).
+    pub allocated: Vec<usize>,
+    /// Paired runs executed this round.
+    pub runs_this_round: usize,
+    /// Cumulative paired runs after this round.
+    pub total_runs: usize,
+    /// Combined equipped NMAC rate after this round.
+    pub equipped_nmac: WeightedRate,
+    /// Combined unequipped NMAC rate after this round.
+    pub unequipped_nmac: WeightedRate,
+    /// Combined risk ratio after this round.
+    pub risk_ratio: RatioEstimate,
+}
+
+/// The result of a campaign: the final stratified estimate plus the full
+/// round-by-round convergence trail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignOutcome {
+    /// The final stratified estimate.
+    pub estimate: StratifiedEstimate,
+    /// One summary per executed round, in order.
+    pub rounds: Vec<RoundSummary>,
+    /// Whether the risk-ratio CI reached the configured target half-width
+    /// (possibly before exhausting `max_rounds`).
+    pub reached_target: bool,
+}
+
+impl CampaignOutcome {
+    /// Total paired runs spent.
+    pub fn total_runs(&self) -> usize {
+        self.estimate.total_runs
+    }
+
+    /// Cumulative runs after the first round whose risk-ratio CI
+    /// half-width is at most `target`, if any round got there
+    /// (delegates to [`crate::analysis::runs_to_half_width`] so there is
+    /// a single definition of the runs-to-target reading).
+    pub fn runs_to_half_width(&self, target: f64) -> Option<usize> {
+        crate::analysis::runs_to_half_width(
+            &crate::analysis::convergence_series(&self.rounds),
+            target,
+        )
+    }
+}
+
+/// Anything that can fly a batch of paired jobs. [`BatchRunner`] is the
+/// production source; tests substitute rigged generators with known
+/// per-stratum rates to validate the estimator itself.
+pub trait PairSource {
+    /// Runs every job, returning outcomes in job order. Implementations
+    /// must be pure per job (outcome a function of `params` and `seed`
+    /// only) for campaign determinism to hold.
+    fn run_pairs(&self, jobs: &[PairedJob]) -> Vec<PairedOutcome>;
+}
+
+impl PairSource for BatchRunner {
+    fn run_pairs(&self, jobs: &[PairedJob]) -> Vec<PairedOutcome> {
+        self.run_paired(jobs)
+    }
+}
+
+/// Per-stratum running counts.
+#[derive(Debug, Clone, Copy, Default)]
+struct Tally {
+    runs: usize,
+    equipped_nmac: usize,
+    unequipped_nmac: usize,
+    disagree: usize,
+    alerts: usize,
+    false_alerts: usize,
+}
+
+impl Tally {
+    fn absorb(&mut self, pair: &PairedOutcome) {
+        self.runs += 1;
+        if pair.equipped.nmac {
+            self.equipped_nmac += 1;
+        }
+        if pair.unequipped.nmac {
+            self.unequipped_nmac += 1;
+        }
+        if pair.equipped.nmac != pair.unequipped.nmac {
+            self.disagree += 1;
+        }
+        if pair.equipped.alerted() {
+            self.alerts += 1;
+        }
+        if pair.false_alert() {
+            self.false_alerts += 1;
+        }
+    }
+}
+
+/// Splits `budget` across strata proportionally to `scores` with
+/// largest-remainder rounding (deterministic, ties broken by stratum
+/// index), so every allocated total is exactly `budget`.
+fn apportion(scores: &[f64], budget: usize) -> Vec<usize> {
+    let total: f64 = scores.iter().sum();
+    if total <= 0.0 {
+        // Degenerate scores: spread evenly, first strata take the rest.
+        let base = budget / scores.len().max(1);
+        let extra = budget - base * scores.len();
+        return (0..scores.len())
+            .map(|i| base + usize::from(i < extra))
+            .collect();
+    }
+    let quotas: Vec<f64> = scores.iter().map(|s| budget as f64 * s / total).collect();
+    let mut alloc: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
+    let assigned: usize = alloc.iter().sum();
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = quotas[a] - quotas[a].floor();
+        let fb = quotas[b] - quotas[b].floor();
+        fb.partial_cmp(&fa).expect("finite quotas").then(a.cmp(&b))
+    });
+    for &i in order.iter().take(budget.saturating_sub(assigned)) {
+        alloc[i] += 1;
+    }
+    alloc
+}
+
+/// Neyman-style scores on the observed equipped/unequipped disagreement:
+/// minimizing the delta-method variance of the log risk ratio
+/// `Var(p̂_e)/p_e² + Var(p̂_u)/p_u²` over allocations gives
+/// `n_s ∝ w_s·√(σ̃²_{e,s}/p̂_e² + σ̃²_{u,s}/p̂_u²)` — each arm's
+/// per-stratum binomial variance scaled by that arm's leverage on the
+/// ratio CI. Strata where the arms disagree are exactly the strata where
+/// these variances live (agreement in either direction contributes
+/// nothing to the ratio's uncertainty budget), and the rarer arm's
+/// events dominate the score through the `1/p̂²` leverage.
+///
+/// Per-stratum rates are shrunk toward the pooled arm rate
+/// (`(e_s + k·p̂)/(n_s + k)`, an empirical-Bayes prior worth `k` pooled
+/// pseudo-runs), so an all-agree stratum scores like the campaign
+/// average instead of like `1/n_s` — rare-event strata with *observed*
+/// events stand out, but no region is ever written off on a handful of
+/// samples (the pooled rates themselves are Laplace-smoothed and
+/// nonzero).
+fn neyman_scores(weights: &[f64], tallies: &[Tally]) -> Vec<f64> {
+    /// Pseudo-runs of pooled-rate prior mixed into each stratum's rate.
+    const SHRINKAGE_RUNS: f64 = 4.0;
+    let total_runs: usize = tallies.iter().map(|t| t.runs).sum();
+    let equipped: usize = tallies.iter().map(|t| t.equipped_nmac).sum();
+    let unequipped: usize = tallies.iter().map(|t| t.unequipped_nmac).sum();
+    let pe = (equipped as f64 + 1.0) / (total_runs as f64 + 2.0);
+    let pu = (unequipped as f64 + 1.0) / (total_runs as f64 + 2.0);
+    let variance = |events: usize, trials: usize, pooled: f64| -> f64 {
+        let p = (events as f64 + SHRINKAGE_RUNS * pooled) / (trials as f64 + SHRINKAGE_RUNS);
+        p * (1.0 - p)
+    };
+    weights
+        .iter()
+        .zip(tallies)
+        .map(|(w, t)| {
+            let ve = variance(t.equipped_nmac, t.runs, pe);
+            let vu = variance(t.unequipped_nmac, t.runs, pu);
+            w * (ve / (pe * pe) + vu / (pu * pu)).sqrt()
+        })
+        .collect()
+}
+
+/// How a campaign splits each refinement round's budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Allocation {
+    /// Proportional to stratum mass — the stratified equivalent of
+    /// uniform Monte-Carlo, the baseline adaptive campaigns are measured
+    /// against.
+    Proportional,
+    /// Neyman allocation on the observed (smoothed) disagreement
+    /// standard deviation: `n_s ∝ w_s·σ̃_s`.
+    Neyman,
+}
+
+/// Plans and executes adaptive (or uniform-baseline) stratified
+/// Monte-Carlo campaigns over the statistical encounter model.
+#[derive(Debug, Clone)]
+pub struct CampaignPlanner {
+    runner: EncounterRunner,
+    model: StatisticalEncounterModel,
+    stratification: Stratification,
+    config: CampaignConfig,
+}
+
+impl CampaignPlanner {
+    /// A planner with the default statistical model and stratification.
+    pub fn new(runner: EncounterRunner, config: CampaignConfig) -> Self {
+        Self {
+            runner,
+            model: StatisticalEncounterModel::default(),
+            stratification: Stratification::default(),
+            config,
+        }
+    }
+
+    /// Overrides the statistical encounter model.
+    pub fn model(mut self, model: StatisticalEncounterModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Overrides the stratification.
+    pub fn stratification(mut self, stratification: Stratification) -> Self {
+        self.stratification = stratification;
+        self
+    }
+
+    /// Adjusts the campaign configuration in place (builder-style).
+    pub fn config_with(mut self, adjust: impl FnOnce(&mut CampaignConfig)) -> Self {
+        adjust(&mut self.config);
+        self
+    }
+
+    /// The configured campaign parameters.
+    pub fn current_config(&self) -> CampaignConfig {
+        self.config
+    }
+
+    /// The configured stratification.
+    pub fn current_stratification(&self) -> Stratification {
+        self.stratification
+    }
+
+    /// The configured statistical model.
+    pub fn current_model(&self) -> StatisticalEncounterModel {
+        self.model
+    }
+
+    /// Runs the adaptive campaign on the shared worker pool.
+    pub fn run(&self) -> CampaignOutcome {
+        self.run_observed(|_| {})
+    }
+
+    /// Runs the adaptive campaign, streaming each [`RoundSummary`] to
+    /// `observer` as soon as its round completes (progress displays,
+    /// convergence logging).
+    pub fn run_observed<F: FnMut(&RoundSummary)>(&self, observer: F) -> CampaignOutcome {
+        self.run_with_observed(&self.batch(), Allocation::Neyman, observer)
+    }
+
+    /// Runs the adaptive campaign against a caller-supplied job source
+    /// (rigged generators in tests, remote backends later).
+    pub fn run_with<S: PairSource>(&self, source: &S) -> CampaignOutcome {
+        self.run_with_observed(source, Allocation::Neyman, |_| {})
+    }
+
+    /// Runs the *uniform* baseline: identical schedule and seed rule, but
+    /// every round splits its budget proportionally to stratum mass —
+    /// stratified uniform Monte-Carlo, no adaptation.
+    pub fn run_uniform(&self) -> CampaignOutcome {
+        self.run_with_observed(&self.batch(), Allocation::Proportional, |_| {})
+    }
+
+    /// [`run_uniform`](Self::run_uniform) against a caller-supplied source.
+    pub fn run_uniform_with<S: PairSource>(&self, source: &S) -> CampaignOutcome {
+        self.run_with_observed(source, Allocation::Proportional, |_| {})
+    }
+
+    fn batch(&self) -> BatchRunner {
+        BatchRunner::new(self.runner.clone(), Executor::new(self.config.threads))
+    }
+
+    fn run_with_observed<S: PairSource, F: FnMut(&RoundSummary)>(
+        &self,
+        source: &S,
+        allocation: Allocation,
+        mut observer: F,
+    ) -> CampaignOutcome {
+        let strata = self.stratification.strata();
+        let weights: Vec<f64> = strata
+            .iter()
+            .map(|&s| self.stratification.weight(&self.model, s))
+            .collect();
+        let mut tallies = vec![Tally::default(); strata.len()];
+        let mut rounds: Vec<RoundSummary> = Vec::new();
+        let mut reached_target = false;
+
+        for round in 0..=self.config.max_rounds {
+            let alloc = if round == 0 {
+                vec![self.config.pilot_per_stratum; strata.len()]
+            } else {
+                let scores: Vec<f64> = match allocation {
+                    Allocation::Proportional => weights.clone(),
+                    Allocation::Neyman => neyman_scores(&weights, &tallies),
+                };
+                apportion(&scores, self.config.round_runs)
+            };
+
+            // Plan serially: every job's parameters and seed derive from
+            // (campaign_seed, stratum, round, index), never from
+            // execution order.
+            let runs_this_round: usize = alloc.iter().sum();
+            let mut jobs = Vec::with_capacity(runs_this_round);
+            let mut owners = Vec::with_capacity(runs_this_round);
+            for (si, &count) in alloc.iter().enumerate() {
+                for index in 0..count {
+                    let base = campaign_job_seed(self.config.seed, si, round, index);
+                    let mut rng = StdRng::seed_from_u64(base);
+                    let params = self
+                        .stratification
+                        .sample(&self.model, strata[si], &mut rng);
+                    jobs.push(PairedJob {
+                        params,
+                        seed: splitmix64(base ^ SIM_STREAM),
+                    });
+                    owners.push(si);
+                }
+            }
+
+            let outcomes = source.run_pairs(&jobs);
+            for (&si, pair) in owners.iter().zip(&outcomes) {
+                tallies[si].absorb(pair);
+            }
+
+            let estimate = self.estimate_from(&strata, &weights, &tallies);
+            let summary = RoundSummary {
+                round,
+                allocated: alloc,
+                runs_this_round,
+                total_runs: estimate.total_runs,
+                equipped_nmac: estimate.equipped_nmac,
+                unequipped_nmac: estimate.unequipped_nmac,
+                risk_ratio: estimate.risk_ratio,
+            };
+            observer(&summary);
+            rounds.push(summary);
+
+            if self.config.target_half_width > 0.0
+                && estimate.risk_ratio.half_width() <= self.config.target_half_width
+            {
+                reached_target = true;
+                break;
+            }
+        }
+
+        CampaignOutcome {
+            estimate: self.estimate_from(&strata, &weights, &tallies),
+            rounds,
+            reached_target,
+        }
+    }
+
+    fn estimate_from(
+        &self,
+        strata: &[Stratum],
+        weights: &[f64],
+        tallies: &[Tally],
+    ) -> StratifiedEstimate {
+        let per_stratum: Vec<StratumEstimate> = strata
+            .iter()
+            .zip(weights)
+            .zip(tallies)
+            .map(|((&stratum, &weight), t)| StratumEstimate {
+                stratum,
+                weight,
+                runs: t.runs,
+                equipped_nmac: RateEstimate::wilson(t.equipped_nmac, t.runs),
+                unequipped_nmac: RateEstimate::wilson(t.unequipped_nmac, t.runs),
+                disagreement: RateEstimate::wilson(t.disagree, t.runs),
+                alert: RateEstimate::wilson(t.alerts, t.runs),
+                false_alert: RateEstimate::wilson(t.false_alerts, t.runs),
+            })
+            .collect();
+        let cells = |pick: fn(&Tally) -> usize| -> Vec<(f64, usize, usize)> {
+            weights
+                .iter()
+                .zip(tallies)
+                .map(|(&w, t)| (w, pick(t), t.runs))
+                .collect()
+        };
+        let equipped_nmac = WeightedRate::combine(&cells(|t| t.equipped_nmac));
+        let unequipped_nmac = WeightedRate::combine(&cells(|t| t.unequipped_nmac));
+        StratifiedEstimate {
+            total_runs: tallies.iter().map(|t| t.runs).sum(),
+            risk_ratio: RatioEstimate::from_rates(&equipped_nmac, &unequipped_nmac),
+            disagreement: WeightedRate::combine(&cells(|t| t.disagree)),
+            alert: WeightedRate::combine(&cells(|t| t.alerts)),
+            false_alert: WeightedRate::combine(&cells(|t| t.false_alerts)),
+            strata: per_stratum,
+            equipped_nmac,
+            unequipped_nmac,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_seeds_are_pure_and_component_sensitive() {
+        let a = campaign_job_seed(7, 3, 2, 11);
+        assert_eq!(a, campaign_job_seed(7, 3, 2, 11));
+        assert_ne!(a, campaign_job_seed(8, 3, 2, 11));
+        assert_ne!(a, campaign_job_seed(7, 4, 2, 11));
+        assert_ne!(a, campaign_job_seed(7, 3, 3, 11));
+        assert_ne!(a, campaign_job_seed(7, 3, 2, 12));
+    }
+
+    #[test]
+    fn apportion_is_exact_and_deterministic() {
+        let scores = [0.5, 0.25, 0.125, 0.125];
+        let alloc = apportion(&scores, 17);
+        assert_eq!(alloc.iter().sum::<usize>(), 17);
+        assert_eq!(alloc, apportion(&scores, 17));
+        // Largest score takes the largest share.
+        assert!(alloc[0] >= alloc[1] && alloc[1] >= alloc[2]);
+        // Degenerate scores spread evenly.
+        let even = apportion(&[0.0, 0.0, 0.0], 7);
+        assert_eq!(even.iter().sum::<usize>(), 7);
+        assert_eq!(even, vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn weighted_rate_combines_exactly() {
+        // Two equal-mass strata: 10% and 50% event rates → 30% combined.
+        let w = WeightedRate::combine(&[(0.5, 10, 100), (0.5, 50, 100)]);
+        assert!((w.rate - 0.3).abs() < 1e-12);
+        assert!(w.ci_low < w.rate && w.rate < w.ci_high);
+        assert!(w.std_err > 0.0);
+        // Zero-trial strata are renormalized away.
+        let partial = WeightedRate::combine(&[(0.5, 10, 100), (0.5, 0, 0)]);
+        assert!((partial.rate - 0.1).abs() < 1e-12);
+        // No coverage at all stays NaN with the vacuous interval.
+        let none = WeightedRate::combine(&[(1.0, 0, 0)]);
+        assert!(none.rate.is_nan());
+        assert_eq!((none.ci_low, none.ci_high), (0.0, 1.0));
+    }
+
+    #[test]
+    fn ratio_estimate_handles_zero_rates() {
+        let p = WeightedRate::combine(&[(1.0, 20, 100)]);
+        let q = WeightedRate::combine(&[(1.0, 40, 100)]);
+        let r = RatioEstimate::from_rates(&p, &q);
+        assert!((r.ratio - 0.5).abs() < 1e-12);
+        assert!(r.ci_low < r.ratio && r.ratio < r.ci_high);
+        assert!(r.half_width().is_finite());
+        let zero = WeightedRate::combine(&[(1.0, 0, 100)]);
+        let undef = RatioEstimate::from_rates(&zero, &q);
+        assert_eq!(undef.ratio, 0.0);
+        assert!(undef.half_width().is_infinite());
+        assert!(RatioEstimate::from_rates(&p, &zero).ratio.is_nan());
+    }
+}

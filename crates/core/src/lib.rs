@@ -22,6 +22,11 @@
 //!   [`random search`](SearchHarness::run_random_search) baseline,
 //! * [`MonteCarloEstimator`]: the classical estimation loop the paper
 //!   contrasts against, with risk ratios and Wilson confidence intervals,
+//! * [`CampaignPlanner`]: adaptive stratified Monte-Carlo — a pilot round
+//!   over a geometry × CPA-band [`uavca_encounter::Stratification`], then
+//!   Neyman reallocation of the remaining budget toward strata where
+//!   equipped/unequipped outcomes disagree, with early stop on the
+//!   combined risk-ratio CI half-width,
 //! * [`analysis`]: geometry classification of found scenarios and a
 //!   k-means extension (the paper's "find *areas* of the search space"
 //!   future work).
@@ -41,6 +46,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod analysis;
+mod campaign;
 mod engine;
 mod fitness;
 mod harness;
@@ -49,10 +55,14 @@ mod report;
 mod runner;
 mod scenario;
 
+pub use campaign::{
+    campaign_job_seed, CampaignConfig, CampaignOutcome, CampaignPlanner, PairSource, RatioEstimate,
+    RoundSummary, StratifiedEstimate, StratumEstimate, WeightedRate,
+};
 pub use engine::{BatchRunner, PairedJob, PairedOutcome, SimJob};
 pub use fitness::{FitnessFunction, FitnessKind};
 pub use harness::{SearchConfig, SearchHarness, SearchOutcome};
 pub use montecarlo::{MonteCarloConfig, MonteCarloEstimate, MonteCarloEstimator, RateEstimate};
-pub use report::TextTable;
+pub use report::{campaign_convergence_table, campaign_stratum_table, TextTable};
 pub use runner::{EncounterRunner, Equipage, RunScratch};
 pub use scenario::ScenarioSpace;

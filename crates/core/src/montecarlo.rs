@@ -65,12 +65,26 @@ impl RateEstimate {
         let denom = 1.0 + z2 / n;
         let center = (p + z2 / (2.0 * n)) / denom;
         let half = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
+        // At the extremes the exact bound coincides with the point
+        // estimate (algebraically `center == half` when `events == 0`);
+        // pin it so float rounding cannot leave a stray ulp between the
+        // rate and its own interval.
+        let ci_low = if events == 0 {
+            0.0
+        } else {
+            (center - half).max(0.0)
+        };
+        let ci_high = if events == trials {
+            1.0
+        } else {
+            (center + half).min(1.0)
+        };
         RateEstimate {
             events,
             trials,
             rate: p,
-            ci_low: (center - half).max(0.0),
-            ci_high: (center + half).min(1.0),
+            ci_low,
+            ci_high,
         }
     }
 }

@@ -1,5 +1,7 @@
 use std::fmt;
 
+use crate::{RoundSummary, StratifiedEstimate};
+
 /// A minimal fixed-width text table for experiment binaries: the bench
 /// harness prints the same rows/series the paper's figures report, and
 /// this keeps the output aligned and diff-friendly.
@@ -77,6 +79,72 @@ impl fmt::Display for TextTable {
         }
         Ok(())
     }
+}
+
+fn fmt_half_width(hw: f64) -> String {
+    if hw.is_finite() {
+        format!("{hw:.4}")
+    } else {
+        "inf".to_string()
+    }
+}
+
+/// Renders a campaign's per-stratum breakdown: mass, runs spent, the two
+/// NMAC rates and the disagreement rate that drives reallocation.
+pub fn campaign_stratum_table(estimate: &StratifiedEstimate) -> TextTable {
+    let mut table = TextTable::new([
+        "stratum",
+        "weight",
+        "runs",
+        "unequipped",
+        "equipped",
+        "disagree",
+    ]);
+    for s in &estimate.strata {
+        table.row([
+            s.stratum.to_string(),
+            format!("{:.4}", s.weight),
+            s.runs.to_string(),
+            format!("{:.4}", s.unequipped_nmac.rate),
+            format!("{:.4}", s.equipped_nmac.rate),
+            format!("{:.4}", s.disagreement.rate),
+        ]);
+    }
+    table.row([
+        "combined".to_string(),
+        "1.0000".to_string(),
+        estimate.total_runs.to_string(),
+        format!("{:.4}", estimate.unequipped_nmac.rate),
+        format!("{:.4}", estimate.equipped_nmac.rate),
+        format!("{:.4}", estimate.disagreement.rate),
+    ]);
+    table
+}
+
+/// Renders the round-by-round convergence trail: budget spent, combined
+/// rates, risk ratio and its CI half-width (the early-stop criterion).
+pub fn campaign_convergence_table(rounds: &[RoundSummary]) -> TextTable {
+    let mut table = TextTable::new([
+        "round",
+        "runs",
+        "total",
+        "unequipped",
+        "equipped",
+        "risk ratio",
+        "half-width",
+    ]);
+    for r in rounds {
+        table.row([
+            r.round.to_string(),
+            r.runs_this_round.to_string(),
+            r.total_runs.to_string(),
+            format!("{:.4}", r.unequipped_nmac.rate),
+            format!("{:.4}", r.equipped_nmac.rate),
+            format!("{:.3}", r.risk_ratio.ratio),
+            fmt_half_width(r.risk_ratio.half_width()),
+        ]);
+    }
+    table
 }
 
 #[cfg(test)]

@@ -1,0 +1,83 @@
+//! Campaign determinism: the adaptive campaign's every number — final
+//! stratified estimate, per-round allocations, convergence trail — must
+//! be bit-identical for any worker-thread count and across repeated runs
+//! with the same campaign seed. This is the contract that lets adaptive
+//! campaigns shard across cores (and later machines) while staying
+//! replayable from their config alone.
+
+use std::sync::{Arc, OnceLock};
+
+use uavca_acasx::{AcasConfig, LogicTable};
+use uavca_encounter::Stratification;
+use uavca_validation::{CampaignConfig, CampaignPlanner, EncounterRunner};
+
+fn runner() -> EncounterRunner {
+    static TABLE: OnceLock<Arc<LogicTable>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Arc::new(LogicTable::solve(&AcasConfig::coarse())));
+    EncounterRunner::new(table.clone())
+}
+
+fn config(threads: usize) -> CampaignConfig {
+    CampaignConfig {
+        seed: 42,
+        pilot_per_stratum: 6,
+        round_runs: 60,
+        max_rounds: 3,
+        target_half_width: 0.0, // never stop early: every round must match
+        threads,
+    }
+}
+
+#[test]
+fn adaptive_campaign_is_identical_across_thread_counts() {
+    let reference = CampaignPlanner::new(runner(), config(1)).run();
+    assert_eq!(reference.rounds.len(), 4, "pilot + 3 refinement rounds");
+    for threads in [2, 8] {
+        let outcome = CampaignPlanner::new(runner(), config(threads)).run();
+        assert_eq!(outcome, reference, "threads = {threads}");
+    }
+}
+
+#[test]
+fn adaptive_campaign_is_identical_across_repeated_runs() {
+    let planner = CampaignPlanner::new(runner(), config(0));
+    let a = planner.run();
+    let b = planner.run();
+    assert_eq!(a, b);
+    // The estimate is fully reconstructible: the convergence trail's last
+    // round agrees with the final estimate.
+    let last = a.rounds.last().expect("at least the pilot round ran");
+    assert_eq!(last.total_runs, a.estimate.total_runs);
+    assert_eq!(last.risk_ratio, a.estimate.risk_ratio);
+}
+
+#[test]
+fn uniform_baseline_is_identical_across_thread_counts() {
+    let reference = CampaignPlanner::new(runner(), config(1)).run_uniform();
+    let parallel = CampaignPlanner::new(runner(), config(8)).run_uniform();
+    assert_eq!(parallel, reference);
+}
+
+#[test]
+fn campaign_seed_changes_every_round_not_just_the_pilot() {
+    let planner = |seed| {
+        CampaignPlanner::new(runner(), CampaignConfig { seed, ..config(0) })
+            .stratification(Stratification::new(2))
+    };
+    let a = planner(1).run();
+    let b = planner(2).run();
+    assert_ne!(a.estimate, b.estimate, "different seeds, different draws");
+    assert_eq!(
+        a.rounds.len(),
+        b.rounds.len(),
+        "same schedule, different outcomes"
+    );
+}
+
+#[test]
+fn observer_streams_the_same_rounds_the_outcome_records() {
+    let planner = CampaignPlanner::new(runner(), config(2));
+    let mut streamed = Vec::new();
+    let outcome = planner.run_observed(|round| streamed.push(round.clone()));
+    assert_eq!(streamed, outcome.rounds);
+}

@@ -1,0 +1,219 @@
+//! Statistical validation of the stratified estimator on a rigged pair
+//! source with *known* per-stratum rates: the combined CIs must cover
+//! the true population values, the adaptive allocation must shift budget
+//! toward the disagreement-rich strata, and the adaptive campaign must
+//! reach a target risk-ratio CI half-width in fewer total runs than
+//! proportional (uniform) sampling. Everything is seeded, so the
+//! thresholds are deterministic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uavca_encounter::{StatisticalEncounterModel, Stratification, Stratum};
+use uavca_sim::EncounterOutcome;
+use uavca_validation::{
+    CampaignConfig, CampaignOutcome, CampaignPlanner, EncounterRunner, PairSource, PairedJob,
+    PairedOutcome,
+};
+
+/// Per-CPA-band true rates: the inner band carries almost all the risk
+/// (and all of the equipped/unequipped disagreement), the outer band is
+/// nearly dead — the regime importance splitting exists for.
+fn true_rates(stratum: Stratum) -> (f64, f64) {
+    match stratum.cpa_bin {
+        0 => (0.40, 0.05),
+        1 => (0.04, 0.004),
+        _ => (0.004, 0.0004),
+    }
+}
+
+/// The population (weighted) unequipped and equipped NMAC rates.
+fn true_population_rates(strat: &Stratification, model: &StatisticalEncounterModel) -> (f64, f64) {
+    strat
+        .strata()
+        .iter()
+        .map(|&s| {
+            let w = strat.weight(model, s);
+            let (pu, pe) = true_rates(s);
+            (w * pu, w * pe)
+        })
+        .fold((0.0, 0.0), |(u, e), (du, de)| (u + du, e + de))
+}
+
+/// A pair source that decides outcomes by seed alone: a single uniform
+/// draw per pair, with `equipped ⊂ unequipped` (the equipped system
+/// "rescues" the slice of conflicts between the two rates) — maximal
+/// disagreement for the given marginals, like a real avoidance system.
+struct RiggedSource {
+    strat: Stratification,
+    model: StatisticalEncounterModel,
+}
+
+fn rigged_outcome(nmac: bool, alerted: bool) -> EncounterOutcome {
+    EncounterOutcome {
+        nmac,
+        first_nmac_time_s: nmac.then_some(10.0),
+        min_separation_ft: if nmac { 100.0 } else { 2000.0 },
+        min_horizontal_ft: if nmac { 80.0 } else { 1800.0 },
+        min_vertical_ft: if nmac { 40.0 } else { 500.0 },
+        time_of_min_s: 10.0,
+        own_alert_steps: usize::from(alerted),
+        intruder_alert_steps: 0,
+        first_alert_time_s: alerted.then_some(5.0),
+        own_reversals: 0,
+        duration_s: 60.0,
+    }
+}
+
+impl PairSource for RiggedSource {
+    fn run_pairs(&self, jobs: &[PairedJob]) -> Vec<PairedOutcome> {
+        jobs.iter()
+            .map(|job| {
+                let stratum = self.strat.stratum_of(&self.model, &job.params);
+                let (pu, pe) = true_rates(stratum);
+                let u: f64 = StdRng::seed_from_u64(job.seed).gen();
+                let unequipped_nmac = u < pu;
+                let equipped_nmac = u < pe;
+                PairedOutcome {
+                    equipped: rigged_outcome(equipped_nmac, unequipped_nmac),
+                    unequipped: rigged_outcome(unequipped_nmac, false),
+                }
+            })
+            .collect()
+    }
+}
+
+fn setup() -> (CampaignPlanner, RiggedSource) {
+    let strat = Stratification::new(3);
+    let model = StatisticalEncounterModel::default();
+    let config = CampaignConfig {
+        seed: 7,
+        pilot_per_stratum: 40,
+        round_runs: 400,
+        max_rounds: 60,
+        target_half_width: 0.0,
+        threads: 1,
+    };
+    // The runner is never exercised by the rigged source, but the
+    // planner still owns one; the coarse solve is shared and cheap.
+    let planner = CampaignPlanner::new(EncounterRunner::with_coarse_table(), config)
+        .model(model)
+        .stratification(strat);
+    (planner, RiggedSource { strat, model })
+}
+
+fn runs_to(outcome: &CampaignOutcome, target: f64) -> Option<usize> {
+    outcome.runs_to_half_width(target)
+}
+
+#[test]
+fn stratified_cis_cover_the_true_rates() {
+    let (planner, source) = setup();
+    let planner = planner.config_with(|c| c.max_rounds = 15);
+    let outcome = planner.run_with(&source);
+    let (pu_true, pe_true) =
+        true_population_rates(&planner.current_stratification(), &planner.current_model());
+    let est = &outcome.estimate;
+    assert_eq!(est.total_runs, 12 * 40 + 15 * 400);
+
+    assert!(
+        est.unequipped_nmac.ci_low <= pu_true && pu_true <= est.unequipped_nmac.ci_high,
+        "unequipped CI {} must cover true {pu_true:.4}",
+        est.unequipped_nmac
+    );
+    assert!(
+        est.equipped_nmac.ci_low <= pe_true && pe_true <= est.equipped_nmac.ci_high,
+        "equipped CI {} must cover true {pe_true:.4}",
+        est.equipped_nmac
+    );
+    let rr_true = pe_true / pu_true;
+    assert!(
+        est.risk_ratio.ci_low <= rr_true && rr_true <= est.risk_ratio.ci_high,
+        "risk-ratio CI {} must cover true {rr_true:.4}",
+        est.risk_ratio
+    );
+    // Per-stratum Wilson intervals cover the per-stratum truth in the
+    // well-sampled inner band.
+    for s in est.strata.iter().filter(|s| s.stratum.cpa_bin == 0) {
+        let (pu, pe) = true_rates(s.stratum);
+        assert!(
+            s.unequipped_nmac.ci_low <= pu && pu <= s.unequipped_nmac.ci_high,
+            "stratum {} unequipped {} vs true {pu}",
+            s.stratum,
+            s.unequipped_nmac
+        );
+        assert!(
+            s.equipped_nmac.ci_low <= pe && pe <= s.equipped_nmac.ci_high,
+            "stratum {} equipped {} vs true {pe}",
+            s.stratum,
+            s.equipped_nmac
+        );
+    }
+}
+
+#[test]
+fn adaptive_allocation_shifts_budget_toward_disagreement() {
+    let (planner, source) = setup();
+    let planner = planner.config_with(|c| c.max_rounds = 10);
+    let outcome = planner.run_with(&source);
+    let inner: usize = outcome
+        .estimate
+        .strata
+        .iter()
+        .filter(|s| s.stratum.cpa_bin == 0)
+        .map(|s| s.runs)
+        .sum();
+    let outer: usize = outcome
+        .estimate
+        .strata
+        .iter()
+        .filter(|s| s.stratum.cpa_bin == 2)
+        .map(|s| s.runs)
+        .sum();
+    // The inner band holds 1/3 of the mass but nearly all disagreement;
+    // Neyman allocation must overweight it decisively.
+    assert!(
+        inner > 2 * outer,
+        "inner band got {inner} runs vs outer {outer}"
+    );
+    let total = outcome.estimate.total_runs;
+    assert!(
+        inner as f64 > 0.45 * total as f64,
+        "inner band got {inner} of {total} runs"
+    );
+}
+
+#[test]
+fn adaptive_campaign_needs_fewer_runs_than_uniform_for_the_same_ci_width() {
+    let (planner, source) = setup();
+    let target = 0.025;
+    let planner = planner.config_with(|c| c.target_half_width = target);
+    let adaptive = planner.run_with(&source);
+    let uniform = planner.run_uniform_with(&source);
+
+    assert!(adaptive.reached_target, "adaptive must reach the target");
+    assert!(uniform.reached_target, "uniform must reach the target");
+    let a = runs_to(&adaptive, target).expect("adaptive reached the target");
+    let u = runs_to(&uniform, target).expect("uniform reached the target");
+    assert!(
+        a < u,
+        "adaptive must reach half-width {target} in fewer runs: {a} vs {u}"
+    );
+    // The saving must be structural, not a rounding artifact.
+    assert!(
+        (a as f64) < 0.85 * u as f64,
+        "expected a >15% saving: adaptive {a} vs uniform {u}"
+    );
+    // Both campaigns estimate the same quantity.
+    let rr_true = {
+        let (pu, pe) =
+            true_population_rates(&planner.current_stratification(), &planner.current_model());
+        pe / pu
+    };
+    for (name, outcome) in [("adaptive", &adaptive), ("uniform", &uniform)] {
+        assert!(
+            (outcome.estimate.risk_ratio.ratio - rr_true).abs() < 0.05,
+            "{name} risk ratio {} vs true {rr_true:.4}",
+            outcome.estimate.risk_ratio.ratio
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the statistical machinery adaptive campaigns lean
+//! on: the Wilson interval behind every per-stratum estimate and the
+//! campaign seed-derivation rule.
+
+use proptest::prelude::*;
+use uavca_validation::{campaign_job_seed, RateEstimate, WeightedRate};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn wilson_contains_point_estimate_and_stays_in_unit_interval(
+        draw in (0.0f64..=1.0, 1usize..=20_000)
+    ) {
+        let (frac, trials) = draw;
+        let events = ((frac * trials as f64) as usize).min(trials);
+        let e = RateEstimate::wilson(events, trials);
+        prop_assert_eq!(e.events, events);
+        prop_assert_eq!(e.trials, trials);
+        prop_assert!((e.rate - events as f64 / trials as f64).abs() < 1e-12);
+        prop_assert!(e.ci_low >= 0.0, "{e}");
+        prop_assert!(e.ci_high <= 1.0, "{e}");
+        // The interval always contains the point estimate (strictly, at
+        // interior rates; the bounds clamp exactly at 0 and 1).
+        prop_assert!(e.ci_low <= e.rate && e.rate <= e.ci_high, "{e}");
+        prop_assert!(e.ci_low < e.ci_high, "{e}");
+    }
+
+    #[test]
+    fn wilson_interval_is_monotone_in_trials_at_fixed_rate(
+        draw in (0usize..=50, 1usize..=1000, 2usize..=16)
+    ) {
+        let (events, trials, factor) = draw;
+        // Scale events and trials together so the point estimate is
+        // unchanged and only the sample size grows.
+        let events = events.min(trials);
+        let small = RateEstimate::wilson(events, trials);
+        let large = RateEstimate::wilson(events * factor, trials * factor);
+        prop_assert!((small.rate - large.rate).abs() < 1e-12);
+        prop_assert!(
+            large.ci_high - large.ci_low < small.ci_high - small.ci_low,
+            "more trials must tighten the interval: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn wilson_degrades_gracefully_at_the_extremes(trials in 1usize..=20_000) {
+        let zero = RateEstimate::wilson(0, trials);
+        prop_assert_eq!(zero.rate, 0.0);
+        prop_assert_eq!(zero.ci_low, 0.0);
+        prop_assert!(zero.ci_high > 0.0, "zero events still admit a rate");
+        prop_assert!(zero.ci_high < 1.0);
+
+        let all = RateEstimate::wilson(trials, trials);
+        prop_assert_eq!(all.rate, 1.0);
+        prop_assert_eq!(all.ci_high, 1.0);
+        prop_assert!(all.ci_low < 1.0 && all.ci_low > 0.0);
+        // The two degenerate cases are mirror images.
+        prop_assert!((all.ci_low - (1.0 - zero.ci_high)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_at_zero_trials_is_the_vacuous_interval(events in 0usize..=5) {
+        let none = RateEstimate::wilson(events, 0);
+        prop_assert!(none.rate.is_nan());
+        prop_assert_eq!(none.ci_low, 0.0);
+        prop_assert_eq!(none.ci_high, 1.0);
+    }
+
+    #[test]
+    fn weighted_combine_of_identical_strata_matches_the_single_rate(
+        draw in (0usize..=200, 1usize..=1000, 2usize..=6)
+    ) {
+        let (events, trials, halves) = draw;
+        // Splitting one population into equal-mass strata with identical
+        // counts must not move the stratified point estimate.
+        let events = events.min(trials);
+        let cells: Vec<(f64, usize, usize)> = (0..halves)
+            .map(|_| (1.0 / halves as f64, events, trials))
+            .collect();
+        let combined = WeightedRate::combine(&cells);
+        prop_assert!((combined.rate - events as f64 / trials as f64).abs() < 1e-12);
+        prop_assert!(combined.ci_low <= combined.rate && combined.rate <= combined.ci_high);
+        prop_assert!(combined.ci_low >= 0.0 && combined.ci_high <= 1.0);
+    }
+
+    #[test]
+    fn campaign_job_seeds_never_collide_across_components(
+        draw in (0u64..=u64::MAX, 0usize..64, 0usize..64, 0usize..4096)
+    ) {
+        let (seed, stratum, round, index) = draw;
+        let base = campaign_job_seed(seed, stratum, round, index);
+        // Purity: the rule is a function of its inputs alone.
+        prop_assert_eq!(base, campaign_job_seed(seed, stratum, round, index));
+        // Sensitivity: perturbing any single component moves the seed.
+        prop_assert_ne!(base, campaign_job_seed(seed.wrapping_add(1), stratum, round, index));
+        prop_assert_ne!(base, campaign_job_seed(seed, stratum + 1, round, index));
+        prop_assert_ne!(base, campaign_job_seed(seed, stratum, round + 1, index));
+        prop_assert_ne!(base, campaign_job_seed(seed, stratum, round, index + 1));
+    }
+}

@@ -22,7 +22,11 @@
 //! * [`StatisticalEncounterModel`] — a synthetic stand-in for the
 //!   radar-derived airspace encounter models of Kochenderfer et al.,
 //!   feeding Monte-Carlo estimation (see DESIGN.md for the substitution
-//!   rationale).
+//!   rationale), and
+//! * [`Stratification`] — an exact geometry-class × CPA-band partition of
+//!   the statistical model, the sampling substrate for stratified and
+//!   adaptive Monte-Carlo campaigns (`uavca-validation`'s
+//!   `CampaignPlanner`).
 //!
 //! # Example
 //!
@@ -46,8 +50,10 @@ mod classify;
 mod generator;
 mod params;
 mod statistical;
+mod strata;
 
 pub use classify::{classify, GeometryClass};
 pub use generator::{Encounter, ScenarioGenerator};
 pub use params::{EncounterParams, ParamRanges, NUM_PARAMS};
 pub use statistical::{ClassWeights, StatisticalEncounterModel};
+pub use strata::{Stratification, Stratum};

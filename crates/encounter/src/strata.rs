@@ -1,0 +1,234 @@
+//! Stratification of the statistical encounter model's parameter space.
+//!
+//! Adaptive Monte-Carlo campaigns (see `uavca-validation`'s
+//! `CampaignPlanner`) need the encounter distribution cut into disjoint
+//! **strata** with known probability mass, so the run budget can be
+//! reallocated toward the strata where equipped/unequipped outcomes
+//! disagree. The natural axes in this model are the ones risk
+//! concentrates along: the geometry class (a discrete mixture component
+//! with explicit weights) and the horizontal CPA miss distance (uniform
+//! under the model, and the dominant driver of whether an encounter can
+//! become an NMAC at all).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{classify, EncounterParams, GeometryClass, StatisticalEncounterModel};
+
+/// One cell of the stratification: a geometry class crossed with a
+/// horizontal-CPA band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Stratum {
+    /// The geometry class this stratum conditions on.
+    pub class: GeometryClass,
+    /// Index of the horizontal-CPA band, `0..cpa_bins` (0 is closest).
+    pub cpa_bin: usize,
+}
+
+impl std::fmt::Display for Stratum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/r{}", self.class.label(), self.cpa_bin)
+    }
+}
+
+/// A partition of the [`StatisticalEncounterModel`] parameter space into
+/// geometry-class × CPA-band strata.
+///
+/// The partition is exact: every sample of the model falls in exactly one
+/// stratum, the per-stratum masses ([`weight`](Self::weight)) sum to 1,
+/// and conditional sampling ([`sample`](Self::sample)) draws from the
+/// model's distribution restricted to the stratum. That makes stratified
+/// estimates unbiased for the same population quantity plain Monte-Carlo
+/// estimates: `p = Σ_s w_s · p_s`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Stratification {
+    /// Number of equal-width horizontal-CPA bands over
+    /// `[0, max_cpa_horizontal_ft)`.
+    pub cpa_bins: usize,
+}
+
+impl Default for Stratification {
+    /// Three CPA bands × four geometry classes = 12 strata — fine enough
+    /// to separate the conflict-rich inner band from the benign bulk,
+    /// coarse enough that a small pilot round covers every stratum.
+    fn default() -> Self {
+        Self { cpa_bins: 3 }
+    }
+}
+
+impl Stratification {
+    /// A stratification with `cpa_bins` CPA bands (at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpa_bins == 0`.
+    pub fn new(cpa_bins: usize) -> Self {
+        assert!(cpa_bins > 0, "stratification needs at least one CPA band");
+        Self { cpa_bins }
+    }
+
+    /// Number of strata in the partition.
+    pub fn num_strata(&self) -> usize {
+        GeometryClass::ALL.len() * self.cpa_bins
+    }
+
+    /// All strata in a stable, class-major order (the canonical stratum
+    /// indexing used by campaign seed derivation).
+    pub fn strata(&self) -> Vec<Stratum> {
+        let mut out = Vec::with_capacity(self.num_strata());
+        for class in GeometryClass::ALL {
+            for cpa_bin in 0..self.cpa_bins {
+                out.push(Stratum { class, cpa_bin });
+            }
+        }
+        out
+    }
+
+    /// The canonical index of `stratum` (position in [`strata`](Self::strata)).
+    pub fn index_of(&self, stratum: Stratum) -> usize {
+        let class_idx = GeometryClass::ALL
+            .iter()
+            .position(|&c| c == stratum.class)
+            .expect("GeometryClass::ALL is exhaustive");
+        class_idx * self.cpa_bins + stratum.cpa_bin.min(self.cpa_bins - 1)
+    }
+
+    /// The `[lo, hi)` horizontal-CPA bounds of band `cpa_bin`, ft.
+    pub fn cpa_bounds(&self, model: &StatisticalEncounterModel, cpa_bin: usize) -> (f64, f64) {
+        let width = model.max_cpa_horizontal_ft / self.cpa_bins as f64;
+        let bin = cpa_bin.min(self.cpa_bins - 1);
+        (bin as f64 * width, (bin + 1) as f64 * width)
+    }
+
+    /// Probability mass of `stratum` under `model`: the normalized class
+    /// weight times the (equal) band mass — the CPA miss distance is
+    /// uniform under the model, so equal-width bands carry equal mass.
+    pub fn weight(&self, model: &StatisticalEncounterModel, stratum: Stratum) -> f64 {
+        let w = model.weights;
+        let total = w.head_on + w.tail_approach + w.overtake + w.crossing;
+        let class_weight = match stratum.class {
+            GeometryClass::HeadOn => w.head_on,
+            GeometryClass::TailApproach => w.tail_approach,
+            GeometryClass::Overtake => w.overtake,
+            GeometryClass::Crossing => w.crossing,
+        };
+        (class_weight / total) / self.cpa_bins as f64
+    }
+
+    /// Draws one encounter from `model` conditioned on `stratum`: class-
+    /// conditional kinematics with the horizontal CPA re-drawn uniformly
+    /// inside the stratum's band. The result always maps back to
+    /// `stratum` under [`stratum_of`](Self::stratum_of).
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        model: &StatisticalEncounterModel,
+        stratum: Stratum,
+        rng: &mut R,
+    ) -> EncounterParams {
+        let mut params = model.sample_in_class(stratum.class, rng);
+        let (lo, hi) = self.cpa_bounds(model, stratum.cpa_bin);
+        params.cpa_horizontal_ft = rng.gen_range(lo..hi);
+        params
+    }
+
+    /// The stratum `params` falls in: its [`classify`] class and the CPA
+    /// band containing its horizontal miss distance (values at or beyond
+    /// the model maximum clamp into the outermost band).
+    pub fn stratum_of(
+        &self,
+        model: &StatisticalEncounterModel,
+        params: &EncounterParams,
+    ) -> Stratum {
+        let width = model.max_cpa_horizontal_ft / self.cpa_bins as f64;
+        let bin = if params.cpa_horizontal_ft <= 0.0 {
+            0
+        } else {
+            ((params.cpa_horizontal_ft / width) as usize).min(self.cpa_bins - 1)
+        };
+        Stratum {
+            class: classify(params),
+            cpa_bin: bin,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_sum_to_one() {
+        let model = StatisticalEncounterModel::default();
+        for bins in [1, 2, 3, 7] {
+            let strat = Stratification::new(bins);
+            let total: f64 = strat
+                .strata()
+                .iter()
+                .map(|&s| strat.weight(&model, s))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-12, "bins {bins}: total {total}");
+            assert_eq!(strat.strata().len(), strat.num_strata());
+        }
+    }
+
+    #[test]
+    fn index_of_matches_strata_order() {
+        let strat = Stratification::default();
+        for (i, s) in strat.strata().into_iter().enumerate() {
+            assert_eq!(strat.index_of(s), i, "{s}");
+        }
+    }
+
+    #[test]
+    fn conditional_samples_round_trip_to_their_stratum() {
+        let model = StatisticalEncounterModel::default();
+        let strat = Stratification::default();
+        let mut rng = StdRng::seed_from_u64(17);
+        for stratum in strat.strata() {
+            for _ in 0..50 {
+                let p = strat.sample(&model, stratum, &mut rng);
+                assert_eq!(strat.stratum_of(&model, &p), stratum, "{p:?}");
+                let (lo, hi) = strat.cpa_bounds(&model, stratum.cpa_bin);
+                assert!(p.cpa_horizontal_ft >= lo && p.cpa_horizontal_ft < hi);
+            }
+        }
+    }
+
+    #[test]
+    fn stratum_of_clamps_out_of_range_cpa() {
+        let model = StatisticalEncounterModel::default();
+        let strat = Stratification::default();
+        let mut p = EncounterParams::head_on_template();
+        p.cpa_horizontal_ft = model.max_cpa_horizontal_ft * 10.0;
+        assert_eq!(strat.stratum_of(&model, &p).cpa_bin, strat.cpa_bins - 1);
+        p.cpa_horizontal_ft = -1.0;
+        assert_eq!(strat.stratum_of(&model, &p).cpa_bin, 0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let model = StatisticalEncounterModel::default();
+        let strat = Stratification::default();
+        let stratum = strat.strata()[5];
+        let a = strat.sample(&model, stratum, &mut StdRng::seed_from_u64(9));
+        let b = strat.sample(&model, stratum, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CPA band")]
+    fn zero_bins_is_rejected() {
+        Stratification::new(0);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let s = Stratum {
+            class: GeometryClass::HeadOn,
+            cpa_bin: 2,
+        };
+        assert_eq!(s.to_string(), "head-on/r2");
+    }
+}

@@ -11,12 +11,12 @@
 //! |--------|-------|----------|
 //! | [`mdp`] | `uavca-mdp` | MDPs, value/policy iteration, backward induction, interpolation grids |
 //! | [`sim`] | `uavca-sim` | agent-based 3-D encounter simulation, ADS-B noise, coordination, monitors |
-//! | [`encounter`] | `uavca-encounter` | 9-parameter CPA encoding, scenario generation, geometry classes, statistical model |
+//! | [`encounter`] | `uavca-encounter` | 9-parameter CPA encoding, scenario generation, geometry classes, statistical model, stratification |
 //! | [`evo`] | `uavca-evo` | genetic algorithm engine, random-search and hill-climbing baselines |
 //! | [`acasx`] | `uavca-acasx` | the ACAS XU-like vertical logic (offline solve + online lookup) |
 //! | [`ca2d`] | `uavca-ca2d` | the paper's Section III 2-D teaching example |
 //! | [`svo`] | `uavca-svo` | the Selective Velocity Obstacle baseline and its 2-D simulation |
-//! | [`validation`] | `uavca-validation` | the GA search harness, fitness functions, Monte-Carlo estimation, clustering |
+//! | [`validation`] | `uavca-validation` | the GA search harness, fitness functions, Monte-Carlo estimation, adaptive stratified campaigns, clustering |
 //!
 //! # Quickstart
 //!

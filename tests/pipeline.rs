@@ -9,7 +9,7 @@ use std::sync::Arc;
 use uavca::acasx::{AcasConfig, LogicTable};
 use uavca::encounter::{EncounterParams, GeometryClass};
 use uavca::validation::{
-    analysis, EncounterRunner, Equipage, FitnessFunction, ScenarioSpace, SearchConfig,
+    analysis, EncounterRunner, Equipage, FitnessFunction, RunScratch, ScenarioSpace, SearchConfig,
     SearchHarness,
 };
 
@@ -108,6 +108,48 @@ fn analysis_clusters_search_output() {
     let rows = analysis::class_summary(&scenarios);
     assert_eq!(rows.len(), GeometryClass::ALL.len());
     assert_eq!(rows.iter().map(|r| r.1).sum::<usize>(), scenarios.len());
+}
+
+#[test]
+fn paired_runs_share_scenario_and_match_single_arm_runs() {
+    // `run_pair_reusing` is the unit of paired risk-ratio estimation:
+    // one scenario generation, two equipages, one seed. Each arm must be
+    // bit-identical to the standalone `run_once_with` of that equipage,
+    // for every configured "equipped" arm and through warm-scratch reuse.
+    let base = coarse_runner();
+    let params = [
+        EncounterParams::head_on_template(),
+        EncounterParams::tail_approach_template(),
+    ];
+    for equipage in [Equipage::Both, Equipage::OwnOnly] {
+        let runner = base.clone().equipage(equipage);
+        let mut scratch = RunScratch::new();
+        for params in &params {
+            for seed in 0..4 {
+                let (equipped, unequipped) = runner.run_pair_reusing(params, seed, &mut scratch);
+                assert_eq!(
+                    equipped,
+                    runner.run_once_with(params, seed, equipage),
+                    "{equipage:?} arm, seed {seed}"
+                );
+                assert_eq!(
+                    unequipped,
+                    runner.run_once_with(params, seed, Equipage::Neither),
+                    "unequipped arm, seed {seed}"
+                );
+            }
+        }
+    }
+    // The pair differs only in equipage: on the zero-miss head-on the
+    // unequipped replay collides while the equipped arm alerts, maneuvers
+    // and buys separation.
+    let runner = base.clone();
+    let mut scratch = RunScratch::new();
+    let (equipped, unequipped) =
+        runner.run_pair_reusing(&EncounterParams::head_on_template(), 7, &mut scratch);
+    assert!(unequipped.nmac && !unequipped.alerted());
+    assert!(equipped.alerted() && !equipped.nmac);
+    assert!(equipped.min_separation_ft > unequipped.min_separation_ft);
 }
 
 #[test]
