@@ -4,16 +4,21 @@
 //!
 //! 1. A **runs-to-target comparison** (printed once, recorded in
 //!    BENCH_campaign.json): how many paired simulations each allocation
-//!    policy needs before the combined risk-ratio CI half-width reaches
-//!    the target on the conflict-enriched benchmark scenario. This is
-//!    the payoff claim of importance splitting — fewer simulations for
-//!    the same statistical precision.
+//!    policy needs before the combined risk-ratio CI half-width (maximum
+//!    one-sided width) reaches the target on the conflict-enriched
+//!    benchmark scenario — under both the paired (covariance-aware) CI
+//!    and the covariance-free one, computed from the *same* campaign
+//!    trails so the CI construction is the only variable. This isolates
+//!    the two payoff claims: adaptive-vs-uniform (allocation) and
+//!    paired-vs-unpaired (estimator).
 //! 2. **Wall-clock timings** of fixed-budget campaigns, showing the
 //!    planner's per-round overhead (stratum sampling, reallocation,
-//!    estimate folding) is noise next to the simulations themselves.
+//!    estimate folding, jackknife) is noise next to the simulations
+//!    themselves.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use uavca_encounter::{StatisticalEncounterModel, Stratification};
+use uavca_validation::analysis::{convergence_series, runs_to_half_width};
 use uavca_validation::{CampaignConfig, CampaignOutcome, CampaignPlanner};
 
 /// The benchmark scenario: conflict-enriched model (tighter CPA
@@ -39,35 +44,65 @@ fn benchmark_planner(seed: u64, target: f64) -> CampaignPlanner {
     .stratification(Stratification::new(5))
 }
 
+/// Runs-to-target under both CI constructions, from one campaign trail:
+/// `(paired, unpaired)` cumulative runs at the first round whose
+/// half-width reached `target`.
+fn runs_to_both(outcome: &CampaignOutcome, target: f64) -> (Option<usize>, Option<usize>) {
+    let series = convergence_series(&outcome.rounds);
+    // The paired reading is the library's single runs-to-target
+    // definition; only the unpaired comparison column needs an inline
+    // scan (there is no library reading for the covariance-free CI).
+    let paired = runs_to_half_width(&series, target);
+    let unpaired = series
+        .iter()
+        .find(|p| p.unpaired_half_width <= target)
+        .map(|p| p.total_runs);
+    (paired, unpaired)
+}
+
 fn print_runs_to_target() {
     // Respect the CI smoke budget: under a tiny BENCH_TARGET_MS the
-    // comparison still runs (bench-rot guard) but at one seed and a
-    // loose target instead of the full recorded scale.
+    // comparison still runs (bench-rot guard) but at one seed, a loose
+    // target and few rounds instead of the full recorded scale.
     let smoke = std::env::var("BENCH_TARGET_MS")
         .ok()
         .and_then(|v| v.parse::<u64>().ok())
         .is_some_and(|ms| ms < 50);
-    let (target, seeds) = if smoke { (0.04, 1u64) } else { (0.015, 3u64) };
-    let to_target = |o: &CampaignOutcome| o.runs_to_half_width(target);
-    println!("campaign: paired runs to risk-ratio CI half-width <= {target}");
+    let (target, seeds, max_rounds) = if smoke {
+        (0.04, 1u64, 12)
+    } else {
+        (0.015, 5u64, 60)
+    };
+    println!(
+        "campaign: paired runs to risk-ratio CI half-width <= {target} \
+         (max one-sided width; paired vs unpaired CI on the same trails)"
+    );
     let mut savings = Vec::new();
     for seed in 0..seeds {
-        let planner = benchmark_planner(seed, target);
-        let adaptive = to_target(&planner.run());
-        let uniform = to_target(&planner.run_uniform());
-        if let (Some(a), Some(u)) = (adaptive, uniform) {
+        // Early stop disabled so the trail extends past the paired stop
+        // point and the unpaired reading stays comparable.
+        let planner =
+            benchmark_planner(seed, f64::INFINITY).config_with(|c| c.max_rounds = max_rounds);
+        let adaptive = planner.run().expect("valid config");
+        let uniform = planner.run_uniform().expect("valid config");
+        let (ap, au) = runs_to_both(&adaptive, target);
+        let (up, uu) = runs_to_both(&uniform, target);
+        let show = |r: Option<usize>| r.map_or("-".to_string(), |v| v.to_string());
+        println!(
+            "  seed {seed}: uniform paired {} (unpaired {})  adaptive paired {} (unpaired {})",
+            show(up),
+            show(uu),
+            show(ap),
+            show(au)
+        );
+        if let (Some(a), Some(u)) = (ap, up) {
             savings.push(100.0 * (1.0 - a as f64 / u as f64));
-            println!("  seed {seed}: uniform {u}  adaptive {a}");
-        } else {
-            println!(
-                "  seed {seed}: target not reached (uniform {uniform:?}, adaptive {adaptive:?})"
-            );
         }
     }
     if !savings.is_empty() {
         savings.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         println!(
-            "  median saving {:.0}% across {} seeds",
+            "  median adaptive-vs-uniform saving {:.0}% across {} seeds (paired CI)",
             savings[savings.len() / 2],
             savings.len()
         );
@@ -80,7 +115,7 @@ fn bench_campaign(c: &mut Criterion) {
     // Fixed-budget campaigns for wall-clock comparison: identical run
     // counts, so the timing gap is pure planner overhead difference.
     let fixed = |seed: u64| {
-        benchmark_planner(seed, 0.0).config_with(|c| {
+        benchmark_planner(seed, f64::INFINITY).config_with(|c| {
             c.pilot_per_stratum = 5;
             c.round_runs = 100;
             c.max_rounds = 3;
@@ -90,11 +125,11 @@ fn bench_campaign(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("adaptive", |b| {
         let planner = fixed(11);
-        b.iter(|| planner.run())
+        b.iter(|| planner.run().expect("valid config"))
     });
     group.bench_function("uniform", |b| {
         let planner = fixed(11);
-        b.iter(|| planner.run_uniform())
+        b.iter(|| planner.run_uniform().expect("valid config"))
     });
     group.finish();
 }

@@ -2,22 +2,41 @@
 //!
 //! For a set of campaign seeds, runs the same risk-ratio estimation with
 //! (a) mass-proportional ("uniform") allocation and (b) the adaptive
-//! planner (Neyman reallocation on observed disagreement), and reports
-//! how many paired simulations each needed before the combined
-//! risk-ratio CI half-width reached the target. The recorded numbers
-//! live in BENCH_campaign.json / EXPERIMENTS.md.
+//! planner (Neyman reallocation on the paired log-ratio objective), and
+//! reports how many paired simulations each needed before the combined
+//! paired risk-ratio CI half-width (maximum one-sided width) reached the
+//! target, plus the final paired/unpaired/jackknife half-widths. The
+//! recorded numbers live in BENCH_campaign.json / EXPERIMENTS.md.
 //!
 //! Flags: `--full` (full-resolution table), `--seed N` (first seed),
 //! `--seeds K` (number of seeds, default 5), `--bins B` (CPA bands,
 //! default 4), `--target X` (CI half-width target, default 0.1),
-//! `--enriched` (conflict-enriched model variant).
+//! `--enriched` (conflict-enriched model variant), `--json` (emit one
+//! machine-readable JSON document instead of the text table — undefined
+//! estimates serialize as `null`, never as bare `NaN`/`Infinity`).
 
+use serde::Serialize;
 use uavca_encounter::{StatisticalEncounterModel, Stratification};
-use uavca_validation::{CampaignConfig, CampaignOutcome, CampaignPlanner, TextTable};
+use uavca_validation::{
+    CampaignConfig, CampaignOutcome, CampaignPlanner, RatioEstimate, TextTable,
+};
 
 fn flag_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.windows(2).find(|w| w[0] == name).map(|w| w[1].clone())
+}
+
+/// One seed's uniform-vs-adaptive comparison, JSON-serializable.
+#[derive(Debug, Serialize)]
+struct SeedReport {
+    seed: u64,
+    uniform_runs: Option<usize>,
+    adaptive_runs: Option<usize>,
+    uniform_risk_ratio: RatioEstimate,
+    adaptive_risk_ratio: RatioEstimate,
+    adaptive_risk_ratio_unpaired: RatioEstimate,
+    adaptive_risk_ratio_jackknife: RatioEstimate,
+    covariance: f64,
 }
 
 fn main() {
@@ -33,6 +52,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0.1);
     let enriched = std::env::args().any(|a| a == "--enriched");
+    let json = std::env::args().any(|a| a == "--json");
 
     let mut model = StatisticalEncounterModel::default();
     if enriched {
@@ -51,10 +71,18 @@ fn main() {
         target_half_width: target,
         threads: 0,
     };
-    println!(
-        "campaign_eval: {} seeds, {} CPA bands, target half-width {target}, enriched={enriched}",
-        seeds, bins
-    );
+    // --target is unvalidated user input (e.g. the pre-PR4 `--target 0`
+    // disable idiom): surface the typed error cleanly, don't panic.
+    if let Err(err) = config.validate() {
+        eprintln!("campaign_eval: {err}");
+        std::process::exit(1);
+    }
+    if !json {
+        println!(
+            "campaign_eval: {} seeds, {} CPA bands, target half-width {target}, enriched={enriched}",
+            seeds, bins
+        );
+    }
 
     let to_target = |o: &CampaignOutcome| o.runs_to_half_width(target);
     let mut table = TextTable::new([
@@ -64,8 +92,12 @@ fn main() {
         "saving",
         "uniform RR",
         "adaptive RR",
+        "paired hw",
+        "unpaired hw",
+        "jackknife hw",
     ]);
     let mut savings = Vec::new();
+    let mut reports = Vec::new();
     for k in 0..seeds {
         let config = CampaignConfig {
             seed: first_seed + k,
@@ -74,8 +106,8 @@ fn main() {
         let planner = CampaignPlanner::new(runner.clone(), config)
             .model(model)
             .stratification(Stratification::new(bins));
-        let adaptive = planner.run();
-        let uniform = planner.run_uniform();
+        let adaptive = planner.run().expect("valid campaign config");
+        let uniform = planner.run_uniform().expect("valid campaign config");
         let (a, u) = (to_target(&adaptive), to_target(&uniform));
         let saving = match (a, u) {
             (Some(a), Some(u)) => {
@@ -85,6 +117,14 @@ fn main() {
             }
             _ => "n/a".to_string(),
         };
+        let fmt_hw = |r: &RatioEstimate| {
+            let hw = r.half_width();
+            if hw.is_finite() {
+                format!("{hw:.4}")
+            } else {
+                "inf".to_string()
+            }
+        };
         table.row([
             config.seed.to_string(),
             u.map_or("-".into(), |r| r.to_string()),
@@ -92,7 +132,27 @@ fn main() {
             saving,
             format!("{:.3}", uniform.estimate.risk_ratio.ratio),
             format!("{:.3}", adaptive.estimate.risk_ratio.ratio),
+            fmt_hw(&adaptive.estimate.risk_ratio),
+            fmt_hw(&adaptive.estimate.risk_ratio_unpaired),
+            fmt_hw(&adaptive.estimate.risk_ratio_jackknife),
         ]);
+        reports.push(SeedReport {
+            seed: config.seed,
+            uniform_runs: u,
+            adaptive_runs: a,
+            uniform_risk_ratio: uniform.estimate.risk_ratio,
+            adaptive_risk_ratio: adaptive.estimate.risk_ratio,
+            adaptive_risk_ratio_unpaired: adaptive.estimate.risk_ratio_unpaired,
+            adaptive_risk_ratio_jackknife: adaptive.estimate.risk_ratio_jackknife,
+            covariance: adaptive.estimate.covariance,
+        });
+    }
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string(&reports).expect("reports serialize")
+        );
+        return;
     }
     print!("{table}");
     if !savings.is_empty() {

@@ -14,9 +14,10 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use uavca_encounter::{classify, EncounterParams, GeometryClass};
 
+use crate::montecarlo::{finite_or_null, float_or};
 use crate::{RatioEstimate, RoundSummary, ScenarioSpace};
 
 /// One cluster of scenarios in parameter space.
@@ -159,16 +160,60 @@ fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
 
 /// One point of a campaign convergence series: budget spent vs estimate
 /// precision after a round.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Half-widths here use the single campaign-wide semantics of
+/// [`RatioEstimate::half_width`]: the **maximum one-sided width**
+/// `max(hi − ratio, ratio − lo)` of the log-symmetric interval (infinite
+/// while undefined) — the same reading the
+/// [`crate::CampaignConfig::target_half_width`] early stop compares
+/// against.
+///
+/// # Serialized form
+///
+/// An undefined (infinite) half-width serializes as JSON `null` and
+/// deserializes back to `+∞` — the bare `Infinity` literal a derived
+/// float serializer would emit is not valid JSON.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConvergencePoint {
     /// Round number (0 is the pilot).
     pub round: usize,
     /// Cumulative paired runs after this round.
     pub total_runs: usize,
-    /// Risk ratio after this round.
+    /// Paired (covariance-aware) risk ratio after this round.
     pub risk_ratio: RatioEstimate,
-    /// Risk-ratio CI half-width (infinite while undefined).
+    /// Paired risk-ratio CI half-width (infinite while undefined).
     pub half_width: f64,
+    /// Half-width of the covariance-free interval on the same tallies —
+    /// never smaller than `half_width`; the gap is what exploiting the
+    /// identical-seed pairing buys at this budget.
+    pub unpaired_half_width: f64,
+}
+
+impl Serialize for ConvergencePoint {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("round".to_string(), self.round.serialize()),
+            ("total_runs".to_string(), self.total_runs.serialize()),
+            ("risk_ratio".to_string(), self.risk_ratio.serialize()),
+            ("half_width".to_string(), finite_or_null(self.half_width)),
+            (
+                "unpaired_half_width".to_string(),
+                finite_or_null(self.unpaired_half_width),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for ConvergencePoint {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        Ok(ConvergencePoint {
+            round: usize::deserialize(v.field("round")?)?,
+            total_runs: usize::deserialize(v.field("total_runs")?)?,
+            risk_ratio: RatioEstimate::deserialize(v.field("risk_ratio")?)?,
+            half_width: float_or(v.field("half_width")?, f64::INFINITY)?,
+            unpaired_half_width: float_or(v.field("unpaired_half_width")?, f64::INFINITY)?,
+        })
+    }
 }
 
 /// The convergence series of a campaign's executed rounds, in order.
@@ -180,14 +225,16 @@ pub fn convergence_series(rounds: &[RoundSummary]) -> Vec<ConvergencePoint> {
             total_runs: r.total_runs,
             risk_ratio: r.risk_ratio,
             half_width: r.risk_ratio.half_width(),
+            unpaired_half_width: r.risk_ratio_unpaired.half_width(),
         })
         .collect()
 }
 
-/// Cumulative runs after the first round whose risk-ratio CI half-width
-/// is at most `target` — the runs-to-target reading the
-/// uniform-vs-adaptive comparison is scored on. `None` when no executed
-/// round got there.
+/// Cumulative runs after the first round whose paired risk-ratio CI
+/// half-width (maximum one-sided width, see
+/// [`RatioEstimate::half_width`]) is at most `target` — the
+/// runs-to-target reading the uniform-vs-adaptive comparison is scored
+/// on. `None` when no executed round got there.
 pub fn runs_to_half_width(series: &[ConvergencePoint], target: f64) -> Option<usize> {
     series
         .iter()
@@ -287,6 +334,16 @@ mod tests {
             ci_low: r - 0.02,
             ci_high: r + 0.02,
         };
+        let ratio_with_hw = |hw: f64| RatioEstimate {
+            ratio: 0.33,
+            ci_low: if hw.is_finite() { 0.33 - hw } else { 0.0 },
+            ci_high: if hw.is_finite() {
+                0.33 + hw
+            } else {
+                f64::INFINITY
+            },
+            se_log: if hw.is_finite() { hw } else { f64::INFINITY },
+        };
         let rounds: Vec<RoundSummary> = [(0, 120, f64::INFINITY), (1, 300, 0.4), (2, 600, 0.15)]
             .iter()
             .map(|&(round, total_runs, hw)| RoundSummary {
@@ -296,21 +353,15 @@ mod tests {
                 total_runs,
                 equipped_nmac: rate(0.1),
                 unequipped_nmac: rate(0.3),
-                risk_ratio: RatioEstimate {
-                    ratio: 0.33,
-                    ci_low: if hw.is_finite() { 0.33 - hw } else { 0.0 },
-                    ci_high: if hw.is_finite() {
-                        0.33 + hw
-                    } else {
-                        f64::INFINITY
-                    },
-                },
+                risk_ratio: ratio_with_hw(hw),
+                risk_ratio_unpaired: ratio_with_hw(hw * 2.0),
             })
             .collect();
         let series = convergence_series(&rounds);
         assert_eq!(series.len(), 3);
         assert!(series[0].half_width.is_infinite());
         assert!((series[2].half_width - 0.15).abs() < 1e-12);
+        assert!((series[2].unpaired_half_width - 0.30).abs() < 1e-12);
         assert_eq!(runs_to_half_width(&series, 0.5), Some(300));
         assert_eq!(runs_to_half_width(&series, 0.15), Some(600));
         assert_eq!(runs_to_half_width(&series, 0.01), None);

@@ -14,14 +14,32 @@
 //!    [`Stratification`] (geometry class × CPA band) with exact
 //!    per-stratum mass, so stratified estimates stay unbiased.
 //! 2. **Pilot.** A fixed number of [`PairedJob`]s per stratum measures
-//!    each stratum's equipped/unequipped **disagreement rate**.
+//!    each stratum's joint equipped/unequipped outcome distribution (the
+//!    per-pair 2×2 [`PairTable`]).
 //! 3. **Reallocate.** Each refinement round splits its budget across
-//!    strata by Neyman allocation on the observed disagreement standard
-//!    deviation (`n_s ∝ w_s·σ̃_s`, Laplace-smoothed so no stratum is ever
-//!    written off on a small sample).
-//! 4. **Stop early.** After every round the combined risk-ratio CI is
-//!    recomputed; the campaign ends as soon as its half-width reaches the
-//!    configured target.
+//!    strata by Neyman allocation on each stratum's contribution to the
+//!    *paired* log-risk-ratio variance (see [`neyman_scores`]), so the
+//!    budget chases the variance that actually bounds the CI.
+//! 4. **Stop early.** After every round the combined paired risk-ratio CI
+//!    is recomputed; the campaign ends as soon as its half-width reaches
+//!    the configured target.
+//!
+//! # The paired estimator
+//!
+//! The two arms of every pair replay the *same* encounter on the *same*
+//! seed, so the per-pair NMAC indicators are strongly positively
+//! correlated — an avoidance system mostly rescues a subset of the raw
+//! conflicts. Each stratum therefore keeps the full 2×2 table of joint
+//! outcomes (both-NMAC / equipped-only / unequipped-only / neither)
+//! rather than just the two marginals: the marginals alone cannot
+//! recover the between-arm covariance, and `disagree` alone loses which
+//! arm disagreed. The combined log-ratio variance is the stratified
+//! delta-method expression *including* the covariance term,
+//! `Var(p̂_e)/p_e² + Var(p̂_u)/p_u² − 2·Cov(p̂_e,p̂_u)/(p_e·p_u)`
+//! (see [`paired_covariance`] and [`RatioEstimate::paired`]), which is
+//! never wider than the covariance-free interval. A stratified
+//! delete-one-pair jackknife ([`jackknife_ratio`]) is computed alongside
+//! as an independent cross-check of the delta-method interval.
 //!
 //! # Determinism
 //!
@@ -33,10 +51,11 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use uavca_encounter::{StatisticalEncounterModel, Stratification, Stratum};
 use uavca_exec::Executor;
 
+use crate::montecarlo::{finite_or_null, float_or};
 use crate::{BatchRunner, EncounterRunner, PairedJob, PairedOutcome, RateEstimate};
 
 /// 97.5th percentile of the standard normal (95% two-sided intervals).
@@ -68,22 +87,64 @@ pub fn campaign_job_seed(campaign_seed: u64, stratum: usize, round: usize, index
 }
 
 /// Configuration of an adaptive stratified campaign.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// # Serialized form
+///
+/// The disable-early-stop sentinel `target_half_width = +∞` serializes
+/// as JSON `null` (the bare `Infinity` literal is not valid JSON) and
+/// deserializes back to `+∞`.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CampaignConfig {
     /// Campaign seed: the single source of every job seed.
     pub seed: u64,
-    /// Paired runs per stratum in the pilot round (round 0).
+    /// Paired runs per stratum in the pilot round (round 0). Must be at
+    /// least 1: a campaign with no pilot has no tallies to reallocate on.
     pub pilot_per_stratum: usize,
-    /// Paired runs added by each refinement round.
+    /// Paired runs added by each refinement round. Must be at least 1.
     pub round_runs: usize,
-    /// Maximum refinement rounds after the pilot.
+    /// Maximum refinement rounds after the pilot. Must be at least 1.
     pub max_rounds: usize,
-    /// Early-stop target on the risk-ratio CI half-width (`<= 0`
-    /// disables early stopping and always runs `max_rounds` rounds).
+    /// Early-stop target on the risk-ratio CI half-width (the maximum
+    /// one-sided width — see [`RatioEstimate::half_width`]). Must be
+    /// positive; pass [`f64::INFINITY`] to disable early stopping and
+    /// always run `max_rounds` rounds. Zero, negative and NaN targets are
+    /// rejected by [`CampaignConfig::validate`].
     pub target_half_width: f64,
     /// Worker threads for the simulation batches (0 = hardware
     /// parallelism). Results are bit-identical for every setting.
     pub threads: usize,
+}
+
+impl Serialize for CampaignConfig {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("seed".to_string(), self.seed.serialize()),
+            (
+                "pilot_per_stratum".to_string(),
+                self.pilot_per_stratum.serialize(),
+            ),
+            ("round_runs".to_string(), self.round_runs.serialize()),
+            ("max_rounds".to_string(), self.max_rounds.serialize()),
+            (
+                "target_half_width".to_string(),
+                finite_or_null(self.target_half_width),
+            ),
+            ("threads".to_string(), self.threads.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for CampaignConfig {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        Ok(CampaignConfig {
+            seed: u64::deserialize(v.field("seed")?)?,
+            pilot_per_stratum: usize::deserialize(v.field("pilot_per_stratum")?)?,
+            round_runs: usize::deserialize(v.field("round_runs")?)?,
+            max_rounds: usize::deserialize(v.field("max_rounds")?)?,
+            target_half_width: float_or(v.field("target_half_width")?, f64::INFINITY)?,
+            threads: usize::deserialize(v.field("threads")?)?,
+        })
+    }
 }
 
 impl Default for CampaignConfig {
@@ -99,6 +160,162 @@ impl Default for CampaignConfig {
     }
 }
 
+impl CampaignConfig {
+    /// Validates the configuration, rejecting the degenerate shapes that
+    /// would otherwise silently produce an empty or meaningless
+    /// [`CampaignOutcome`]: a zero pilot (no tallies to reallocate on),
+    /// zero refinement rounds or zero runs per round (a "campaign" that
+    /// never refines), and a zero/negative/NaN half-width target (use
+    /// [`f64::INFINITY`] to disable early stopping explicitly).
+    ///
+    /// Every [`CampaignPlanner`] run path calls this up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CampaignConfigError`] violated, checked in
+    /// field order.
+    pub fn validate(&self) -> Result<(), CampaignConfigError> {
+        if self.pilot_per_stratum == 0 {
+            return Err(CampaignConfigError::ZeroPilotBudget);
+        }
+        if self.round_runs == 0 {
+            return Err(CampaignConfigError::ZeroRoundRuns);
+        }
+        if self.max_rounds == 0 {
+            return Err(CampaignConfigError::ZeroRounds);
+        }
+        if self.target_half_width.is_nan() || self.target_half_width <= 0.0 {
+            return Err(CampaignConfigError::NonPositiveTargetHalfWidth);
+        }
+        Ok(())
+    }
+}
+
+/// A degenerate [`CampaignConfig`] rejected by
+/// [`CampaignConfig::validate`] before any simulation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CampaignConfigError {
+    /// `pilot_per_stratum` is zero: the pilot round would sample nothing
+    /// and every reallocation would run on empty tallies.
+    ZeroPilotBudget,
+    /// `round_runs` is zero: refinement rounds would execute no jobs.
+    ZeroRoundRuns,
+    /// `max_rounds` is zero: the campaign would never refine the pilot.
+    ZeroRounds,
+    /// `target_half_width` is zero, negative or NaN. A campaign cannot
+    /// reach a non-positive CI width; pass [`f64::INFINITY`] to disable
+    /// early stopping instead.
+    NonPositiveTargetHalfWidth,
+}
+
+impl std::fmt::Display for CampaignConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignConfigError::ZeroPilotBudget => {
+                write!(f, "campaign config: pilot_per_stratum must be at least 1")
+            }
+            CampaignConfigError::ZeroRoundRuns => {
+                write!(f, "campaign config: round_runs must be at least 1")
+            }
+            CampaignConfigError::ZeroRounds => {
+                write!(f, "campaign config: max_rounds must be at least 1")
+            }
+            CampaignConfigError::NonPositiveTargetHalfWidth => write!(
+                f,
+                "campaign config: target_half_width must be positive \
+                 (use f64::INFINITY to disable early stopping)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignConfigError {}
+
+/// The per-stratum 2×2 table of joint paired outcomes: how often the
+/// equipped and unequipped replays of the same seed each ended in NMAC.
+///
+/// The four cells are the sufficient statistic of the paired estimator:
+/// the marginal rates are `(both + one-arm-only)/runs` and the per-pair
+/// covariance is `p_both − p_e·p_u`, which the combined risk-ratio CI
+/// ([`RatioEstimate::paired`]) and the allocation scores
+/// ([`neyman_scores`]) both need. The old scalar `disagree` count loses
+/// the split between the two single-arm cells and cannot recover it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairTable {
+    /// Pairs where both arms ended in NMAC.
+    pub both_nmac: usize,
+    /// Pairs where only the equipped arm ended in NMAC (an *induced*
+    /// collision: the avoidance system manufactured the NMAC).
+    pub equipped_only: usize,
+    /// Pairs where only the unequipped arm ended in NMAC (a *resolved*
+    /// conflict: the avoidance system rescued it).
+    pub unequipped_only: usize,
+    /// Pairs where neither arm ended in NMAC.
+    pub neither: usize,
+}
+
+impl PairTable {
+    /// Total pairs recorded.
+    pub fn runs(&self) -> usize {
+        self.both_nmac + self.equipped_only + self.unequipped_only + self.neither
+    }
+
+    /// Equipped-arm NMAC count (marginal of the table).
+    pub fn equipped_nmac(&self) -> usize {
+        self.both_nmac + self.equipped_only
+    }
+
+    /// Unequipped-arm NMAC count (marginal of the table).
+    pub fn unequipped_nmac(&self) -> usize {
+        self.both_nmac + self.unequipped_only
+    }
+
+    /// Pairs whose two arms disagree on NMAC (the off-diagonal mass).
+    pub fn disagree(&self) -> usize {
+        self.equipped_only + self.unequipped_only
+    }
+
+    /// Adds every cell of `other` into this table — the table-level
+    /// analogue of [`PairTable::absorb`], for pooling per-stratum tables
+    /// into a campaign total without dropping any cell.
+    pub fn merge(&mut self, other: &PairTable) {
+        self.both_nmac += other.both_nmac;
+        self.equipped_only += other.equipped_only;
+        self.unequipped_only += other.unequipped_only;
+        self.neither += other.neither;
+    }
+
+    /// Folds one paired outcome into the table.
+    pub fn absorb(&mut self, pair: &PairedOutcome) {
+        match (pair.equipped.nmac, pair.unequipped.nmac) {
+            (true, true) => self.both_nmac += 1,
+            (true, false) => self.equipped_only += 1,
+            (false, true) => self.unequipped_only += 1,
+            (false, false) => self.neither += 1,
+        }
+    }
+
+    /// Anscombe-smoothed `(p̃_e, p̃_u, c̃)` for variance work: a quarter
+    /// pseudo-count in each of the four cells, so each marginal is the
+    /// familiar `(events + ½)/(runs + 1)` and the joint cell is
+    /// `(both + ¼)/(runs + 1)`. The per-pair covariance
+    /// `c̃ = p̃_b − p̃_e·p̃_u` is clamped to `[0, √(ṽ_e·ṽ_u)]`: the lower
+    /// clamp keeps a noisy negative sample covariance from *widening* the
+    /// paired interval past the covariance-free one (identical-seed arms
+    /// cannot be negatively correlated by construction), the upper is the
+    /// Cauchy–Schwarz bound that keeps the paired variance non-negative.
+    fn smoothed(&self) -> (f64, f64, f64) {
+        let n = self.runs() as f64 + 1.0;
+        let pe = (self.equipped_nmac() as f64 + 0.5) / n;
+        let pu = (self.unequipped_nmac() as f64 + 0.5) / n;
+        let pb = (self.both_nmac as f64 + 0.25) / n;
+        let ve = pe * (1.0 - pe);
+        let vu = pu * (1.0 - pu);
+        let cov = (pb - pe * pu).clamp(0.0, (ve * vu).sqrt());
+        (pe, pu, cov)
+    }
+}
+
 /// A weighted (stratified) proportion with a normal-approximation 95% CI.
 ///
 /// The point estimate is the exact stratified combination
@@ -106,11 +323,17 @@ impl Default for CampaignConfig {
 /// `Σ w_s²·p̃_s(1-p̃_s)/n_s` with Anscombe-smoothed per-stratum rates
 /// (`p̃ = (e+½)/(n+1)`) so a stratum observed at 0 or 1 keeps a
 /// non-degenerate variance contribution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// # Serialized form
+///
+/// With no sampled stratum the rate and standard error are undefined
+/// (`NaN` in memory); they serialize as JSON `null` and deserialize back
+/// to `NaN`, so emitted reports stay valid JSON.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WeightedRate {
-    /// Stratified point estimate.
+    /// Stratified point estimate (NaN when no stratum has trials).
     pub rate: f64,
-    /// Stratified standard error.
+    /// Stratified standard error (NaN when no stratum has trials).
     pub std_err: f64,
     /// Lower 95% bound, clamped to `[0, 1]`.
     pub ci_low: f64,
@@ -118,16 +341,48 @@ pub struct WeightedRate {
     pub ci_high: f64,
 }
 
+impl Serialize for WeightedRate {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("rate".to_string(), finite_or_null(self.rate)),
+            ("std_err".to_string(), finite_or_null(self.std_err)),
+            ("ci_low".to_string(), Value::Float(self.ci_low)),
+            ("ci_high".to_string(), Value::Float(self.ci_high)),
+        ])
+    }
+}
+
+impl Deserialize for WeightedRate {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        Ok(WeightedRate {
+            rate: float_or(v.field("rate")?, f64::NAN)?,
+            std_err: float_or(v.field("std_err")?, f64::NAN)?,
+            ci_low: f64::deserialize(v.field("ci_low")?)?,
+            ci_high: f64::deserialize(v.field("ci_high")?)?,
+        })
+    }
+}
+
+/// Total weight of the *sampled* strata — those with at least one trial
+/// in `(weight, trials)` cells — the single renormalization denominator
+/// every stratified moment divides by.
+///
+/// [`WeightedRate::combine`], [`paired_covariance`] and
+/// [`jackknife_ratio`] must all renormalize by this same mass over the
+/// same coverage criterion: the Cauchy–Schwarz argument that nests the
+/// paired CI inside the unpaired one compares per-stratum terms built on
+/// identical weights, so a drift in any one site's filter would silently
+/// void the nesting guarantee.
+fn covered_weight(cells: impl Iterator<Item = (f64, usize)>) -> f64 {
+    cells.filter(|&(_, n)| n > 0).map(|(w, _)| w).sum()
+}
+
 impl WeightedRate {
     /// Combines per-stratum `(weight, events, trials)` cells. Strata with
     /// zero trials are excluded and the remaining weights renormalized
     /// (only possible before the pilot covers every stratum).
     pub fn combine(cells: &[(f64, usize, usize)]) -> WeightedRate {
-        let covered: f64 = cells
-            .iter()
-            .filter(|(_, _, n)| *n > 0)
-            .map(|(w, _, _)| *w)
-            .sum();
+        let covered = covered_weight(cells.iter().map(|&(w, _, n)| (w, n)));
         if covered <= 0.0 {
             return WeightedRate {
                 rate: f64::NAN,
@@ -177,8 +432,49 @@ impl std::fmt::Display for WeightedRate {
     }
 }
 
-/// A ratio of two [`WeightedRate`]s with a log-scale delta-method 95% CI.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// The stratified between-arm covariance `Cov(p̂_e, p̂_u)` of the two
+/// marginal rates of paired (identical-seed) samples:
+/// `Σ w_s²·c̃_s/n_s` over sampled strata, with `c̃_s` the smoothed,
+/// clamped per-pair covariance of stratum `s` (see
+/// [`PairTable`]'s smoothing note) and weights renormalized over the
+/// sampled strata exactly as [`WeightedRate::combine`] does.
+///
+/// Returns 0 when no stratum has runs (the ratio CI is undefined there
+/// anyway). The result is always non-negative and bounded by
+/// Cauchy–Schwarz against the two arms' variance contributions, so the
+/// paired interval built from it can never be wider than the unpaired
+/// one.
+pub fn paired_covariance(weights: &[f64], tables: &[PairTable]) -> f64 {
+    debug_assert_eq!(
+        weights.len(),
+        tables.len(),
+        "one weight per stratum table — a mismatch would silently truncate"
+    );
+    let covered = covered_weight(weights.iter().zip(tables).map(|(&w, t)| (w, t.runs())));
+    if covered <= 0.0 {
+        return 0.0;
+    }
+    weights
+        .iter()
+        .zip(tables)
+        .filter(|(_, t)| t.runs() > 0)
+        .map(|(w, t)| {
+            let w = w / covered;
+            let (_, _, cov) = t.smoothed();
+            w * w * cov / t.runs() as f64
+        })
+        .sum()
+}
+
+/// A ratio of two [`WeightedRate`]s with a log-scale 95% CI.
+///
+/// # Serialized form
+///
+/// The undefined markers (`NaN` ratio on a zero denominator, infinite
+/// `ci_high`/`se_log` while either arm is event-free) serialize as JSON
+/// `null` so emitted reports stay valid JSON; `null` deserializes back to
+/// `NaN` for the ratio and `+∞` for the upper bound and standard error.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RatioEstimate {
     /// Point estimate `numerator / denominator` (NaN when the denominator
     /// is zero).
@@ -187,46 +483,137 @@ pub struct RatioEstimate {
     pub ci_low: f64,
     /// Upper 95% bound (infinite when undefined).
     pub ci_high: f64,
+    /// Standard error of `ln(ratio)` — the log-scale spread the interval
+    /// is built from (infinite when undefined).
+    pub se_log: f64,
+}
+
+impl Serialize for RatioEstimate {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("ratio".to_string(), finite_or_null(self.ratio)),
+            ("ci_low".to_string(), Value::Float(self.ci_low)),
+            ("ci_high".to_string(), finite_or_null(self.ci_high)),
+            ("se_log".to_string(), finite_or_null(self.se_log)),
+        ])
+    }
+}
+
+impl Deserialize for RatioEstimate {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        Ok(RatioEstimate {
+            ratio: float_or(v.field("ratio")?, f64::NAN)?,
+            ci_low: f64::deserialize(v.field("ci_low")?)?,
+            ci_high: float_or(v.field("ci_high")?, f64::INFINITY)?,
+            se_log: float_or(v.field("se_log")?, f64::INFINITY)?,
+        })
+    }
 }
 
 impl RatioEstimate {
-    /// The delta-method CI on the log scale:
+    /// The covariance-free delta-method CI on the log scale:
     /// `exp(ln r ∓ z·√(se_n²/p_n² + se_d²/p_d²))`.
     ///
-    /// The two arms are *paired* (identical seeds), so their positive
-    /// covariance is ignored here — the interval is conservative (wider
-    /// than the exact paired CI), which is the safe direction for an
-    /// early-stop criterion. When either rate is zero the interval is
-    /// `[0, ∞)`: no early stop until both arms have events.
+    /// This treats the two arms as independent. For paired (identical
+    /// seed) arms it over-states the variance — use
+    /// [`RatioEstimate::paired`] there; this construction is kept as the
+    /// conservative baseline the paired interval is compared against.
+    /// When either rate is zero the interval is `[0, ∞)`.
     pub fn from_rates(numerator: &WeightedRate, denominator: &WeightedRate) -> RatioEstimate {
+        Self::with_covariance(numerator, denominator, 0.0)
+    }
+
+    /// The *paired* delta-method CI on the log scale: the variance of
+    /// `ln r̂` subtracts the between-arm covariance term,
+    /// `se_n²/p_n² + se_d²/p_d² − 2·cov/(p_n·p_d)`, where `cov` is the
+    /// stratified `Cov(p̂_n, p̂_d)` from [`paired_covariance`].
+    ///
+    /// Identical-seed arms are positively correlated (the equipped run
+    /// mostly rescues a subset of the unequipped NMACs), so exploiting
+    /// the covariance tightens the interval; `cov` is clamped to
+    /// `[0, se_n·se_d]` so the result is *never* wider than
+    /// [`RatioEstimate::from_rates`] on the same rates, and an overlarge
+    /// caller-supplied covariance (beyond the Cauchy–Schwarz bound the
+    /// arms' standard errors permit) cannot collapse the interval to a
+    /// zero-width false certainty. When either rate is zero the interval
+    /// is `[0, ∞)`: no early stop until both arms have events.
+    pub fn paired(
+        numerator: &WeightedRate,
+        denominator: &WeightedRate,
+        covariance: f64,
+    ) -> RatioEstimate {
+        let cap = numerator.std_err * denominator.std_err;
+        let covariance = if cap.is_finite() && cap >= 0.0 {
+            covariance.clamp(0.0, cap)
+        } else {
+            // Undefined std errors (NaN on empty arms) make the interval
+            // undefined downstream anyway; only sanitize the sign here.
+            covariance.max(0.0)
+        };
+        Self::with_covariance(numerator, denominator, covariance)
+    }
+
+    fn with_covariance(
+        numerator: &WeightedRate,
+        denominator: &WeightedRate,
+        covariance: f64,
+    ) -> RatioEstimate {
         let ratio = if denominator.rate > 0.0 {
             numerator.rate / denominator.rate
         } else {
             f64::NAN
         };
-        let defined = numerator.rate > 0.0 && denominator.rate > 0.0;
-        if !defined {
+        if !(numerator.rate > 0.0 && denominator.rate > 0.0) {
             return RatioEstimate {
                 ratio,
                 ci_low: 0.0,
                 ci_high: f64::INFINITY,
+                se_log: f64::INFINITY,
             };
         }
-        let se_log = ((numerator.std_err / numerator.rate).powi(2)
-            + (denominator.std_err / denominator.rate).powi(2))
-        .sqrt();
+        let var_log = (numerator.std_err / numerator.rate).powi(2)
+            + (denominator.std_err / denominator.rate).powi(2)
+            - 2.0 * covariance / (numerator.rate * denominator.rate);
+        // The per-stratum Cauchy–Schwarz clamp keeps the true expression
+        // non-negative; the max(0) only absorbs float drift.
+        Self::from_log(ratio, var_log.max(0.0).sqrt())
+    }
+
+    /// Builds the log-symmetric interval `exp(ln ratio ∓ z·se_log)`.
+    pub fn from_log(ratio: f64, se_log: f64) -> RatioEstimate {
+        if ratio.is_nan() || ratio <= 0.0 || !se_log.is_finite() {
+            return RatioEstimate {
+                ratio,
+                ci_low: 0.0,
+                ci_high: f64::INFINITY,
+                se_log: f64::INFINITY,
+            };
+        }
         RatioEstimate {
             ratio,
             ci_low: ratio * (-Z95 * se_log).exp(),
             ci_high: ratio * (Z95 * se_log).exp(),
+            se_log,
         }
     }
 
-    /// Half the CI width; infinite while the interval is undefined (the
-    /// early-stop comparison then never triggers).
+    /// The **maximum one-sided width** `max(hi − ratio, ratio − lo)`;
+    /// infinite while the interval is undefined (the early-stop
+    /// comparison then never triggers).
+    ///
+    /// A log-symmetric interval is arithmetically *asymmetric* — the
+    /// upper side `r·(e^{z·se} − 1)` is always the wider one — so the
+    /// naive `(hi − lo)/2` reading under-states how far the upper bound
+    /// sits from the point estimate. Defining the stop criterion as the
+    /// worse side guarantees that when a campaign stops at target `t`,
+    /// *neither* bound is further than `t` from the reported ratio. This
+    /// is the single half-width semantics used by the
+    /// [`CampaignConfig::target_half_width`] early stop,
+    /// [`crate::analysis::ConvergencePoint`] and
+    /// [`crate::analysis::runs_to_half_width`].
     pub fn half_width(&self) -> f64 {
-        if self.ci_high.is_finite() && self.ci_low.is_finite() {
-            (self.ci_high - self.ci_low) / 2.0
+        if self.ratio.is_finite() && self.ci_low.is_finite() && self.ci_high.is_finite() {
+            (self.ci_high - self.ratio).max(self.ratio - self.ci_low)
         } else {
             f64::INFINITY
         }
@@ -247,6 +634,101 @@ impl std::fmt::Display for RatioEstimate {
     }
 }
 
+/// A stratified delete-one-pair jackknife estimate of the log-risk-ratio
+/// spread — the independent cross-check of the paired delta-method CI.
+///
+/// Within each sampled stratum every pair is left out in turn and the
+/// full stratified log ratio recomputed (stratum weights stay fixed; the
+/// held-out stratum's rates are re-averaged over `n_s − 1` pairs). A pair
+/// only influences the estimate through which of the four [`PairTable`]
+/// cells it occupies, so the `n_s` replicates collapse to at most four
+/// distinct values with multiplicities and the whole jackknife costs
+/// `O(strata)` instead of `O(total pairs)`. The variance is the
+/// stratified jackknife sum `Σ_s (n_s−1)/n_s · Σ_{i∈s} (θ̂_(s,i) − θ̄_s)²`.
+///
+/// Being a resampling estimate of the *same* sampling distribution, it
+/// automatically prices in the between-arm covariance — pairs move both
+/// arms at once — without ever forming the covariance explicitly, which
+/// is what makes it a genuine cross-check of [`RatioEstimate::paired`]
+/// rather than a reformulation (property-tested agreement in
+/// `tests/proptests.rs`).
+///
+/// The interval is undefined (`[0, ∞)`, infinite `se_log`) when any arm
+/// is event-free, when a sampled stratum has fewer than two pairs, or
+/// when deleting a pair would zero an arm entirely (the log replicate
+/// diverges). A leave-one-*stratum*-out scheme is deliberately **not**
+/// used: strata are fixed cells of the design, not exchangeable draws,
+/// so deleting one estimates between-stratum heterogeneity instead of
+/// sampling error (see DESIGN.md).
+pub fn jackknife_ratio(weights: &[f64], tables: &[PairTable]) -> RatioEstimate {
+    debug_assert_eq!(
+        weights.len(),
+        tables.len(),
+        "one weight per stratum table — a mismatch would silently truncate"
+    );
+    let covered = covered_weight(weights.iter().zip(tables).map(|(&w, t)| (w, t.runs())));
+    let undefined = |ratio: f64| RatioEstimate::from_log(ratio, f64::INFINITY);
+    if covered <= 0.0 {
+        return undefined(f64::NAN);
+    }
+    let sampled: Vec<(f64, &PairTable)> = weights
+        .iter()
+        .zip(tables)
+        .filter(|(_, t)| t.runs() > 0)
+        .map(|(w, t)| (w / covered, t))
+        .collect();
+    let pe: f64 = sampled
+        .iter()
+        .map(|(w, t)| w * t.equipped_nmac() as f64 / t.runs() as f64)
+        .sum();
+    let pu: f64 = sampled
+        .iter()
+        .map(|(w, t)| w * t.unequipped_nmac() as f64 / t.runs() as f64)
+        .sum();
+    let ratio = if pu > 0.0 { pe / pu } else { f64::NAN };
+    if !(pe > 0.0 && pu > 0.0) || sampled.iter().any(|(_, t)| t.runs() < 2) {
+        return undefined(ratio);
+    }
+
+    let mut var = 0.0;
+    for &(w, t) in &sampled {
+        let n = t.runs() as f64;
+        let e = t.equipped_nmac() as f64;
+        let u = t.unequipped_nmac() as f64;
+        // Leave-out replicates by cell type: deleting a pair of type
+        // (de, du) shifts only this stratum's marginal rates.
+        let cells = [
+            (t.both_nmac, 1.0, 1.0),
+            (t.equipped_only, 1.0, 0.0),
+            (t.unequipped_only, 0.0, 1.0),
+            (t.neither, 0.0, 0.0),
+        ];
+        let mut thetas = [0.0f64; 4];
+        let mut mean = 0.0;
+        for (slot, &(count, de, du)) in thetas.iter_mut().zip(&cells) {
+            if count == 0 {
+                continue;
+            }
+            let pe_i = pe - w * e / n + w * (e - de) / (n - 1.0);
+            let pu_i = pu - w * u / n + w * (u - du) / (n - 1.0);
+            if !(pe_i > 0.0 && pu_i > 0.0) {
+                return undefined(ratio);
+            }
+            *slot = pe_i.ln() - pu_i.ln();
+            mean += count as f64 * *slot;
+        }
+        mean /= n;
+        let ss: f64 = thetas
+            .iter()
+            .zip(&cells)
+            .filter(|(_, (count, _, _))| *count > 0)
+            .map(|(theta, (count, _, _))| *count as f64 * (theta - mean) * (theta - mean))
+            .sum();
+        var += (n - 1.0) / n * ss;
+    }
+    RatioEstimate::from_log(ratio, var.sqrt())
+}
+
 /// Per-stratum outcome counts with Wilson intervals.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StratumEstimate {
@@ -256,12 +738,13 @@ pub struct StratumEstimate {
     pub weight: f64,
     /// Paired runs spent here.
     pub runs: usize,
+    /// The joint 2×2 outcome table the rates below are marginals of.
+    pub pairs: PairTable,
     /// Equipped NMAC rate.
     pub equipped_nmac: RateEstimate,
     /// Unequipped NMAC rate on identical seeds.
     pub unequipped_nmac: RateEstimate,
-    /// Rate of pairs whose two arms disagree on NMAC — the quantity
-    /// Neyman allocation targets.
+    /// Rate of pairs whose two arms disagree on NMAC.
     pub disagreement: RateEstimate,
     /// Fraction of equipped runs with at least one alert.
     pub alert: RateEstimate,
@@ -271,8 +754,9 @@ pub struct StratumEstimate {
 }
 
 /// The stratified analogue of [`crate::MonteCarloEstimate`]: per-stratum
-/// Wilson intervals plus exactly-weighted combined rates and the combined
-/// risk-ratio CI.
+/// Wilson intervals and 2×2 joint tables, exactly-weighted combined
+/// rates, the paired (covariance-aware) risk-ratio CI with its unpaired
+/// and jackknife companions, and the stratified between-arm covariance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StratifiedEstimate {
     /// Per-stratum estimates, in canonical stratum order.
@@ -289,8 +773,21 @@ pub struct StratifiedEstimate {
     pub alert: WeightedRate,
     /// Combined false-alert rate.
     pub false_alert: WeightedRate,
-    /// `equipped / unequipped` NMAC risk ratio with its CI.
+    /// Stratified between-arm covariance `Cov(p̂_e, p̂_u)` (see
+    /// [`paired_covariance`]).
+    pub covariance: f64,
+    /// `equipped / unequipped` NMAC risk ratio with the **paired**
+    /// (covariance-aware) CI — the campaign's primary deliverable and the
+    /// interval the early stop watches.
     pub risk_ratio: RatioEstimate,
+    /// The covariance-free delta-method CI on the same rates: never
+    /// tighter than [`StratifiedEstimate::risk_ratio`], reported for the
+    /// old-vs-new comparison.
+    pub risk_ratio_unpaired: RatioEstimate,
+    /// The stratified delete-one-pair jackknife CI (see
+    /// [`jackknife_ratio`]) — an independent cross-check of the paired
+    /// delta-method interval.
+    pub risk_ratio_jackknife: RatioEstimate,
 }
 
 /// Convergence snapshot appended after every campaign round — the series
@@ -310,8 +807,12 @@ pub struct RoundSummary {
     pub equipped_nmac: WeightedRate,
     /// Combined unequipped NMAC rate after this round.
     pub unequipped_nmac: WeightedRate,
-    /// Combined risk ratio after this round.
+    /// Combined paired risk ratio after this round (the early-stop
+    /// interval).
     pub risk_ratio: RatioEstimate,
+    /// The covariance-free interval after this round, for convergence
+    /// comparisons of the two constructions.
+    pub risk_ratio_unpaired: RatioEstimate,
 }
 
 /// The result of a campaign: the final stratified estimate plus the full
@@ -333,10 +834,11 @@ impl CampaignOutcome {
         self.estimate.total_runs
     }
 
-    /// Cumulative runs after the first round whose risk-ratio CI
-    /// half-width is at most `target`, if any round got there
-    /// (delegates to [`crate::analysis::runs_to_half_width`] so there is
-    /// a single definition of the runs-to-target reading).
+    /// Cumulative runs after the first round whose paired risk-ratio CI
+    /// half-width (maximum one-sided width — see
+    /// [`RatioEstimate::half_width`]) is at most `target`, if any round
+    /// got there (delegates to [`crate::analysis::runs_to_half_width`] so
+    /// there is a single definition of the runs-to-target reading).
     pub fn runs_to_half_width(&self, target: f64) -> Option<usize> {
         crate::analysis::runs_to_half_width(
             &crate::analysis::convergence_series(&self.rounds),
@@ -361,35 +863,28 @@ impl PairSource for BatchRunner {
     }
 }
 
-/// Per-stratum running counts.
+/// Per-stratum running counts: the joint 2×2 outcome table plus the
+/// alerting tallies the table does not cover.
 #[derive(Debug, Clone, Copy, Default)]
 struct Tally {
-    runs: usize,
-    equipped_nmac: usize,
-    unequipped_nmac: usize,
-    disagree: usize,
+    pairs: PairTable,
     alerts: usize,
     false_alerts: usize,
 }
 
 impl Tally {
     fn absorb(&mut self, pair: &PairedOutcome) {
-        self.runs += 1;
-        if pair.equipped.nmac {
-            self.equipped_nmac += 1;
-        }
-        if pair.unequipped.nmac {
-            self.unequipped_nmac += 1;
-        }
-        if pair.equipped.nmac != pair.unequipped.nmac {
-            self.disagree += 1;
-        }
+        self.pairs.absorb(pair);
         if pair.equipped.alerted() {
             self.alerts += 1;
         }
         if pair.false_alert() {
             self.false_alerts += 1;
         }
+    }
+
+    fn runs(&self) -> usize {
+        self.pairs.runs()
     }
 }
 
@@ -421,42 +916,64 @@ fn apportion(scores: &[f64], budget: usize) -> Vec<usize> {
     alloc
 }
 
-/// Neyman-style scores on the observed equipped/unequipped disagreement:
-/// minimizing the delta-method variance of the log risk ratio
-/// `Var(p̂_e)/p_e² + Var(p̂_u)/p_u²` over allocations gives
-/// `n_s ∝ w_s·√(σ̃²_{e,s}/p̂_e² + σ̃²_{u,s}/p̂_u²)` — each arm's
-/// per-stratum binomial variance scaled by that arm's leverage on the
-/// ratio CI. Strata where the arms disagree are exactly the strata where
-/// these variances live (agreement in either direction contributes
-/// nothing to the ratio's uncertainty budget), and the rarer arm's
-/// events dominate the score through the `1/p̂²` leverage.
+/// Neyman scores for the **paired** log-risk-ratio objective.
 ///
-/// Per-stratum rates are shrunk toward the pooled arm rate
-/// (`(e_s + k·p̂)/(n_s + k)`, an empirical-Bayes prior worth `k` pooled
-/// pseudo-runs), so an all-agree stratum scores like the campaign
+/// Minimizing the paired delta-method variance of `ln r̂`,
+/// `Σ_s w_s²/n_s · (σ²_{e,s}/p_e² + σ²_{u,s}/p_u² − 2·c_s/(p_e·p_u))`,
+/// over allocations `{n_s}` at a fixed total gives
+/// `n_s ∝ w_s·√(σ̃²_{e,s}/p̂_e² + σ̃²_{u,s}/p̂_u² − 2·c̃_s/(p̂_e·p̂_u))` —
+/// each stratum scored by its contribution to the variance that actually
+/// bounds the CI, covariance term included. A stratum whose events are
+/// *concordant* (both arms collide on the same pairs) carries a large
+/// positive `c̃_s` that cancels most of its marginal variance: those
+/// pairs tell the ratio little, and the score correctly discounts them.
+/// A *discordant* stratum (arms disagree) has `c̃_s ≈ 0` and keeps its
+/// full marginal score — the paired objective is what makes
+/// "disagreement-rich strata matter most" a theorem rather than a
+/// heuristic.
+///
+/// Per-stratum cell rates are shrunk toward the pooled rates
+/// (`(x_s + k·p̂)/(n_s + k)`, an empirical-Bayes prior worth `k = 4`
+/// pooled pseudo-runs), so an all-agree stratum scores like the campaign
 /// average instead of like `1/n_s` — rare-event strata with *observed*
 /// events stand out, but no region is ever written off on a handful of
 /// samples (the pooled rates themselves are Laplace-smoothed and
-/// nonzero).
-fn neyman_scores(weights: &[f64], tallies: &[Tally]) -> Vec<f64> {
-    /// Pseudo-runs of pooled-rate prior mixed into each stratum's rate.
+/// nonzero). The covariance is clamped to `[0, √(σ̃²_e·σ̃²_u)]` exactly
+/// as in the estimator, so every score is real and non-negative.
+pub fn neyman_scores(weights: &[f64], tables: &[PairTable]) -> Vec<f64> {
+    debug_assert_eq!(
+        weights.len(),
+        tables.len(),
+        "one weight per stratum table — a mismatch would silently truncate"
+    );
+    /// Pseudo-runs of pooled-rate prior mixed into each stratum's cells.
     const SHRINKAGE_RUNS: f64 = 4.0;
-    let total_runs: usize = tallies.iter().map(|t| t.runs).sum();
-    let equipped: usize = tallies.iter().map(|t| t.equipped_nmac).sum();
-    let unequipped: usize = tallies.iter().map(|t| t.unequipped_nmac).sum();
-    let pe = (equipped as f64 + 1.0) / (total_runs as f64 + 2.0);
-    let pu = (unequipped as f64 + 1.0) / (total_runs as f64 + 2.0);
-    let variance = |events: usize, trials: usize, pooled: f64| -> f64 {
-        let p = (events as f64 + SHRINKAGE_RUNS * pooled) / (trials as f64 + SHRINKAGE_RUNS);
-        p * (1.0 - p)
+    let total_runs: usize = tables.iter().map(PairTable::runs).sum();
+    let equipped: usize = tables.iter().map(PairTable::equipped_nmac).sum();
+    let unequipped: usize = tables.iter().map(PairTable::unequipped_nmac).sum();
+    let both: usize = tables.iter().map(|t| t.both_nmac).sum();
+    let n = total_runs as f64;
+    let pe = (equipped as f64 + 1.0) / (n + 2.0);
+    let pu = (unequipped as f64 + 1.0) / (n + 2.0);
+    // Pooled joint rate: a half pseudo-event keeps it strictly inside
+    // (0, min(pe, pu)) since both ≤ min(equipped, unequipped).
+    let pb = (both as f64 + 0.5) / (n + 2.0);
+    let shrink = |events: usize, trials: usize, pooled: f64| -> f64 {
+        (events as f64 + SHRINKAGE_RUNS * pooled) / (trials as f64 + SHRINKAGE_RUNS)
     };
     weights
         .iter()
-        .zip(tallies)
+        .zip(tables)
         .map(|(w, t)| {
-            let ve = variance(t.equipped_nmac, t.runs, pe);
-            let vu = variance(t.unequipped_nmac, t.runs, pu);
-            w * (ve / (pe * pe) + vu / (pu * pu)).sqrt()
+            let n_s = t.runs();
+            let pe_s = shrink(t.equipped_nmac(), n_s, pe);
+            let pu_s = shrink(t.unequipped_nmac(), n_s, pu);
+            let pb_s = shrink(t.both_nmac, n_s, pb);
+            let ve = pe_s * (1.0 - pe_s);
+            let vu = pu_s * (1.0 - pu_s);
+            let cov = (pb_s - pe_s * pu_s).clamp(0.0, (ve * vu).sqrt());
+            let objective = ve / (pe * pe) + vu / (pu * pu) - 2.0 * cov / (pe * pu);
+            w * objective.max(0.0).sqrt()
         })
         .collect()
 }
@@ -468,8 +985,8 @@ enum Allocation {
     /// uniform Monte-Carlo, the baseline adaptive campaigns are measured
     /// against.
     Proportional,
-    /// Neyman allocation on the observed (smoothed) disagreement
-    /// standard deviation: `n_s ∝ w_s·σ̃_s`.
+    /// Neyman allocation on the paired log-ratio objective (see
+    /// [`neyman_scores`]).
     Neyman,
 }
 
@@ -528,32 +1045,67 @@ impl CampaignPlanner {
     }
 
     /// Runs the adaptive campaign on the shared worker pool.
-    pub fn run(&self) -> CampaignOutcome {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignConfigError`] when the configuration is
+    /// degenerate (see [`CampaignConfig::validate`]); no simulation runs
+    /// in that case.
+    pub fn run(&self) -> Result<CampaignOutcome, CampaignConfigError> {
         self.run_observed(|_| {})
     }
 
     /// Runs the adaptive campaign, streaming each [`RoundSummary`] to
     /// `observer` as soon as its round completes (progress displays,
     /// convergence logging).
-    pub fn run_observed<F: FnMut(&RoundSummary)>(&self, observer: F) -> CampaignOutcome {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignConfigError`] when the configuration is
+    /// degenerate; the observer is never called in that case.
+    pub fn run_observed<F: FnMut(&RoundSummary)>(
+        &self,
+        observer: F,
+    ) -> Result<CampaignOutcome, CampaignConfigError> {
         self.run_with_observed(&self.batch(), Allocation::Neyman, observer)
     }
 
     /// Runs the adaptive campaign against a caller-supplied job source
     /// (rigged generators in tests, remote backends later).
-    pub fn run_with<S: PairSource>(&self, source: &S) -> CampaignOutcome {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignConfigError`] when the configuration is
+    /// degenerate; the source is never invoked in that case.
+    pub fn run_with<S: PairSource>(
+        &self,
+        source: &S,
+    ) -> Result<CampaignOutcome, CampaignConfigError> {
         self.run_with_observed(source, Allocation::Neyman, |_| {})
     }
 
     /// Runs the *uniform* baseline: identical schedule and seed rule, but
     /// every round splits its budget proportionally to stratum mass —
     /// stratified uniform Monte-Carlo, no adaptation.
-    pub fn run_uniform(&self) -> CampaignOutcome {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignConfigError`] when the configuration is
+    /// degenerate (same validation as [`CampaignPlanner::run`]).
+    pub fn run_uniform(&self) -> Result<CampaignOutcome, CampaignConfigError> {
         self.run_with_observed(&self.batch(), Allocation::Proportional, |_| {})
     }
 
     /// [`run_uniform`](Self::run_uniform) against a caller-supplied source.
-    pub fn run_uniform_with<S: PairSource>(&self, source: &S) -> CampaignOutcome {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignConfigError`] when the configuration is
+    /// degenerate; the source is never invoked in that case.
+    pub fn run_uniform_with<S: PairSource>(
+        &self,
+        source: &S,
+    ) -> Result<CampaignOutcome, CampaignConfigError> {
         self.run_with_observed(source, Allocation::Proportional, |_| {})
     }
 
@@ -566,7 +1118,8 @@ impl CampaignPlanner {
         source: &S,
         allocation: Allocation,
         mut observer: F,
-    ) -> CampaignOutcome {
+    ) -> Result<CampaignOutcome, CampaignConfigError> {
+        self.config.validate()?;
         let strata = self.stratification.strata();
         let weights: Vec<f64> = strata
             .iter()
@@ -582,7 +1135,10 @@ impl CampaignPlanner {
             } else {
                 let scores: Vec<f64> = match allocation {
                     Allocation::Proportional => weights.clone(),
-                    Allocation::Neyman => neyman_scores(&weights, &tallies),
+                    Allocation::Neyman => {
+                        let tables: Vec<PairTable> = tallies.iter().map(|t| t.pairs).collect();
+                        neyman_scores(&weights, &tables)
+                    }
                 };
                 apportion(&scores, self.config.round_runs)
             };
@@ -622,11 +1178,14 @@ impl CampaignPlanner {
                 equipped_nmac: estimate.equipped_nmac,
                 unequipped_nmac: estimate.unequipped_nmac,
                 risk_ratio: estimate.risk_ratio,
+                risk_ratio_unpaired: estimate.risk_ratio_unpaired,
             };
             observer(&summary);
             rounds.push(summary);
 
-            if self.config.target_half_width > 0.0
+            // A finite target both enables the stop and defines it; an
+            // infinite target means "never stop early" (validated > 0).
+            if self.config.target_half_width.is_finite()
                 && estimate.risk_ratio.half_width() <= self.config.target_half_width
             {
                 reached_target = true;
@@ -634,11 +1193,11 @@ impl CampaignPlanner {
             }
         }
 
-        CampaignOutcome {
+        Ok(CampaignOutcome {
             estimate: self.estimate_from(&strata, &weights, &tallies),
             rounds,
             reached_target,
-        }
+        })
     }
 
     fn estimate_from(
@@ -654,27 +1213,33 @@ impl CampaignPlanner {
             .map(|((&stratum, &weight), t)| StratumEstimate {
                 stratum,
                 weight,
-                runs: t.runs,
-                equipped_nmac: RateEstimate::wilson(t.equipped_nmac, t.runs),
-                unequipped_nmac: RateEstimate::wilson(t.unequipped_nmac, t.runs),
-                disagreement: RateEstimate::wilson(t.disagree, t.runs),
-                alert: RateEstimate::wilson(t.alerts, t.runs),
-                false_alert: RateEstimate::wilson(t.false_alerts, t.runs),
+                runs: t.runs(),
+                pairs: t.pairs,
+                equipped_nmac: RateEstimate::wilson(t.pairs.equipped_nmac(), t.runs()),
+                unequipped_nmac: RateEstimate::wilson(t.pairs.unequipped_nmac(), t.runs()),
+                disagreement: RateEstimate::wilson(t.pairs.disagree(), t.runs()),
+                alert: RateEstimate::wilson(t.alerts, t.runs()),
+                false_alert: RateEstimate::wilson(t.false_alerts, t.runs()),
             })
             .collect();
         let cells = |pick: fn(&Tally) -> usize| -> Vec<(f64, usize, usize)> {
             weights
                 .iter()
                 .zip(tallies)
-                .map(|(&w, t)| (w, pick(t), t.runs))
+                .map(|(&w, t)| (w, pick(t), t.runs()))
                 .collect()
         };
-        let equipped_nmac = WeightedRate::combine(&cells(|t| t.equipped_nmac));
-        let unequipped_nmac = WeightedRate::combine(&cells(|t| t.unequipped_nmac));
+        let tables: Vec<PairTable> = tallies.iter().map(|t| t.pairs).collect();
+        let equipped_nmac = WeightedRate::combine(&cells(|t| t.pairs.equipped_nmac()));
+        let unequipped_nmac = WeightedRate::combine(&cells(|t| t.pairs.unequipped_nmac()));
+        let covariance = paired_covariance(weights, &tables);
         StratifiedEstimate {
-            total_runs: tallies.iter().map(|t| t.runs).sum(),
-            risk_ratio: RatioEstimate::from_rates(&equipped_nmac, &unequipped_nmac),
-            disagreement: WeightedRate::combine(&cells(|t| t.disagree)),
+            total_runs: tallies.iter().map(Tally::runs).sum(),
+            covariance,
+            risk_ratio: RatioEstimate::paired(&equipped_nmac, &unequipped_nmac, covariance),
+            risk_ratio_unpaired: RatioEstimate::from_rates(&equipped_nmac, &unequipped_nmac),
+            risk_ratio_jackknife: jackknife_ratio(weights, &tables),
+            disagreement: WeightedRate::combine(&cells(|t| t.pairs.disagree())),
             alert: WeightedRate::combine(&cells(|t| t.alerts)),
             false_alert: WeightedRate::combine(&cells(|t| t.false_alerts)),
             strata: per_stratum,
@@ -687,6 +1252,16 @@ impl CampaignPlanner {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A table with the given cells, for estimator unit tests.
+    fn table(both: usize, e_only: usize, u_only: usize, neither: usize) -> PairTable {
+        PairTable {
+            both_nmac: both,
+            equipped_only: e_only,
+            unequipped_only: u_only,
+            neither,
+        }
+    }
 
     #[test]
     fn job_seeds_are_pure_and_component_sensitive() {
@@ -706,10 +1281,118 @@ mod tests {
         assert_eq!(alloc, apportion(&scores, 17));
         // Largest score takes the largest share.
         assert!(alloc[0] >= alloc[1] && alloc[1] >= alloc[2]);
-        // Degenerate scores spread evenly.
+    }
+
+    #[test]
+    fn apportion_handles_degenerate_scores() {
+        // All-zero scores spread evenly, first strata take the remainder.
         let even = apportion(&[0.0, 0.0, 0.0], 7);
         assert_eq!(even.iter().sum::<usize>(), 7);
         assert_eq!(even, vec![3, 2, 2]);
+        // Negative-sum scores take the same even path.
+        let neg = apportion(&[-1.0, -2.0], 5);
+        assert_eq!(neg.iter().sum::<usize>(), 5);
+        assert_eq!(neg, vec![3, 2]);
+        // Zero budget allocates nothing, whatever the scores.
+        assert_eq!(apportion(&[0.0, 0.0], 0), vec![0, 0]);
+        assert_eq!(apportion(&[1.0, 3.0], 0), vec![0, 0]);
+        // An empty stratification yields an empty (lossless) allocation.
+        assert!(apportion(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_campaigns() {
+        let ok = CampaignConfig::default();
+        assert_eq!(ok.validate(), Ok(()));
+        // Infinite target = early stop disabled, still valid.
+        let no_stop = CampaignConfig {
+            target_half_width: f64::INFINITY,
+            ..ok
+        };
+        assert_eq!(no_stop.validate(), Ok(()));
+
+        let cases = [
+            (
+                CampaignConfig {
+                    pilot_per_stratum: 0,
+                    ..ok
+                },
+                CampaignConfigError::ZeroPilotBudget,
+            ),
+            (
+                CampaignConfig {
+                    round_runs: 0,
+                    ..ok
+                },
+                CampaignConfigError::ZeroRoundRuns,
+            ),
+            (
+                CampaignConfig {
+                    max_rounds: 0,
+                    ..ok
+                },
+                CampaignConfigError::ZeroRounds,
+            ),
+            (
+                CampaignConfig {
+                    target_half_width: 0.0,
+                    ..ok
+                },
+                CampaignConfigError::NonPositiveTargetHalfWidth,
+            ),
+            (
+                CampaignConfig {
+                    target_half_width: -0.1,
+                    ..ok
+                },
+                CampaignConfigError::NonPositiveTargetHalfWidth,
+            ),
+            (
+                CampaignConfig {
+                    target_half_width: f64::NAN,
+                    ..ok
+                },
+                CampaignConfigError::NonPositiveTargetHalfWidth,
+            ),
+        ];
+        for (config, expected) in cases {
+            assert_eq!(config.validate(), Err(expected), "{config:?}");
+            // Errors render a usable message.
+            assert!(!expected.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn pair_table_marginals_and_absorb() {
+        let t = table(3, 2, 5, 90);
+        assert_eq!(t.runs(), 100);
+        assert_eq!(t.equipped_nmac(), 5);
+        assert_eq!(t.unequipped_nmac(), 8);
+        assert_eq!(t.disagree(), 7);
+    }
+
+    #[test]
+    fn pair_table_merge_keeps_every_cell() {
+        let mut total = table(3, 2, 5, 90);
+        total.merge(&table(1, 4, 2, 13));
+        assert_eq!(total, table(4, 6, 7, 103));
+        assert_eq!(total.runs(), 120);
+    }
+
+    #[test]
+    fn paired_caps_an_overlarge_covariance_at_cauchy_schwarz() {
+        let num = WeightedRate::combine(&[(1.0, 20, 1000)]);
+        let den = WeightedRate::combine(&[(1.0, 200, 1000)]);
+        // A covariance far beyond what the arms' standard errors permit
+        // must not collapse the interval to zero width.
+        let absurd = RatioEstimate::paired(&num, &den, 1.0);
+        let capped = RatioEstimate::paired(&num, &den, num.std_err * den.std_err);
+        assert_eq!(absurd, capped);
+        assert!(absurd.se_log > 0.0);
+        assert!(absurd.ci_low < absurd.ratio && absurd.ratio < absurd.ci_high);
+        // A negative covariance is sanitized to the unpaired interval.
+        let neg = RatioEstimate::paired(&num, &den, -1.0);
+        assert_eq!(neg, RatioEstimate::from_rates(&num, &den));
     }
 
     #[test]
@@ -742,4 +1425,89 @@ mod tests {
         assert!(undef.half_width().is_infinite());
         assert!(RatioEstimate::from_rates(&p, &zero).ratio.is_nan());
     }
+
+    #[test]
+    fn half_width_is_the_max_one_sided_width() {
+        let r = RatioEstimate::from_log(0.5, 0.2);
+        // Log-symmetric: the upper side is the wider one.
+        let upper = r.ci_high - r.ratio;
+        let lower = r.ratio - r.ci_low;
+        assert!(upper > lower);
+        assert!((r.half_width() - upper).abs() < 1e-12);
+        // Strictly larger than the arithmetic (hi−lo)/2 reading it fixes.
+        assert!(r.half_width() > (r.ci_high - r.ci_low) / 2.0);
+    }
+
+    #[test]
+    fn paired_interval_is_nested_in_the_unpaired_one() {
+        // One stratum, equipped ⊂ unequipped: strong positive covariance.
+        let tables = [table(8, 0, 32, 160)];
+        let weights = [1.0];
+        let e = WeightedRate::combine(&[(1.0, 8, 200)]);
+        let u = WeightedRate::combine(&[(1.0, 40, 200)]);
+        let cov = paired_covariance(&weights, &tables);
+        assert!(cov > 0.0);
+        let paired = RatioEstimate::paired(&e, &u, cov);
+        let unpaired = RatioEstimate::from_rates(&e, &u);
+        assert_eq!(paired.ratio, unpaired.ratio);
+        assert!(paired.se_log < unpaired.se_log);
+        assert!(paired.ci_low >= unpaired.ci_low);
+        assert!(paired.ci_high <= unpaired.ci_high);
+        assert!(paired.half_width() < unpaired.half_width());
+    }
+
+    #[test]
+    fn negative_sample_covariance_is_clamped_to_the_unpaired_interval() {
+        // Purely discordant events: sample covariance would be negative,
+        // but identical-seed arms cannot be anti-correlated — clamp to 0
+        // and fall back to the unpaired interval exactly.
+        let tables = [table(0, 10, 30, 160)];
+        let cov = paired_covariance(&[1.0], &tables);
+        assert_eq!(cov, 0.0);
+        let e = WeightedRate::combine(&[(1.0, 10, 200)]);
+        let u = WeightedRate::combine(&[(1.0, 30, 200)]);
+        let paired = RatioEstimate::paired(&e, &u, cov);
+        let unpaired = RatioEstimate::from_rates(&e, &u);
+        assert_eq!(paired, unpaired);
+    }
+
+    #[test]
+    fn jackknife_agrees_with_the_paired_delta_method() {
+        // Two healthy strata with plenty of events in every cell.
+        let weights = [0.5, 0.5];
+        let tables = [table(20, 10, 40, 330), table(10, 5, 25, 160)];
+        let e = WeightedRate::combine(&[(0.5, 30, 400), (0.5, 15, 200)]);
+        let u = WeightedRate::combine(&[(0.5, 60, 400), (0.5, 35, 200)]);
+        let delta = RatioEstimate::paired(&e, &u, paired_covariance(&weights, &tables));
+        let jack = jackknife_ratio(&weights, &tables);
+        assert!((jack.ratio - delta.ratio).abs() < 1e-12);
+        assert!(jack.se_log.is_finite());
+        let rel = (jack.se_log - delta.se_log).abs() / delta.se_log;
+        assert!(
+            rel < 0.2,
+            "jackknife {} vs delta {}",
+            jack.se_log,
+            delta.se_log
+        );
+    }
+
+    #[test]
+    fn jackknife_is_undefined_on_degenerate_tallies() {
+        // No coverage.
+        assert!(jackknife_ratio(&[1.0], &[table(0, 0, 0, 0)])
+            .se_log
+            .is_infinite());
+        // An arm would be zeroed by a deletion (single equipped event).
+        let single = jackknife_ratio(&[1.0], &[table(0, 1, 10, 89)]);
+        assert!(single.se_log.is_infinite());
+        assert_eq!((single.ci_low, single.ci_high), (0.0, f64::INFINITY));
+        // A sampled stratum with one pair cannot be jackknifed.
+        let tiny = jackknife_ratio(&[0.5, 0.5], &[table(2, 2, 2, 94), table(1, 0, 0, 0)]);
+        assert!(tiny.se_log.is_infinite());
+    }
+
+    // The discordant-outranks-concordant allocation property lives in
+    // tests/campaign_statistics.rs (neyman_ranks_discordant_above_
+    // concordant_at_equal_marginals) with the rest of the paired
+    // estimator's statistical coverage.
 }

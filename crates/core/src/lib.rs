@@ -24,9 +24,11 @@
 //!   contrasts against, with risk ratios and Wilson confidence intervals,
 //! * [`CampaignPlanner`]: adaptive stratified Monte-Carlo — a pilot round
 //!   over a geometry × CPA-band [`uavca_encounter::Stratification`], then
-//!   Neyman reallocation of the remaining budget toward strata where
-//!   equipped/unequipped outcomes disagree, with early stop on the
-//!   combined risk-ratio CI half-width,
+//!   Neyman reallocation of the remaining budget by each stratum's
+//!   contribution to the *paired* log-risk-ratio variance (the arms replay
+//!   identical seeds, so the estimator keeps the per-pair 2×2 table and
+//!   exploits the between-arm covariance), with early stop on the paired
+//!   risk-ratio CI half-width and a jackknife cross-check,
 //! * [`analysis`]: geometry classification of found scenarios and a
 //!   k-means extension (the paper's "find *areas* of the search space"
 //!   future work).
@@ -56,7 +58,8 @@ mod runner;
 mod scenario;
 
 pub use campaign::{
-    campaign_job_seed, CampaignConfig, CampaignOutcome, CampaignPlanner, PairSource, RatioEstimate,
+    campaign_job_seed, jackknife_ratio, neyman_scores, paired_covariance, CampaignConfig,
+    CampaignConfigError, CampaignOutcome, CampaignPlanner, PairSource, PairTable, RatioEstimate,
     RoundSummary, StratifiedEstimate, StratumEstimate, WeightedRate,
 };
 pub use engine::{BatchRunner, PairedJob, PairedOutcome, SimJob};

@@ -1,10 +1,33 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use uavca_encounter::StatisticalEncounterModel;
 use uavca_exec::Executor;
 
 use crate::{BatchRunner, EncounterRunner, PairedJob};
+
+/// Serializes a float, mapping the non-finite "undefined" markers (NaN
+/// rates on zero trials, infinite CI bounds) to JSON `null` — the bare
+/// literals `NaN`/`Infinity` are not valid JSON and would corrupt every
+/// emitted report.
+pub(crate) fn finite_or_null(x: f64) -> Value {
+    if x.is_finite() {
+        Value::Float(x)
+    } else {
+        Value::Null
+    }
+}
+
+/// Deserializes a float field whose serialized `null` means `undefined`
+/// — the inverse of [`finite_or_null`], with the type-specific undefined
+/// marker (`NaN` for rates and ratios, `+∞` for upper bounds and
+/// standard errors) supplied by the caller.
+pub(crate) fn float_or(v: &Value, undefined: f64) -> Result<f64, serde::Error> {
+    match v {
+        Value::Null => Ok(undefined),
+        other => f64::deserialize(other),
+    }
+}
 
 /// Configuration of a Monte-Carlo evaluation campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -32,7 +55,13 @@ impl Default for MonteCarloConfig {
 }
 
 /// A proportion with a Wilson-score 95% confidence interval.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// # Serialized form
+///
+/// At `trials == 0` the rate is undefined (`NaN` in memory); it
+/// serializes as JSON `null` and deserializes back to `NaN`, so emitted
+/// reports stay valid JSON.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RateEstimate {
     /// Number of positive events.
     pub events: usize,
@@ -44,6 +73,30 @@ pub struct RateEstimate {
     pub ci_low: f64,
     /// Upper 95% Wilson bound.
     pub ci_high: f64,
+}
+
+impl Serialize for RateEstimate {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("events".to_string(), self.events.serialize()),
+            ("trials".to_string(), self.trials.serialize()),
+            ("rate".to_string(), finite_or_null(self.rate)),
+            ("ci_low".to_string(), Value::Float(self.ci_low)),
+            ("ci_high".to_string(), Value::Float(self.ci_high)),
+        ])
+    }
+}
+
+impl Deserialize for RateEstimate {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        Ok(RateEstimate {
+            events: usize::deserialize(v.field("events")?)?,
+            trials: usize::deserialize(v.field("trials")?)?,
+            rate: float_or(v.field("rate")?, f64::NAN)?,
+            ci_low: f64::deserialize(v.field("ci_low")?)?,
+            ci_high: f64::deserialize(v.field("ci_high")?)?,
+        })
+    }
 }
 
 impl RateEstimate {
@@ -103,7 +156,12 @@ impl std::fmt::Display for RateEstimate {
 /// equipped system, the unequipped NMAC rate on identical seeds, and the
 /// derived risk ratio — the quantities the ACAS X simulation studies
 /// report (paper Sections II & IV).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// # Serialized form
+///
+/// An undefined risk ratio (zero unequipped NMACs → `NaN`) serializes as
+/// JSON `null` and deserializes back to `NaN`.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MonteCarloEstimate {
     /// NMAC rate with the configured equipage.
     pub equipped_nmac: RateEstimate,
@@ -117,6 +175,36 @@ pub struct MonteCarloEstimate {
     /// `equipped / unequipped` NMAC ratio (NaN when the unequipped count
     /// is zero).
     pub risk_ratio: f64,
+}
+
+impl Serialize for MonteCarloEstimate {
+    fn serialize(&self) -> Value {
+        Value::Object(vec![
+            ("equipped_nmac".to_string(), self.equipped_nmac.serialize()),
+            (
+                "unequipped_nmac".to_string(),
+                self.unequipped_nmac.serialize(),
+            ),
+            ("alert_rate".to_string(), self.alert_rate.serialize()),
+            (
+                "false_alert_rate".to_string(),
+                self.false_alert_rate.serialize(),
+            ),
+            ("risk_ratio".to_string(), finite_or_null(self.risk_ratio)),
+        ])
+    }
+}
+
+impl Deserialize for MonteCarloEstimate {
+    fn deserialize(v: &Value) -> Result<Self, serde::Error> {
+        Ok(MonteCarloEstimate {
+            equipped_nmac: RateEstimate::deserialize(v.field("equipped_nmac")?)?,
+            unequipped_nmac: RateEstimate::deserialize(v.field("unequipped_nmac")?)?,
+            alert_rate: RateEstimate::deserialize(v.field("alert_rate")?)?,
+            false_alert_rate: RateEstimate::deserialize(v.field("false_alert_rate")?)?,
+            risk_ratio: float_or(v.field("risk_ratio")?, f64::NAN)?,
+        })
+    }
 }
 
 /// Classical Monte-Carlo evaluation over the statistical encounter model —

@@ -90,7 +90,9 @@ fn fmt_half_width(hw: f64) -> String {
 }
 
 /// Renders a campaign's per-stratum breakdown: mass, runs spent, the two
-/// NMAC rates and the disagreement rate that drives reallocation.
+/// NMAC rates, and the joint 2×2 split (both-NMAC / equipped-only /
+/// unequipped-only counts) whose discordant cells drive reallocation and
+/// whose concordant cell carries the covariance the paired CI exploits.
 pub fn campaign_stratum_table(estimate: &StratifiedEstimate) -> TextTable {
     let mut table = TextTable::new([
         "stratum",
@@ -98,15 +100,23 @@ pub fn campaign_stratum_table(estimate: &StratifiedEstimate) -> TextTable {
         "runs",
         "unequipped",
         "equipped",
+        "both",
+        "e-only",
+        "u-only",
         "disagree",
     ]);
+    let mut combined = crate::PairTable::default();
     for s in &estimate.strata {
+        combined.merge(&s.pairs);
         table.row([
             s.stratum.to_string(),
             format!("{:.4}", s.weight),
             s.runs.to_string(),
             format!("{:.4}", s.unequipped_nmac.rate),
             format!("{:.4}", s.equipped_nmac.rate),
+            s.pairs.both_nmac.to_string(),
+            s.pairs.equipped_only.to_string(),
+            s.pairs.unequipped_only.to_string(),
             format!("{:.4}", s.disagreement.rate),
         ]);
     }
@@ -116,13 +126,18 @@ pub fn campaign_stratum_table(estimate: &StratifiedEstimate) -> TextTable {
         estimate.total_runs.to_string(),
         format!("{:.4}", estimate.unequipped_nmac.rate),
         format!("{:.4}", estimate.equipped_nmac.rate),
+        combined.both_nmac.to_string(),
+        combined.equipped_only.to_string(),
+        combined.unequipped_only.to_string(),
         format!("{:.4}", estimate.disagreement.rate),
     ]);
     table
 }
 
 /// Renders the round-by-round convergence trail: budget spent, combined
-/// rates, risk ratio and its CI half-width (the early-stop criterion).
+/// rates, the paired risk ratio with its CI half-width (the early-stop
+/// criterion — maximum one-sided width), and the covariance-free
+/// half-width on the same tallies for comparison.
 pub fn campaign_convergence_table(rounds: &[RoundSummary]) -> TextTable {
     let mut table = TextTable::new([
         "round",
@@ -132,6 +147,7 @@ pub fn campaign_convergence_table(rounds: &[RoundSummary]) -> TextTable {
         "equipped",
         "risk ratio",
         "half-width",
+        "unpaired hw",
     ]);
     for r in rounds {
         table.row([
@@ -142,6 +158,7 @@ pub fn campaign_convergence_table(rounds: &[RoundSummary]) -> TextTable {
             format!("{:.4}", r.equipped_nmac.rate),
             format!("{:.3}", r.risk_ratio.ratio),
             fmt_half_width(r.risk_ratio.half_width()),
+            fmt_half_width(r.risk_ratio_unpaired.half_width()),
         ]);
     }
     table

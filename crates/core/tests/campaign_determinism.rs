@@ -23,17 +23,23 @@ fn config(threads: usize) -> CampaignConfig {
         pilot_per_stratum: 6,
         round_runs: 60,
         max_rounds: 3,
-        target_half_width: 0.0, // never stop early: every round must match
+        // Never stop early (every round must match): an infinite target
+        // is the validated way to disable the early stop.
+        target_half_width: f64::INFINITY,
         threads,
     }
 }
 
 #[test]
 fn adaptive_campaign_is_identical_across_thread_counts() {
-    let reference = CampaignPlanner::new(runner(), config(1)).run();
+    let reference = CampaignPlanner::new(runner(), config(1))
+        .run()
+        .expect("valid config");
     assert_eq!(reference.rounds.len(), 4, "pilot + 3 refinement rounds");
     for threads in [2, 8] {
-        let outcome = CampaignPlanner::new(runner(), config(threads)).run();
+        let outcome = CampaignPlanner::new(runner(), config(threads))
+            .run()
+            .expect("valid config");
         assert_eq!(outcome, reference, "threads = {threads}");
     }
 }
@@ -41,8 +47,8 @@ fn adaptive_campaign_is_identical_across_thread_counts() {
 #[test]
 fn adaptive_campaign_is_identical_across_repeated_runs() {
     let planner = CampaignPlanner::new(runner(), config(0));
-    let a = planner.run();
-    let b = planner.run();
+    let a = planner.run().expect("valid config");
+    let b = planner.run().expect("valid config");
     assert_eq!(a, b);
     // The estimate is fully reconstructible: the convergence trail's last
     // round agrees with the final estimate.
@@ -53,8 +59,12 @@ fn adaptive_campaign_is_identical_across_repeated_runs() {
 
 #[test]
 fn uniform_baseline_is_identical_across_thread_counts() {
-    let reference = CampaignPlanner::new(runner(), config(1)).run_uniform();
-    let parallel = CampaignPlanner::new(runner(), config(8)).run_uniform();
+    let reference = CampaignPlanner::new(runner(), config(1))
+        .run_uniform()
+        .expect("valid config");
+    let parallel = CampaignPlanner::new(runner(), config(8))
+        .run_uniform()
+        .expect("valid config");
     assert_eq!(parallel, reference);
 }
 
@@ -64,8 +74,8 @@ fn campaign_seed_changes_every_round_not_just_the_pilot() {
         CampaignPlanner::new(runner(), CampaignConfig { seed, ..config(0) })
             .stratification(Stratification::new(2))
     };
-    let a = planner(1).run();
-    let b = planner(2).run();
+    let a = planner(1).run().expect("valid config");
+    let b = planner(2).run().expect("valid config");
     assert_ne!(a.estimate, b.estimate, "different seeds, different draws");
     assert_eq!(
         a.rounds.len(),
@@ -78,6 +88,29 @@ fn campaign_seed_changes_every_round_not_just_the_pilot() {
 fn observer_streams_the_same_rounds_the_outcome_records() {
     let planner = CampaignPlanner::new(runner(), config(2));
     let mut streamed = Vec::new();
-    let outcome = planner.run_observed(|round| streamed.push(round.clone()));
+    let outcome = planner
+        .run_observed(|round| streamed.push(round.clone()))
+        .expect("valid config");
     assert_eq!(streamed, outcome.rounds);
+}
+
+#[test]
+fn degenerate_configs_are_rejected_before_any_simulation() {
+    use uavca_validation::CampaignConfigError;
+    let planner =
+        CampaignPlanner::new(runner(), config(1)).config_with(|c| c.target_half_width = 0.0);
+    assert_eq!(
+        planner.run().unwrap_err(),
+        CampaignConfigError::NonPositiveTargetHalfWidth
+    );
+    assert_eq!(
+        planner.run_uniform().unwrap_err(),
+        CampaignConfigError::NonPositiveTargetHalfWidth
+    );
+    let mut observed = 0usize;
+    let err = planner
+        .run_observed(|_| observed += 1)
+        .expect_err("invalid config must not run");
+    assert_eq!(err, CampaignConfigError::NonPositiveTargetHalfWidth);
+    assert_eq!(observed, 0, "no round may execute on a rejected config");
 }

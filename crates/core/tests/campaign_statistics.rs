@@ -1,51 +1,81 @@
-//! Statistical validation of the stratified estimator on a rigged pair
-//! source with *known* per-stratum rates: the combined CIs must cover
-//! the true population values, the adaptive allocation must shift budget
-//! toward the disagreement-rich strata, and the adaptive campaign must
-//! reach a target risk-ratio CI half-width in fewer total runs than
-//! proportional (uniform) sampling. Everything is seeded, so the
-//! thresholds are deterministic.
+//! Statistical validation of the stratified paired estimator on rigged
+//! pair sources with *known joint* (not just marginal) per-stratum
+//! rates: the combined CIs must cover the true population values, the
+//! paired (covariance-aware) risk-ratio CI must be nested inside the
+//! covariance-free one and still cover the true ratio, the jackknife
+//! cross-check must agree with the delta method, the adaptive allocation
+//! must shift budget toward the discordance-rich strata, and the
+//! adaptive campaign must reach a target risk-ratio CI half-width in
+//! fewer total runs than proportional (uniform) sampling. Everything is
+//! seeded, so the thresholds are deterministic.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use uavca_encounter::{StatisticalEncounterModel, Stratification, Stratum};
 use uavca_sim::EncounterOutcome;
 use uavca_validation::{
-    CampaignConfig, CampaignOutcome, CampaignPlanner, EncounterRunner, PairSource, PairedJob,
-    PairedOutcome,
+    neyman_scores, CampaignConfig, CampaignOutcome, CampaignPlanner, EncounterRunner, PairSource,
+    PairTable, PairedJob, PairedOutcome,
 };
 
-/// Per-CPA-band true rates: the inner band carries almost all the risk
-/// (and all of the equipped/unequipped disagreement), the outer band is
-/// nearly dead — the regime importance splitting exists for.
-fn true_rates(stratum: Stratum) -> (f64, f64) {
+/// Per-stratum *joint* truth: probabilities of the three NMAC-bearing
+/// cells of the 2×2 pair table `(both, equipped-only, unequipped-only)`;
+/// the marginals are `p_e = both + e_only` and `p_u = both + u_only`.
+type JointRates = (f64, f64, f64);
+
+/// The subset regime: every equipped NMAC is also an unequipped NMAC
+/// (the avoidance system rescues a slice of the raw conflicts and never
+/// manufactures one) — maximal between-arm covariance for the given
+/// marginals, like an ideal avoidance system. Marginals per CPA band:
+/// inner `(p_u, p_e) = (0.40, 0.05)`, middle `(0.04, 0.004)`, outer
+/// `(0.004, 0.0004)` — the inner band carries almost all the risk and
+/// all of the disagreement, the regime importance splitting exists for.
+fn subset_joint(stratum: Stratum) -> JointRates {
     match stratum.cpa_bin {
-        0 => (0.40, 0.05),
-        1 => (0.04, 0.004),
-        _ => (0.004, 0.0004),
+        0 => (0.05, 0.0, 0.35),
+        1 => (0.004, 0.0, 0.036),
+        _ => (0.0004, 0.0, 0.0036),
     }
 }
 
-/// The population (weighted) unequipped and equipped NMAC rates.
-fn true_population_rates(strat: &Stratification, model: &StatisticalEncounterModel) -> (f64, f64) {
+/// A leakier regime with the *same marginals* as [`subset_joint`] but
+/// some induced collisions (`equipped-only > 0`): the joint distribution
+/// differs while every marginal test stays unchanged — exactly the
+/// structure a marginal-only estimator cannot see.
+fn mixed_joint(stratum: Stratum) -> JointRates {
+    match stratum.cpa_bin {
+        0 => (0.03, 0.02, 0.37),
+        1 => (0.002, 0.002, 0.038),
+        _ => (0.0002, 0.0002, 0.0038),
+    }
+}
+
+/// The population (weighted) unequipped and equipped NMAC rates under a
+/// joint truth.
+fn true_population_rates(
+    strat: &Stratification,
+    model: &StatisticalEncounterModel,
+    joint: fn(Stratum) -> JointRates,
+) -> (f64, f64) {
     strat
         .strata()
         .iter()
         .map(|&s| {
             let w = strat.weight(model, s);
-            let (pu, pe) = true_rates(s);
-            (w * pu, w * pe)
+            let (b, eo, uo) = joint(s);
+            (w * (b + uo), w * (b + eo))
         })
         .fold((0.0, 0.0), |(u, e), (du, de)| (u + du, e + de))
 }
 
-/// A pair source that decides outcomes by seed alone: a single uniform
-/// draw per pair, with `equipped ⊂ unequipped` (the equipped system
-/// "rescues" the slice of conflicts between the two rates) — maximal
-/// disagreement for the given marginals, like a real avoidance system.
+/// A pair source that decides the *joint* outcome by seed alone: a
+/// single uniform draw per pair lands in one of the four 2×2 cells with
+/// the stratum's true joint probabilities, so the between-arm covariance
+/// of the generated data is known exactly.
 struct RiggedSource {
     strat: Stratification,
     model: StatisticalEncounterModel,
+    joint: fn(Stratum) -> JointRates,
 }
 
 fn rigged_outcome(nmac: bool, alerted: bool) -> EncounterOutcome {
@@ -69,10 +99,10 @@ impl PairSource for RiggedSource {
         jobs.iter()
             .map(|job| {
                 let stratum = self.strat.stratum_of(&self.model, &job.params);
-                let (pu, pe) = true_rates(stratum);
+                let (b, eo, uo) = (self.joint)(stratum);
                 let u: f64 = StdRng::seed_from_u64(job.seed).gen();
-                let unequipped_nmac = u < pu;
-                let equipped_nmac = u < pe;
+                let equipped_nmac = u < b + eo;
+                let unequipped_nmac = u < b || (b + eo <= u && u < b + eo + uo);
                 PairedOutcome {
                     equipped: rigged_outcome(equipped_nmac, unequipped_nmac),
                     unequipped: rigged_outcome(unequipped_nmac, false),
@@ -82,7 +112,7 @@ impl PairSource for RiggedSource {
     }
 }
 
-fn setup() -> (CampaignPlanner, RiggedSource) {
+fn setup(joint: fn(Stratum) -> JointRates) -> (CampaignPlanner, RiggedSource) {
     let strat = Stratification::new(3);
     let model = StatisticalEncounterModel::default();
     let config = CampaignConfig {
@@ -90,7 +120,7 @@ fn setup() -> (CampaignPlanner, RiggedSource) {
         pilot_per_stratum: 40,
         round_runs: 400,
         max_rounds: 60,
-        target_half_width: 0.0,
+        target_half_width: f64::INFINITY,
         threads: 1,
     };
     // The runner is never exercised by the rigged source, but the
@@ -98,7 +128,14 @@ fn setup() -> (CampaignPlanner, RiggedSource) {
     let planner = CampaignPlanner::new(EncounterRunner::with_coarse_table(), config)
         .model(model)
         .stratification(strat);
-    (planner, RiggedSource { strat, model })
+    (
+        planner,
+        RiggedSource {
+            strat,
+            model,
+            joint,
+        },
+    )
 }
 
 fn runs_to(outcome: &CampaignOutcome, target: f64) -> Option<usize> {
@@ -107,11 +144,14 @@ fn runs_to(outcome: &CampaignOutcome, target: f64) -> Option<usize> {
 
 #[test]
 fn stratified_cis_cover_the_true_rates() {
-    let (planner, source) = setup();
+    let (planner, source) = setup(subset_joint);
     let planner = planner.config_with(|c| c.max_rounds = 15);
-    let outcome = planner.run_with(&source);
-    let (pu_true, pe_true) =
-        true_population_rates(&planner.current_stratification(), &planner.current_model());
+    let outcome = planner.run_with(&source).expect("valid config");
+    let (pu_true, pe_true) = true_population_rates(
+        &planner.current_stratification(),
+        &planner.current_model(),
+        subset_joint,
+    );
     let est = &outcome.estimate;
     assert_eq!(est.total_runs, 12 * 40 + 15 * 400);
 
@@ -128,13 +168,14 @@ fn stratified_cis_cover_the_true_rates() {
     let rr_true = pe_true / pu_true;
     assert!(
         est.risk_ratio.ci_low <= rr_true && rr_true <= est.risk_ratio.ci_high,
-        "risk-ratio CI {} must cover true {rr_true:.4}",
+        "paired risk-ratio CI {} must cover true {rr_true:.4}",
         est.risk_ratio
     );
     // Per-stratum Wilson intervals cover the per-stratum truth in the
     // well-sampled inner band.
     for s in est.strata.iter().filter(|s| s.stratum.cpa_bin == 0) {
-        let (pu, pe) = true_rates(s.stratum);
+        let (b, eo, uo) = subset_joint(s.stratum);
+        let (pe, pu) = (b + eo, b + uo);
         assert!(
             s.unequipped_nmac.ci_low <= pu && pu <= s.unequipped_nmac.ci_high,
             "stratum {} unequipped {} vs true {pu}",
@@ -147,14 +188,117 @@ fn stratified_cis_cover_the_true_rates() {
             s.stratum,
             s.equipped_nmac
         );
+        // The subset regime has no induced collisions; the 2×2 table
+        // must reflect that structurally.
+        assert_eq!(
+            s.pairs.equipped_only, 0,
+            "equipped ⊂ unequipped by construction"
+        );
+        assert_eq!(s.pairs.equipped_nmac(), s.pairs.both_nmac);
     }
 }
 
 #[test]
+fn paired_ci_is_nested_in_the_unpaired_ci_and_still_covers() {
+    for joint in [
+        subset_joint as fn(Stratum) -> JointRates,
+        mixed_joint as fn(Stratum) -> JointRates,
+    ] {
+        let (planner, source) = setup(joint);
+        let planner = planner.config_with(|c| c.max_rounds = 12);
+        let outcome = planner.run_with(&source).expect("valid config");
+        let est = &outcome.estimate;
+
+        // Identical-seed pairing yields a positive stratified covariance
+        // in both regimes (the arms still share most conflicts).
+        assert!(est.covariance > 0.0, "covariance {}", est.covariance);
+
+        // Nesting: the paired interval is never wider on either side.
+        assert_eq!(est.risk_ratio.ratio, est.risk_ratio_unpaired.ratio);
+        assert!(est.risk_ratio.ci_low >= est.risk_ratio_unpaired.ci_low);
+        assert!(est.risk_ratio.ci_high <= est.risk_ratio_unpaired.ci_high);
+        assert!(
+            est.risk_ratio.half_width() < est.risk_ratio_unpaired.half_width(),
+            "paired {} vs unpaired {}",
+            est.risk_ratio,
+            est.risk_ratio_unpaired
+        );
+
+        // ... and it still covers the true ratio.
+        let (pu_true, pe_true) = true_population_rates(
+            &planner.current_stratification(),
+            &planner.current_model(),
+            joint,
+        );
+        let rr_true = pe_true / pu_true;
+        assert!(
+            est.risk_ratio.ci_low <= rr_true && rr_true <= est.risk_ratio.ci_high,
+            "paired CI {} must cover true {rr_true:.4}",
+            est.risk_ratio
+        );
+
+        // The nesting holds round by round, not just at the end.
+        for round in &outcome.rounds {
+            assert!(
+                round.risk_ratio.half_width() <= round.risk_ratio_unpaired.half_width(),
+                "round {}: paired wider than unpaired",
+                round.round
+            );
+        }
+    }
+}
+
+#[test]
+fn jackknife_cross_check_agrees_with_the_paired_delta_method() {
+    let (planner, source) = setup(subset_joint);
+    let planner = planner.config_with(|c| c.max_rounds = 12);
+    let outcome = planner.run_with(&source).expect("valid config");
+    let est = &outcome.estimate;
+    let (delta, jack) = (&est.risk_ratio, &est.risk_ratio_jackknife);
+    assert!(jack.se_log.is_finite(), "jackknife defined on this tally");
+    assert!((jack.ratio - delta.ratio).abs() < 1e-12);
+    let rel = (jack.se_log - delta.se_log).abs() / delta.se_log;
+    assert!(
+        rel < 0.15,
+        "jackknife se {} vs paired delta se {} (rel {rel:.3})",
+        jack.se_log,
+        delta.se_log
+    );
+}
+
+#[test]
+fn neyman_ranks_discordant_above_concordant_at_equal_marginals() {
+    // Two strata with identical marginal NMAC counts (20 and 40 of 200)
+    // and equal mass; only the joint split differs. The concordant
+    // stratum's events overlap pair-for-pair (high covariance — its
+    // pairs tell the ratio little); the discordant one's never do.
+    let concordant = PairTable {
+        both_nmac: 20,
+        equipped_only: 0,
+        unequipped_only: 20,
+        neither: 160,
+    };
+    let discordant = PairTable {
+        both_nmac: 0,
+        equipped_only: 20,
+        unequipped_only: 40,
+        neither: 140,
+    };
+    assert_eq!(concordant.equipped_nmac(), discordant.equipped_nmac());
+    assert_eq!(concordant.unequipped_nmac(), discordant.unequipped_nmac());
+    let scores = neyman_scores(&[0.5, 0.5], &[concordant, discordant]);
+    assert!(
+        scores[1] > scores[0],
+        "equal marginal variance, but the discordant stratum must score \
+         higher under the paired objective: {scores:?}"
+    );
+}
+
+#[test]
 fn adaptive_allocation_shifts_budget_toward_disagreement() {
-    let (planner, source) = setup();
+    let (planner, source) = setup(subset_joint);
     let planner = planner.config_with(|c| c.max_rounds = 10);
-    let outcome = planner.run_with(&source);
+    let outcome = planner.run_with(&source).expect("valid config");
     let inner: usize = outcome
         .estimate
         .strata
@@ -184,11 +328,11 @@ fn adaptive_allocation_shifts_budget_toward_disagreement() {
 
 #[test]
 fn adaptive_campaign_needs_fewer_runs_than_uniform_for_the_same_ci_width() {
-    let (planner, source) = setup();
+    let (planner, source) = setup(subset_joint);
     let target = 0.025;
     let planner = planner.config_with(|c| c.target_half_width = target);
-    let adaptive = planner.run_with(&source);
-    let uniform = planner.run_uniform_with(&source);
+    let adaptive = planner.run_with(&source).expect("valid config");
+    let uniform = planner.run_uniform_with(&source).expect("valid config");
 
     assert!(adaptive.reached_target, "adaptive must reach the target");
     assert!(uniform.reached_target, "uniform must reach the target");
@@ -205,8 +349,11 @@ fn adaptive_campaign_needs_fewer_runs_than_uniform_for_the_same_ci_width() {
     );
     // Both campaigns estimate the same quantity.
     let rr_true = {
-        let (pu, pe) =
-            true_population_rates(&planner.current_stratification(), &planner.current_model());
+        let (pu, pe) = true_population_rates(
+            &planner.current_stratification(),
+            &planner.current_model(),
+            subset_joint,
+        );
         pe / pu
     };
     for (name, outcome) in [("adaptive", &adaptive), ("uniform", &uniform)] {

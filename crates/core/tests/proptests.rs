@@ -1,9 +1,45 @@
 //! Property tests for the statistical machinery adaptive campaigns lean
-//! on: the Wilson interval behind every per-stratum estimate and the
-//! campaign seed-derivation rule.
+//! on: the Wilson interval behind every per-stratum estimate, the paired
+//! (covariance-aware) risk-ratio interval and its jackknife cross-check,
+//! and the campaign seed-derivation rule.
 
 use proptest::prelude::*;
-use uavca_validation::{campaign_job_seed, RateEstimate, WeightedRate};
+use uavca_validation::{
+    campaign_job_seed, jackknife_ratio, paired_covariance, PairTable, RateEstimate, RatioEstimate,
+    WeightedRate,
+};
+
+/// Builds the pair tables, weights and combined marginal rates for a
+/// vector of per-stratum `(weight, both, e_only, u_only, neither)` draws.
+fn stratified_inputs(
+    cells: &[(f64, usize, usize, usize, usize)],
+) -> (Vec<f64>, Vec<PairTable>, WeightedRate, WeightedRate) {
+    let weights: Vec<f64> = cells.iter().map(|c| c.0).collect();
+    let tables: Vec<PairTable> = cells
+        .iter()
+        .map(|&(_, both, eo, uo, ne)| PairTable {
+            both_nmac: both,
+            equipped_only: eo,
+            unequipped_only: uo,
+            neither: ne,
+        })
+        .collect();
+    let equipped = WeightedRate::combine(
+        &cells
+            .iter()
+            .zip(&tables)
+            .map(|(&(w, ..), t)| (w, t.equipped_nmac(), t.runs()))
+            .collect::<Vec<_>>(),
+    );
+    let unequipped = WeightedRate::combine(
+        &cells
+            .iter()
+            .zip(&tables)
+            .map(|(&(w, ..), t)| (w, t.unequipped_nmac(), t.runs()))
+            .collect::<Vec<_>>(),
+    );
+    (weights, tables, equipped, unequipped)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
@@ -82,6 +118,64 @@ proptest! {
         prop_assert!((combined.rate - events as f64 / trials as f64).abs() < 1e-12);
         prop_assert!(combined.ci_low <= combined.rate && combined.rate <= combined.ci_high);
         prop_assert!(combined.ci_low >= 0.0 && combined.ci_high <= 1.0);
+    }
+
+    #[test]
+    fn paired_ci_is_never_wider_than_the_unpaired_ci(
+        cells in vec![
+            (0.05f64..1.0, 0usize..30, 0usize..30, 0usize..30, 0usize..300);
+            3
+        ]
+    ) {
+        // Arbitrary tallies, including degenerate ones (empty strata,
+        // event-free arms): the paired interval must never be wider than
+        // the covariance-free one on the same tallies, on either side.
+        let (weights, tables, equipped, unequipped) = stratified_inputs(&cells);
+        let cov = paired_covariance(&weights, &tables);
+        prop_assert!(cov >= 0.0, "clamped covariance cannot be negative");
+        let paired = RatioEstimate::paired(&equipped, &unequipped, cov);
+        let unpaired = RatioEstimate::from_rates(&equipped, &unequipped);
+        prop_assert!(
+            paired.se_log <= unpaired.se_log || !unpaired.se_log.is_finite(),
+            "paired {paired} vs unpaired {unpaired}"
+        );
+        prop_assert!(paired.ci_low >= unpaired.ci_low);
+        prop_assert!(paired.ci_high <= unpaired.ci_high);
+        prop_assert!(paired.half_width() <= unpaired.half_width());
+        // Both share the same point estimate (or are undefined together).
+        if paired.ratio.is_finite() {
+            prop_assert_eq!(paired.ratio, unpaired.ratio);
+        }
+    }
+
+    #[test]
+    fn jackknife_and_delta_method_agree_on_non_degenerate_tallies(
+        cells in vec![
+            (0.2f64..1.0, 5usize..40, 5usize..40, 5usize..40, 100usize..400);
+            2
+        ]
+    ) {
+        // Healthy tallies: every cell populated, no deletion can zero an
+        // arm. The delete-one-pair jackknife and the paired delta method
+        // estimate the same log-scale spread and must agree closely.
+        let (weights, tables, equipped, unequipped) = stratified_inputs(&cells);
+        let delta = RatioEstimate::paired(
+            &equipped,
+            &unequipped,
+            paired_covariance(&weights, &tables),
+        );
+        let jack = jackknife_ratio(&weights, &tables);
+        prop_assert!(jack.se_log.is_finite(), "defined on healthy tallies");
+        prop_assert!((jack.ratio - delta.ratio).abs() < 1e-12);
+        let rel = (jack.se_log - delta.se_log).abs() / delta.se_log;
+        prop_assert!(
+            rel < 0.25,
+            "jackknife se {} vs delta se {} (rel {rel:.3})",
+            jack.se_log,
+            delta.se_log
+        );
+        // The two intervals overlap around the shared point estimate.
+        prop_assert!(jack.ci_low < delta.ci_high && delta.ci_low < jack.ci_high);
     }
 
     #[test]

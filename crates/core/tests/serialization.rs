@@ -1,0 +1,155 @@
+//! JSON round trips of the campaign statistics types, including the
+//! *undefined* estimates (zero trials, zero denominators) that used to
+//! serialize the invalid-JSON literals `NaN`/`Infinity`. Undefined
+//! points now serialize as `null` and come back as their in-memory
+//! markers (`NaN` rates/ratios, infinite upper bounds), so report output
+//! is valid JSON end to end.
+
+use uavca_validation::analysis::ConvergencePoint;
+use uavca_validation::{CampaignConfig, RateEstimate, RatioEstimate, WeightedRate};
+
+/// Strict-JSON guard: the serialized form may not contain the extended
+/// float literals that `serde_json` proper (and every downstream JSON
+/// consumer) rejects.
+fn assert_strict_json(json: &str) {
+    assert!(!json.contains("NaN"), "bare NaN in {json}");
+    assert!(!json.contains("Infinity"), "bare Infinity in {json}");
+}
+
+#[test]
+fn undefined_rate_estimate_round_trips_through_null() {
+    let undefined = RateEstimate::wilson(0, 0);
+    assert!(undefined.rate.is_nan());
+    let json = serde_json::to_string(&undefined).unwrap();
+    assert_strict_json(&json);
+    assert!(json.contains("\"rate\":null"), "{json}");
+    let back: RateEstimate = serde_json::from_str(&json).unwrap();
+    assert!(back.rate.is_nan());
+    assert_eq!((back.events, back.trials), (0, 0));
+    assert_eq!((back.ci_low, back.ci_high), (0.0, 1.0));
+}
+
+#[test]
+fn defined_rate_estimate_round_trips_bit_exactly() {
+    let e = RateEstimate::wilson(7, 123);
+    let json = serde_json::to_string(&e).unwrap();
+    assert_strict_json(&json);
+    let back: RateEstimate = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, e);
+}
+
+#[test]
+fn undefined_weighted_rate_round_trips_through_null() {
+    let none = WeightedRate::combine(&[(1.0, 0, 0)]);
+    assert!(none.rate.is_nan() && none.std_err.is_nan());
+    let json = serde_json::to_string(&none).unwrap();
+    assert_strict_json(&json);
+    let back: WeightedRate = serde_json::from_str(&json).unwrap();
+    assert!(back.rate.is_nan() && back.std_err.is_nan());
+    assert_eq!((back.ci_low, back.ci_high), (0.0, 1.0));
+
+    let defined = WeightedRate::combine(&[(0.5, 10, 100), (0.5, 50, 100)]);
+    let json = serde_json::to_string(&defined).unwrap();
+    assert_strict_json(&json);
+    let back: WeightedRate = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, defined);
+}
+
+#[test]
+fn undefined_ratio_estimate_round_trips_through_null() {
+    // Zero denominator: NaN ratio, [0, ∞) interval, infinite se.
+    let p = WeightedRate::combine(&[(1.0, 20, 100)]);
+    let zero = WeightedRate::combine(&[(1.0, 0, 100)]);
+    let undef = RatioEstimate::from_rates(&p, &zero);
+    assert!(undef.ratio.is_nan());
+    assert!(undef.ci_high.is_infinite() && undef.se_log.is_infinite());
+    let json = serde_json::to_string(&undef).unwrap();
+    assert_strict_json(&json);
+    assert!(json.contains("\"ratio\":null"), "{json}");
+    assert!(json.contains("\"ci_high\":null"), "{json}");
+    let back: RatioEstimate = serde_json::from_str(&json).unwrap();
+    assert!(back.ratio.is_nan());
+    assert_eq!(back.ci_low, 0.0);
+    assert!(back.ci_high.is_infinite() && back.se_log.is_infinite());
+    assert!(back.half_width().is_infinite());
+
+    // Zero numerator: defined 0 ratio, still the vacuous interval.
+    let zero_num = RatioEstimate::from_rates(&zero, &p);
+    let json = serde_json::to_string(&zero_num).unwrap();
+    assert_strict_json(&json);
+    let back: RatioEstimate = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.ratio, 0.0);
+    assert!(back.ci_high.is_infinite());
+}
+
+#[test]
+fn undefined_convergence_point_round_trips_through_null() {
+    // A pilot round with an event-free arm: both half-widths are the
+    // infinite "undefined" marker.
+    let p = WeightedRate::combine(&[(1.0, 20, 100)]);
+    let zero = WeightedRate::combine(&[(1.0, 0, 100)]);
+    let point = ConvergencePoint {
+        round: 0,
+        total_runs: 120,
+        risk_ratio: RatioEstimate::from_rates(&p, &zero),
+        half_width: f64::INFINITY,
+        unpaired_half_width: f64::INFINITY,
+    };
+    let json = serde_json::to_string(&point).unwrap();
+    assert_strict_json(&json);
+    assert!(json.contains("\"half_width\":null"), "{json}");
+    let back: ConvergencePoint = serde_json::from_str(&json).unwrap();
+    assert_eq!((back.round, back.total_runs), (0, 120));
+    assert!(back.half_width.is_infinite() && back.unpaired_half_width.is_infinite());
+
+    // Defined half-widths round-trip bit-exactly.
+    let q = WeightedRate::combine(&[(1.0, 40, 100)]);
+    let ratio = RatioEstimate::from_rates(&p, &q);
+    let defined = ConvergencePoint {
+        round: 3,
+        total_runs: 900,
+        risk_ratio: ratio,
+        half_width: ratio.half_width(),
+        unpaired_half_width: ratio.half_width() * 1.2,
+    };
+    let json = serde_json::to_string(&defined).unwrap();
+    assert_strict_json(&json);
+    let back: ConvergencePoint = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, defined);
+}
+
+#[test]
+fn no_early_stop_campaign_config_round_trips_through_null() {
+    // The documented disable-early-stop sentinel is +∞ — it must not
+    // leak a bare `Infinity` literal into serialized configs.
+    let config = CampaignConfig {
+        target_half_width: f64::INFINITY,
+        ..CampaignConfig::default()
+    };
+    assert_eq!(config.validate(), Ok(()));
+    let json = serde_json::to_string(&config).unwrap();
+    assert_strict_json(&json);
+    assert!(json.contains("\"target_half_width\":null"), "{json}");
+    let back: CampaignConfig = serde_json::from_str(&json).unwrap();
+    assert!(back.target_half_width.is_infinite());
+    assert_eq!(back.seed, config.seed);
+    assert_eq!(back.threads, config.threads);
+
+    // A finite target round-trips bit-exactly.
+    let finite = CampaignConfig::default();
+    let json = serde_json::to_string(&finite).unwrap();
+    assert_strict_json(&json);
+    let back: CampaignConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, finite);
+}
+
+#[test]
+fn defined_ratio_estimate_round_trips_bit_exactly() {
+    let p = WeightedRate::combine(&[(1.0, 20, 100)]);
+    let q = WeightedRate::combine(&[(1.0, 40, 100)]);
+    let r = RatioEstimate::from_rates(&p, &q);
+    let json = serde_json::to_string(&r).unwrap();
+    assert_strict_json(&json);
+    let back: RatioEstimate = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, r);
+}

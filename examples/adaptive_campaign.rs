@@ -3,10 +3,12 @@
 //!
 //! Runs the same risk-ratio estimation twice: once with uniform
 //! (mass-proportional) stratified sampling and once with the adaptive
-//! planner that reallocates each round's budget toward strata where
-//! equipped and unequipped outcomes disagree (Neyman allocation), then
-//! compares how many paired simulations each needed to reach the target
-//! CI half-width.
+//! planner that reallocates each round's budget by each stratum's
+//! contribution to the *paired* log-risk-ratio variance (Neyman
+//! allocation on the 2×2 joint outcome tables), then compares how many
+//! paired simulations each needed to reach the target CI half-width.
+//! The final estimate prints the paired (covariance-aware) CI next to
+//! the covariance-free one and the jackknife cross-check.
 //!
 //! Run with `cargo run --release --example adaptive_campaign [--full]`.
 
@@ -63,29 +65,34 @@ fn main() {
         config.target_half_width,
     );
 
-    println!("\n== adaptive (Neyman on disagreement) ==");
+    println!("\n== adaptive (Neyman on the paired log-ratio objective) ==");
     let started = std::time::Instant::now();
-    let adaptive = planner.run_observed(|round| {
-        println!(
-            "round {:>2}: +{:<4} runs (total {:>5})  risk ratio {}",
-            round.round, round.runs_this_round, round.total_runs, round.risk_ratio
-        );
-    });
+    let adaptive = planner
+        .run_observed(|round| {
+            println!(
+                "round {:>2}: +{:<4} runs (total {:>5})  risk ratio {}",
+                round.round, round.runs_this_round, round.total_runs, round.risk_ratio
+            );
+        })
+        .expect("valid campaign config");
     let adaptive_time = started.elapsed();
 
     println!("\n== uniform baseline (mass-proportional) ==");
     let started = std::time::Instant::now();
-    let uniform = planner.run_uniform();
+    let uniform = planner.run_uniform().expect("valid campaign config");
     let uniform_time = started.elapsed();
     print!("{}", campaign_convergence_table(&uniform.rounds));
 
     println!("\n== final adaptive estimate ==");
     print!("{}", campaign_stratum_table(&adaptive.estimate));
     println!(
-        "\nunequipped NMAC {}\nequipped NMAC   {}\nrisk ratio      {}",
+        "\nunequipped NMAC  {}\nequipped NMAC    {}\nrisk ratio       {}  (paired, Cov(p̂_e,p̂_u) = {:.3e})\n  unpaired CI    {}\n  jackknife CI   {}",
         adaptive.estimate.unequipped_nmac,
         adaptive.estimate.equipped_nmac,
-        adaptive.estimate.risk_ratio
+        adaptive.estimate.risk_ratio,
+        adaptive.estimate.covariance,
+        adaptive.estimate.risk_ratio_unpaired,
+        adaptive.estimate.risk_ratio_jackknife
     );
 
     let target = config.target_half_width;
