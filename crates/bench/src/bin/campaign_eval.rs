@@ -13,10 +13,15 @@
 //! default 4), `--target X` (CI half-width target, default 0.1),
 //! `--enriched` (conflict-enriched model variant), `--json` (emit one
 //! machine-readable JSON document instead of the text table — undefined
-//! estimates serialize as `null`, never as bare `NaN`/`Infinity`).
+//! estimates serialize as `null`, never as bare `NaN`/`Infinity`),
+//! `--shards N` (run every campaign through an N-shard
+//! `uavca_serve::ShardedBackend` instead of the in-process worker pool —
+//! results are bit-identical by contract, so this flag measures the
+//! service path's overhead, not a different estimate).
 
 use serde::Serialize;
 use uavca_encounter::{StatisticalEncounterModel, Stratification};
+use uavca_serve::ShardedBackend;
 use uavca_validation::{
     CampaignConfig, CampaignOutcome, CampaignPlanner, RatioEstimate, TextTable,
 };
@@ -53,6 +58,7 @@ fn main() {
         .unwrap_or(0.1);
     let enriched = std::env::args().any(|a| a == "--enriched");
     let json = std::env::args().any(|a| a == "--json");
+    let shards: Option<usize> = flag_value("--shards").and_then(|v| v.parse().ok());
 
     let mut model = StatisticalEncounterModel::default();
     if enriched {
@@ -79,10 +85,18 @@ fn main() {
     }
     if !json {
         println!(
-            "campaign_eval: {} seeds, {} CPA bands, target half-width {target}, enriched={enriched}",
-            seeds, bins
+            "campaign_eval: {} seeds, {} CPA bands, target half-width {target}, enriched={enriched}{}",
+            seeds,
+            bins,
+            shards.map_or(String::new(), |n| format!(", shards={n}")),
         );
     }
+    // With --shards N every campaign runs through the sharded service
+    // backend (N local shard workers, one executor thread each — the
+    // bench box is 1-CPU, so threads measure nothing here); without it,
+    // through the in-process worker pool. Estimates are bit-identical
+    // either way, so the comparison isolates the service overhead.
+    let backend = shards.map(|n| ShardedBackend::spawn_local(runner.clone(), n.max(1), 1));
 
     let to_target = |o: &CampaignOutcome| o.runs_to_half_width(target);
     let mut table = TextTable::new([
@@ -106,8 +120,18 @@ fn main() {
         let planner = CampaignPlanner::new(runner.clone(), config)
             .model(model)
             .stratification(Stratification::new(bins));
-        let adaptive = planner.run().expect("valid campaign config");
-        let uniform = planner.run_uniform().expect("valid campaign config");
+        let (adaptive, uniform) = match &backend {
+            Some(fleet) => (
+                planner.run_with(fleet).expect("valid campaign config"),
+                planner
+                    .run_uniform_with(fleet)
+                    .expect("valid campaign config"),
+            ),
+            None => (
+                planner.run().expect("valid campaign config"),
+                planner.run_uniform().expect("valid campaign config"),
+            ),
+        };
         let (a, u) = (to_target(&adaptive), to_target(&uniform));
         let saving = match (a, u) {
             (Some(a), Some(u)) => {

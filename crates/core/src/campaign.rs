@@ -53,7 +53,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize, Value};
 use uavca_encounter::{StatisticalEncounterModel, Stratification, Stratum};
-use uavca_exec::Executor;
+use uavca_exec::{Backend, Executor};
 
 use crate::montecarlo::{finite_or_null, float_or};
 use crate::{BatchRunner, EncounterRunner, PairedJob, PairedOutcome, RateEstimate};
@@ -857,7 +857,7 @@ pub trait PairSource {
     fn run_pairs(&self, jobs: &[PairedJob]) -> Vec<PairedOutcome>;
 }
 
-impl PairSource for BatchRunner {
+impl<B: Backend> PairSource for BatchRunner<B> {
     fn run_pairs(&self, jobs: &[PairedJob]) -> Vec<PairedOutcome> {
         self.run_paired(jobs)
     }
@@ -865,15 +865,27 @@ impl PairSource for BatchRunner {
 
 /// Per-stratum running counts: the joint 2×2 outcome table plus the
 /// alerting tallies the table does not cover.
-#[derive(Debug, Clone, Copy, Default)]
-struct Tally {
-    pairs: PairTable,
-    alerts: usize,
-    false_alerts: usize,
+///
+/// This is the campaign's unit of mergeable state. Every cell is an
+/// integer count, so [`StratumTally::merge`] is exact, commutative and
+/// associative — which is precisely why sharded execution can be held
+/// to bit-identity with a single process: however a round's outcomes
+/// were partitioned (shard counts, scheduling, mid-round requeues),
+/// merging the partial tallies reproduces the same cells, and every
+/// statistic downstream is a pure function of the cells.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StratumTally {
+    /// The joint 2×2 outcome table of the pairs absorbed so far.
+    pub pairs: PairTable,
+    /// Pairs whose equipped arm alerted at least once.
+    pub alerts: usize,
+    /// Pairs alerting although the unequipped replay stayed NMAC-free.
+    pub false_alerts: usize,
 }
 
-impl Tally {
-    fn absorb(&mut self, pair: &PairedOutcome) {
+impl StratumTally {
+    /// Folds one paired outcome into the tally.
+    pub fn absorb(&mut self, pair: &PairedOutcome) {
         self.pairs.absorb(pair);
         if pair.equipped.alerted() {
             self.alerts += 1;
@@ -883,7 +895,17 @@ impl Tally {
         }
     }
 
-    fn runs(&self) -> usize {
+    /// Adds every count of `other` into this tally — the round- and
+    /// shard-merge rule ([`PairTable::merge`] on the 2×2 cells plus the
+    /// alert counters).
+    pub fn merge(&mut self, other: &StratumTally) {
+        self.pairs.merge(&other.pairs);
+        self.alerts += other.alerts;
+        self.false_alerts += other.false_alerts;
+    }
+
+    /// Total pairs recorded.
+    pub fn runs(&self) -> usize {
         self.pairs.runs()
     }
 }
@@ -1067,7 +1089,7 @@ impl CampaignPlanner {
         &self,
         observer: F,
     ) -> Result<CampaignOutcome, CampaignConfigError> {
-        self.run_with_observed(&self.batch(), Allocation::Neyman, observer)
+        self.run_with_allocation(&self.batch(), Allocation::Neyman, observer)
     }
 
     /// Runs the adaptive campaign against a caller-supplied job source
@@ -1081,7 +1103,25 @@ impl CampaignPlanner {
         &self,
         source: &S,
     ) -> Result<CampaignOutcome, CampaignConfigError> {
-        self.run_with_observed(source, Allocation::Neyman, |_| {})
+        self.run_with_allocation(source, Allocation::Neyman, |_| {})
+    }
+
+    /// Runs the adaptive campaign against a caller-supplied job source,
+    /// streaming each [`RoundSummary`] as its round completes — the
+    /// combination remote services need (a sharded backend as the
+    /// source, round events forwarded over the wire as they happen).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignConfigError`] when the configuration is
+    /// degenerate; neither the source nor the observer is invoked in
+    /// that case.
+    pub fn run_with_observed<S: PairSource, F: FnMut(&RoundSummary)>(
+        &self,
+        source: &S,
+        observer: F,
+    ) -> Result<CampaignOutcome, CampaignConfigError> {
+        self.run_with_allocation(source, Allocation::Neyman, observer)
     }
 
     /// Runs the *uniform* baseline: identical schedule and seed rule, but
@@ -1093,7 +1133,7 @@ impl CampaignPlanner {
     /// Returns [`CampaignConfigError`] when the configuration is
     /// degenerate (same validation as [`CampaignPlanner::run`]).
     pub fn run_uniform(&self) -> Result<CampaignOutcome, CampaignConfigError> {
-        self.run_with_observed(&self.batch(), Allocation::Proportional, |_| {})
+        self.run_with_allocation(&self.batch(), Allocation::Proportional, |_| {})
     }
 
     /// [`run_uniform`](Self::run_uniform) against a caller-supplied source.
@@ -1106,14 +1146,31 @@ impl CampaignPlanner {
         &self,
         source: &S,
     ) -> Result<CampaignOutcome, CampaignConfigError> {
-        self.run_with_observed(source, Allocation::Proportional, |_| {})
+        self.run_with_allocation(source, Allocation::Proportional, |_| {})
+    }
+
+    /// [`run_uniform_with`](Self::run_uniform_with) with per-round
+    /// streaming — so services can report uniform-baseline progress
+    /// exactly as they report adaptive progress.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignConfigError`] when the configuration is
+    /// degenerate; neither the source nor the observer is invoked in
+    /// that case.
+    pub fn run_uniform_with_observed<S: PairSource, F: FnMut(&RoundSummary)>(
+        &self,
+        source: &S,
+        observer: F,
+    ) -> Result<CampaignOutcome, CampaignConfigError> {
+        self.run_with_allocation(source, Allocation::Proportional, observer)
     }
 
     fn batch(&self) -> BatchRunner {
         BatchRunner::new(self.runner.clone(), Executor::new(self.config.threads))
     }
 
-    fn run_with_observed<S: PairSource, F: FnMut(&RoundSummary)>(
+    fn run_with_allocation<S: PairSource, F: FnMut(&RoundSummary)>(
         &self,
         source: &S,
         allocation: Allocation,
@@ -1125,7 +1182,7 @@ impl CampaignPlanner {
             .iter()
             .map(|&s| self.stratification.weight(&self.model, s))
             .collect();
-        let mut tallies = vec![Tally::default(); strata.len()];
+        let mut tallies = vec![StratumTally::default(); strata.len()];
         let mut rounds: Vec<RoundSummary> = Vec::new();
         let mut reached_target = false;
 
@@ -1164,9 +1221,25 @@ impl CampaignPlanner {
                 }
             }
 
+            // Absorb the round into fresh per-stratum tallies, then fold
+            // those into the campaign totals through the one merge rule
+            // ([`StratumTally::merge`], i.e. [`PairTable::merge`] on the
+            // 2×2 cells). In-process and sharded sources thus share the
+            // exact accumulation path sharded backends merge partial
+            // results with — integer-count addition — so the estimate
+            // cannot depend on how a round's jobs were partitioned.
             let outcomes = source.run_pairs(&jobs);
+            debug_assert_eq!(
+                outcomes.len(),
+                jobs.len(),
+                "a PairSource must return exactly one outcome per job"
+            );
+            let mut round_tallies = vec![StratumTally::default(); strata.len()];
             for (&si, pair) in owners.iter().zip(&outcomes) {
-                tallies[si].absorb(pair);
+                round_tallies[si].absorb(pair);
+            }
+            for (total, fresh) in tallies.iter_mut().zip(&round_tallies) {
+                total.merge(fresh);
             }
 
             let estimate = self.estimate_from(&strata, &weights, &tallies);
@@ -1204,7 +1277,7 @@ impl CampaignPlanner {
         &self,
         strata: &[Stratum],
         weights: &[f64],
-        tallies: &[Tally],
+        tallies: &[StratumTally],
     ) -> StratifiedEstimate {
         let per_stratum: Vec<StratumEstimate> = strata
             .iter()
@@ -1222,7 +1295,7 @@ impl CampaignPlanner {
                 false_alert: RateEstimate::wilson(t.false_alerts, t.runs()),
             })
             .collect();
-        let cells = |pick: fn(&Tally) -> usize| -> Vec<(f64, usize, usize)> {
+        let cells = |pick: fn(&StratumTally) -> usize| -> Vec<(f64, usize, usize)> {
             weights
                 .iter()
                 .zip(tallies)
@@ -1234,7 +1307,7 @@ impl CampaignPlanner {
         let unequipped_nmac = WeightedRate::combine(&cells(|t| t.pairs.unequipped_nmac()));
         let covariance = paired_covariance(weights, &tables);
         StratifiedEstimate {
-            total_runs: tallies.iter().map(Tally::runs).sum(),
+            total_runs: tallies.iter().map(StratumTally::runs).sum(),
             covariance,
             risk_ratio: RatioEstimate::paired(&equipped_nmac, &unequipped_nmac, covariance),
             risk_ratio_unpaired: RatioEstimate::from_rates(&equipped_nmac, &unequipped_nmac),

@@ -35,15 +35,21 @@
 //! [`crate::SearchHarness`]), and [`crate::EncounterRunner::run_repeated`]
 //! (the serial fast path over one warm scratch).
 
+use serde::{Deserialize, Serialize};
 use uavca_encounter::EncounterParams;
-use uavca_exec::Executor;
+use uavca_exec::{Backend, Executor};
 use uavca_sim::EncounterOutcome;
 
 use crate::{EncounterRunner, Equipage, RunScratch};
 
 /// One simulation to run: scenario parameters, the seed that fully
 /// determines its noise and disturbances, and the equipage to fly.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Jobs are plain serializable data — a job is its own complete
+/// description, so batches can cross process and machine boundaries
+/// (the `uavca-serve` wire protocol ships them as JSON) without losing
+/// the purity that batch determinism rests on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimJob {
     /// The encounter to generate and fly.
     pub params: EncounterParams,
@@ -55,7 +61,7 @@ pub struct SimJob {
 
 /// An equipped + unequipped run of the same scenario on the same seed,
 /// generated once — the unit of paired risk-ratio estimation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PairedJob {
     /// The encounter to generate and fly (twice).
     pub params: EncounterParams,
@@ -64,7 +70,7 @@ pub struct PairedJob {
 }
 
 /// The two outcomes of a [`PairedJob`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PairedOutcome {
     /// Outcome with the runner's configured equipage.
     pub equipped: EncounterOutcome,
@@ -80,21 +86,36 @@ impl PairedOutcome {
     }
 }
 
-/// Executes batches of simulation jobs on a shared worker pool, with
-/// deterministic (thread-count-independent) results and per-worker
-/// allocation reuse.
+/// Anything that can fly a batch of single simulation jobs — the
+/// job-level counterpart of [`crate::PairSource`] for unpaired batches.
+///
+/// [`BatchRunner`] is the in-process implementation; remote backends
+/// (the `uavca-serve` sharded service) implement the same contract over
+/// a wire protocol. Implementations must be pure per job (outcome a
+/// function of `params`, `seed` and `equipage` only) and return
+/// outcomes in job order, so consumers stay deterministic whatever
+/// executes the batch.
+pub trait SimSource {
+    /// Runs every job, returning outcomes in job order.
+    fn run_sims(&self, jobs: &[SimJob]) -> Vec<EncounterOutcome>;
+}
+
+/// Executes batches of simulation jobs on a local execution backend
+/// (by default the shared [`Executor`] worker pool), with deterministic
+/// (thread-count-independent) results and per-worker allocation reuse.
+///
+/// The backend is the *closure-level* seam ([`uavca_exec::Backend`]):
+/// any strategy that can fan a borrowed function over a job slice in
+/// the caller's address space. Cross-process execution plugs in one
+/// layer up instead, at the job-level [`SimSource`] /
+/// [`crate::PairSource`] contracts this runner also satisfies.
 #[derive(Debug, Clone)]
-pub struct BatchRunner {
+pub struct BatchRunner<B: Backend = Executor> {
     runner: EncounterRunner,
-    executor: Executor,
+    backend: B,
 }
 
 impl BatchRunner {
-    /// A batch runner fanning out on `executor`.
-    pub fn new(runner: EncounterRunner, executor: Executor) -> Self {
-        Self { runner, executor }
-    }
-
     /// A strictly in-thread batch runner (the right choice inside an
     /// already-parallel evaluation, e.g. per-genome fitness under the GA's
     /// population-level fan-out).
@@ -102,19 +123,31 @@ impl BatchRunner {
         Self::new(runner, Executor::serial())
     }
 
+    /// The executor in use (for the default executor-backed runner).
+    pub fn executor(&self) -> Executor {
+        self.backend
+    }
+}
+
+impl<B: Backend> BatchRunner<B> {
+    /// A batch runner fanning out on `backend`.
+    pub fn new(runner: EncounterRunner, backend: B) -> Self {
+        Self { runner, backend }
+    }
+
     /// The wrapped runner.
     pub fn runner(&self) -> &EncounterRunner {
         &self.runner
     }
 
-    /// The executor in use.
-    pub fn executor(&self) -> Executor {
-        self.executor
+    /// The execution backend in use.
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
     /// Runs every job, returning outcomes in job order.
     pub fn run_batch(&self, jobs: &[SimJob]) -> Vec<EncounterOutcome> {
-        self.executor
+        self.backend
             .map_with(jobs, RunScratch::new, |scratch, job| {
                 self.runner
                     .run_once_reusing(&job.params, job.seed, job.equipage, scratch)
@@ -124,7 +157,7 @@ impl BatchRunner {
     /// Runs every paired job (equipped + unequipped on one seed, one
     /// scenario generation each), in job order.
     pub fn run_paired(&self, jobs: &[PairedJob]) -> Vec<PairedOutcome> {
-        self.executor
+        self.backend
             .map_with(jobs, RunScratch::new, |scratch, job| {
                 let (equipped, unequipped) =
                     self.runner.run_pair_reusing(&job.params, job.seed, scratch);
@@ -144,10 +177,19 @@ impl BatchRunner {
         runs: usize,
         seed_base: u64,
     ) -> Vec<EncounterOutcome> {
-        let jobs = Self::repeated_jobs(params, self.runner.current_equipage(), runs, seed_base);
+        let jobs =
+            BatchRunner::repeated_jobs(params, self.runner.current_equipage(), runs, seed_base);
         self.run_batch(&jobs)
     }
+}
 
+impl<B: Backend> SimSource for BatchRunner<B> {
+    fn run_sims(&self, jobs: &[SimJob]) -> Vec<EncounterOutcome> {
+        self.run_batch(jobs)
+    }
+}
+
+impl BatchRunner {
     /// Builds the job list for `runs` repeats of one scenario.
     pub fn repeated_jobs(
         params: &EncounterParams,

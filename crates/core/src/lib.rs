@@ -60,12 +60,14 @@ mod scenario;
 pub use campaign::{
     campaign_job_seed, jackknife_ratio, neyman_scores, paired_covariance, CampaignConfig,
     CampaignConfigError, CampaignOutcome, CampaignPlanner, PairSource, PairTable, RatioEstimate,
-    RoundSummary, StratifiedEstimate, StratumEstimate, WeightedRate,
+    RoundSummary, StratifiedEstimate, StratumEstimate, StratumTally, WeightedRate,
 };
-pub use engine::{BatchRunner, PairedJob, PairedOutcome, SimJob};
+pub use engine::{BatchRunner, PairedJob, PairedOutcome, SimJob, SimSource};
 pub use fitness::{FitnessFunction, FitnessKind};
 pub use harness::{SearchConfig, SearchHarness, SearchOutcome};
 pub use montecarlo::{MonteCarloConfig, MonteCarloEstimate, MonteCarloEstimator, RateEstimate};
-pub use report::{campaign_convergence_table, campaign_stratum_table, TextTable};
+pub use report::{
+    campaign_convergence_table, campaign_shard_table, campaign_stratum_table, ShardUsage, TextTable,
+};
 pub use runner::{EncounterRunner, Equipage, RunScratch};
 pub use scenario::ScenarioSpace;

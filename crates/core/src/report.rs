@@ -164,9 +164,89 @@ pub fn campaign_convergence_table(rounds: &[RoundSummary]) -> TextTable {
     table
 }
 
+/// One shard's usage counters for [`campaign_shard_table`] — how a
+/// sharded campaign's work actually landed: jobs executed, jobs requeued
+/// *away* after the shard was lost, and duplicate deliveries rejected by
+/// the merge layer. Produced by `uavca-serve`'s sharded backend; defined
+/// here so the report layer stays independent of the service crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardUsage {
+    /// Shard index (coordinator-side ordering).
+    pub shard: usize,
+    /// Jobs this shard completed and the coordinator accepted.
+    pub jobs_completed: usize,
+    /// Jobs requeued to other shards after this shard was lost.
+    pub jobs_requeued: usize,
+    /// Result messages rejected as duplicates of already-merged jobs.
+    pub duplicates_rejected: usize,
+    /// Whether the shard was lost (transport closed) at any point.
+    pub lost: bool,
+}
+
+/// Renders per-shard usage of a sharded campaign: where the jobs ran,
+/// what was requeued after a shard loss, and how many duplicate
+/// deliveries the merge layer rejected. The totals row is the
+/// work-conservation check — completed jobs across shards must equal the
+/// campaign's executed jobs exactly, whatever faults occurred.
+pub fn campaign_shard_table(shards: &[ShardUsage]) -> TextTable {
+    let mut table = TextTable::new(["shard", "jobs", "requeued", "dup rejected", "lost"]);
+    let mut total = ShardUsage {
+        shard: 0,
+        jobs_completed: 0,
+        jobs_requeued: 0,
+        duplicates_rejected: 0,
+        lost: false,
+    };
+    for s in shards {
+        total.jobs_completed += s.jobs_completed;
+        total.jobs_requeued += s.jobs_requeued;
+        total.duplicates_rejected += s.duplicates_rejected;
+        table.row([
+            s.shard.to_string(),
+            s.jobs_completed.to_string(),
+            s.jobs_requeued.to_string(),
+            s.duplicates_rejected.to_string(),
+            if s.lost { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    table.row([
+        "total".to_string(),
+        total.jobs_completed.to_string(),
+        total.jobs_requeued.to_string(),
+        total.duplicates_rejected.to_string(),
+        String::new(),
+    ]);
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shard_table_totals_conserve_work() {
+        let shards = [
+            ShardUsage {
+                shard: 0,
+                jobs_completed: 40,
+                jobs_requeued: 0,
+                duplicates_rejected: 1,
+                lost: false,
+            },
+            ShardUsage {
+                shard: 1,
+                jobs_completed: 9,
+                jobs_requeued: 11,
+                duplicates_rejected: 0,
+                lost: true,
+            },
+        ];
+        let t = campaign_shard_table(&shards);
+        assert_eq!(t.num_rows(), 3);
+        let text = t.to_string();
+        assert!(text.contains("49"), "total completed jobs:\n{text}");
+        assert!(text.contains("yes"), "lost shard flagged:\n{text}");
+    }
 
     #[test]
     fn renders_aligned_columns() {

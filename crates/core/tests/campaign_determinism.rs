@@ -68,6 +68,86 @@ fn uniform_baseline_is_identical_across_thread_counts() {
     assert_eq!(parallel, reference);
 }
 
+/// The sharded service's oracle: a campaign executed across N shard
+/// workers (each with its own worker pool) must serialize to the *same
+/// bytes* as `CampaignPlanner::run` in one process — shard count and
+/// per-shard thread count are pure deployment choices.
+#[test]
+fn sharded_campaign_matches_in_process_byte_for_byte() {
+    use uavca_serve::ShardedBackend;
+
+    let planner = CampaignPlanner::new(runner(), config(1));
+    let reference = planner.run().expect("valid config");
+    let reference_estimate =
+        serde_json::to_string(&reference.estimate).expect("serializable estimate");
+
+    for shards in [1, 2, 8] {
+        for threads_per_shard in [1, 2] {
+            let backend = ShardedBackend::spawn_local(runner(), shards, threads_per_shard);
+            let outcome = planner.run_with(&backend).expect("valid config");
+            // Full outcome equality (rounds, allocations, estimate) ...
+            assert_eq!(
+                outcome, reference,
+                "shards = {shards}, threads/shard = {threads_per_shard}"
+            );
+            // ... and byte-identity of the serialized estimate, the
+            // strongest form the artifact-level comparison can take.
+            let sharded_estimate =
+                serde_json::to_string(&outcome.estimate).expect("serializable estimate");
+            assert_eq!(
+                sharded_estimate, reference_estimate,
+                "serialized bytes must match at shards = {shards}, threads/shard = {threads_per_shard}"
+            );
+            // A clean run records no faults: nothing was requeued,
+            // duplicated or dropped on the way to identity.
+            assert!(backend.take_faults().is_empty());
+            let usage = backend.usage();
+            assert_eq!(usage.len(), shards);
+            let completed: usize = usage.iter().map(|u| u.jobs_completed).sum();
+            assert_eq!(completed, outcome.total_runs());
+        }
+    }
+}
+
+/// The full client/server stack (wire protocol + framing + sharding)
+/// returns the same bytes too, with rounds streamed in the same order
+/// the in-process observer sees them.
+#[test]
+fn served_campaign_over_the_wire_matches_in_process() {
+    use uavca_serve::{spawn_in_process, CampaignRequest};
+
+    let planner = CampaignPlanner::new(runner(), config(1));
+    let reference = planner.run().expect("valid config");
+
+    let (client, server) = spawn_in_process(runner(), 2, 1);
+    let request = CampaignRequest {
+        config: config(1),
+        model: planner.current_model(),
+        cpa_bins: 3,
+        uniform: false,
+    };
+    // The default stratification must match what the planner used.
+    assert_eq!(
+        CampaignPlanner::new(runner(), config(1))
+            .stratification(uavca_encounter::Stratification::new(3))
+            .current_stratification(),
+        planner.current_stratification(),
+        "test premise: Stratification::new(3) is the default"
+    );
+    let mut streamed = Vec::new();
+    let outcome = client
+        .run_campaign(&request, |round| streamed.push(round.clone()))
+        .expect("campaign accepted");
+    assert_eq!(outcome, reference);
+    assert_eq!(streamed, reference.rounds);
+    assert_eq!(
+        serde_json::to_string(&outcome.estimate).unwrap(),
+        serde_json::to_string(&reference.estimate).unwrap()
+    );
+    client.shutdown().expect("orderly shutdown");
+    server.join().expect("server session ends cleanly");
+}
+
 #[test]
 fn campaign_seed_changes_every_round_not_just_the_pilot() {
     let planner = |seed| {

@@ -1,0 +1,212 @@
+//! The campaign client: drives a [`CampaignServer`] over any transport,
+//! and satisfies the same job-level contracts as a local
+//! [`BatchRunner`](uavca_validation::BatchRunner) — a remote fleet
+//! behind [`PairSource`]/[`SimSource`], indistinguishable to consumers.
+
+use std::sync::Mutex;
+
+use uavca_sim::EncounterOutcome;
+use uavca_validation::{
+    CampaignOutcome, EncounterRunner, PairSource, PairedJob, PairedOutcome, RoundSummary, SimJob,
+    SimSource,
+};
+
+use crate::protocol::{CampaignRequest, Event, Request};
+use crate::transport::{recv_msg, send_msg, TcpTransport, Transport};
+use crate::{channel_pair, CampaignServer, ServeError, SessionEnd, ShardedBackend};
+
+/// A connection to a [`CampaignServer`].
+///
+/// Interior-mutable (the transport sits behind a mutex) so the client
+/// can serve the shared-reference [`PairSource`]/[`SimSource`] contracts;
+/// requests are serialized per connection either way, matching the
+/// server's one-session loop.
+pub struct CampaignClient {
+    transport: Mutex<Box<dyn Transport>>,
+}
+
+impl std::fmt::Debug for CampaignClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignClient").finish_non_exhaustive()
+    }
+}
+
+impl CampaignClient {
+    /// A client over an already-connected transport.
+    pub fn new(transport: impl Transport + 'static) -> Self {
+        Self {
+            transport: Mutex::new(Box::new(transport)),
+        }
+    }
+
+    /// Connects to a TCP server (one serving
+    /// [`CampaignServer::serve_tcp`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the connection error.
+    pub fn connect_tcp<A: std::net::ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        Ok(Self::new(TcpTransport::connect(addr)?))
+    }
+
+    /// Runs a batch of single simulation jobs on the service; outcomes
+    /// in job order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on transport/protocol failure or a
+    /// server-side execution error.
+    pub fn run_batch(&self, jobs: &[SimJob]) -> Result<Vec<EncounterOutcome>, ServeError> {
+        let mut transport = self.transport.lock().expect("client transport lock");
+        send_msg(
+            &mut **transport,
+            &Request::RunBatch {
+                jobs: jobs.to_vec(),
+            },
+        )?;
+        match Self::expect_event(&mut **transport)? {
+            Event::BatchDone { outcomes } => Ok(outcomes),
+            other => Err(Self::fail(other)),
+        }
+    }
+
+    /// Runs a batch of paired jobs on the service; outcomes in job
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on transport/protocol failure or a
+    /// server-side execution error.
+    pub fn run_paired(&self, jobs: &[PairedJob]) -> Result<Vec<PairedOutcome>, ServeError> {
+        let mut transport = self.transport.lock().expect("client transport lock");
+        send_msg(
+            &mut **transport,
+            &Request::RunPaired {
+                jobs: jobs.to_vec(),
+            },
+        )?;
+        match Self::expect_event(&mut **transport)? {
+            Event::PairedDone { outcomes } => Ok(outcomes),
+            other => Err(Self::fail(other)),
+        }
+    }
+
+    /// Runs a full campaign on the service, invoking `on_round` with
+    /// each [`RoundSummary`] as the server streams it, and returning the
+    /// final outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Rejected`] for degenerate configurations
+    /// (typed, same error the in-process planner returns) and
+    /// transport/protocol failures otherwise.
+    pub fn run_campaign(
+        &self,
+        request: &CampaignRequest,
+        mut on_round: impl FnMut(&RoundSummary),
+    ) -> Result<CampaignOutcome, ServeError> {
+        let mut transport = self.transport.lock().expect("client transport lock");
+        send_msg(
+            &mut **transport,
+            &Request::RunCampaign { request: *request },
+        )?;
+        loop {
+            match Self::expect_event(&mut **transport)? {
+                Event::Round { summary } => on_round(&summary),
+                Event::CampaignDone { outcome } => return Ok(outcome),
+                Event::Rejected { error } => return Err(ServeError::Rejected(error)),
+                other => return Err(Self::fail(other)),
+            }
+        }
+    }
+
+    /// Asks the server to shut down and waits for the acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport/protocol failures; the server may already be
+    /// gone by the time the acknowledgement would arrive.
+    pub fn shutdown(self) -> Result<(), ServeError> {
+        let mut transport = self.transport.lock().expect("client transport lock");
+        send_msg(&mut **transport, &Request::Shutdown)?;
+        match Self::expect_event(&mut **transport)? {
+            Event::ShutdownAck => Ok(()),
+            other => Err(Self::fail(other)),
+        }
+    }
+
+    fn expect_event(transport: &mut dyn Transport) -> Result<Event, ServeError> {
+        recv_msg::<Event>(transport)?.ok_or(ServeError::ConnectionClosed)
+    }
+
+    fn fail(event: Event) -> ServeError {
+        match event {
+            Event::Error { message } => ServeError::Server(message),
+            other => ServeError::Unexpected(format!("{other:?}")),
+        }
+    }
+}
+
+impl PairSource for CampaignClient {
+    /// # Panics
+    ///
+    /// The [`PairSource`] contract is infallible; this panics on
+    /// service failure. Use [`CampaignClient::run_paired`] to handle
+    /// failures as values.
+    fn run_pairs(&self, jobs: &[PairedJob]) -> Vec<PairedOutcome> {
+        self.run_paired(jobs).expect("campaign service failed")
+    }
+}
+
+impl SimSource for CampaignClient {
+    /// # Panics
+    ///
+    /// Panics on service failure; see [`CampaignClient::run_batch`].
+    fn run_sims(&self, jobs: &[SimJob]) -> Vec<EncounterOutcome> {
+        self.run_batch(jobs).expect("campaign service failed")
+    }
+}
+
+/// A handle on an in-process server thread; join it after the client's
+/// [`CampaignClient::shutdown`] to observe the session's end state.
+#[derive(Debug)]
+pub struct InProcessServer {
+    handle: std::thread::JoinHandle<Result<SessionEnd, ServeError>>,
+}
+
+impl InProcessServer {
+    /// Waits for the server thread to finish its session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the session's [`ServeError`], if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server thread itself panicked.
+    pub fn join(self) -> Result<SessionEnd, ServeError> {
+        self.handle.join().expect("campaign server thread panicked")
+    }
+}
+
+/// Spawns a complete in-process service — `shards` local shard workers
+/// with `threads_per_shard` executor threads each, a [`CampaignServer`]
+/// thread over a channel transport — and returns the connected client.
+///
+/// The whole stack (protocol, framing, sharded merge) runs exactly as it
+/// would across machines; only the transports are channels. This is the
+/// deployment the determinism matrix and the example exercise.
+pub fn spawn_in_process(
+    runner: EncounterRunner,
+    shards: usize,
+    threads_per_shard: usize,
+) -> (CampaignClient, InProcessServer) {
+    let backend = ShardedBackend::spawn_local(runner.clone(), shards, threads_per_shard);
+    let server = CampaignServer::new(runner, backend);
+    let (client_end, mut server_end) = channel_pair();
+    let handle = std::thread::Builder::new()
+        .name("uavca-campaign-server".to_string())
+        .spawn(move || server.serve(&mut server_end))
+        .expect("spawning the campaign server thread");
+    (CampaignClient::new(client_end), InProcessServer { handle })
+}

@@ -1,0 +1,269 @@
+//! The wire protocol: every message exchanged by the campaign service,
+//! plus the line-delimited JSON framing they travel in.
+//!
+//! # Framing
+//!
+//! One message per line: a message is its serde JSON rendering followed
+//! by `\n`. The workspace's JSON writer never emits a raw newline (it is
+//! escaped inside strings and absent everywhere else), so the framing is
+//! unambiguous and a reader can resynchronize on line boundaries. Floats
+//! print via shortest-round-trip formatting, so every finite `f64`
+//! crosses the wire bit-exactly — the precondition for the service's
+//! bit-identity guarantee. Undefined statistics (`NaN` rates, infinite
+//! half-widths, the `target_half_width = ∞` no-early-stop sentinel)
+//! serialize as `null` exactly as they do in reports, and deserialize
+//! back to their in-memory markers (covered by this crate's proptests).
+//!
+//! # Message families
+//!
+//! * [`Request`]/[`Event`] — client ↔ server: submit job batches or a
+//!   full campaign; receive outcomes, streamed per-round summaries, and
+//!   typed rejections.
+//! * [`ShardRequest`]/[`ShardEvent`] — coordinator ↔ shard worker:
+//!   indexed job batches tagged with a `batch` id, answered by one event
+//!   per job. The `batch` tag is what lets the coordinator reject stale
+//!   or duplicated deliveries with a typed fault instead of corrupting a
+//!   later round's merge.
+
+use std::io::{BufRead, Write};
+
+use serde::{Deserialize, Serialize};
+use uavca_encounter::StatisticalEncounterModel;
+use uavca_sim::EncounterOutcome;
+use uavca_validation::{
+    CampaignConfig, CampaignConfigError, CampaignOutcome, PairedJob, PairedOutcome, RoundSummary,
+    SimJob,
+};
+
+use crate::ServeError;
+
+/// A full campaign specification as submitted over the wire: the
+/// [`CampaignConfig`] plus the statistical model and stratification
+/// the server should plan over.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignRequest {
+    /// The campaign schedule, seed and early-stop target. Its
+    /// `threads` field is ignored server-side: parallelism is the
+    /// shard fleet's, and the estimate is bit-identical regardless.
+    pub config: CampaignConfig,
+    /// The statistical encounter model to stratify and sample.
+    pub model: StatisticalEncounterModel,
+    /// CPA bands per geometry class (the [`uavca_encounter::Stratification`]
+    /// resolution).
+    pub cpa_bins: usize,
+    /// `true` runs the mass-proportional uniform baseline instead of
+    /// Neyman reallocation.
+    pub uniform: bool,
+}
+
+/// A client-to-server request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Run a batch of single simulation jobs.
+    RunBatch {
+        /// The jobs, each carrying its own seed and equipage.
+        jobs: Vec<SimJob>,
+    },
+    /// Run a batch of paired (equipped + unequipped) jobs.
+    RunPaired {
+        /// The paired jobs, each replaying one seed in both arms.
+        jobs: Vec<PairedJob>,
+    },
+    /// Plan and run a full campaign, streaming per-round events.
+    RunCampaign {
+        /// The campaign specification.
+        request: CampaignRequest,
+    },
+    /// Ask the server to acknowledge and stop serving.
+    Shutdown,
+}
+
+/// A server-to-client event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// Reply to [`Request::RunBatch`]: outcomes in job order.
+    BatchDone {
+        /// One outcome per submitted job, in submission order.
+        outcomes: Vec<EncounterOutcome>,
+    },
+    /// Reply to [`Request::RunPaired`]: outcomes in job order.
+    PairedDone {
+        /// One paired outcome per submitted job, in submission order.
+        outcomes: Vec<PairedOutcome>,
+    },
+    /// A campaign round completed (streamed as it happens).
+    Round {
+        /// The round's convergence snapshot.
+        summary: RoundSummary,
+    },
+    /// The campaign finished; the terminal event of a
+    /// [`Request::RunCampaign`] exchange.
+    CampaignDone {
+        /// The full outcome, estimate and convergence trail included.
+        outcome: CampaignOutcome,
+    },
+    /// The campaign configuration was rejected before any simulation.
+    Rejected {
+        /// The typed validation error.
+        error: CampaignConfigError,
+    },
+    /// Request execution failed server-side.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+    /// The server acknowledges [`Request::Shutdown`] and will close.
+    ShutdownAck,
+}
+
+/// A [`PairedJob`] tagged with its index in the submitted batch, so
+/// results can be merged by position whatever shard ran them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndexedPairedJob {
+    /// Position of this job in the coordinator's batch.
+    pub index: usize,
+    /// The job itself.
+    pub job: PairedJob,
+}
+
+/// A [`SimJob`] tagged with its index in the submitted batch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndexedSimJob {
+    /// Position of this job in the coordinator's batch.
+    pub index: usize,
+    /// The job itself.
+    pub job: SimJob,
+}
+
+/// A coordinator-to-shard request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ShardRequest {
+    /// Run the indexed paired jobs, answering one
+    /// [`ShardEvent::Paired`] per job.
+    RunPaired {
+        /// The coordinator's batch id; echoed in every reply.
+        batch: u64,
+        /// The shard's slice of the batch.
+        jobs: Vec<IndexedPairedJob>,
+    },
+    /// Run the indexed single jobs, answering one [`ShardEvent::Sim`]
+    /// per job.
+    RunSims {
+        /// The coordinator's batch id; echoed in every reply.
+        batch: u64,
+        /// The shard's slice of the batch.
+        jobs: Vec<IndexedSimJob>,
+    },
+    /// Stop serving (orderly shard shutdown).
+    Shutdown,
+}
+
+/// A shard-to-coordinator event: one completed job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ShardEvent {
+    /// A paired job finished.
+    Paired {
+        /// The batch id of the request this answers.
+        batch: u64,
+        /// The job's index in the coordinator's batch.
+        index: usize,
+        /// Both arms' outcomes.
+        outcome: PairedOutcome,
+    },
+    /// A single simulation job finished.
+    Sim {
+        /// The batch id of the request this answers.
+        batch: u64,
+        /// The job's index in the coordinator's batch.
+        index: usize,
+        /// The run's outcome.
+        outcome: EncounterOutcome,
+    },
+}
+
+/// Encodes a message as one wire line (JSON, no trailing newline).
+pub fn encode<T: Serialize>(msg: &T) -> String {
+    let line = serde_json::to_string(msg).expect("the stand-in JSON writer is infallible");
+    debug_assert!(
+        !line.contains('\n'),
+        "the JSON writer escapes newlines; a raw one would break framing"
+    );
+    line
+}
+
+/// Decodes one wire line into a message.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] when the line is not valid JSON or
+/// does not match `T`'s shape.
+pub fn decode<T: Deserialize>(line: &str) -> Result<T, ServeError> {
+    serde_json::from_str(line).map_err(|e| ServeError::Protocol(e.to_string()))
+}
+
+/// Writes one framed message (line + `\n`) to a byte stream — the same
+/// framing writer [`crate::TcpTransport`] uses (one shared
+/// implementation, so the two cannot diverge); channel transports move
+/// the same lines without the byte layer.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Transport`] on I/O failure.
+pub fn write_frame<W: Write, T: Serialize>(writer: &mut W, msg: &T) -> Result<(), ServeError> {
+    crate::transport::write_framed_line(writer, &encode(msg)).map_err(ServeError::Transport)
+}
+
+/// Reads one framed message from a buffered byte stream via the same
+/// framing reader [`crate::TcpTransport`] uses. `Ok(None)` means the
+/// stream ended cleanly on a frame boundary.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] on malformed frames,
+/// [`ServeError::Transport`] on I/O failure, and
+/// [`ServeError::ConnectionClosed`] on EOF inside a frame.
+pub fn read_frame<R: BufRead, T: Deserialize>(reader: &mut R) -> Result<Option<T>, ServeError> {
+    match crate::transport::read_framed_line(reader) {
+        Ok(Some(line)) => decode(&line).map(Some),
+        Ok(None) => Ok(None),
+        Err(crate::TransportError::Closed) => Err(ServeError::ConnectionClosed),
+        Err(e) => Err(ServeError::Transport(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shutdown_round_trips_through_framing() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Shutdown).unwrap();
+        write_frame(&mut buf, &Event::ShutdownAck).unwrap();
+        let mut reader = buf.as_slice();
+        let req: Request = read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(req, Request::Shutdown);
+        let ev: Event = read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(ev, Event::ShutdownAck);
+        assert!(read_frame::<_, Event>(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frame_is_a_closed_connection_not_a_parse_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Request::Shutdown).unwrap();
+        buf.pop(); // strip the newline: an interrupted send
+        let mut reader = buf.as_slice();
+        assert_eq!(
+            read_frame::<_, Request>(&mut reader).unwrap_err(),
+            ServeError::ConnectionClosed
+        );
+    }
+
+    #[test]
+    fn wrong_shape_is_a_typed_protocol_error() {
+        let line = encode(&Event::ShutdownAck);
+        let err = decode::<ShardEvent>(&line).unwrap_err();
+        assert!(matches!(err, ServeError::Protocol(_)), "{err}");
+    }
+}

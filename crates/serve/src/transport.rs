@@ -1,0 +1,306 @@
+//! Message transports: how wire lines move between peers.
+//!
+//! A [`Transport`] is a bidirectional, blocking pipe of already-framed
+//! lines (see [`crate::protocol`] for the framing). Two implementations
+//! ship, matching the two deployment shapes:
+//!
+//! * [`ChannelTransport`] — `std::sync::mpsc` string channels for
+//!   in-process shards and servers (zero-copy of the line, no sockets);
+//! * [`TcpTransport`] — a std `TcpStream` with line framing, for shards
+//!   and clients on other machines.
+//!
+//! Test rigs implement [`Transport`] too: fault-injection wrappers that
+//! drop a peer mid-round or deliver lines out of order / duplicated live
+//! in this crate's test suite, which is exactly why the seam is at the
+//! line level — every fault a real network can produce is expressible as
+//! a line-stream transformation.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::{decode, encode};
+use crate::ServeError;
+
+/// A transport-layer failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer is gone: channel disconnected or socket closed.
+    Closed,
+    /// An I/O failure distinct from orderly closure.
+    Io(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "peer closed the transport"),
+            TransportError::Io(msg) => write!(f, "I/O failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A bidirectional, blocking pipe of framed wire lines.
+///
+/// `recv` blocks until a line arrives; `Ok(None)` reports an *orderly*
+/// close (the peer finished and hung up), while `Err(Closed)` reports a
+/// broken pipe. The sharded coordinator treats both as shard loss — a
+/// shard that closed with work outstanding gets its jobs requeued either
+/// way.
+pub trait Transport: Send {
+    /// Sends one framed line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] when the peer is gone or I/O fails.
+    fn send(&mut self, line: &str) -> Result<(), TransportError>;
+
+    /// Blocks for the next line; `Ok(None)` means the peer closed
+    /// cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] on broken pipes or I/O failure.
+    fn recv(&mut self) -> Result<Option<String>, TransportError>;
+}
+
+/// Sends a typed message over any transport.
+///
+/// # Errors
+///
+/// Propagates the transport failure.
+pub fn send_msg<T: Serialize>(
+    transport: &mut dyn Transport,
+    msg: &T,
+) -> Result<(), TransportError> {
+    transport.send(&encode(msg))
+}
+
+/// Receives and decodes a typed message; `Ok(None)` means the peer
+/// closed cleanly.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Transport`] on transport failure and
+/// [`ServeError::Protocol`] when the line does not decode as `T`.
+pub fn recv_msg<T: Deserialize>(transport: &mut dyn Transport) -> Result<Option<T>, ServeError> {
+    match transport.recv() {
+        Ok(Some(line)) => decode(&line).map(Some),
+        Ok(None) => Ok(None),
+        Err(e) => Err(ServeError::Transport(e)),
+    }
+}
+
+/// In-process transport over a pair of `mpsc` string channels.
+#[derive(Debug)]
+pub struct ChannelTransport {
+    tx: Sender<String>,
+    rx: Receiver<String>,
+}
+
+/// Creates the two connected ends of an in-process transport.
+pub fn channel_pair() -> (ChannelTransport, ChannelTransport) {
+    let (a_tx, b_rx) = channel();
+    let (b_tx, a_rx) = channel();
+    (
+        ChannelTransport { tx: a_tx, rx: a_rx },
+        ChannelTransport { tx: b_tx, rx: b_rx },
+    )
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, line: &str) -> Result<(), TransportError> {
+        self.tx
+            .send(line.to_string())
+            .map_err(|_| TransportError::Closed)
+    }
+
+    fn recv(&mut self) -> Result<Option<String>, TransportError> {
+        // A disconnected sender is an orderly close for channels: the
+        // peer end was dropped, which is how channel peers hang up.
+        Ok(self.rx.recv().ok())
+    }
+}
+
+/// TCP transport: line-framed messages over a std `TcpStream`.
+///
+/// `TCP_NODELAY` is enabled — the protocol is request/streamed-reply and
+/// every message is latency-sensitive relative to its size.
+#[derive(Debug)]
+pub struct TcpTransport {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connects to a listening peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the connection error.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Wraps an accepted stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of cloning the stream handle.
+    pub fn from_stream(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: stream,
+        })
+    }
+}
+
+/// The one line-framing writer: `line` + `\n` onto a byte stream. Both
+/// [`TcpTransport::send`] and the typed [`crate::protocol::write_frame`]
+/// go through here, so the framing cannot diverge between them.
+pub(crate) fn write_framed_line<W: Write>(
+    writer: &mut W,
+    line: &str,
+) -> Result<(), TransportError> {
+    let mut framed = String::with_capacity(line.len() + 1);
+    framed.push_str(line);
+    framed.push('\n');
+    writer
+        .write_all(framed.as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| match e.kind() {
+            std::io::ErrorKind::BrokenPipe | std::io::ErrorKind::ConnectionReset => {
+                TransportError::Closed
+            }
+            _ => TransportError::Io(e.to_string()),
+        })
+}
+
+/// Hard cap on one frame's bytes: far above any legitimate message (a
+/// 100 000-job round assignment is ~50 MiB), but it bounds what a peer
+/// that never sends a newline can make this side buffer — an accepted
+/// TCP connection must not be able to grow the coordinator's memory
+/// without limit.
+const MAX_FRAME_BYTES: usize = 256 << 20;
+
+/// The one line-framing reader: `Ok(None)` on EOF at a frame boundary,
+/// [`TransportError::Closed`] on EOF mid-frame (the peer died while
+/// sending), [`TransportError::Io`] past the frame-size cap. Shared by
+/// [`TcpTransport::recv`] and the typed [`crate::protocol::read_frame`].
+pub(crate) fn read_framed_line<R: BufRead>(
+    reader: &mut R,
+) -> Result<Option<String>, TransportError> {
+    read_framed_line_capped(reader, MAX_FRAME_BYTES)
+}
+
+fn read_framed_line_capped<R: BufRead>(
+    reader: &mut R,
+    max_bytes: usize,
+) -> Result<Option<String>, TransportError> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let (newline_at, available) = {
+            let chunk = reader
+                .fill_buf()
+                .map_err(|e| TransportError::Io(e.to_string()))?;
+            if chunk.is_empty() {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(TransportError::Closed);
+            }
+            let pos = chunk.iter().position(|&b| b == b'\n');
+            let take = pos.map_or(chunk.len(), |p| p);
+            buf.extend_from_slice(&chunk[..take]);
+            (pos, chunk.len())
+        };
+        match newline_at {
+            Some(pos) => {
+                reader.consume(pos + 1);
+                let line = String::from_utf8(buf)
+                    .map_err(|_| TransportError::Io("frame is not valid UTF-8".to_string()))?;
+                return Ok(Some(line));
+            }
+            None => {
+                reader.consume(available);
+                if buf.len() > max_bytes {
+                    return Err(TransportError::Io(format!(
+                        "frame exceeds the {max_bytes}-byte cap without a newline"
+                    )));
+                }
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, line: &str) -> Result<(), TransportError> {
+        write_framed_line(&mut self.writer, line)
+    }
+
+    fn recv(&mut self) -> Result<Option<String>, TransportError> {
+        read_framed_line(&mut self.reader)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_pair_is_bidirectional() {
+        let (mut a, mut b) = channel_pair();
+        a.send("ping").unwrap();
+        assert_eq!(b.recv().unwrap().as_deref(), Some("ping"));
+        b.send("pong").unwrap();
+        assert_eq!(a.recv().unwrap().as_deref(), Some("pong"));
+    }
+
+    #[test]
+    fn dropping_one_end_reads_as_orderly_close() {
+        let (mut a, b) = channel_pair();
+        drop(b);
+        assert_eq!(a.recv().unwrap(), None);
+        assert_eq!(a.send("into the void"), Err(TransportError::Closed));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_instead_of_buffered_forever() {
+        // A peer that streams bytes with no newline must hit the cap,
+        // not grow this side's buffer without bound.
+        let endless = vec![b'x'; 1024];
+        let mut reader = std::io::BufReader::with_capacity(64, endless.as_slice());
+        let err = read_framed_line_capped(&mut reader, 100).unwrap_err();
+        assert!(matches!(err, TransportError::Io(_)), "{err}");
+        // A frame within the cap still reads normally.
+        let mut ok = std::io::BufReader::with_capacity(8, "hello\nrest".as_bytes());
+        assert_eq!(
+            read_framed_line_capped(&mut ok, 100).unwrap().as_deref(),
+            Some("hello")
+        );
+    }
+
+    #[test]
+    fn tcp_round_trip_on_loopback() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut t = TcpTransport::from_stream(stream).unwrap();
+            let line = t.recv().unwrap().unwrap();
+            t.send(&format!("echo:{line}")).unwrap();
+            // Returning drops the stream: the client sees a clean close.
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        client.send("hello").unwrap();
+        assert_eq!(client.recv().unwrap().as_deref(), Some("echo:hello"));
+        assert_eq!(client.recv().unwrap(), None);
+        server.join().unwrap();
+    }
+}

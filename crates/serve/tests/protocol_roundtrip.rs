@@ -1,0 +1,387 @@
+//! Property-based round trips of **every** wire-protocol message,
+//! through the same line framing the sockets use.
+//!
+//! The oracle is the serialized fixed-point: for a message `m`,
+//! `encode(decode(encode(m))) == encode(m)` byte for byte. Comparing
+//! serialized forms (rather than values) is deliberate — the undefined
+//! statistics markers are `NaN` in memory, where `PartialEq` cannot see
+//! that a round trip preserved them, but their serialized form (`null`)
+//! is exact. The generated messages are biased to include the PR-4
+//! undefined-estimate cases: event-free arms (NaN rates, infinite
+//! `ci_high`/`se_log`), infinite half-widths, and the `INFINITY`
+//! no-early-stop sentinel in `CampaignConfig`. Every encoded line is
+//! also checked to be *strict* JSON — no bare `NaN`/`Infinity` literal
+//! may reach the wire.
+
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use uavca_encounter::{EncounterParams, Stratification};
+use uavca_serve::{
+    encode, read_frame, write_frame, CampaignRequest, Event, IndexedPairedJob, IndexedSimJob,
+    Request, ShardEvent, ShardRequest, TcpTransport, Transport,
+};
+use uavca_sim::EncounterOutcome;
+use uavca_validation::{
+    jackknife_ratio, paired_covariance, CampaignConfig, CampaignConfigError, CampaignOutcome,
+    Equipage, PairTable, PairedJob, PairedOutcome, RateEstimate, RatioEstimate, RoundSummary,
+    SimJob, StratifiedEstimate, StratumEstimate, WeightedRate,
+};
+
+/// No bare extended float literal may cross the wire: strict-JSON
+/// consumers on the other end would reject the whole line.
+fn assert_strict_json(line: &str) {
+    assert!(!line.contains("NaN"), "bare NaN in wire line: {line}");
+    assert!(
+        !line.contains("Infinity"),
+        "bare Infinity in wire line: {line}"
+    );
+}
+
+/// The round-trip oracle: through the byte-stream framing and back,
+/// the serialized form is a fixed point.
+fn roundtrip<T: Serialize + Deserialize>(msg: &T) {
+    let line = encode(msg);
+    assert_strict_json(&line);
+    let mut buf = Vec::new();
+    write_frame(&mut buf, msg).expect("in-memory framing");
+    let mut reader = buf.as_slice();
+    let back: T = read_frame(&mut reader)
+        .expect("framed message reads back")
+        .expect("stream did not end early");
+    assert_eq!(
+        encode(&back),
+        line,
+        "serialized form must be a round-trip fixed point"
+    );
+}
+
+/// Encounter parameters from six draws (the remaining three fields
+/// reuse draws — coverage of the *protocol* does not need nine degrees
+/// of freedom).
+fn params(d: (f64, f64, f64, f64, f64, f64)) -> EncounterParams {
+    EncounterParams {
+        own_ground_speed_kt: 40.0 + d.0,
+        own_vertical_speed_fpm: d.1,
+        time_to_cpa_s: 10.0 + d.2,
+        cpa_horizontal_ft: d.3,
+        cpa_angle_rad: d.4,
+        cpa_vertical_ft: d.5,
+        intruder_ground_speed_kt: 40.0 + d.1,
+        intruder_bearing_rad: d.4 * 0.5,
+        intruder_vertical_speed_fpm: d.2,
+    }
+}
+
+fn outcome(d: (f64, f64, f64, usize, usize, u64)) -> EncounterOutcome {
+    let nmac = d.3.is_multiple_of(2);
+    EncounterOutcome {
+        nmac,
+        first_nmac_time_s: if nmac { Some(d.0) } else { None },
+        min_separation_ft: d.1,
+        min_horizontal_ft: d.1 * 0.9,
+        min_vertical_ft: d.2,
+        time_of_min_s: d.0,
+        own_alert_steps: d.3,
+        intruder_alert_steps: d.4,
+        first_alert_time_s: if d.4.is_multiple_of(3) {
+            None
+        } else {
+            Some(d.2)
+        },
+        own_reversals: d.4 % 3,
+        duration_s: 60.0 + d.0,
+    }
+}
+
+fn equipage(k: usize) -> Equipage {
+    match k % 3 {
+        0 => Equipage::Both,
+        1 => Equipage::OwnOnly,
+        _ => Equipage::Neither,
+    }
+}
+
+/// A stratified estimate built from drawn per-stratum 2×2 cells through
+/// the real estimator stack, so every statistical field (including the
+/// undefined ones on event-free draws) is a value the campaign can
+/// actually emit.
+fn estimate(cells: &[(usize, usize, usize, usize)]) -> StratifiedEstimate {
+    let strata = Stratification::default().strata();
+    let tables: Vec<PairTable> = strata
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let (b, e, u, n) = cells[i % cells.len()];
+            PairTable {
+                both_nmac: b,
+                equipped_only: e,
+                unequipped_only: u,
+                neither: n,
+            }
+        })
+        .collect();
+    let weights: Vec<f64> = vec![1.0 / strata.len() as f64; strata.len()];
+    let combine = |pick: &dyn Fn(&PairTable) -> usize| {
+        WeightedRate::combine(
+            &weights
+                .iter()
+                .zip(&tables)
+                .map(|(&w, t)| (w, pick(t), t.runs()))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let equipped = combine(&|t| t.equipped_nmac());
+    let unequipped = combine(&|t| t.unequipped_nmac());
+    let covariance = paired_covariance(&weights, &tables);
+    StratifiedEstimate {
+        strata: strata
+            .iter()
+            .zip(&weights)
+            .zip(&tables)
+            .map(|((&stratum, &weight), &pairs)| StratumEstimate {
+                stratum,
+                weight,
+                runs: pairs.runs(),
+                pairs,
+                equipped_nmac: RateEstimate::wilson(pairs.equipped_nmac(), pairs.runs()),
+                unequipped_nmac: RateEstimate::wilson(pairs.unequipped_nmac(), pairs.runs()),
+                disagreement: RateEstimate::wilson(pairs.disagree(), pairs.runs()),
+                alert: RateEstimate::wilson(pairs.both_nmac, pairs.runs()),
+                false_alert: RateEstimate::wilson(pairs.equipped_only, pairs.runs()),
+            })
+            .collect(),
+        total_runs: tables.iter().map(PairTable::runs).sum(),
+        equipped_nmac: equipped,
+        unequipped_nmac: unequipped,
+        disagreement: combine(&|t| t.disagree()),
+        alert: combine(&|t| t.both_nmac),
+        false_alert: combine(&|t| t.equipped_only),
+        covariance,
+        risk_ratio: RatioEstimate::paired(&equipped, &unequipped, covariance),
+        risk_ratio_unpaired: RatioEstimate::from_rates(&equipped, &unequipped),
+        risk_ratio_jackknife: jackknife_ratio(&weights, &tables),
+    }
+}
+
+fn round_summary(est: &StratifiedEstimate, round: usize) -> RoundSummary {
+    RoundSummary {
+        round,
+        allocated: est.strata.iter().map(|s| s.runs).collect(),
+        runs_this_round: est.total_runs,
+        total_runs: est.total_runs,
+        equipped_nmac: est.equipped_nmac,
+        unequipped_nmac: est.unequipped_nmac,
+        risk_ratio: est.risk_ratio,
+        risk_ratio_unpaired: est.risk_ratio_unpaired,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn job_batch_requests_round_trip(
+        draw in (
+            (0.0f64..500.0, -2000.0f64..2000.0, 0.0f64..60.0,
+             0.0f64..20_000.0, -3.1f64..3.1, -800.0f64..800.0),
+            0u64..u64::MAX,
+            0usize..64,
+        )
+    ) {
+        let (p, seed, k) = draw;
+        let sim_jobs: Vec<SimJob> = (0..k % 5)
+            .map(|i| SimJob {
+                params: params(p),
+                seed: seed.wrapping_add(i as u64),
+                equipage: equipage(k + i),
+            })
+            .collect();
+        roundtrip(&Request::RunBatch { jobs: sim_jobs.clone() });
+        let paired_jobs: Vec<PairedJob> = (0..k % 5)
+            .map(|i| PairedJob { params: params(p), seed: seed.wrapping_add(i as u64) })
+            .collect();
+        roundtrip(&Request::RunPaired { jobs: paired_jobs.clone() });
+        roundtrip(&Request::Shutdown);
+
+        // The shard-level framing of the same jobs.
+        roundtrip(&ShardRequest::RunSims {
+            batch: seed,
+            jobs: sim_jobs
+                .iter()
+                .enumerate()
+                .map(|(index, &job)| IndexedSimJob { index, job })
+                .collect(),
+        });
+        roundtrip(&ShardRequest::RunPaired {
+            batch: seed,
+            jobs: paired_jobs
+                .iter()
+                .enumerate()
+                .map(|(index, &job)| IndexedPairedJob { index, job })
+                .collect(),
+        });
+        roundtrip(&ShardRequest::Shutdown);
+    }
+
+    #[test]
+    fn campaign_requests_round_trip_including_the_no_early_stop_sentinel(
+        draw in (0u64..u64::MAX, 1usize..200, 1usize..2000, 1usize..50, 0.0f64..1.0, 0usize..4)
+    ) {
+        let (seed, pilot, round_runs, rounds, target, bins) = draw;
+        // Finite target and the documented INFINITY sentinel both cross
+        // the wire; the sentinel must become `null`, not `Infinity`.
+        for target in [target + 1e-6, f64::INFINITY] {
+            let request = CampaignRequest {
+                config: CampaignConfig {
+                    seed,
+                    pilot_per_stratum: pilot,
+                    round_runs,
+                    max_rounds: rounds,
+                    target_half_width: target,
+                    threads: bins,
+                },
+                model: Default::default(),
+                cpa_bins: bins + 1,
+                uniform: seed % 2 == 0,
+            };
+            let line = encode(&Request::RunCampaign { request });
+            if target.is_infinite() {
+                prop_assert!(line.contains("\"target_half_width\":null"), "{line}");
+            }
+            roundtrip(&Request::RunCampaign { request });
+        }
+    }
+
+    #[test]
+    fn outcome_events_round_trip(
+        draw in (
+            (0.0f64..120.0, 0.0f64..5000.0, 0.0f64..2000.0, 0usize..7, 0usize..9, 0u64..1000),
+            0usize..6,
+        )
+    ) {
+        let (d, k) = draw;
+        let outcomes: Vec<EncounterOutcome> = (0..k)
+            .map(|i| outcome((d.0, d.1, d.2, d.3 + i, d.4, d.5)))
+            .collect();
+        roundtrip(&Event::BatchDone { outcomes: outcomes.clone() });
+        let paired: Vec<PairedOutcome> = outcomes
+            .iter()
+            .map(|&equipped| PairedOutcome {
+                equipped,
+                unequipped: outcome((d.0, d.1 * 0.5, d.2, d.3 + 1, d.4, d.5)),
+            })
+            .collect();
+        roundtrip(&Event::PairedDone { outcomes: paired.clone() });
+        roundtrip(&Event::Error { message: "shard fleet \"lost\"\nentirely".to_string() });
+        roundtrip(&Event::ShutdownAck);
+        if let Some(&first) = outcomes.first() {
+            roundtrip(&ShardEvent::Sim { batch: d.5, index: k, outcome: first });
+            roundtrip(&ShardEvent::Paired { batch: d.5, index: k, outcome: paired[0] });
+        }
+    }
+
+    #[test]
+    fn campaign_events_round_trip_with_undefined_estimates(
+        draw in ((0usize..3, 0usize..3, 0usize..3, 0usize..40), 0usize..20)
+    ) {
+        let (cell, round) = draw;
+        // A healthy table, the drawn table, and the all-zero table that
+        // forces every undefined marker (NaN rates, [0, ∞) ratio CIs,
+        // infinite se_log) through the wire.
+        for cells in [[(3, 1, 4, 40)], [cell], [(0, 0, 0, 0)]] {
+            let est = estimate(&cells);
+            let summary = round_summary(&est, round);
+            let line = encode(&Event::Round { summary: summary.clone() });
+            if cells[0] == (0, 0, 0, 0) {
+                prop_assert!(line.contains("null"), "undefined markers must be null: {line}");
+            }
+            roundtrip(&Event::Round { summary: summary.clone() });
+            roundtrip(&Event::CampaignDone {
+                outcome: CampaignOutcome {
+                    estimate: est,
+                    rounds: vec![summary],
+                    reached_target: round % 2 == 0,
+                },
+            });
+        }
+    }
+
+    #[test]
+    fn rejection_events_round_trip(draw in 0usize..4) {
+        let error = [
+            CampaignConfigError::ZeroPilotBudget,
+            CampaignConfigError::ZeroRoundRuns,
+            CampaignConfigError::ZeroRounds,
+            CampaignConfigError::NonPositiveTargetHalfWidth,
+        ][draw];
+        roundtrip(&Event::Rejected { error });
+    }
+}
+
+/// The same fixed-point oracle through a real TCP socket: what the
+/// framing writes, a socket peer reads back byte-identically.
+#[test]
+fn every_message_kind_survives_a_real_socket() {
+    let est = estimate(&[(2, 1, 3, 30), (0, 0, 0, 0)]);
+    let lines: Vec<String> = vec![
+        encode(&Request::RunPaired {
+            jobs: vec![PairedJob {
+                params: params((100.0, 0.0, 30.0, 500.0, 1.0, 100.0)),
+                seed: u64::MAX,
+            }],
+        }),
+        encode(&Request::RunCampaign {
+            request: CampaignRequest {
+                config: CampaignConfig {
+                    target_half_width: f64::INFINITY,
+                    ..CampaignConfig::default()
+                },
+                model: Default::default(),
+                cpa_bins: 3,
+                uniform: false,
+            },
+        }),
+        encode(&Event::Round {
+            summary: round_summary(&est, 0),
+        }),
+        encode(&Event::CampaignDone {
+            outcome: CampaignOutcome {
+                estimate: est,
+                rounds: Vec::new(),
+                reached_target: false,
+            },
+        }),
+        encode(&Event::Rejected {
+            error: CampaignConfigError::ZeroRounds,
+        }),
+        encode(&ShardRequest::Shutdown),
+        encode(&ShardEvent::Sim {
+            batch: 7,
+            index: 0,
+            outcome: outcome((1.0, 2.0, 3.0, 4, 5, 6)),
+        }),
+    ];
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let sent = lines.clone();
+    let server = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut t = TcpTransport::from_stream(stream).unwrap();
+        for line in &sent {
+            t.send(line).unwrap();
+        }
+    });
+    let mut client = TcpTransport::connect(addr).unwrap();
+    for expected in &lines {
+        assert_strict_json(expected);
+        let got = client.recv().unwrap().expect("line arrives");
+        assert_eq!(&got, expected, "socket framing is byte-transparent");
+    }
+    assert_eq!(
+        client.recv().unwrap(),
+        None,
+        "clean close after the last line"
+    );
+    server.join().unwrap();
+}

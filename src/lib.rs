@@ -17,6 +17,7 @@
 //! | [`ca2d`] | `uavca-ca2d` | the paper's Section III 2-D teaching example |
 //! | [`svo`] | `uavca-svo` | the Selective Velocity Obstacle baseline and its 2-D simulation |
 //! | [`validation`] | `uavca-validation` | the GA search harness, fitness functions, Monte-Carlo estimation, adaptive stratified campaigns, clustering |
+//! | [`serve`] | `uavca-serve` | the sharded campaign service: wire protocol, channel/TCP transports, shard fleet backend, server + client |
 //!
 //! # Quickstart
 //!
@@ -43,6 +44,7 @@ pub use uavca_ca2d as ca2d;
 pub use uavca_encounter as encounter;
 pub use uavca_evo as evo;
 pub use uavca_mdp as mdp;
+pub use uavca_serve as serve;
 pub use uavca_sim as sim;
 pub use uavca_svo as svo;
 pub use uavca_validation as validation;
