@@ -158,6 +158,52 @@ impl std::fmt::Display for Advisory {
     }
 }
 
+/// A set of permitted advisories, packed as one bit per action index.
+///
+/// This is the branch-free form of the advisory masks the selection paths
+/// take: a closure-based mask is evaluated once into an `AdvisorySet`, and
+/// the argmax kernel then tests membership with a shift instead of a call.
+/// COC is a member of every set — a decision must always exist — so
+/// constructors force bit 0 on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AdvisorySet(u8);
+
+impl AdvisorySet {
+    /// The set containing all seven advisories.
+    pub const ALL: AdvisorySet = AdvisorySet(0x7F);
+
+    /// Builds a set from a predicate over the six non-COC advisories
+    /// (COC is always included).
+    #[inline]
+    pub fn from_fn(mut allowed: impl FnMut(Advisory) -> bool) -> AdvisorySet {
+        let mut bits = 1u8; // COC
+        for adv in &Advisory::ALL[1..] {
+            bits |= u8::from(allowed(*adv)) << adv.index();
+        }
+        AdvisorySet(bits)
+    }
+
+    /// The set permitted under a coordination restriction against
+    /// `forbidden` (see [`Advisory::sense_allowed`]).
+    #[inline]
+    pub fn for_restriction(forbidden: Option<Sense>) -> AdvisorySet {
+        Self::from_fn(|adv| adv.sense_allowed(forbidden))
+    }
+
+    /// Whether `advisory` is in the set.
+    #[inline]
+    pub fn allows(self, advisory: Advisory) -> bool {
+        self.0 >> advisory.index() & 1 == 1
+    }
+}
+
+impl Default for AdvisorySet {
+    /// The all-permitted set.
+    fn default() -> Self {
+        Self::ALL
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +284,24 @@ mod tests {
             }
             assert_eq!(a.strength(), a.mirrored().strength());
         }
+    }
+
+    #[test]
+    fn advisory_set_matches_its_predicate() {
+        for forbidden in [None, Some(Sense::Up), Some(Sense::Down)] {
+            let set = AdvisorySet::for_restriction(forbidden);
+            for a in Advisory::ALL {
+                assert_eq!(set.allows(a), a.sense_allowed(forbidden), "{a}");
+            }
+        }
+        // COC is forced on even when the predicate rejects everything.
+        let none = AdvisorySet::from_fn(|_| false);
+        assert!(none.allows(Advisory::Coc));
+        for a in &Advisory::ALL[1..] {
+            assert!(!none.allows(*a));
+        }
+        assert_eq!(AdvisorySet::default(), AdvisorySet::ALL);
+        assert_eq!(AdvisorySet::for_restriction(None), AdvisorySet::ALL);
     }
 
     #[test]

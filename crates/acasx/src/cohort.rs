@@ -1,0 +1,347 @@
+use std::sync::Arc;
+
+use uavca_sim::{CohortAvoider, CohortContext, ManeuverCommand};
+
+use crate::online::{advisory_command, alerting_eligible, decision_mask, effective_hysteresis};
+use crate::{estimate_tau, Advisory, AdvisorySet, LogicTable, LookupScratch, StateBatch};
+
+/// The cohort form of [`crate::AcasXu`]: one batched Q-table query per tick
+/// instead of one scalar lookup per encounter.
+///
+/// Per lockstep tick it runs three passes:
+///
+/// 1. **Gather** — per entry, estimate τ from the ADS-B geometry and apply
+///    the alerting-eligibility gate. Ineligible entries decide clear of
+///    conflict without touching the table (exactly the scalar early-out);
+///    eligible entries append their lookup state, decision mask and
+///    hysteresis bonus to dense batch columns.
+/// 2. **Lookup** — one [`LogicTable::best_advisory_batch_masked`] call over
+///    the dense columns. The batch path routes through the same unrolled
+///    Q-row kernel and masked argmax as the scalar path, so each entry's
+///    advisory is bit-identical to what [`crate::AcasXu`] would have
+///    chosen.
+/// 3. **Scatter** — write each advisory back to its entry, update the
+///    per-lane advisory memory, and emit the maneuver command.
+///
+/// Decision state (the advisory in force) is held per cohort lane, indexed
+/// by [`CohortContext::lane`]. Track smoothing
+/// ([`crate::AcasXu::with_tracking`]) is not supported on the cohort path —
+/// campaigns run the raw-report configuration, and traced/smoothed runs use
+/// the scalar avoider.
+pub struct AcasXuCohort {
+    table: Arc<LogicTable>,
+    horizon_s: f64,
+    hysteresis_bonus: f64,
+    hmd_threshold_ft: f64,
+    dmod_ft: f64,
+    /// Advisory in force, per lane.
+    previous: Vec<Advisory>,
+    scratch: LookupScratch,
+    // Dense per-tick batch columns (eligible entries only), reused across
+    // ticks — zero steady-state allocation.
+    h_ft: Vec<f64>,
+    own_rate_fps: Vec<f64>,
+    intruder_rate_fps: Vec<f64>,
+    tau_s: Vec<f64>,
+    prev: Vec<Advisory>,
+    masks: Vec<AdvisorySet>,
+    hysteresis: Vec<f64>,
+    /// Context entry index of each batch column, for the scatter pass.
+    entries: Vec<usize>,
+    best: Vec<Advisory>,
+}
+
+impl std::fmt::Debug for AcasXuCohort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AcasXuCohort")
+            .field("lanes", &self.previous.len())
+            .field("horizon_s", &self.horizon_s)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AcasXuCohort {
+    /// Creates a cohort avoider over a shared solved table with the same
+    /// default online parameters as [`crate::AcasXu::new`] (hysteresis 3
+    /// cost units, HMD threshold 1500 ft, DMOD 3000 ft, no track
+    /// smoothing).
+    pub fn new(table: Arc<LogicTable>) -> Self {
+        let horizon_s = table.horizon_s();
+        Self {
+            table,
+            horizon_s,
+            hysteresis_bonus: 3.0,
+            hmd_threshold_ft: 1500.0,
+            dmod_ft: 3000.0,
+            previous: Vec::new(),
+            scratch: LookupScratch::default(),
+            h_ft: Vec::new(),
+            own_rate_fps: Vec::new(),
+            intruder_rate_fps: Vec::new(),
+            tau_s: Vec::new(),
+            prev: Vec::new(),
+            masks: Vec::new(),
+            hysteresis: Vec::new(),
+            entries: Vec::new(),
+            best: Vec::new(),
+        }
+    }
+}
+
+impl CohortAvoider for AcasXuCohort {
+    fn ensure_lanes(&mut self, lanes: usize) {
+        if self.previous.len() < lanes {
+            self.previous.resize(lanes, Advisory::Coc);
+        }
+    }
+
+    fn reset_lane(&mut self, lane: usize) {
+        self.previous[lane] = Advisory::Coc;
+    }
+
+    fn swap_lanes(&mut self, a: usize, b: usize) {
+        self.previous.swap(a, b);
+    }
+
+    fn decide_cohort(&mut self, ctx: &CohortContext<'_>, out: &mut Vec<Option<ManeuverCommand>>) {
+        let n = ctx.len();
+        debug_assert!(
+            ctx.lane.iter().all(|&lane| lane < self.previous.len()),
+            "ensure_lanes must cover every context lane before deciding"
+        );
+
+        // Pass 1: τ estimation and the alerting gate; gather eligible
+        // entries into dense batch columns.
+        self.h_ft.clear();
+        self.own_rate_fps.clear();
+        self.intruder_rate_fps.clear();
+        self.tau_s.clear();
+        self.prev.clear();
+        self.masks.clear();
+        self.hysteresis.clear();
+        self.entries.clear();
+        for e in 0..n {
+            let own = &ctx.own[e];
+            let report = &ctx.intruder[e];
+            let rel_pos = report.position - own.position;
+            let rel_vel = report.velocity - own.velocity;
+            let tau = estimate_tau(rel_pos.x, rel_pos.y, rel_vel.x, rel_vel.y, self.dmod_ft);
+            if alerting_eligible(&tau, self.horizon_s, self.hmd_threshold_ft, self.dmod_ft) {
+                let previous = self.previous[ctx.lane[e]];
+                self.h_ft.push(rel_pos.z);
+                self.own_rate_fps.push(own.velocity.z);
+                self.intruder_rate_fps.push(report.velocity.z);
+                self.tau_s.push(tau.tau_s);
+                self.prev.push(previous);
+                self.masks.push(decision_mask(previous, ctx.forbidden[e]));
+                self.hysteresis
+                    .push(effective_hysteresis(previous, self.hysteresis_bonus));
+                self.entries.push(e);
+            }
+        }
+
+        // Pass 2: one batched masked lookup over every eligible entry.
+        let Self {
+            table,
+            scratch,
+            best,
+            h_ft,
+            own_rate_fps,
+            intruder_rate_fps,
+            tau_s,
+            prev,
+            masks,
+            hysteresis,
+            ..
+        } = self;
+        table.best_advisory_batch_masked(
+            &StateBatch {
+                h_ft,
+                own_rate_fps,
+                intruder_rate_fps,
+                tau_s,
+                previous: prev,
+            },
+            masks,
+            hysteresis,
+            scratch,
+            best,
+        );
+
+        // Pass 3: merge the lookup results back over the entry range
+        // (`entries` is ascending by construction — one cursor walk, no
+        // scatter buffer), update per-lane advisory memory, emit commands.
+        out.clear();
+        let mut column = 0;
+        for e in 0..n {
+            let advisory = if self.entries.get(column) == Some(&e) {
+                column += 1;
+                self.best[column - 1]
+            } else {
+                Advisory::Coc
+            };
+            self.previous[ctx.lane[e]] = advisory;
+            out.push(advisory_command(advisory, ctx.own[e].velocity.z));
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "acas-xu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AcasConfig, AcasXu};
+    use uavca_sim::{
+        AvoiderContext, CohortJob, CollisionAvoider, EncounterCohort, EncounterOutcome,
+        EncounterWorld, SimConfig, UavState, Unequipped, UnequippedCohort, Vec3,
+    };
+
+    fn table() -> Arc<LogicTable> {
+        Arc::new(LogicTable::solve(&AcasConfig::coarse()))
+    }
+
+    fn head_on(distance_ft: f64, dz_ft: f64) -> [UavState; 2] {
+        [
+            UavState::new(Vec3::ZERO, Vec3::new(150.0, 0.0, 0.0)),
+            UavState::new(
+                Vec3::new(distance_ft, dz_ft, 0.0),
+                Vec3::new(-160.0, 0.0, 0.0),
+            ),
+        ]
+    }
+
+    fn scalar_outcome(
+        config: SimConfig,
+        table: &Arc<LogicTable>,
+        job: &CohortJob,
+        equipped: [bool; 2],
+    ) -> EncounterOutcome {
+        let make = |on: bool| -> Box<dyn CollisionAvoider> {
+            if on {
+                Box::new(AcasXu::new(Arc::clone(table)))
+            } else {
+                Box::new(Unequipped::new())
+            }
+        };
+        EncounterWorld::new(
+            config,
+            job.initial,
+            [make(equipped[0]), make(equipped[1])],
+            job.seed,
+        )
+        .run()
+    }
+
+    fn jobs() -> Vec<CohortJob> {
+        (0..9)
+            .map(|k| CohortJob {
+                initial: head_on(5000.0 + 700.0 * k as f64, 40.0 * k as f64 - 160.0),
+                seed: 77 + k,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cohort_advisories_match_scalar_acas_xu_outcomes() {
+        let table = table();
+        let config = SimConfig::default();
+        let jobs = jobs();
+        for width in [1, 4, 9] {
+            let mut cohort = EncounterCohort::new(
+                config,
+                [
+                    Box::new(AcasXuCohort::new(Arc::clone(&table))),
+                    Box::new(AcasXuCohort::new(Arc::clone(&table))),
+                ],
+                width,
+            );
+            let outcomes = cohort.run(&jobs);
+            for (job, outcome) in jobs.iter().zip(&outcomes) {
+                assert_eq!(
+                    *outcome,
+                    scalar_outcome(config, &table, job, [true, true]),
+                    "width {width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_equipage_cohort_matches_scalar() {
+        let table = table();
+        let config = SimConfig::default();
+        let jobs = jobs();
+        let mut cohort = EncounterCohort::new(
+            config,
+            [
+                Box::new(AcasXuCohort::new(Arc::clone(&table))),
+                Box::new(UnequippedCohort::new()),
+            ],
+            4,
+        );
+        let outcomes = cohort.run(&jobs);
+        for (job, outcome) in jobs.iter().zip(&outcomes) {
+            assert_eq!(*outcome, scalar_outcome(config, &table, job, [true, false]));
+        }
+    }
+
+    /// Drives one lane through a deterministic closing geometry and checks
+    /// every per-tick command against the scalar avoider — including the
+    /// hysteresis/sense-lock state carried between ticks.
+    #[test]
+    fn per_tick_commands_match_scalar_avoider() {
+        let table = table();
+        let mut scalar = AcasXu::new(Arc::clone(&table));
+        let mut cohort = AcasXuCohort::new(Arc::clone(&table));
+        cohort.ensure_lanes(1);
+        cohort.reset_lane(0);
+        assert_eq!(cohort.name(), scalar.name());
+
+        let dt = 1.0;
+        let mut out = Vec::new();
+        for step in 0..40 {
+            let t = step as f64 * dt;
+            let own = UavState::new(
+                Vec3::new(150.0 * t, 0.0, 5.0 * t),
+                Vec3::new(150.0, 0.0, 5.0),
+            );
+            let intr = UavState::new(
+                Vec3::new(7000.0 - 160.0 * t, 50.0, 0.0),
+                Vec3::new(-160.0, 0.0, 0.0),
+            );
+            let report = uavca_sim::AdsbReport {
+                sender: 1,
+                position: intr.position,
+                velocity: intr.velocity,
+                time_s: t,
+            };
+            let forbidden = if step % 3 == 0 {
+                Some(uavca_sim::Sense::Up)
+            } else {
+                None
+            };
+            let want = scalar.decide(&AvoiderContext {
+                own: &own,
+                intruder: &report,
+                forbidden_sense: forbidden,
+                time_s: t,
+                dt_s: dt,
+            });
+            cohort.decide_cohort(
+                &CohortContext {
+                    own: std::slice::from_ref(&own),
+                    intruder: std::slice::from_ref(&report),
+                    forbidden: &[forbidden],
+                    time_s: &[t],
+                    lane: &[0],
+                    dt_s: dt,
+                },
+                &mut out,
+            );
+            assert_eq!(out.as_slice(), &[want], "step {step}");
+        }
+    }
+}

@@ -1,9 +1,9 @@
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
-use uavca_sim::{AlphaBetaTracker, AvoiderContext, CollisionAvoider, ManeuverCommand};
+use uavca_sim::{AlphaBetaTracker, AvoiderContext, CollisionAvoider, ManeuverCommand, Sense};
 
-use crate::{Advisory, LogicTable};
+use crate::{Advisory, AdvisorySet, LogicTable};
 
 /// The horizontal-geometry part of the online state estimation: time to
 /// the closest point of approach and projected miss distance, computed
@@ -51,6 +51,72 @@ pub fn estimate_tau(rx: f64, ry: f64, vx: f64, vy: f64, dmod_ft: f64) -> TauEsti
         range_ft: range,
         diverging: false,
     }
+}
+
+/// Whether the alerting entry criteria hold: τ within the table horizon
+/// and either the projected miss distance inside the protection threshold
+/// or the raw range inside DMOD. Shared by the scalar and cohort decision
+/// paths so their eligibility pruning is identical.
+#[inline]
+pub(crate) fn alerting_eligible(
+    tau: &TauEstimate,
+    horizon_s: f64,
+    hmd_threshold_ft: f64,
+    dmod_ft: f64,
+) -> bool {
+    tau.tau_s <= horizon_s && (tau.hmd_ft <= hmd_threshold_ft || tau.range_ft <= dmod_ft)
+}
+
+/// The advisory mask in force for one decision: the coordination
+/// restriction combined with the sense lock.
+///
+/// Sense lock: once an advisory with a sense is active, the logic stays in
+/// that sense family (or weakens to COC) unless the coordination
+/// restriction forbids it — reversals happen only when the peer claims our
+/// sense with priority. This is the TCAS-family anti-chattering rule;
+/// reversal costs in the offline table discourage but cannot forbid
+/// flapping in perfectly symmetric geometries.
+#[inline]
+pub(crate) fn decision_mask(previous: Advisory, forbidden: Option<Sense>) -> AdvisorySet {
+    let locked = match previous.sense() {
+        Some(s) if forbidden != Some(s) => Some(s),
+        _ => None,
+    };
+    AdvisorySet::from_fn(|adv| {
+        if !adv.sense_allowed(forbidden) {
+            return false;
+        }
+        match (adv.sense(), locked) {
+            (Some(s), Some(l)) => s == l,
+            _ => true,
+        }
+    })
+}
+
+/// The hysteresis bonus actually applied for one decision: the incumbent
+/// advisory keeps its bonus only while alerting (COC gets none, so initial
+/// alerts are not delayed).
+#[inline]
+pub(crate) fn effective_hysteresis(previous: Advisory, bonus: f64) -> f64 {
+    if previous.is_alert() {
+        bonus
+    } else {
+        0.0
+    }
+}
+
+/// Converts a selected advisory into the command handed to the simulation
+/// (`None` for COC) — shared so the scalar and cohort paths emit identical
+/// maneuvers.
+#[inline]
+pub(crate) fn advisory_command(advisory: Advisory, own_rate_fps: f64) -> Option<ManeuverCommand> {
+    advisory.sense().map(|sense| ManeuverCommand {
+        target_vertical_rate_fps: advisory
+            .target_rate_fps(own_rate_fps)
+            .expect("alerting advisories define a target"),
+        sense,
+        label: advisory.label(),
+    })
 }
 
 /// The online ACAS XU-like collision avoidance system: wraps a solved
@@ -148,22 +214,9 @@ impl CollisionAvoider for AcasXu {
         let rel_vel = intruder_vel - ctx.own.velocity;
         let tau = estimate_tau(rel_pos.x, rel_pos.y, rel_vel.x, rel_vel.y, self.dmod_ft);
 
-        let eligible = tau.tau_s <= self.horizon_s
-            && (tau.hmd_ft <= self.hmd_threshold_ft || tau.range_ft <= self.dmod_ft);
+        let eligible = alerting_eligible(&tau, self.horizon_s, self.hmd_threshold_ft, self.dmod_ft);
 
         let advisory = if eligible {
-            // Sense lock: once an advisory with a sense is active, the
-            // logic stays in that sense family (or weakens to COC) unless
-            // the coordination restriction forbids it — reversals happen
-            // only when the peer claims our sense with priority. This is
-            // the TCAS-family anti-chattering rule; reversal costs in the
-            // offline table discourage but cannot forbid flapping in
-            // perfectly symmetric geometries.
-            let locked = match self.previous.sense() {
-                Some(s) if ctx.forbidden_sense != Some(s) => Some(s),
-                _ => None,
-            };
-            let forbidden = ctx.forbidden_sense;
             self.table.best_advisory_masked_with_offset(
                 rel_pos.z,
                 ctx.own.velocity.z,
@@ -171,20 +224,8 @@ impl CollisionAvoider for AcasXu {
                 tau.tau_s,
                 self.previous,
                 self.prev_offset,
-                |adv| {
-                    if !adv.sense_allowed(forbidden) {
-                        return false;
-                    }
-                    match (adv.sense(), locked) {
-                        (Some(s), Some(l)) => s == l,
-                        _ => true,
-                    }
-                },
-                if self.previous.is_alert() {
-                    self.hysteresis_bonus
-                } else {
-                    0.0
-                },
+                decision_mask(self.previous, ctx.forbidden_sense),
+                effective_hysteresis(self.previous, self.hysteresis_bonus),
             )
         } else {
             Advisory::Coc
@@ -194,13 +235,7 @@ impl CollisionAvoider for AcasXu {
             self.prev_offset = self.table.prev_offset(advisory);
         }
 
-        advisory.sense().map(|sense| ManeuverCommand {
-            target_vertical_rate_fps: advisory
-                .target_rate_fps(ctx.own.velocity.z)
-                .expect("alerting advisories define a target"),
-            sense,
-            label: advisory.label(),
-        })
+        advisory_command(advisory, ctx.own.velocity.z)
     }
 
     fn reset(&mut self) {

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use uavca_mdp::{BackwardInduction, InterpCorners, QTable, RectGrid};
 use uavca_sim::Sense;
 
-use crate::{AcasConfig, Advisory, VerticalMdp};
+use crate::{AcasConfig, Advisory, AdvisorySet, VerticalMdp};
 
 /// Reusable working memory for the batched lookup paths
 /// ([`LogicTable::q_values_batch`], [`LogicTable::best_advisory_batch`]).
@@ -220,31 +220,23 @@ impl LogicTable {
         (k_lo, k_hi, t - k_lo as f64)
     }
 
-    /// Accumulates `scale *` the interpolated 7-advisory row of stage `k`
-    /// into `out`: one contiguous row read-and-FMA per corner.
+    /// The Q rows of stage `k` (1-based, as in the τ blend).
     #[inline]
-    fn accumulate_stage(
-        &self,
-        k: usize,
-        state_base: usize,
-        corners: &InterpCorners,
-        scale: f64,
-        out: &mut [f64; Advisory::COUNT],
-    ) {
+    fn stage(&self, k: usize) -> &[f64] {
         let stage_len = self.states_per_stage * Advisory::COUNT;
-        let stage = &self.q[(k - 1) * stage_len..k * stage_len];
-        for (idx, w) in corners.iter() {
-            let row = &stage[(state_base + idx) * Advisory::COUNT..][..Advisory::COUNT];
-            let ws = w * scale;
-            for (slot, &v) in out.iter_mut().zip(row) {
-                *slot += ws * v;
-            }
-        }
+        &self.q[(k - 1) * stage_len..k * stage_len]
     }
 
     /// The full lookup for one query whose kinematic corners are already
     /// interpolated — shared by the scalar and batched public paths, which
     /// is what makes them bit-identical.
+    ///
+    /// The corner-outer / action-inner accumulation is explicitly unrolled
+    /// over the 7 contiguous advisory lanes (see [`fma_row`]) and split into
+    /// two independent accumulator chains — by corner parity in the
+    /// single-stage case, by τ stage in the blended case — so the FMAs of
+    /// consecutive corners do not serialize on one dependency chain. Both
+    /// cases sum the chains once at the end.
     #[inline]
     fn q_values_at(
         &self,
@@ -253,12 +245,37 @@ impl LogicTable {
         prev_offset: usize,
     ) -> [f64; Advisory::COUNT] {
         let (k_lo, k_hi, frac) = self.tau_blend(tau_s);
-        let mut out = [0.0; Advisory::COUNT];
+        let lo = self.stage(k_lo);
+        let indices = corners.indices();
+        let weights = corners.weights();
+        let mut acc0 = [0.0; Advisory::COUNT];
+        let mut acc1 = [0.0; Advisory::COUNT];
         if k_lo == k_hi {
-            self.accumulate_stage(k_lo, prev_offset, corners, 1.0, &mut out);
+            let mut i = 0;
+            while i + 1 < indices.len() {
+                fma_row(&mut acc0, row7(lo, prev_offset + indices[i]), weights[i]);
+                fma_row(
+                    &mut acc1,
+                    row7(lo, prev_offset + indices[i + 1]),
+                    weights[i + 1],
+                );
+                i += 2;
+            }
+            if i < indices.len() {
+                fma_row(&mut acc0, row7(lo, prev_offset + indices[i]), weights[i]);
+            }
         } else {
-            self.accumulate_stage(k_lo, prev_offset, corners, 1.0 - frac, &mut out);
-            self.accumulate_stage(k_hi, prev_offset, corners, frac, &mut out);
+            let hi = self.stage(k_hi);
+            let (w_lo, w_hi) = (1.0 - frac, frac);
+            for (&idx, &w) in indices.iter().zip(weights) {
+                let state = prev_offset + idx;
+                fma_row(&mut acc0, row7(lo, state), w * w_lo);
+                fma_row(&mut acc1, row7(hi, state), w * w_hi);
+            }
+        }
+        let mut out = [0.0; Advisory::COUNT];
+        for (slot, (a, b)) in out.iter_mut().zip(acc0.iter().zip(&acc1)) {
+            *slot = a + b;
         }
         out
     }
@@ -391,14 +408,14 @@ impl LogicTable {
             intruder_rate_fps,
             tau_s,
             previous,
-            |adv| adv.sense_allowed(forbidden),
+            AdvisorySet::for_restriction(forbidden),
             hysteresis_bonus,
         )
     }
 
     /// [`best_advisory`](Self::best_advisory) with an arbitrary advisory
-    /// mask. COC is always considered even if the mask rejects it, so a
-    /// decision always exists.
+    /// mask. COC is a member of every [`AdvisorySet`], so a decision always
+    /// exists.
     #[allow(clippy::too_many_arguments)]
     pub fn best_advisory_masked(
         &self,
@@ -407,7 +424,7 @@ impl LogicTable {
         intruder_rate_fps: f64,
         tau_s: f64,
         previous: Advisory,
-        allowed: impl FnMut(Advisory) -> bool,
+        allowed: AdvisorySet,
         hysteresis_bonus: f64,
     ) -> Advisory {
         self.best_advisory_masked_with_offset(
@@ -435,7 +452,7 @@ impl LogicTable {
         tau_s: f64,
         previous: Advisory,
         prev_offset: usize,
-        allowed: impl FnMut(Advisory) -> bool,
+        allowed: AdvisorySet,
         hysteresis_bonus: f64,
     ) -> Advisory {
         let q =
@@ -470,13 +487,45 @@ impl LogicTable {
         self.for_each_tile(batch, scratch, |table, corners, j| {
             let previous = batch.previous[j];
             let q = table.q_values_at(corners, batch.tau_s[j], table.prev_offset(previous));
-            let restriction = forbidden[j];
             out.push(argmax_masked(
                 &q,
                 previous,
-                |adv| adv.sense_allowed(restriction),
+                AdvisorySet::for_restriction(forbidden[j]),
                 hysteresis_bonus,
             ));
+        });
+    }
+
+    /// Batched [`best_advisory_masked`](Self::best_advisory_masked) with a
+    /// per-query advisory mask and hysteresis bonus — the per-tick query of
+    /// the cohort simulation engine, whose lanes each carry their own
+    /// coordination/sense-lock mask and alert state. Element-for-element
+    /// identical to the scalar path; all working memory comes from
+    /// `scratch`/`out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch slices, `allowed` or `hysteresis_bonus` have
+    /// unequal lengths.
+    pub fn best_advisory_batch_masked(
+        &self,
+        batch: &StateBatch<'_>,
+        allowed: &[AdvisorySet],
+        hysteresis_bonus: &[f64],
+        scratch: &mut LookupScratch,
+        out: &mut Vec<Advisory>,
+    ) {
+        batch.assert_coherent();
+        assert!(
+            allowed.len() == batch.len() && hysteresis_bonus.len() == batch.len(),
+            "per-query mask and hysteresis slices must have one entry per query"
+        );
+        out.clear();
+        out.reserve(batch.len());
+        self.for_each_tile(batch, scratch, |table, corners, j| {
+            let previous = batch.previous[j];
+            let q = table.q_values_at(corners, batch.tau_s[j], table.prev_offset(previous));
+            out.push(argmax_masked(&q, previous, allowed[j], hysteresis_bonus[j]));
         });
     }
 
@@ -610,32 +659,68 @@ impl LogicTable {
     }
 }
 
+/// A 7-advisory Q row viewed as a fixed-size array so the accumulation
+/// kernel unrolls at the type level.
+#[inline]
+fn row7(stage: &[f64], state: usize) -> &[f64; Advisory::COUNT] {
+    stage[state * Advisory::COUNT..][..Advisory::COUNT]
+        .try_into()
+        .expect("rows are exactly 7 advisories wide")
+}
+
+/// `acc += w * row`, explicitly unrolled over the 7 advisory lanes (the
+/// widest vectorizable form available without target-feature dispatch:
+/// 4+2+1 f64 lanes on AVX2, 2×3+1 on 128-bit SIMD).
+#[inline(always)]
+fn fma_row(acc: &mut [f64; Advisory::COUNT], row: &[f64; Advisory::COUNT], w: f64) {
+    acc[0] += w * row[0];
+    acc[1] += w * row[1];
+    acc[2] += w * row[2];
+    acc[3] += w * row[3];
+    acc[4] += w * row[4];
+    acc[5] += w * row[5];
+    acc[6] += w * row[6];
+}
+
 /// The masked, hysteresis-biased argmax shared by every advisory-selection
 /// path (scalar and batched), so all of them break ties identically. COC is
-/// always considered even if the mask rejects it, so a decision always
-/// exists.
+/// always in the [`AdvisorySet`], so a decision always exists.
+///
+/// Masked lanes are blended to `-∞` and the winner found by a fixed
+/// comparison tournament instead of a data-dependent scan. Every pairwise
+/// `pick` keeps the smaller index unless the larger one is *strictly*
+/// greater, which reproduces the linear scan's lowest-index-wins tie-break
+/// (the hysteresis bonus is applied before masking, so a masked-out
+/// previous advisory stays at `-∞`).
 #[inline]
 fn argmax_masked(
     q: &[f64; Advisory::COUNT],
     previous: Advisory,
-    mut allowed: impl FnMut(Advisory) -> bool,
+    allowed: AdvisorySet,
     hysteresis_bonus: f64,
 ) -> Advisory {
-    let mut q = *q;
-    q[previous.index()] += hysteresis_bonus;
-    let mut best = Advisory::Coc;
-    let mut best_q = q[Advisory::Coc.index()];
-    for adv in Advisory::ALL {
-        if adv != Advisory::Coc && !allowed(adv) {
-            continue;
-        }
-        let val = q[adv.index()];
-        if val > best_q {
-            best_q = val;
-            best = adv;
+    let mut v = *q;
+    v[previous.index()] += hysteresis_bonus;
+    for adv in &Advisory::ALL[1..] {
+        if !allowed.allows(*adv) {
+            v[adv.index()] = f64::NEG_INFINITY;
         }
     }
-    best
+    #[inline(always)]
+    fn pick(v: &[f64; Advisory::COUNT], a: usize, b: usize) -> usize {
+        // Callers keep `a < b`; strict `>` makes ties resolve low.
+        if v[b] > v[a] {
+            b
+        } else {
+            a
+        }
+    }
+    let m01 = pick(&v, 0, 1);
+    let m23 = pick(&v, 2, 3);
+    let m45 = pick(&v, 4, 5);
+    let quad = pick(&v, m01, m23);
+    let hex = pick(&v, quad, m45);
+    Advisory::from_index(pick(&v, hex, 6))
 }
 
 #[cfg(test)]

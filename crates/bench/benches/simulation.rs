@@ -7,7 +7,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, Criterion};
 use uavca_acasx::{AcasConfig, LogicTable};
 use uavca_encounter::EncounterParams;
-use uavca_validation::{EncounterRunner, Equipage};
+use uavca_validation::{BatchRunner, EncounterRunner, Equipage, SimEngine};
 
 fn table() -> Arc<LogicTable> {
     Arc::new(LogicTable::solve(&AcasConfig::coarse()))
@@ -49,10 +49,57 @@ fn bench_paper_evaluation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine_comparison(c: &mut Criterion) {
+    // The head-to-head the cohort engine exists for: the same 64-job
+    // batch through the scalar oracle and through the lockstep cohort
+    // (SoA state + batched SIMD advisory lookups). Outcomes are
+    // byte-identical by construction (crates/core/tests/cohort_identity.rs);
+    // only the wall clock differs. Serial backend so the ratio measures
+    // the engine, not thread scheduling.
+    let params = EncounterParams::head_on_template();
+    let mut group = c.benchmark_group("engine_comparison");
+    group.sample_size(10);
+    for (label, engine, equipage) in [
+        ("scalar_batch_64", SimEngine::Scalar, Equipage::Both),
+        (
+            "cohort_batch_64",
+            SimEngine::Cohort { width: 64 },
+            Equipage::Both,
+        ),
+        ("scalar_unequipped_64", SimEngine::Scalar, Equipage::Neither),
+        (
+            "cohort_unequipped_64",
+            SimEngine::Cohort { width: 64 },
+            Equipage::Neither,
+        ),
+    ] {
+        let jobs = BatchRunner::repeated_jobs(&params, equipage, 64, 0);
+        let batch = BatchRunner::serial(EncounterRunner::new(table())).engine(engine);
+        group.bench_function(label, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                // Fresh seeds per iteration so neither engine benefits
+                // from a repeated trajectory.
+                seed = seed.wrapping_add(jobs.len() as u64);
+                let shifted: Vec<_> = jobs
+                    .iter()
+                    .map(|j| uavca_validation::SimJob {
+                        seed: j.seed.wrapping_add(seed),
+                        ..*j
+                    })
+                    .collect();
+                batch.run_batch(&shifted)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_single_run,
     bench_unequipped_run,
-    bench_paper_evaluation
+    bench_paper_evaluation,
+    bench_engine_comparison
 );
 criterion_main!(benches);

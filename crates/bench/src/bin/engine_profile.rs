@@ -1,0 +1,63 @@
+//! Engine comparison harness: scalar vs cohort widths, both equipages.
+//!
+//! Unlike the criterion bench (which times each engine in its own block),
+//! this interleaves one rep per engine round-robin inside a single process,
+//! so clock drift and noisy neighbours hit every engine equally, and
+//! reports the median rep. Numbers in `BENCH_simulation.json` come from
+//! here.
+
+use std::time::Instant;
+
+use uavca_validation::{BatchRunner, Equipage, SimEngine, SimJob};
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let params = uavca_encounter::EncounterParams::head_on_template();
+    let reps: u64 = 60;
+    let engines = [
+        ("scalar", SimEngine::Scalar),
+        ("cohort8", SimEngine::Cohort { width: 8 }),
+        ("cohort16", SimEngine::Cohort { width: 16 }),
+        ("cohort32", SimEngine::Cohort { width: 32 }),
+        ("cohort64", SimEngine::Cohort { width: 64 }),
+    ];
+    for equipage in [Equipage::Both, Equipage::Neither] {
+        let jobs = BatchRunner::repeated_jobs(&params, equipage, 64, 0);
+        let runners: Vec<BatchRunner> = engines
+            .iter()
+            .map(|&(_, e)| BatchRunner::serial(uavca_bench::coarse_runner()).engine(e))
+            .collect();
+        for batch in &runners {
+            let _ = batch.run_batch(&jobs); // warm up
+        }
+        let mut times: Vec<Vec<f64>> = vec![Vec::new(); engines.len()];
+        for r in 0..reps {
+            for (k, batch) in runners.iter().enumerate() {
+                let shifted: Vec<SimJob> = jobs
+                    .iter()
+                    .map(|j| SimJob {
+                        seed: j.seed.wrapping_add(r * 64),
+                        ..*j
+                    })
+                    .collect();
+                let t = Instant::now();
+                let out = batch.run_batch(&shifted);
+                let dt = t.elapsed().as_secs_f64();
+                assert_eq!(out.len(), 64);
+                times[k].push(dt * 1e9 / 64.0);
+            }
+        }
+        for ((label, _), t) in engines.iter().zip(times) {
+            println!(
+                "{:?} {:10}: {:9.1} ns/job (median of {reps})",
+                equipage,
+                label,
+                median(t)
+            );
+        }
+    }
+}

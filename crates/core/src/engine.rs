@@ -86,6 +86,42 @@ impl PairedOutcome {
     }
 }
 
+/// How a [`BatchRunner`] advances its simulations.
+///
+/// Both engines are bit-identical per job (covered by
+/// `tests/cohort_identity.rs`); they differ only in throughput. The
+/// cohort engine is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimEngine {
+    /// One [`uavca_sim::EncounterWorld`] per job, stepped to completion
+    /// before the next job starts — the reference path, and the only one
+    /// that can record traces.
+    Scalar,
+    /// The lockstep [`uavca_sim::EncounterCohort`]: jobs are cut into
+    /// fixed `width` chunks (so results cannot depend on the thread
+    /// count), and each worker advances its chunk's encounters together,
+    /// turning every tick's policy queries into one batched table lookup.
+    Cohort {
+        /// Lockstep width — the number of encounters a worker advances
+        /// together (clamped to at least 1).
+        width: usize,
+    },
+}
+
+impl SimEngine {
+    /// The default lockstep width of [`SimEngine::Cohort`].
+    pub const DEFAULT_WIDTH: usize = 64;
+}
+
+impl Default for SimEngine {
+    /// The cohort engine at the default width.
+    fn default() -> Self {
+        SimEngine::Cohort {
+            width: Self::DEFAULT_WIDTH,
+        }
+    }
+}
+
 /// Anything that can fly a batch of single simulation jobs — the
 /// job-level counterpart of [`crate::PairSource`] for unpaired batches.
 ///
@@ -113,6 +149,7 @@ pub trait SimSource {
 pub struct BatchRunner<B: Backend = Executor> {
     runner: EncounterRunner,
     backend: B,
+    engine: SimEngine,
 }
 
 impl BatchRunner {
@@ -130,9 +167,25 @@ impl BatchRunner {
 }
 
 impl<B: Backend> BatchRunner<B> {
-    /// A batch runner fanning out on `backend`.
+    /// A batch runner fanning out on `backend` with the default
+    /// [`SimEngine`].
     pub fn new(runner: EncounterRunner, backend: B) -> Self {
-        Self { runner, backend }
+        Self {
+            runner,
+            backend,
+            engine: SimEngine::default(),
+        }
+    }
+
+    /// Selects the simulation engine (builder style).
+    pub fn engine(mut self, engine: SimEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The configured simulation engine.
+    pub fn current_engine(&self) -> SimEngine {
+        self.engine
     }
 
     /// The wrapped runner.
@@ -145,27 +198,66 @@ impl<B: Backend> BatchRunner<B> {
         &self.backend
     }
 
+    /// The engine a batch will actually run on: the cohort engine does
+    /// not record traces, so trace-recording configurations fall back to
+    /// the scalar path.
+    fn active_engine(&self) -> SimEngine {
+        match self.engine {
+            SimEngine::Cohort { .. } if self.runner.sim().record_trace => SimEngine::Scalar,
+            SimEngine::Cohort { width } => SimEngine::Cohort {
+                width: width.max(1),
+            },
+            SimEngine::Scalar => SimEngine::Scalar,
+        }
+    }
+
     /// Runs every job, returning outcomes in job order.
     pub fn run_batch(&self, jobs: &[SimJob]) -> Vec<EncounterOutcome> {
-        self.backend
-            .map_with(jobs, RunScratch::new, |scratch, job| {
-                self.runner
-                    .run_once_reusing(&job.params, job.seed, job.equipage, scratch)
-            })
+        match self.active_engine() {
+            SimEngine::Scalar => self
+                .backend
+                .map_with(jobs, RunScratch::new, |scratch, job| {
+                    self.runner
+                        .run_once_reusing(&job.params, job.seed, job.equipage, scratch)
+                }),
+            SimEngine::Cohort { width } => {
+                let chunks: Vec<&[SimJob]> = jobs.chunks(width).collect();
+                self.backend
+                    .map_with(&chunks, RunScratch::new, |scratch, chunk| {
+                        self.runner.run_chunk_cohort(chunk, width, scratch)
+                    })
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            }
+        }
     }
 
     /// Runs every paired job (equipped + unequipped on one seed, one
     /// scenario generation each), in job order.
     pub fn run_paired(&self, jobs: &[PairedJob]) -> Vec<PairedOutcome> {
-        self.backend
-            .map_with(jobs, RunScratch::new, |scratch, job| {
-                let (equipped, unequipped) =
-                    self.runner.run_pair_reusing(&job.params, job.seed, scratch);
-                PairedOutcome {
-                    equipped,
-                    unequipped,
-                }
-            })
+        match self.active_engine() {
+            SimEngine::Scalar => self
+                .backend
+                .map_with(jobs, RunScratch::new, |scratch, job| {
+                    let (equipped, unequipped) =
+                        self.runner.run_pair_reusing(&job.params, job.seed, scratch);
+                    PairedOutcome {
+                        equipped,
+                        unequipped,
+                    }
+                }),
+            SimEngine::Cohort { width } => {
+                let chunks: Vec<&[PairedJob]> = jobs.chunks(width).collect();
+                self.backend
+                    .map_with(&chunks, RunScratch::new, |scratch, chunk| {
+                        self.runner.run_pair_chunk_cohort(chunk, width, scratch)
+                    })
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            }
+        }
     }
 
     /// The batched equivalent of [`EncounterRunner::run_repeated`]: `runs`

@@ -62,7 +62,7 @@ pub use campaign::{
     CampaignConfigError, CampaignOutcome, CampaignPlanner, PairSource, PairTable, RatioEstimate,
     RoundSummary, StratifiedEstimate, StratumEstimate, StratumTally, WeightedRate,
 };
-pub use engine::{BatchRunner, PairedJob, PairedOutcome, SimJob, SimSource};
+pub use engine::{BatchRunner, PairedJob, PairedOutcome, SimEngine, SimJob, SimSource};
 pub use fitness::{FitnessFunction, FitnessKind};
 pub use harness::{SearchConfig, SearchHarness, SearchOutcome};
 pub use montecarlo::{MonteCarloConfig, MonteCarloEstimate, MonteCarloEstimator, RateEstimate};

@@ -1,23 +1,34 @@
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
-use uavca_acasx::{AcasConfig, AcasXu, LogicTable, LookupScratch};
+use uavca_acasx::{AcasConfig, AcasXu, AcasXuCohort, LogicTable, LookupScratch};
 use uavca_encounter::{EncounterParams, ScenarioGenerator};
 use uavca_sim::{
-    CollisionAvoider, EncounterOutcome, EncounterWorld, SimConfig, Trace, UavState, Unequipped,
+    CohortAvoider, CohortJob, CollisionAvoider, EncounterCohort, EncounterOutcome, EncounterWorld,
+    SimConfig, Trace, UavState, Unequipped, UnequippedCohort,
 };
 
-/// Reusable per-worker simulation state: one warm [`EncounterWorld`] per
-/// equipage (so repeated runs pay zero avoider/world allocations) plus a
-/// [`LookupScratch`] for direct batched logic-table interrogation (policy
-/// maps, cost-surface scans) from the same worker.
+use crate::{PairedJob, PairedOutcome, SimJob};
+
+/// Reusable per-worker simulation state behind one reset rule: **every
+/// job resets exactly the state it is about to use, nothing is reset
+/// between jobs.** Warm [`EncounterWorld`]s and [`EncounterCohort`]s (one
+/// per equipage) rearm per run/admission, the [`LookupScratch`] and the
+/// chunk gather buffers clear-but-keep-capacity per call — so repeated
+/// batches pay zero steady-state allocation on either engine path.
 ///
 /// Create one scratch per worker thread (never share across runners — the
-/// warmed worlds embed the owning runner's logic table and simulation
-/// configuration). [`crate::BatchRunner`] does this automatically.
+/// warmed worlds and cohorts embed the owning runner's logic table and
+/// simulation configuration). [`crate::BatchRunner`] does this
+/// automatically.
 #[derive(Debug, Default)]
 pub struct RunScratch {
     worlds: [Option<EncounterWorld>; 3],
+    cohorts: [Option<EncounterCohort>; 3],
+    /// Generated cohort jobs of the chunk being run (cleared per chunk).
+    cohort_jobs: Vec<CohortJob>,
+    /// Chunk positions of `cohort_jobs` entries, for the scatter pass.
+    positions: Vec<usize>,
     lookup: LookupScratch,
 }
 
@@ -41,6 +52,18 @@ impl RunScratch {
             Equipage::Neither => 2,
         };
         &mut self.worlds[idx]
+    }
+
+    fn cohort_slot(
+        cohorts: &mut [Option<EncounterCohort>; 3],
+        equipage: Equipage,
+    ) -> &mut Option<EncounterCohort> {
+        let idx = match equipage {
+            Equipage::Both => 0,
+            Equipage::OwnOnly => 1,
+            Equipage::Neither => 2,
+        };
+        &mut cohorts[idx]
     }
 }
 
@@ -137,6 +160,102 @@ impl EncounterRunner {
             Equipage::OwnOnly => [acas(), none()],
             Equipage::Neither => [none(), none()],
         }
+    }
+
+    fn cohort_avoiders(&self, equipage: Equipage) -> [Box<dyn CohortAvoider>; 2] {
+        let acas = || -> Box<dyn CohortAvoider> { Box::new(AcasXuCohort::new(self.table.clone())) };
+        let none = || -> Box<dyn CohortAvoider> { Box::new(UnequippedCohort::new()) };
+        match equipage {
+            Equipage::Both => [acas(), acas()],
+            Equipage::OwnOnly => [acas(), none()],
+            Equipage::Neither => [none(), none()],
+        }
+    }
+
+    /// Runs one chunk of simulation jobs through the warm lockstep cohort
+    /// engines (one per equipage in the chunk), returning outcomes in
+    /// chunk order — bit-identical to the scalar per-job path.
+    pub(crate) fn run_chunk_cohort(
+        &self,
+        chunk: &[SimJob],
+        width: usize,
+        scratch: &mut RunScratch,
+    ) -> Vec<EncounterOutcome> {
+        let mut out: Vec<Option<EncounterOutcome>> = vec![None; chunk.len()];
+        for equipage in [Equipage::Both, Equipage::OwnOnly, Equipage::Neither] {
+            let RunScratch {
+                cohorts,
+                cohort_jobs,
+                positions,
+                ..
+            } = scratch;
+            cohort_jobs.clear();
+            positions.clear();
+            for (k, job) in chunk.iter().enumerate() {
+                if job.equipage == equipage {
+                    let enc = self.generator.generate(&job.params);
+                    cohort_jobs.push(CohortJob {
+                        initial: [enc.own, enc.intruder],
+                        seed: job.seed,
+                    });
+                    positions.push(k);
+                }
+            }
+            if cohort_jobs.is_empty() {
+                continue;
+            }
+            let cohort = RunScratch::cohort_slot(cohorts, equipage).get_or_insert_with(|| {
+                EncounterCohort::new(self.sim, self.cohort_avoiders(equipage), width)
+            });
+            for (&pos, outcome) in positions.iter().zip(cohort.run(cohort_jobs)) {
+                out[pos] = Some(outcome);
+            }
+        }
+        out.into_iter()
+            .map(|o| o.expect("every job carries one of the three equipages"))
+            .collect()
+    }
+
+    /// Runs one chunk of paired jobs through the cohort engines: each
+    /// scenario is generated **once**, then the whole chunk flies the
+    /// configured equipage and the unequipped baseline on identical seeds.
+    pub(crate) fn run_pair_chunk_cohort(
+        &self,
+        chunk: &[PairedJob],
+        width: usize,
+        scratch: &mut RunScratch,
+    ) -> Vec<PairedOutcome> {
+        let RunScratch {
+            cohorts,
+            cohort_jobs,
+            ..
+        } = scratch;
+        cohort_jobs.clear();
+        for job in chunk {
+            let enc = self.generator.generate(&job.params);
+            cohort_jobs.push(CohortJob {
+                initial: [enc.own, enc.intruder],
+                seed: job.seed,
+            });
+        }
+        let equipped = RunScratch::cohort_slot(cohorts, self.equipage)
+            .get_or_insert_with(|| {
+                EncounterCohort::new(self.sim, self.cohort_avoiders(self.equipage), width)
+            })
+            .run(cohort_jobs);
+        let unequipped = RunScratch::cohort_slot(cohorts, Equipage::Neither)
+            .get_or_insert_with(|| {
+                EncounterCohort::new(self.sim, self.cohort_avoiders(Equipage::Neither), width)
+            })
+            .run(cohort_jobs);
+        equipped
+            .into_iter()
+            .zip(unequipped)
+            .map(|(equipped, unequipped)| PairedOutcome {
+                equipped,
+                unequipped,
+            })
+            .collect()
     }
 
     /// Runs one stochastic simulation of `params` with the configured

@@ -158,8 +158,20 @@ pub enum ShardRequest {
     Shutdown,
 }
 
-/// A shard-to-coordinator event: one completed job.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// A shard-to-coordinator event: one or more completed jobs.
+///
+/// Shards flush results per execution sub-batch as a single *chunk*
+/// event ([`PairedChunk`](ShardEvent::PairedChunk) /
+/// [`SimChunk`](ShardEvent::SimChunk)): one framed line per chunk
+/// instead of one per job, which divides the per-result
+/// framing/serialization overhead by the chunk size. `indices` and
+/// `outcomes` are parallel vectors (round-robin partitioning means a
+/// shard's indices are not contiguous); a length mismatch is rejected by
+/// the coordinator as a malformed event. The single-job
+/// [`Paired`](ShardEvent::Paired) / [`Sim`](ShardEvent::Sim) forms
+/// remain valid deliveries — the merge layer accepts either — so old
+/// shards and per-job test rigs interoperate with chunking coordinators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ShardEvent {
     /// A paired job finished.
     Paired {
@@ -178,6 +190,26 @@ pub enum ShardEvent {
         index: usize,
         /// The run's outcome.
         outcome: EncounterOutcome,
+    },
+    /// A sub-batch of paired jobs finished (the per-chunk flush).
+    PairedChunk {
+        /// The batch id of the request this answers.
+        batch: u64,
+        /// The jobs' indices in the coordinator's batch, parallel to
+        /// `outcomes`.
+        indices: Vec<usize>,
+        /// Both arms' outcomes, parallel to `indices`.
+        outcomes: Vec<PairedOutcome>,
+    },
+    /// A sub-batch of single simulation jobs finished.
+    SimChunk {
+        /// The batch id of the request this answers.
+        batch: u64,
+        /// The jobs' indices in the coordinator's batch, parallel to
+        /// `outcomes`.
+        indices: Vec<usize>,
+        /// The runs' outcomes, parallel to `indices`.
+        outcomes: Vec<EncounterOutcome>,
     },
 }
 

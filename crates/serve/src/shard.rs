@@ -2,7 +2,8 @@
 //!
 //! A shard is a worker loop ([`serve_shard`]) hosting a
 //! [`BatchRunner`]: it receives indexed job batches, runs them on its
-//! local executor, and streams one [`ShardEvent`] back per job. The
+//! local executor in sub-batches, and streams one chunked [`ShardEvent`]
+//! back per sub-batch (per-job events remain accepted deliveries). The
 //! coordinator ([`ShardedBackend`]) partitions every batch across its
 //! shards, merges results **by job index**, requeues the unfinished jobs
 //! of a lost shard onto the survivors, and rejects duplicate or stale
@@ -140,10 +141,11 @@ impl std::error::Error for ShardFault {}
 /// coordinator shuts it down or disconnects.
 ///
 /// Jobs run in small sub-batches (16 jobs) on the hosted
-/// [`BatchRunner`], each sub-batch's results streamed before the next
-/// starts, so a coordinator observing this shard's stream sees progress
-/// at chunk granularity and loses at most one unsent chunk if the shard
-/// dies.
+/// [`BatchRunner`], each sub-batch's results flushed as **one** chunked
+/// [`ShardEvent`] before the next starts — one framed line per chunk
+/// instead of per job — so a coordinator observing this shard's stream
+/// sees progress at chunk granularity and loses at most one unsent chunk
+/// if the shard dies.
 ///
 /// # Errors
 ///
@@ -163,32 +165,28 @@ pub fn serve_shard<B: Backend, T: Transport>(
                 for chunk in jobs.chunks(SHARD_CHUNK) {
                     let plain: Vec<PairedJob> = chunk.iter().map(|j| j.job).collect();
                     let outcomes = batch.run_paired(&plain);
-                    for (job, outcome) in chunk.iter().zip(outcomes) {
-                        send_msg(
-                            &mut transport,
-                            &ShardEvent::Paired {
-                                batch: id,
-                                index: job.index,
-                                outcome,
-                            },
-                        )?;
-                    }
+                    send_msg(
+                        &mut transport,
+                        &ShardEvent::PairedChunk {
+                            batch: id,
+                            indices: chunk.iter().map(|j| j.index).collect(),
+                            outcomes,
+                        },
+                    )?;
                 }
             }
             ShardRequest::RunSims { batch: id, jobs } => {
                 for chunk in jobs.chunks(SHARD_CHUNK) {
                     let plain: Vec<SimJob> = chunk.iter().map(|j| j.job).collect();
                     let outcomes = batch.run_batch(&plain);
-                    for (job, outcome) in chunk.iter().zip(outcomes) {
-                        send_msg(
-                            &mut transport,
-                            &ShardEvent::Sim {
-                                batch: id,
-                                index: job.index,
-                                outcome,
-                            },
-                        )?;
-                    }
+                    send_msg(
+                        &mut transport,
+                        &ShardEvent::SimChunk {
+                            batch: id,
+                            indices: chunk.iter().map(|j| j.index).collect(),
+                            outcomes,
+                        },
+                    )?;
                 }
             }
             ShardRequest::Shutdown => return Ok(()),
@@ -374,8 +372,15 @@ impl ShardedBackend {
                     batch,
                     index,
                     outcome,
-                } => Some((batch, index, outcome)),
-                ShardEvent::Sim { .. } => None,
+                } => Some((batch, vec![(index, outcome)])),
+                ShardEvent::PairedChunk {
+                    batch,
+                    indices,
+                    outcomes,
+                } if indices.len() == outcomes.len() => {
+                    Some((batch, indices.into_iter().zip(outcomes).collect()))
+                }
+                _ => None,
             },
         )
     }
@@ -402,8 +407,15 @@ impl ShardedBackend {
                     batch,
                     index,
                     outcome,
-                } => Some((batch, index, outcome)),
-                ShardEvent::Paired { .. } => None,
+                } => Some((batch, vec![(index, outcome)])),
+                ShardEvent::SimChunk {
+                    batch,
+                    indices,
+                    outcomes,
+                } if indices.len() == outcomes.len() => {
+                    Some((batch, indices.into_iter().zip(outcomes).collect()))
+                }
+                _ => None,
             },
         )
     }
@@ -414,11 +426,18 @@ impl ShardedBackend {
     /// keyed by job index and jobs are pure — so the partitioning
     /// (round-robin) and drain order (lowest live shard first) are
     /// chosen for balance and simplicity, not reproducibility.
+    /// `extract` turns one delivery into its `(batch, entries)` payload —
+    /// a single-entry vector for the per-job event forms, the whole
+    /// parallel-vector payload for chunk events (`None` for wrong-family
+    /// or length-mismatched deliveries, recorded as malformed). Every
+    /// entry then passes the stale/unknown/duplicate checks individually,
+    /// so a chunk straggling in from a previous batch records one typed
+    /// fault per job exactly as per-job deliveries would.
     fn run_indexed<J: Copy, O>(
         &self,
         jobs: &[J],
         make_request: impl Fn(u64, &[(usize, J)]) -> ShardRequest,
-        extract: impl Fn(ShardEvent) -> Option<(u64, usize, O)>,
+        extract: impl Fn(ShardEvent) -> Option<(u64, Vec<(usize, O)>)>,
     ) -> Result<Vec<O>, ServeError> {
         let mut co = self.coordinator.lock().expect("coordinator lock");
         let co = &mut *co;
@@ -528,39 +547,41 @@ impl ShardedBackend {
                         co.faults.push(ShardFault::MalformedEvent { shard });
                         continue;
                     };
-                    let Some((batch, index, outcome)) = extract(event) else {
+                    let Some((batch, entries)) = extract(event) else {
                         co.faults.push(ShardFault::MalformedEvent { shard });
                         continue;
                     };
-                    if batch != batch_id {
-                        co.faults.push(ShardFault::StaleBatch {
-                            shard,
-                            batch,
-                            index,
-                        });
-                        continue;
+                    for (index, outcome) in entries {
+                        if batch != batch_id {
+                            co.faults.push(ShardFault::StaleBatch {
+                                shard,
+                                batch,
+                                index,
+                            });
+                            continue;
+                        }
+                        if index >= results.len() {
+                            co.faults.push(ShardFault::UnknownJob {
+                                shard,
+                                batch,
+                                index,
+                            });
+                            continue;
+                        }
+                        if results[index].is_some() {
+                            co.faults.push(ShardFault::DuplicateResult {
+                                shard,
+                                batch,
+                                index,
+                            });
+                            co.slots[shard].usage.duplicates_rejected += 1;
+                            continue;
+                        }
+                        results[index] = Some(outcome);
+                        filled += 1;
+                        co.slots[shard].usage.jobs_completed += 1;
+                        outstanding[owner[index]] -= 1;
                     }
-                    if index >= results.len() {
-                        co.faults.push(ShardFault::UnknownJob {
-                            shard,
-                            batch,
-                            index,
-                        });
-                        continue;
-                    }
-                    if results[index].is_some() {
-                        co.faults.push(ShardFault::DuplicateResult {
-                            shard,
-                            batch,
-                            index,
-                        });
-                        co.slots[shard].usage.duplicates_rejected += 1;
-                        continue;
-                    }
-                    results[index] = Some(outcome);
-                    filled += 1;
-                    co.slots[shard].usage.jobs_completed += 1;
-                    outstanding[owner[index]] -= 1;
                 }
                 Ok(None) | Err(_) => {
                     // Shard loss (orderly close and broken pipe alike):

@@ -80,10 +80,10 @@ fn rigged_shard(mut transport: ChannelTransport, rig: Rig) {
                 events.reverse();
                 if events.len() >= 2 {
                     // Mid-stream duplicate: rejected inside this round.
-                    events.insert(1, events[0]);
+                    events.insert(1, events[0].clone());
                     // Trailing duplicate: straggles into the next round
                     // and must be rejected as stale there.
-                    events.push(*events.last().expect("non-empty"));
+                    events.push(events.last().expect("non-empty").clone());
                 }
                 for event in &events {
                     if send_msg(&mut transport, event).is_err() {

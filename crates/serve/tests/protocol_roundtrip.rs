@@ -278,6 +278,18 @@ proptest! {
             roundtrip(&ShardEvent::Sim { batch: d.5, index: k, outcome: first });
             roundtrip(&ShardEvent::Paired { batch: d.5, index: k, outcome: paired[0] });
         }
+        // The per-chunk flush forms, non-contiguous indices included
+        // (round-robin partitioning strides a shard's slice).
+        roundtrip(&ShardEvent::SimChunk {
+            batch: d.5,
+            indices: (0..k).map(|i| i * 3 + 1).collect(),
+            outcomes: outcomes.clone(),
+        });
+        roundtrip(&ShardEvent::PairedChunk {
+            batch: d.5,
+            indices: (0..k).map(|i| i * 2).collect(),
+            outcomes: paired.clone(),
+        });
     }
 
     #[test]
@@ -359,6 +371,15 @@ fn every_message_kind_survives_a_real_socket() {
             batch: 7,
             index: 0,
             outcome: outcome((1.0, 2.0, 3.0, 4, 5, 6)),
+        }),
+        encode(&ShardEvent::SimChunk {
+            batch: 8,
+            indices: vec![1, 4, 7],
+            outcomes: vec![
+                outcome((1.0, 2.0, 3.0, 4, 5, 6)),
+                outcome((0.5, 0.0, 9.0, 1, 0, 2)),
+                outcome((7.0, 1.5, 0.25, 0, 3, 1)),
+            ],
         }),
     ];
 

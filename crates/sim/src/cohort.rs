@@ -1,0 +1,665 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::world::{segment_min_separation, segment_nmac};
+use crate::{
+    AdsbReport, AdsbSensor, CoordinationBoard, EncounterOutcome, ManeuverCommand,
+    ProximityMeasurer, Sense, SimConfig, UavBody, UavPerformance, UavState, NMAC_HORIZONTAL_FT,
+    NMAC_VERTICAL_FT,
+};
+
+/// One encounter to be advanced by an [`EncounterCohort`]: the initial
+/// states of aircraft 0 (own-ship) and 1 (intruder), and the seed driving
+/// every stochastic element of the run — the same contract as
+/// [`crate::EncounterWorld::new`].
+#[derive(Debug, Clone, Copy)]
+pub struct CohortJob {
+    /// Initial states of aircraft 0 and 1.
+    pub initial: [UavState; 2],
+    /// Seed of the run's private RNG stream.
+    pub seed: u64,
+}
+
+/// The structure-of-arrays view a [`CohortAvoider`] decides over: entry `e`
+/// is one aircraft's decision in one active encounter lane. `lane[e]`
+/// identifies the cohort lane so the avoider can address its own per-lane
+/// state (advisory memory). `own`, `intruder` and `forbidden` have one
+/// entry per lane — unless the avoider opted out of kinematic context via
+/// [`CohortAvoider::wants_context`], in which case they are empty.
+#[derive(Debug, Clone, Copy)]
+pub struct CohortContext<'a> {
+    /// Own true kinematic state per entry.
+    pub own: &'a [UavState],
+    /// Latest ADS-B report received from the intruder, per entry.
+    pub intruder: &'a [AdsbReport],
+    /// Coordination restriction in force per entry (the sense this
+    /// aircraft must **not** choose).
+    pub forbidden: &'a [Option<Sense>],
+    /// Simulation time of each entry's lane, seconds.
+    pub time_s: &'a [f64],
+    /// Cohort lane of each entry.
+    pub lane: &'a [usize],
+    /// Decision interval, seconds (shared by the whole cohort).
+    pub dt_s: f64,
+}
+
+impl CohortContext<'_> {
+    /// Number of decision entries (always `lane.len()`, even when the
+    /// kinematic slices were skipped for a context-free avoider).
+    pub fn len(&self) -> usize {
+        self.lane.len()
+    }
+
+    /// Whether the context holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.lane.is_empty()
+    }
+}
+
+/// A collision avoidance logic driven over many encounters in lockstep —
+/// the batched counterpart of [`crate::CollisionAvoider`].
+///
+/// Implementations hold their decision state (advisory memory) *per lane*,
+/// indexed by [`CohortContext::lane`], and answer one whole tick of
+/// decisions per [`decide_cohort`](Self::decide_cohort) call. The contract
+/// every implementation must honor for the cohort engine's bit-identity
+/// guarantee: entry `e` of the output depends only on entry `e` of the
+/// context and the state of lane `lane[e]` — exactly what the scalar
+/// avoider would have decided one encounter at a time.
+pub trait CohortAvoider: Send {
+    /// Grows per-lane state to at least `lanes` lanes (new lanes start
+    /// reset).
+    fn ensure_lanes(&mut self, lanes: usize);
+
+    /// Resets the decision state of one lane for a fresh encounter.
+    fn reset_lane(&mut self, lane: usize);
+
+    /// Swaps the decision state of two lanes. The engine compacts finished
+    /// lanes out of its dense active range by swapping them with the last
+    /// active lane, and every piece of per-lane state — including the
+    /// avoider's advisory memory — must move with its lane.
+    fn swap_lanes(&mut self, a: usize, b: usize);
+
+    /// Whether this avoider reads the kinematic context slices (`own`,
+    /// `intruder`, `forbidden`). Defaults to `true`; an avoider whose
+    /// decisions ignore them (e.g. [`UnequippedCohort`]) may return `false`
+    /// and the engine will skip gathering those slices for its side —
+    /// [`decide_cohort`](Self::decide_cohort) then receives them empty and
+    /// must size its output from [`CohortContext::len`].
+    fn wants_context(&self) -> bool {
+        true
+    }
+
+    /// Decides one tick for every entry of `ctx`, pushing exactly
+    /// `ctx.len()` commands into `out` (cleared first). `None` means clear
+    /// of conflict, as in [`crate::CollisionAvoider::decide`].
+    fn decide_cohort(&mut self, ctx: &CohortContext<'_>, out: &mut Vec<Option<ManeuverCommand>>);
+
+    /// A short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+impl std::fmt::Debug for Box<dyn CohortAvoider> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CohortAvoider({})", self.name())
+    }
+}
+
+/// The cohort form of [`crate::Unequipped`]: never maneuvers, holds no
+/// per-lane state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnequippedCohort {
+    _private: (),
+}
+
+impl UnequippedCohort {
+    /// Creates the do-nothing cohort avoider.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CohortAvoider for UnequippedCohort {
+    fn ensure_lanes(&mut self, _lanes: usize) {}
+
+    fn reset_lane(&mut self, _lane: usize) {}
+
+    fn swap_lanes(&mut self, _a: usize, _b: usize) {}
+
+    fn wants_context(&self) -> bool {
+        false
+    }
+
+    fn decide_cohort(&mut self, ctx: &CohortContext<'_>, out: &mut Vec<Option<ManeuverCommand>>) {
+        out.clear();
+        out.resize(ctx.len(), None);
+    }
+
+    fn name(&self) -> &'static str {
+        "unequipped"
+    }
+}
+
+/// Reusable per-tick gather/scatter buffers of the cohort engine: the dense
+/// decision contexts handed to each side's [`CohortAvoider`] and the
+/// commands that come back. Cleared and refilled every tick, capacity
+/// retained — zero steady-state allocation.
+#[derive(Debug, Default)]
+struct TickBuffers {
+    /// Per side: own states of every active lane, in active order.
+    own: [Vec<UavState>; 2],
+    /// Per side: the intruder report each aircraft received.
+    intruder: [Vec<AdsbReport>; 2],
+    /// Per side: the coordination restriction in force.
+    forbidden: [Vec<Option<Sense>>; 2],
+    /// Cached identity run `0, 1, 2…` — entry `e` always sits in lane `e`
+    /// under dense compaction, so this only ever grows, never refills.
+    lane: Vec<usize>,
+    /// Per side: the avoider's decisions for this tick.
+    commands: [Vec<Option<ManeuverCommand>>; 2],
+}
+
+/// The lockstep cohort simulation engine: advances up to `width` encounters
+/// tick-by-tick together, so each side's per-tick decisions become one
+/// batched policy query instead of `width` scalar ones.
+///
+/// # Semantics
+///
+/// Byte-identical to running each job through a fresh (or reset)
+/// [`crate::EncounterWorld`] with the scalar avoiders: every lane owns a
+/// private RNG stream seeded from its job's seed, consumed in exactly the
+/// scalar order (intruder report, own report, own gust, intruder gust), and
+/// the per-tick phase structure (observe → decide both sides → apply and
+/// commit coordination → dynamics → continuous NMAC monitoring) matches
+/// [`crate::EncounterWorld::step`] phase for phase. Within a tick the two
+/// sides' decisions are mutually independent — restrictions bind from the
+/// previous commit and postings only take effect at the commit — so
+/// batching them across lanes cannot change any outcome.
+///
+/// # Compaction
+///
+/// Active lanes always occupy the dense slot range `0..active`: a finished
+/// lane is swapped with the last active lane (every per-lane array plus
+/// each avoider's advisory memory via
+/// [`CohortAvoider::swap_lanes`]) and the range shrinks, then free slots
+/// are refilled from the pending jobs in job order. The per-tick loops
+/// therefore iterate contiguous slices with no index indirection, and the
+/// batch never carries dead lanes. Both compaction and admission move or
+/// reset whole lanes (no lane reads another lane's state or RNG), which is
+/// why they cannot perturb the per-seed determinism contract.
+///
+/// Trace recording is not supported; construction rejects configurations
+/// with `record_trace` set (the scalar path handles those).
+#[derive(Debug)]
+pub struct EncounterCohort {
+    config: SimConfig,
+    avoiders: [Box<dyn CohortAvoider>; 2],
+    sensor: AdsbSensor,
+    width: usize,
+    // Per-lane simulation state, all `width` long (SoA parallel slices).
+    uav0: Vec<UavBody>,
+    uav1: Vec<UavBody>,
+    board: Vec<CoordinationBoard>,
+    proximity: Vec<ProximityMeasurer>,
+    nmac: Vec<bool>,
+    first_nmac_time_s: Vec<Option<f64>>,
+    rng: Vec<StdRng>,
+    time_s: Vec<f64>,
+    steps_left: Vec<usize>,
+    alert_steps: Vec<[usize; 2]>,
+    first_alert_time_s: Vec<Option<f64>>,
+    reversals: Vec<[usize; 2]>,
+    last_sense: Vec<[Option<Sense>; 2]>,
+    job_index: Vec<usize>,
+    /// Number of active lanes; they occupy slots `0..active`.
+    active: usize,
+    buffers: TickBuffers,
+}
+
+impl EncounterCohort {
+    /// Creates a cohort engine stepping up to `width` encounters in
+    /// lockstep with default UAV performance for both aircraft.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `config.record_trace` is set (the
+    /// cohort engine does not record traces — use
+    /// [`crate::EncounterWorld`]).
+    pub fn new(config: SimConfig, avoiders: [Box<dyn CohortAvoider>; 2], width: usize) -> Self {
+        assert!(width > 0, "cohort width must be at least one lane");
+        assert!(
+            !config.record_trace,
+            "the cohort engine does not record traces"
+        );
+        let sensor = AdsbSensor::new(config.sensor_noise);
+        let placeholder = || {
+            let state = UavState::new(crate::Vec3::ZERO, crate::Vec3::ZERO);
+            UavBody::new(state, UavPerformance::default())
+        };
+        let mut avoiders = avoiders;
+        for avoider in &mut avoiders {
+            avoider.ensure_lanes(width);
+        }
+        Self {
+            config,
+            avoiders,
+            sensor,
+            width,
+            uav0: (0..width).map(|_| placeholder()).collect(),
+            uav1: (0..width).map(|_| placeholder()).collect(),
+            board: vec![CoordinationBoard::new(); width],
+            proximity: vec![ProximityMeasurer::new(); width],
+            nmac: vec![false; width],
+            first_nmac_time_s: vec![None; width],
+            rng: (0..width).map(|_| StdRng::seed_from_u64(0)).collect(),
+            time_s: vec![0.0; width],
+            steps_left: vec![0; width],
+            alert_steps: vec![[0, 0]; width],
+            first_alert_time_s: vec![None; width],
+            reversals: vec![[0, 0]; width],
+            last_sense: vec![[None, None]; width],
+            job_index: vec![0; width],
+            active: 0,
+            buffers: TickBuffers::default(),
+        }
+    }
+
+    /// The lockstep width (maximum number of concurrently active lanes).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The simulation configuration the cohort runs under.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs every job to completion and returns the outcomes in job order.
+    ///
+    /// Jobs are admitted in order as lanes free up; each admitted job is a
+    /// full fresh encounter (lane state, RNG and avoider memory reset), so
+    /// repeated `run` calls on one cohort cannot leak state between
+    /// batches.
+    pub fn run(&mut self, jobs: &[CohortJob]) -> Vec<EncounterOutcome> {
+        let mut slots: Vec<Option<EncounterOutcome>> = vec![None; jobs.len()];
+        let mut next_job = 0;
+        loop {
+            while next_job < jobs.len() && self.active < self.width {
+                self.admit(self.active, next_job, &jobs[next_job]);
+                self.active += 1;
+                next_job += 1;
+            }
+            if self.active == 0 {
+                break;
+            }
+            self.tick();
+            self.harvest(&mut slots);
+        }
+        slots
+            .into_iter()
+            .map(|outcome| outcome.expect("every admitted job runs to completion"))
+            .collect()
+    }
+
+    /// Rearms lane `lane` for `job` — the cohort counterpart of
+    /// [`crate::EncounterWorld::reset`] plus the run preamble (initial
+    /// proximity observation and instant-NMAC check).
+    fn admit(&mut self, lane: usize, job_index: usize, job: &CohortJob) {
+        self.uav0[lane] = UavBody::new(job.initial[0], *self.uav0[lane].performance());
+        self.uav1[lane] = UavBody::new(job.initial[1], *self.uav1[lane].performance());
+        self.board[lane].reset();
+        self.proximity[lane] = ProximityMeasurer::new();
+        self.nmac[lane] = false;
+        self.first_nmac_time_s[lane] = None;
+        self.rng[lane] = StdRng::seed_from_u64(job.seed);
+        self.time_s[lane] = 0.0;
+        self.steps_left[lane] = self.config.num_steps();
+        self.alert_steps[lane] = [0, 0];
+        self.first_alert_time_s[lane] = None;
+        self.reversals[lane] = [0, 0];
+        self.last_sense[lane] = [None, None];
+        self.job_index[lane] = job_index;
+        for avoider in &mut self.avoiders {
+            avoider.reset_lane(lane);
+        }
+        // Observe the initial geometry so instant conflicts are counted.
+        self.proximity[lane].observe(self.uav0[lane].state(), self.uav1[lane].state(), 0.0);
+        let rel = self.uav0[lane].state().position - self.uav1[lane].state().position;
+        if rel.horizontal_norm() < NMAC_HORIZONTAL_FT && rel.z.abs() < NMAC_VERTICAL_FT {
+            self.nmac[lane] = true;
+            self.first_nmac_time_s[lane] = Some(0.0);
+        }
+    }
+
+    /// Advances every active lane by one step.
+    fn tick(&mut self) {
+        let n = self.active;
+        let Self {
+            config,
+            avoiders,
+            sensor,
+            uav0,
+            uav1,
+            board,
+            proximity,
+            nmac,
+            first_nmac_time_s,
+            rng,
+            time_s,
+            steps_left,
+            alert_steps,
+            first_alert_time_s,
+            reversals,
+            last_sense,
+            buffers,
+            ..
+        } = self;
+        let dt = config.dt_s;
+        let TickBuffers {
+            own,
+            intruder,
+            forbidden,
+            lane: lanes,
+            commands,
+        } = buffers;
+        // Active lanes are the dense slots 0..n: every per-lane loop below
+        // runs over contiguous slices with no index indirection.
+        let uav0 = &mut uav0[..n];
+        let uav1 = &mut uav1[..n];
+        let board = &mut board[..n];
+        let rng = &mut rng[..n];
+        let time_s = &mut time_s[..n];
+
+        // 1. ADS-B broadcast per lane (intruder's report first, then own's
+        //    — the scalar draw order), gathered into the two sides' dense
+        //    decision contexts.
+        for side in 0..2 {
+            own[side].clear();
+            intruder[side].clear();
+            forbidden[side].clear();
+        }
+        // Sides whose avoider ignores kinematics skip the gather entirely;
+        // the sensor still draws every report so the per-lane RNG streams
+        // stay in the scalar order.
+        let wants = [avoiders[0].wants_context(), avoiders[1].wants_context()];
+        let coordination = config.coordination;
+        for i in 0..n {
+            let t = time_s[i];
+            let lane_rng = &mut rng[i];
+            let report_of_1 = sensor.observe(1, uav1[i].state(), t, lane_rng);
+            let report_of_0 = sensor.observe(0, uav0[i].state(), t, lane_rng);
+            if wants[0] {
+                own[0].push(*uav0[i].state());
+                intruder[0].push(report_of_1);
+                if coordination {
+                    forbidden[0].push(board[i].restriction_for(0));
+                }
+            }
+            if wants[1] {
+                own[1].push(*uav1[i].state());
+                intruder[1].push(report_of_0);
+                if coordination {
+                    forbidden[1].push(board[i].restriction_for(1));
+                }
+            }
+        }
+        if !coordination {
+            // No restrictions ever bind: fill the gathered sides in one go.
+            for side in 0..2 {
+                if wants[side] {
+                    forbidden[side].resize(n, None);
+                }
+            }
+        }
+        // Lane ids are the slot ids — extend the cached identity run.
+        if lanes.len() < n {
+            lanes.extend(lanes.len()..n);
+        }
+
+        // 2. Decisions under the restrictions in force, one batched query
+        //    per side. Both sides see the pre-commit board, so the side
+        //    order does not matter; side 0 first mirrors the scalar loop.
+        for (side, avoider) in avoiders.iter_mut().enumerate() {
+            let ctx = CohortContext {
+                own: &own[side],
+                intruder: &intruder[side],
+                forbidden: &forbidden[side],
+                time_s: &time_s[..n],
+                lane: &lanes[..n],
+                dt_s: dt,
+            };
+            avoider.decide_cohort(&ctx, &mut commands[side]);
+            assert_eq!(
+                commands[side].len(),
+                n,
+                "cohort avoider must answer every entry"
+            );
+        }
+
+        // 3 + 4 + 5. Per lane, in one pass while its bodies are hot in
+        //    cache: apply both sides' commands, book-keep alerts/reversals,
+        //    commit the coordination messages posted this step, then step
+        //    the dynamics under disturbance and run continuous monitoring
+        //    along the step's straight-line motion. Each lane only touches
+        //    its own state and RNG, so the fused loop preserves the scalar
+        //    per-encounter order exactly.
+        let (cmd0, cmd1) = commands.split_at(1);
+        for i in 0..n {
+            let (command0, command1) = (cmd0[0][i], cmd1[0][i]);
+            let board = &mut board[i];
+            let alert_steps = &mut alert_steps[i];
+            let last_sense = &mut last_sense[i];
+            let reversals = &mut reversals[i];
+            let t = time_s[i];
+            for (side, (body, command)) in [(&mut uav0[i], command0), (&mut uav1[i], command1)]
+                .into_iter()
+                .enumerate()
+            {
+                match command {
+                    Some(cmd) => {
+                        body.command_vertical_rate(cmd.target_vertical_rate_fps);
+                        board.post(side, Some(cmd.sense));
+                        alert_steps[side] += 1;
+                        if first_alert_time_s[i].is_none() {
+                            first_alert_time_s[i] = Some(t);
+                        }
+                        if let Some(prev) = last_sense[side] {
+                            if prev == cmd.sense.opposite() {
+                                reversals[side] += 1;
+                            }
+                        }
+                        last_sense[side] = Some(cmd.sense);
+                    }
+                    None => {
+                        body.clear_command();
+                        board.post(side, None);
+                        last_sense[side] = None;
+                    }
+                }
+            }
+            board.commit();
+
+            let before = [uav0[i].state().position, uav1[i].state().position];
+            let lane_rng = &mut rng[i];
+            uav0[i].step(dt, &config.disturbance, lane_rng);
+            uav1[i].step(dt, &config.disturbance, lane_rng);
+            let after = [uav0[i].state().position, uav1[i].state().position];
+
+            let rel0 = before[0] - before[1];
+            let rel1 = after[0] - after[1];
+            let (s_min, _d_min) = segment_min_separation(rel0, rel1);
+            let t_at_min = t + s_min * dt;
+            let own_interp =
+                UavState::new(before[0].lerp(after[0], s_min), uav0[i].state().velocity);
+            let intr_interp =
+                UavState::new(before[1].lerp(after[1], s_min), uav1[i].state().velocity);
+            proximity[i].observe(&own_interp, &intr_interp, t_at_min);
+            proximity[i].observe(uav0[i].state(), uav1[i].state(), t + dt);
+            if !nmac[i] {
+                if let Some(s) = segment_nmac(rel0, rel1) {
+                    nmac[i] = true;
+                    first_nmac_time_s[i] = Some(t + s * dt);
+                }
+            }
+
+            time_s[i] = t + dt;
+            steps_left[i] -= 1;
+        }
+    }
+
+    /// Moves finished lanes out of the dense active range, recording their
+    /// outcomes by job index: a finished lane swaps with the last active
+    /// lane (state, RNG and avoider memory travel with it) and the range
+    /// shrinks.
+    fn harvest(&mut self, slots: &mut [Option<EncounterOutcome>]) {
+        let mut i = 0;
+        while i < self.active {
+            if self.steps_left[i] == 0 {
+                slots[self.job_index[i]] = Some(self.outcome(i));
+                let last = self.active - 1;
+                self.swap_lanes(i, last);
+                self.active = last;
+                // The swapped-in lane now sits at `i`: re-examine the slot.
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Swaps every piece of per-lane state between slots `a` and `b`,
+    /// including both avoiders' advisory memory.
+    fn swap_lanes(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        self.uav0.swap(a, b);
+        self.uav1.swap(a, b);
+        self.board.swap(a, b);
+        self.proximity.swap(a, b);
+        self.nmac.swap(a, b);
+        self.first_nmac_time_s.swap(a, b);
+        self.rng.swap(a, b);
+        self.time_s.swap(a, b);
+        self.steps_left.swap(a, b);
+        self.alert_steps.swap(a, b);
+        self.first_alert_time_s.swap(a, b);
+        self.reversals.swap(a, b);
+        self.last_sense.swap(a, b);
+        self.job_index.swap(a, b);
+        for avoider in &mut self.avoiders {
+            avoider.swap_lanes(a, b);
+        }
+    }
+
+    /// The outcome of one lane — field-for-field the scalar
+    /// [`crate::EncounterWorld::outcome`].
+    fn outcome(&self, lane: usize) -> EncounterOutcome {
+        EncounterOutcome {
+            nmac: self.nmac[lane],
+            first_nmac_time_s: self.first_nmac_time_s[lane],
+            min_separation_ft: self.proximity[lane].min_separation_ft(),
+            min_horizontal_ft: self.proximity[lane].min_horizontal_ft(),
+            min_vertical_ft: self.proximity[lane].min_vertical_ft(),
+            time_of_min_s: self.proximity[lane].time_of_min_s(),
+            own_alert_steps: self.alert_steps[lane][0],
+            intruder_alert_steps: self.alert_steps[lane][1],
+            first_alert_time_s: self.first_alert_time_s[lane],
+            own_reversals: self.reversals[lane][0],
+            duration_s: self.time_s[lane],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CollisionAvoider, EncounterWorld, Unequipped, Vec3};
+
+    fn head_on(distance_ft: f64, speed_fps: f64, dz_ft: f64) -> [UavState; 2] {
+        [
+            UavState::new(Vec3::ZERO, Vec3::new(150.0, 0.0, 0.0)),
+            UavState::new(
+                Vec3::new(distance_ft, dz_ft, 0.0),
+                Vec3::new(-speed_fps, 0.0, 0.0),
+            ),
+        ]
+    }
+
+    fn scalar_outcome(config: SimConfig, job: &CohortJob) -> EncounterOutcome {
+        let avoiders: [Box<dyn CollisionAvoider>; 2] =
+            [Box::new(Unequipped::new()), Box::new(Unequipped::new())];
+        EncounterWorld::new(config, job.initial, avoiders, job.seed).run()
+    }
+
+    fn unequipped_cohort(config: SimConfig, width: usize) -> EncounterCohort {
+        EncounterCohort::new(
+            config,
+            [
+                Box::new(UnequippedCohort::new()),
+                Box::new(UnequippedCohort::new()),
+            ],
+            width,
+        )
+    }
+
+    fn jobs() -> Vec<CohortJob> {
+        (0..13)
+            .map(|k| CohortJob {
+                initial: head_on(6000.0 + 500.0 * k as f64, 120.0 + 10.0 * k as f64, 0.0),
+                seed: 1000 + k,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cohort_matches_scalar_worlds_for_every_width() {
+        let config = SimConfig::default();
+        let jobs = jobs();
+        let reference: Vec<EncounterOutcome> =
+            jobs.iter().map(|j| scalar_outcome(config, j)).collect();
+        for width in [1, 3, 7, 13, 64] {
+            let mut cohort = unequipped_cohort(config, width);
+            assert_eq!(cohort.width(), width);
+            let outcomes = cohort.run(&jobs);
+            assert_eq!(outcomes, reference, "width {width}");
+            // A second batch on the same engine must not leak state.
+            let again = cohort.run(&jobs);
+            assert_eq!(again, reference, "width {width}, reused engine");
+        }
+    }
+
+    #[test]
+    fn lanes_are_recycled_across_a_long_job_stream() {
+        let config = SimConfig::default();
+        let jobs = jobs();
+        let mut cohort = unequipped_cohort(config, 2);
+        let outcomes = cohort.run(&jobs);
+        assert_eq!(outcomes.len(), jobs.len());
+        for (job, outcome) in jobs.iter().zip(&outcomes) {
+            assert_eq!(*outcome, scalar_outcome(config, job));
+        }
+    }
+
+    #[test]
+    fn empty_job_list_is_a_no_op() {
+        let mut cohort = unequipped_cohort(SimConfig::default(), 4);
+        assert!(cohort.run(&[]).is_empty());
+        assert_eq!(cohort.config().dt_s, SimConfig::default().dt_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "record traces")]
+    fn trace_recording_is_rejected() {
+        let config = SimConfig {
+            record_trace: true,
+            ..Default::default()
+        };
+        unequipped_cohort(config, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_width_is_rejected() {
+        unequipped_cohort(SimConfig::default(), 0);
+    }
+}

@@ -13,7 +13,10 @@
 //! * monitors — the paper's *Proximity Measurer* and *Accident Detector* —
 //!   aggregated into an [`EncounterOutcome`], and
 //! * [`EncounterWorld`]: the headless step loop, with an optional
-//!   [`Trace`] recorder replacing the paper's visualization mode.
+//!   [`Trace`] recorder replacing the paper's visualization mode, and
+//! * [`EncounterCohort`]: the lockstep batch engine that advances many
+//!   encounters together so per-tick policy queries can be vectorized,
+//!   byte-identical to running each encounter through [`EncounterWorld`].
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@
 
 mod adsb;
 mod avoider;
+mod cohort;
 mod config;
 mod coordination;
 mod monitors;
@@ -56,6 +60,7 @@ mod world;
 
 pub use adsb::{AdsbReport, AdsbSensor, SensorNoise};
 pub use avoider::{AvoiderContext, CollisionAvoider, ManeuverCommand, Sense, Unequipped};
+pub use cohort::{CohortAvoider, CohortContext, CohortJob, EncounterCohort, UnequippedCohort};
 pub use config::{DisturbanceModel, SimConfig};
 pub use coordination::CoordinationBoard;
 pub use monitors::{AccidentDetector, ProximityMeasurer, NMAC_HORIZONTAL_FT, NMAC_VERTICAL_FT};

@@ -298,12 +298,22 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume the maximal unescaped span in one step — one
+                    // UTF-8 check per span, not per character (per-character
+                    // re-validation of the whole remainder made parsing
+                    // quadratic in input length). The input arrived as
+                    // `&str`, so the span is always valid UTF-8 and any
+                    // multi-byte character is complete.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let span = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("non-empty by peek");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(span);
                 }
             }
         }
