@@ -249,6 +249,14 @@ impl CollisionAvoider for AcasXu {
     fn name(&self) -> &'static str {
         "acas-xu"
     }
+
+    fn clone_boxed(&self) -> Box<dyn CollisionAvoider> {
+        // Cheap: the logic table is shared behind an `Arc`; only the
+        // advisory memory (previous advisory, hysteresis offset,
+        // tracker filter state) is per-instance. This is the state
+        // importance-splitting checkpoints must carry into branches.
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

@@ -59,13 +59,13 @@ use crate::montecarlo::{finite_or_null, float_or};
 use crate::{BatchRunner, EncounterRunner, PairedJob, PairedOutcome, RateEstimate};
 
 /// 97.5th percentile of the standard normal (95% two-sided intervals).
-const Z95: f64 = 1.959_963_984_540_054;
+pub(crate) const Z95: f64 = 1.959_963_984_540_054;
 
 /// Domain-separation tag for the simulation-seed stream (vs the
 /// parameter-sampling stream) derived from one job seed.
-const SIM_STREAM: u64 = 0x5349_4d5f_5354_5245; // "SIM_STRE"
+pub(crate) const SIM_STREAM: u64 = 0x5349_4d5f_5354_5245; // "SIM_STRE"
 
-fn splitmix64(x: u64) -> u64 {
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -84,6 +84,24 @@ pub fn campaign_job_seed(campaign_seed: u64, stratum: usize, round: usize, index
     h = splitmix64(h ^ stratum as u64);
     h = splitmix64(h ^ round as u64);
     h ^ splitmix64(h ^ index as u64)
+}
+
+/// The splitting branch-seed rule: the RNG seed for branch `branch` taken
+/// at the `node`-th checkpoint crossing level `level` of a splitting root
+/// whose base seed is `root_seed`.
+///
+/// Like [`campaign_job_seed`], this is a pure function of its arguments,
+/// which is what keeps multilevel-splitting campaigns bit-identical
+/// across thread and shard counts: the branch tree is walked
+/// depth-first, so `(level, node, branch)` identifies a branch uniquely
+/// regardless of which worker replays the root. A distinct domain
+/// constant separates the branch stream from the job-seed stream so a
+/// branch seed can never collide with a sibling root's simulation seed.
+pub fn split_branch_seed(root_seed: u64, level: usize, node: u64, branch: usize) -> u64 {
+    let mut h = splitmix64(root_seed ^ 0x5350_4c49_545f_4252); // "SPLIT_BR"
+    h = splitmix64(h ^ level as u64);
+    h = splitmix64(h ^ node);
+    h ^ splitmix64(h ^ branch as u64)
 }
 
 /// Configuration of an adaptive stratified campaign.
@@ -913,7 +931,7 @@ impl StratumTally {
 /// Splits `budget` across strata proportionally to `scores` with
 /// largest-remainder rounding (deterministic, ties broken by stratum
 /// index), so every allocated total is exactly `budget`.
-fn apportion(scores: &[f64], budget: usize) -> Vec<usize> {
+pub(crate) fn apportion(scores: &[f64], budget: usize) -> Vec<usize> {
     let total: f64 = scores.iter().sum();
     if total <= 0.0 {
         // Degenerate scores: spread evenly, first strata take the rest.

@@ -40,6 +40,7 @@ use uavca_encounter::EncounterParams;
 use uavca_exec::{Backend, Executor};
 use uavca_sim::EncounterOutcome;
 
+use crate::splitting::{SplitJob, SplitOutcome};
 use crate::{EncounterRunner, Equipage, RunScratch};
 
 /// One simulation to run: scenario parameters, the seed that fully
@@ -258,6 +259,22 @@ impl<B: Backend> BatchRunner<B> {
                     .collect()
             }
         }
+    }
+
+    /// Runs multilevel-splitting jobs in parallel, outcomes in job order.
+    ///
+    /// Splitting always drives the **scalar** engine regardless of the
+    /// configured [`SimEngine`]: a branch tree advances one trajectory to
+    /// a data-dependent severity crossing, checkpoints, and resumes —
+    /// control flow a fixed-width cohort cannot express. Each job is a
+    /// pure function of its fields (root seed plus the
+    /// [`crate::split_branch_seed`] rule), so batches stay bit-identical
+    /// for any worker count.
+    pub fn run_splits(&self, jobs: &[SplitJob]) -> Vec<SplitOutcome> {
+        self.backend
+            .map_with(jobs, RunScratch::new, |scratch, job| {
+                self.runner.run_split_reusing(job, scratch)
+            })
     }
 
     /// The batched equivalent of [`EncounterRunner::run_repeated`]: `runs`

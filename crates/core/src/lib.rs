@@ -56,18 +56,25 @@ mod montecarlo;
 mod report;
 mod runner;
 mod scenario;
+mod splitting;
 
 pub use campaign::{
-    campaign_job_seed, jackknife_ratio, neyman_scores, paired_covariance, CampaignConfig,
-    CampaignConfigError, CampaignOutcome, CampaignPlanner, PairSource, PairTable, RatioEstimate,
-    RoundSummary, StratifiedEstimate, StratumEstimate, StratumTally, WeightedRate,
+    campaign_job_seed, jackknife_ratio, neyman_scores, paired_covariance, split_branch_seed,
+    CampaignConfig, CampaignConfigError, CampaignOutcome, CampaignPlanner, PairSource, PairTable,
+    RatioEstimate, RoundSummary, StratifiedEstimate, StratumEstimate, StratumTally, WeightedRate,
 };
 pub use engine::{BatchRunner, PairedJob, PairedOutcome, SimEngine, SimJob, SimSource};
 pub use fitness::{FitnessFunction, FitnessKind};
 pub use harness::{SearchConfig, SearchHarness, SearchOutcome};
 pub use montecarlo::{MonteCarloConfig, MonteCarloEstimate, MonteCarloEstimator, RateEstimate};
 pub use report::{
-    campaign_convergence_table, campaign_shard_table, campaign_stratum_table, ShardUsage, TextTable,
+    campaign_convergence_table, campaign_shard_table, campaign_stratum_table,
+    split_convergence_table, split_stratum_table, ShardUsage, TextTable,
 };
 pub use runner::{EncounterRunner, Equipage, RunScratch};
 pub use scenario::ScenarioSpace;
+pub use splitting::{
+    branch_schedule, split_neyman_scores, SplitCampaignOutcome, SplitConfig, SplitConfigError,
+    SplitEstimate, SplitJob, SplitOutcome, SplitPlanner, SplitRoundSummary, SplitSource,
+    SplitStratumEstimate, SplitTally,
+};

@@ -101,6 +101,18 @@ impl Deserialize for RateEstimate {
 
 impl RateEstimate {
     /// Computes the Wilson-score interval for `events` out of `trials`.
+    ///
+    /// The lower bound is evaluated in rationalized form —
+    /// `lo = p²/(p+a+h)` with `a = z²/2n` and `h = √(a² + 2ap(1−p))` —
+    /// algebraically identical to the textbook `center − half` but free
+    /// of its cancellation: at rare-event rates (`p ≲ 1e-6` against
+    /// billions of trials) `center` and `half` agree to most of their
+    /// significant digits and the subtraction collapses the lower bound,
+    /// degenerating the interval. The upper bound `(p+a+h)/(1+2a)` is a
+    /// sum of positives and needs no such treatment. Neither bound
+    /// subtracts anything, so `0 < lo < p < hi` holds whenever
+    /// `0 < events < trials`, and the extremes stay exact: `events == 0`
+    /// gives `[0, z²/(n+z²)]`, `events == trials` its mirror.
     pub fn wilson(events: usize, trials: usize) -> RateEstimate {
         if trials == 0 {
             return RateEstimate {
@@ -113,24 +125,19 @@ impl RateEstimate {
         }
         let n = trials as f64;
         let p = events as f64 / n;
+        let q = 1.0 - p;
         let z = 1.959_963_984_540_054; // 97.5th percentile of N(0,1)
-        let z2 = z * z;
-        let denom = 1.0 + z2 / n;
-        let center = (p + z2 / (2.0 * n)) / denom;
-        let half = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
-        // At the extremes the exact bound coincides with the point
-        // estimate (algebraically `center == half` when `events == 0`);
-        // pin it so float rounding cannot leave a stray ulp between the
-        // rate and its own interval.
+        let a = z * z / (2.0 * n);
+        let h = (a * a + 2.0 * a * p * q).sqrt();
         let ci_low = if events == 0 {
             0.0
         } else {
-            (center - half).max(0.0)
+            p * p / (p + a + h)
         };
         let ci_high = if events == trials {
             1.0
         } else {
-            (center + half).min(1.0)
+            ((p + a + h) / (1.0 + 2.0 * a)).min(1.0)
         };
         RateEstimate {
             events,
@@ -144,10 +151,17 @@ impl RateEstimate {
 
 impl std::fmt::Display for RateEstimate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Shares the report tables' formatter so a 1e-6-scale rate
+        // renders in scientific notation instead of flattening to
+        // `0.0000`.
         write!(
             f,
-            "{}/{} = {:.4} [95% CI {:.4}, {:.4}]",
-            self.events, self.trials, self.rate, self.ci_low, self.ci_high
+            "{}/{} = {} [95% CI {}, {}]",
+            self.events,
+            self.trials,
+            crate::report::fmt_rate(self.rate),
+            crate::report::fmt_rate(self.ci_low),
+            crate::report::fmt_rate(self.ci_high)
         )
     }
 }
@@ -312,6 +326,30 @@ mod tests {
         assert!(none.rate.is_nan());
         // Display is informative.
         assert!(e.to_string().contains("5/100"));
+    }
+
+    #[test]
+    fn wilson_survives_rare_event_rates() {
+        // 3 events in a billion trials: the textbook center-minus-half
+        // evaluation cancels the lower bound into garbage; the
+        // rationalized form keeps a strict 0 < lo < p < hi ordering.
+        let e = RateEstimate::wilson(3, 1_000_000_000);
+        assert!(e.ci_low > 0.0, "no degenerate zero-width floor");
+        assert!(e.ci_low < e.rate && e.rate < e.ci_high);
+        assert!(e.ci_high < 1e-7, "the interval stays rare-event sized");
+        // events == 0 pins exactly to [0, z²/(n+z²)].
+        let zero = RateEstimate::wilson(0, 1_000_000_000);
+        assert_eq!(zero.ci_low, 0.0);
+        let z2 = 1.959_963_984_540_054f64 * 1.959_963_984_540_054;
+        assert!((zero.ci_high - z2 / (1e9 + z2)).abs() < 1e-18);
+        // Where the textbook form is numerically fine, both agree.
+        let m = RateEstimate::wilson(50, 1000);
+        let (n, p, z) = (1000.0, 0.05, 1.959_963_984_540_054f64);
+        let denom = 1.0 + z * z / n;
+        let center = (p + z * z / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z * z / (4.0 * n * n)).sqrt();
+        assert!((m.ci_low - (center - half)).abs() < 1e-12);
+        assert!((m.ci_high - (center + half)).abs() < 1e-12);
     }
 
     #[test]

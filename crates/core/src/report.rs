@@ -1,6 +1,6 @@
 use std::fmt;
 
-use crate::{RoundSummary, StratifiedEstimate};
+use crate::{RoundSummary, SplitEstimate, SplitRoundSummary, StratifiedEstimate};
 
 /// A minimal fixed-width text table for experiment binaries: the bench
 /// harness prints the same rows/series the paper's figures report, and
@@ -89,6 +89,25 @@ fn fmt_half_width(hw: f64) -> String {
     }
 }
 
+/// Formats a probability for table cells across the full dynamic range:
+/// fixed point for ordinary rates, scientific notation below `1e-3` —
+/// where `{:.4}` fixed point would render any rare-event rate (the
+/// 1e-6-scale NMAC probabilities splitting campaigns exist to estimate)
+/// as an indistinguishable `0.0000`.
+pub(crate) fn fmt_rate(rate: f64) -> String {
+    if rate.is_nan() {
+        "n/a".to_string()
+    } else if rate == 0.0 {
+        "0".to_string()
+    } else if !rate.is_finite() {
+        format!("{rate}")
+    } else if rate.abs() < 1e-3 {
+        format!("{rate:.3e}")
+    } else {
+        format!("{rate:.4}")
+    }
+}
+
 /// Renders a campaign's per-stratum breakdown: mass, runs spent, the two
 /// NMAC rates, and the joint 2×2 split (both-NMAC / equipped-only /
 /// unequipped-only counts) whose discordant cells drive reallocation and
@@ -112,8 +131,8 @@ pub fn campaign_stratum_table(estimate: &StratifiedEstimate) -> TextTable {
             s.stratum.to_string(),
             format!("{:.4}", s.weight),
             s.runs.to_string(),
-            format!("{:.4}", s.unequipped_nmac.rate),
-            format!("{:.4}", s.equipped_nmac.rate),
+            fmt_rate(s.unequipped_nmac.rate),
+            fmt_rate(s.equipped_nmac.rate),
             s.pairs.both_nmac.to_string(),
             s.pairs.equipped_only.to_string(),
             s.pairs.unequipped_only.to_string(),
@@ -124,8 +143,8 @@ pub fn campaign_stratum_table(estimate: &StratifiedEstimate) -> TextTable {
         "combined".to_string(),
         "1.0000".to_string(),
         estimate.total_runs.to_string(),
-        format!("{:.4}", estimate.unequipped_nmac.rate),
-        format!("{:.4}", estimate.equipped_nmac.rate),
+        fmt_rate(estimate.unequipped_nmac.rate),
+        fmt_rate(estimate.equipped_nmac.rate),
         combined.both_nmac.to_string(),
         combined.equipped_only.to_string(),
         combined.unequipped_only.to_string(),
@@ -154,8 +173,8 @@ pub fn campaign_convergence_table(rounds: &[RoundSummary]) -> TextTable {
             r.round.to_string(),
             r.runs_this_round.to_string(),
             r.total_runs.to_string(),
-            format!("{:.4}", r.unequipped_nmac.rate),
-            format!("{:.4}", r.equipped_nmac.rate),
+            fmt_rate(r.unequipped_nmac.rate),
+            fmt_rate(r.equipped_nmac.rate),
             format!("{:.3}", r.risk_ratio.ratio),
             fmt_half_width(r.risk_ratio.half_width()),
             fmt_half_width(r.risk_ratio_unpaired.half_width()),
@@ -219,6 +238,93 @@ pub fn campaign_shard_table(shards: &[ShardUsage]) -> TextTable {
     table
 }
 
+/// Renders a splitting campaign's per-stratum breakdown: ladder depth,
+/// the final branch schedule, the splitting estimate of the equipped
+/// NMAC probability, and the control-variate-adjusted unequipped rate
+/// with its slope. Rare-event cells render in scientific notation — at
+/// the 1e-6 scale splitting targets, fixed point would be all zeros.
+pub fn split_stratum_table(estimate: &SplitEstimate) -> TextTable {
+    let mut table = TextTable::new([
+        "stratum",
+        "weight",
+        "roots",
+        "rungs",
+        "branches",
+        "equipped",
+        "se",
+        "unequipped",
+        "cv se",
+        "beta",
+    ]);
+    for s in &estimate.strata {
+        let branches = if s.branches.is_empty() {
+            "-".to_string()
+        } else {
+            s.branches
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("x")
+        };
+        table.row([
+            s.stratum.to_string(),
+            format!("{:.4}", s.weight),
+            s.roots.to_string(),
+            s.levels.len().to_string(),
+            branches,
+            fmt_rate(s.equipped_mean),
+            fmt_rate(s.equipped_std_err),
+            fmt_rate(s.unequipped_cv_rate),
+            fmt_rate(s.unequipped_cv_std_err),
+            fmt_rate(s.cv_beta),
+        ]);
+    }
+    table.row([
+        "combined".to_string(),
+        "1.0000".to_string(),
+        estimate.total_roots.to_string(),
+        String::new(),
+        String::new(),
+        fmt_rate(estimate.equipped_nmac.rate),
+        fmt_rate(estimate.equipped_nmac.std_err),
+        fmt_rate(estimate.unequipped_nmac.rate),
+        fmt_rate(estimate.unequipped_nmac.std_err),
+        String::new(),
+    ]);
+    table
+}
+
+/// Renders a splitting campaign's round-by-round convergence trail:
+/// roots and simulated UAV-steps spent, both arm estimates and the
+/// paired risk ratio with the half-width the early stop watches.
+pub fn split_convergence_table(rounds: &[SplitRoundSummary]) -> TextTable {
+    let mut table = TextTable::new([
+        "round",
+        "roots",
+        "total",
+        "steps",
+        "unequipped",
+        "equipped",
+        "risk ratio",
+        "half-width",
+    ]);
+    for r in rounds {
+        table.row([
+            r.round.to_string(),
+            r.roots_this_round.to_string(),
+            r.total_roots.to_string(),
+            r.total_steps.to_string(),
+            fmt_rate(r.unequipped_nmac.rate),
+            fmt_rate(r.equipped_nmac.rate),
+            // The ratio shares the rates' dynamic range: a strongly
+            // protective system at 1e-6 equipped rates has 1e-4 ratios.
+            fmt_rate(r.risk_ratio.ratio),
+            fmt_half_width(r.risk_ratio.half_width()),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +352,49 @@ mod tests {
         let text = t.to_string();
         assert!(text.contains("49"), "total completed jobs:\n{text}");
         assert!(text.contains("yes"), "lost shard flagged:\n{text}");
+    }
+
+    #[test]
+    fn rates_render_across_the_full_dynamic_range() {
+        // Rare-event rates must stay distinguishable from zero.
+        assert_eq!(fmt_rate(2.5e-6), "2.500e-6");
+        assert_eq!(fmt_rate(6.25e-7), "6.250e-7");
+        assert_ne!(fmt_rate(1e-9), fmt_rate(0.0));
+        // Ordinary rates keep the compact fixed-point form.
+        assert_eq!(fmt_rate(0.0425), "0.0425");
+        assert_eq!(fmt_rate(0.0), "0");
+        assert_eq!(fmt_rate(f64::NAN), "n/a");
+        // Negative control-variate adjustments keep their sign.
+        assert!(fmt_rate(-3.0e-5).starts_with('-'));
+    }
+
+    #[test]
+    fn split_convergence_table_uses_scientific_rates() {
+        let rate = |r: f64| crate::WeightedRate {
+            rate: r,
+            std_err: r / 10.0,
+            ci_low: 0.0,
+            ci_high: 1.0,
+        };
+        let rounds = [SplitRoundSummary {
+            round: 0,
+            allocated: vec![4, 4],
+            roots_this_round: 8,
+            total_roots: 8,
+            total_steps: 123_456,
+            equipped_nmac: rate(3.2e-6),
+            unequipped_nmac: rate(1.1e-2),
+            risk_ratio: crate::RatioEstimate {
+                ratio: 2.9e-4,
+                ci_low: 1.0e-4,
+                ci_high: 8.0e-4,
+                se_log: 0.5,
+            },
+        }];
+        let text = split_convergence_table(&rounds).to_string();
+        assert!(text.contains("3.200e-6"), "{text}");
+        assert!(text.contains("2.900e-4"), "{text}");
+        assert!(text.contains("123456"), "{text}");
     }
 
     #[test]

@@ -8,6 +8,8 @@ use uavca_sim::{
     SimConfig, Trace, UavState, Unequipped, UnequippedCohort,
 };
 
+use crate::campaign::split_branch_seed;
+use crate::splitting::{SplitJob, SplitOutcome};
 use crate::{PairedJob, PairedOutcome, SimJob};
 
 /// Reusable per-worker simulation state behind one reset rule: **every
@@ -324,6 +326,53 @@ impl EncounterRunner {
         world.run()
     }
 
+    /// Runs one multilevel-splitting root (see [`crate::SplitJob`]): a
+    /// plain unequipped companion run on the root seed, then the equipped
+    /// run driven as a depth-first branch tree — whenever the trajectory's
+    /// tracked minimum severity first drops below the next ladder rung
+    /// the world is checkpointed ([`EncounterWorld::snapshot`]) and
+    /// re-branched `K` times ([`EncounterWorld::restore_branch`]) with
+    /// seeds from [`crate::split_branch_seed`].
+    ///
+    /// The returned weight `R = Σ_{NMAC leaves} Π_j 1/K_j` is an
+    /// unbiased estimate of the equipped NMAC probability for this
+    /// encounter/seed distribution: each rung's branching multiplies the
+    /// leaf count by `K_j` and divides each leaf's weight by the same
+    /// factor. Checkpoints are taken at *first* crossings only (severity
+    /// is monotone non-increasing, so crossings are well-ordered); a
+    /// trajectory that plunges through several rungs in one advance
+    /// re-branches at each rung in turn, zero steps apart. The walk is
+    /// strictly depth-first with a per-root node counter, so the
+    /// `(level, node, branch)` seed coordinates — and therefore every
+    /// simulated number — are a pure function of the job.
+    pub fn run_split_reusing(&self, job: &SplitJob, scratch: &mut RunScratch) -> SplitOutcome {
+        let enc = self.generator.generate(&job.params);
+        let initial = [enc.own, enc.intruder];
+        let unequipped = self.run_generated(&initial, job.seed, Equipage::Neither, scratch);
+        let world = scratch.world(self.equipage).get_or_insert_with(|| {
+            EncounterWorld::new(self.sim, initial, self.avoiders(self.equipage), job.seed)
+        });
+        world.reset(initial, job.seed);
+        world.begin();
+        let stages = job.levels.len() + 1;
+        let mut walk = SplitWalk {
+            weight: 0.0,
+            level_trials: vec![0; stages],
+            level_crossings: vec![0; stages],
+            equipped_steps: 0,
+            next_node: 0,
+        };
+        split_descend(world, job, 0, 1.0, &mut walk);
+        SplitOutcome {
+            weight: walk.weight,
+            level_trials: walk.level_trials,
+            level_crossings: walk.level_crossings,
+            equipped_steps: walk.equipped_steps,
+            unequipped_steps: self.sim.num_steps() as u64,
+            unequipped,
+        }
+    }
+
     /// Runs `runs` independent simulations with seeds `seed_base..`,
     /// returning all outcomes (the paper evaluates every encounter over
     /// 100 runs). One warm world serves all runs; use
@@ -386,6 +435,53 @@ impl EncounterRunner {
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
         h
+    }
+}
+
+/// Accumulator of one splitting root's depth-first walk.
+struct SplitWalk {
+    weight: f64,
+    level_trials: Vec<u64>,
+    level_crossings: Vec<u64>,
+    equipped_steps: u64,
+    /// Next checkpoint index, pre-order over the branch tree — the
+    /// `node` coordinate of [`split_branch_seed`].
+    next_node: u64,
+}
+
+/// One stage of the depth-first splitting walk: advance the world to the
+/// stage's severity threshold (the terminal stage runs to NMAC or
+/// horizon), then either record the exit or checkpoint-and-branch.
+fn split_descend(
+    world: &mut EncounterWorld,
+    job: &SplitJob,
+    stage: usize,
+    leaf_weight: f64,
+    walk: &mut SplitWalk,
+) {
+    let terminal = stage == job.levels.len();
+    let threshold = if terminal { 0.0 } else { job.levels[stage] };
+    walk.equipped_steps += world.advance_to_severity(threshold) as u64;
+    walk.level_trials[stage] += 1;
+    if world.nmac() {
+        // An NMAC crossed this stage (and implicitly every deeper rung);
+        // the leaf contributes its full accumulated weight.
+        walk.level_crossings[stage] += 1;
+        walk.weight += leaf_weight;
+        return;
+    }
+    if terminal || world.min_severity() >= threshold {
+        // Horizon exhausted before the threshold: a zero-weight leaf.
+        return;
+    }
+    walk.level_crossings[stage] += 1;
+    let fan = job.branches.get(stage).copied().unwrap_or(1).max(1);
+    let node = walk.next_node;
+    walk.next_node += 1;
+    let snap = world.snapshot();
+    for branch in 0..fan {
+        world.restore_branch(&snap, split_branch_seed(job.seed, stage, node, branch));
+        split_descend(world, job, stage + 1, leaf_weight / fan as f64, walk);
     }
 }
 

@@ -1,0 +1,119 @@
+//! Splitting-campaign determinism: a multilevel-splitting campaign's
+//! every number — per-root weights, per-level tallies, branch schedules,
+//! the control-variate estimate, the convergence trail — must be
+//! bit-identical for any worker-thread count and across repeated runs.
+//! The branch trees make this stricter than plain campaigns: branch
+//! seeds must derive from `(root_seed, level, node, branch)` alone, so
+//! the depth-first walk replays identically wherever the root runs.
+
+use std::sync::{Arc, OnceLock};
+
+use uavca_acasx::{AcasConfig, LogicTable};
+use uavca_encounter::{StatisticalEncounterModel, Stratification};
+use uavca_validation::{EncounterRunner, SplitConfig, SplitPlanner};
+
+fn runner() -> EncounterRunner {
+    static TABLE: OnceLock<Arc<LogicTable>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Arc::new(LogicTable::solve(&AcasConfig::coarse())));
+    EncounterRunner::new(table.clone())
+}
+
+/// A conflict-enriched model so the tiny test budget still sees NMACs.
+fn enriched() -> StatisticalEncounterModel {
+    StatisticalEncounterModel {
+        max_cpa_horizontal_ft: 2500.0,
+        max_cpa_vertical_ft: 500.0,
+        ..StatisticalEncounterModel::default()
+    }
+}
+
+fn planner(threads: usize) -> SplitPlanner {
+    SplitPlanner::new(
+        runner(),
+        SplitConfig {
+            seed: 42,
+            levels: 2,
+            max_branch: 4,
+            pilot_roots_per_stratum: 3,
+            round_roots: 24,
+            max_rounds: 2,
+            // Never stop early: every round must be compared.
+            target_half_width: f64::INFINITY,
+            threads,
+        },
+    )
+    .model(enriched())
+    .stratification(Stratification::new(3))
+}
+
+#[test]
+fn splitting_campaign_is_identical_across_thread_counts() {
+    let reference = planner(1).run().expect("valid config");
+    assert_eq!(reference.rounds.len(), 3, "pilot + 2 refinement rounds");
+    for threads in [2, 8] {
+        let outcome = planner(threads).run().expect("valid config");
+        assert_eq!(outcome, reference, "threads = {threads}");
+    }
+}
+
+#[test]
+fn splitting_campaign_is_identical_across_repeated_runs() {
+    let p = planner(0);
+    let a = p.run().expect("valid config");
+    let b = p.run().expect("valid config");
+    assert_eq!(a, b);
+    let last = a.rounds.last().expect("at least the pilot round ran");
+    assert_eq!(last.total_roots, a.estimate.total_roots);
+    assert_eq!(last.risk_ratio, a.estimate.risk_ratio);
+    assert_eq!(last.total_steps, a.estimate.total_steps());
+}
+
+#[test]
+fn splitting_estimates_stay_within_bounds_on_the_real_simulator() {
+    let outcome = planner(0).run().expect("valid config");
+    let e = &outcome.estimate;
+    assert!(e.total_roots > 0);
+    assert!(e.equipped_steps > 0 && e.unequipped_steps > 0);
+    for s in &e.strata {
+        assert!(
+            (0.0..=1.0).contains(&s.equipped_mean),
+            "mean R_i is a probability"
+        );
+        assert!(s.equipped_std_err >= 0.0);
+        assert!((0.0..=1.0).contains(&s.unequipped_cv_rate));
+        // Ladders are descending and strictly above NMAC severity 1.
+        for pair in s.levels.windows(2) {
+            assert!(pair[0] > pair[1], "ladder must descend: {:?}", s.levels);
+        }
+        if let Some(&last) = s.levels.last() {
+            assert!(last > 1.0, "rungs sit above the NMAC cylinder");
+        }
+        // The adaptive schedule respects the clamp.
+        assert!(s.branches.iter().all(|&k| (1..=4).contains(&k)));
+        assert_eq!(s.branches.len(), s.levels.len());
+        assert_eq!(s.level_trials.len(), s.levels.len() + 1);
+        // Stage tallies nest: deeper stages only see branch survivors.
+        assert!(s.level_trials[0] as usize >= s.roots);
+    }
+    // The combined equipped estimate is inside its own interval.
+    assert!(e.equipped_nmac.ci_low <= e.equipped_nmac.rate);
+    assert!(e.equipped_nmac.rate <= e.equipped_nmac.ci_high);
+}
+
+#[test]
+fn empty_ladders_degenerate_to_crude_per_root_sampling() {
+    // levels = 0: every job is one plain equipped run; weights are the
+    // plain NMAC indicator, so the equipped splitting estimate matches a
+    // crude paired campaign's equipped rate on the same seeds would.
+    let p = planner(0).config_with(|c| c.levels = 0);
+    let outcome = p.run().expect("valid config");
+    for s in &outcome.estimate.strata {
+        assert!(s.levels.is_empty());
+        assert!(s.branches.is_empty());
+        assert_eq!(s.level_trials.len(), 1, "terminal stage only");
+        assert_eq!(s.level_trials[0] as usize, s.roots);
+        // Per-root weights are 0/1 indicators, so n·mean is integral.
+        let events = s.equipped_mean * s.roots as f64;
+        assert!((events - events.round()).abs() < 1e-9);
+    }
+}

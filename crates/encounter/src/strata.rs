@@ -131,6 +131,47 @@ impl Stratification {
         params
     }
 
+    /// The importance-splitting severity level ladder for `stratum`:
+    /// `levels` nested NMAC-severity thresholds, strictly descending and
+    /// all strictly above 1 (severity `< 1` *is* the NMAC event, which
+    /// stays the terminal stage and is never a ladder rung).
+    ///
+    /// Severity measures separation in NMAC-cylinder radii with
+    /// `unit_cpa_ft` horizontal feet per unit (pass the simulation
+    /// layer's `NMAC_HORIZONTAL_FT`). An encounter sampled in this
+    /// stratum has its planned horizontal CPA in the band
+    /// [`cpa_bounds`](Self::cpa_bounds), so its nominal trajectory
+    /// bottoms out near severity `hi / unit_cpa_ft`; the ladder is
+    /// log-spaced from that entry severity down toward 1, which is the
+    /// classic geometric spacing that keeps per-level conditional
+    /// probabilities of similar magnitude. Inner bands whose nominal
+    /// severity is already ≈ 1 get an empty ladder — splitting there
+    /// degenerates to plain sampling, which is exactly right because the
+    /// event is not rare in those strata.
+    pub fn severity_levels(
+        &self,
+        model: &StatisticalEncounterModel,
+        stratum: Stratum,
+        levels: usize,
+        unit_cpa_ft: f64,
+    ) -> Vec<f64> {
+        let (_, hi) = self.cpa_bounds(model, stratum.cpa_bin);
+        let entry = hi / unit_cpa_ft;
+        // Below this entry severity a ladder buys nothing: the nominal
+        // trajectory already ends adjacent to the NMAC cylinder. The
+        // negated comparison also routes a NaN entry (degenerate model)
+        // to the empty ladder instead of NaN rungs.
+        const MIN_ENTRY: f64 = 1.2;
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if levels == 0 || !(entry > MIN_ENTRY) {
+            return Vec::new();
+        }
+        let ln_entry = entry.ln();
+        (1..=levels)
+            .map(|j| (ln_entry * (levels + 1 - j) as f64 / (levels + 1) as f64).exp())
+            .collect()
+    }
+
     /// The stratum `params` falls in: its [`classify`] class and the CPA
     /// band containing its horizontal miss distance (values at or beyond
     /// the model maximum clamp into the outermost band).
@@ -221,6 +262,62 @@ mod tests {
     #[should_panic(expected = "at least one CPA band")]
     fn zero_bins_is_rejected() {
         Stratification::new(0);
+    }
+
+    #[test]
+    fn severity_ladder_is_descending_and_above_one() {
+        let model = StatisticalEncounterModel::default();
+        let strat = Stratification::default();
+        for stratum in strat.strata() {
+            for levels in [1, 3, 5] {
+                let ladder = strat.severity_levels(&model, stratum, levels, 500.0);
+                assert!(ladder.len() <= levels);
+                for pair in ladder.windows(2) {
+                    assert!(pair[0] > pair[1], "{stratum}: {ladder:?} not descending");
+                }
+                for &t in &ladder {
+                    assert!(t > 1.0, "{stratum}: rung {t} not above 1");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn severity_ladder_spans_band_entry_down_to_one() {
+        let model = StatisticalEncounterModel::default();
+        let strat = Stratification::new(3);
+        // Outermost band: entry severity is max_cpa / 500.
+        let outer = Stratum {
+            class: GeometryClass::HeadOn,
+            cpa_bin: 2,
+        };
+        let ladder = strat.severity_levels(&model, outer, 3, 500.0);
+        assert_eq!(ladder.len(), 3);
+        let entry = model.max_cpa_horizontal_ft / 500.0;
+        assert!(ladder[0] < entry, "first rung below the entry severity");
+        // Log-spaced: ratios between consecutive rungs are equal.
+        let r0 = ladder[0] / ladder[1];
+        let r1 = ladder[1] / ladder[2];
+        assert!((r0 - r1).abs() < 1e-9, "{ladder:?}");
+    }
+
+    #[test]
+    fn severity_ladder_is_empty_where_nmac_is_not_rare() {
+        let model = StatisticalEncounterModel::default();
+        // Many narrow bands: the innermost band's upper CPA bound is
+        // well inside the NMAC cylinder, so no ladder.
+        let strat = Stratification::new(24);
+        let inner = Stratum {
+            class: GeometryClass::HeadOn,
+            cpa_bin: 0,
+        };
+        assert!(strat.severity_levels(&model, inner, 3, 500.0).is_empty());
+        // Zero requested levels is always empty.
+        let outer = Stratum {
+            class: GeometryClass::HeadOn,
+            cpa_bin: 23,
+        };
+        assert!(strat.severity_levels(&model, outer, 0, 500.0).is_empty());
     }
 
     #[test]

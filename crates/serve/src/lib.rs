@@ -66,12 +66,13 @@ pub mod transport;
 pub use client::{spawn_in_process, CampaignClient, InProcessServer};
 pub use protocol::{
     decode, encode, read_frame, write_frame, CampaignRequest, Event, IndexedPairedJob,
-    IndexedSimJob, Request, ShardEvent, ShardRequest,
+    IndexedSimJob, IndexedSplitJob, Request, ShardEvent, ShardRequest,
 };
 pub use server::{CampaignServer, SessionEnd};
 pub use shard::{serve_shard, serve_shard_tcp, ShardFault, ShardedBackend};
 pub use transport::{
-    channel_pair, recv_msg, send_msg, ChannelTransport, TcpTransport, Transport, TransportError,
+    channel_pair, recv_msg, send_msg, ChannelTransport, RecvOutcome, TcpTransport, Transport,
+    TransportError,
 };
 
 use uavca_validation::CampaignConfigError;

@@ -32,7 +32,7 @@ use uavca_encounter::StatisticalEncounterModel;
 use uavca_sim::EncounterOutcome;
 use uavca_validation::{
     CampaignConfig, CampaignConfigError, CampaignOutcome, PairedJob, PairedOutcome, RoundSummary,
-    SimJob,
+    SimJob, SplitJob, SplitOutcome,
 };
 
 use crate::ServeError;
@@ -135,6 +135,17 @@ pub struct IndexedSimJob {
     pub job: SimJob,
 }
 
+/// A [`SplitJob`] tagged with its index in the submitted batch. Not
+/// `Copy` (the job carries its severity ladder and branch schedule), but
+/// cheap to clone relative to simulating a branch tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexedSplitJob {
+    /// Position of this job in the coordinator's batch.
+    pub index: usize,
+    /// The job itself.
+    pub job: SplitJob,
+}
+
 /// A coordinator-to-shard request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ShardRequest {
@@ -153,6 +164,16 @@ pub enum ShardRequest {
         batch: u64,
         /// The shard's slice of the batch.
         jobs: Vec<IndexedSimJob>,
+    },
+    /// Run the indexed multilevel-splitting jobs, answering
+    /// [`ShardEvent::SplitChunk`] events. Each job is a pure function of
+    /// its fields (the branch-seed rule rides in the job), so splitting
+    /// batches shard exactly like plain pairs.
+    RunSplits {
+        /// The coordinator's batch id; echoed in every reply.
+        batch: u64,
+        /// The shard's slice of the batch.
+        jobs: Vec<IndexedSplitJob>,
     },
     /// Stop serving (orderly shard shutdown).
     Shutdown,
@@ -210,6 +231,16 @@ pub enum ShardEvent {
         indices: Vec<usize>,
         /// The runs' outcomes, parallel to `indices`.
         outcomes: Vec<EncounterOutcome>,
+    },
+    /// A sub-batch of multilevel-splitting jobs finished.
+    SplitChunk {
+        /// The batch id of the request this answers.
+        batch: u64,
+        /// The jobs' indices in the coordinator's batch, parallel to
+        /// `outcomes`.
+        indices: Vec<usize>,
+        /// The roots' outcomes, parallel to `indices`.
+        outcomes: Vec<SplitOutcome>,
     },
 }
 

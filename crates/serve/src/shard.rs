@@ -24,11 +24,11 @@ use uavca_exec::{Backend, Executor};
 use uavca_sim::EncounterOutcome;
 use uavca_validation::{
     BatchRunner, EncounterRunner, PairSource, PairedJob, PairedOutcome, ShardUsage, SimJob,
-    SimSource,
+    SimSource, SplitJob, SplitOutcome, SplitSource,
 };
 
-use crate::protocol::{IndexedPairedJob, IndexedSimJob, ShardEvent, ShardRequest};
-use crate::transport::{recv_msg, send_msg, TcpTransport, Transport};
+use crate::protocol::{IndexedPairedJob, IndexedSimJob, IndexedSplitJob, ShardEvent, ShardRequest};
+use crate::transport::{recv_msg, send_msg, RecvOutcome, TcpTransport, Transport};
 use crate::{channel_pair, ServeError};
 
 /// Jobs per sub-batch a shard runs between result flushes: small enough
@@ -91,6 +91,18 @@ pub enum ShardFault {
         /// Jobs requeued away from it.
         requeued: usize,
     },
+    /// A shard stayed silent past the coordinator's loss timeout (see
+    /// [`ShardedBackend::with_loss_timeout`]) with jobs outstanding; it
+    /// was written off and its unfinished jobs requeued onto the
+    /// survivors exactly as for [`ShardFault::ShardLost`].
+    ShardTimedOut {
+        /// The unresponsive shard.
+        shard: usize,
+        /// Batch id in flight when it went silent.
+        batch: u64,
+        /// Jobs requeued away from it.
+        requeued: usize,
+    },
 }
 
 impl std::fmt::Display for ShardFault {
@@ -130,6 +142,14 @@ impl std::fmt::Display for ShardFault {
             } => write!(
                 f,
                 "shard {shard} lost during batch {batch}; {requeued} jobs requeued"
+            ),
+            ShardFault::ShardTimedOut {
+                shard,
+                batch,
+                requeued,
+            } => write!(
+                f,
+                "shard {shard} timed out during batch {batch}; {requeued} jobs requeued"
             ),
         }
     }
@@ -182,6 +202,20 @@ pub fn serve_shard<B: Backend, T: Transport>(
                     send_msg(
                         &mut transport,
                         &ShardEvent::SimChunk {
+                            batch: id,
+                            indices: chunk.iter().map(|j| j.index).collect(),
+                            outcomes,
+                        },
+                    )?;
+                }
+            }
+            ShardRequest::RunSplits { batch: id, jobs } => {
+                for chunk in jobs.chunks(SHARD_CHUNK) {
+                    let plain: Vec<SplitJob> = chunk.iter().map(|j| j.job.clone()).collect();
+                    let outcomes = batch.run_splits(&plain);
+                    send_msg(
+                        &mut transport,
+                        &ShardEvent::SplitChunk {
                             batch: id,
                             indices: chunk.iter().map(|j| j.index).collect(),
                             outcomes,
@@ -257,6 +291,9 @@ pub struct ShardedBackend {
     coordinator: Mutex<Coordinator>,
     /// Worker threads for locally spawned shards; joined on drop.
     locals: Vec<std::thread::JoinHandle<()>>,
+    /// How long a shard that owes results may stay silent before the
+    /// coordinator writes it off; `None` waits forever.
+    loss_timeout: Option<std::time::Duration>,
 }
 
 impl ShardedBackend {
@@ -285,7 +322,26 @@ impl ShardedBackend {
                 next_batch: 0,
             }),
             locals: Vec::new(),
+            loss_timeout: None,
         }
+    }
+
+    /// Arms timeout-based loss detection: a shard that owes results and
+    /// stays silent for `timeout` is treated exactly like a closed one —
+    /// marked dead, faulted as [`ShardFault::ShardTimedOut`], its
+    /// unfinished jobs requeued onto the survivors. Because requeued
+    /// jobs rerun with identical seeds, the merged results stay
+    /// byte-identical to a run with no timeout at all; late deliveries
+    /// from a written-off shard are never read (its transport is dead to
+    /// the coordinator).
+    ///
+    /// Without this, loss detection is purely *closure*-based: a shard
+    /// whose process wedges while its socket stays open stalls the
+    /// campaign forever.
+    #[must_use]
+    pub fn with_loss_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.loss_timeout = Some(timeout);
+        self
     }
 
     /// Spawns `shards` in-process shard workers over channel transports,
@@ -420,6 +476,43 @@ impl ShardedBackend {
         )
     }
 
+    /// Runs a splitting batch across the fleet; outcomes in job order.
+    ///
+    /// Splitting jobs carry their stratum's level ladder and branch
+    /// schedule, so shards replay each root's depth-first branch tree
+    /// from `(root seed, level, node, branch)` alone — a requeued job
+    /// reruns bit-identically on any survivor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::AllShardsLost`] when no live shard remains
+    /// with jobs still outstanding.
+    pub fn try_run_splits(&self, jobs: &[SplitJob]) -> Result<Vec<SplitOutcome>, ServeError> {
+        self.run_indexed(
+            jobs,
+            |batch, slice| ShardRequest::RunSplits {
+                batch,
+                jobs: slice
+                    .iter()
+                    .map(|(index, job)| IndexedSplitJob {
+                        index: *index,
+                        job: job.clone(),
+                    })
+                    .collect(),
+            },
+            |event| match event {
+                ShardEvent::SplitChunk {
+                    batch,
+                    indices,
+                    outcomes,
+                } if indices.len() == outcomes.len() => {
+                    Some((batch, indices.into_iter().zip(outcomes).collect()))
+                }
+                _ => None,
+            },
+        )
+    }
+
     /// The shared dispatch/merge loop: partition, send, drain, requeue.
     ///
     /// Determinism does not depend on any choice made here — results are
@@ -433,7 +526,7 @@ impl ShardedBackend {
     /// entry then passes the stale/unknown/duplicate checks individually,
     /// so a chunk straggling in from a previous batch records one typed
     /// fault per job exactly as per-job deliveries would.
-    fn run_indexed<J: Copy, O>(
+    fn run_indexed<J: Clone, O>(
         &self,
         jobs: &[J],
         make_request: impl Fn(u64, &[(usize, J)]) -> ShardRequest,
@@ -492,7 +585,7 @@ impl ShardedBackend {
                 .iter()
                 .enumerate()
                 .filter(|&(_, &o)| o == shard)
-                .map(|(i, _)| (i, jobs[i]))
+                .map(|(i, _)| (i, jobs[i].clone()))
                 .collect()
         };
 
@@ -529,7 +622,7 @@ impl ShardedBackend {
                     let slice: Vec<(usize, J)> = pending
                         .iter()
                         .filter(|&&i| owner[i] == shard)
-                        .map(|&i| (i, jobs[i]))
+                        .map(|&i| (i, jobs[i].clone()))
                         .collect();
                     if !slice.is_empty() {
                         outstanding[shard] += slice.len();
@@ -541,8 +634,17 @@ impl ShardedBackend {
                 continue;
             };
 
-            match co.slots[shard].transport.recv() {
-                Ok(Some(line)) => {
+            // With a loss timeout armed, the wait on a silent shard is
+            // bounded; the default blocking receive otherwise.
+            let delivery = match self.loss_timeout {
+                Some(timeout) => co.slots[shard].transport.recv_deadline(timeout),
+                None => co.slots[shard].transport.recv().map(|line| match line {
+                    Some(line) => RecvOutcome::Line(line),
+                    None => RecvOutcome::Closed,
+                }),
+            };
+            match delivery {
+                Ok(RecvOutcome::Line(line)) => {
                     let Ok(event) = crate::protocol::decode::<ShardEvent>(&line) else {
                         co.faults.push(ShardFault::MalformedEvent { shard });
                         continue;
@@ -583,19 +685,31 @@ impl ShardedBackend {
                         outstanding[owner[index]] -= 1;
                     }
                 }
-                Ok(None) | Err(_) => {
-                    // Shard loss (orderly close and broken pipe alike):
-                    // requeue its unfinished jobs onto the survivors.
+                outcome @ (Ok(RecvOutcome::Closed | RecvOutcome::TimedOut) | Err(_)) => {
+                    // Shard loss — orderly close, broken pipe, and
+                    // timeout expiry alike: requeue its unfinished jobs
+                    // onto the survivors. The timeout differs only in
+                    // the fault it records; the requeue path (and so the
+                    // merged results) is byte-identical.
+                    let timed_out = matches!(outcome, Ok(RecvOutcome::TimedOut));
                     co.slots[shard].alive = false;
                     co.slots[shard].usage.lost = true;
                     let pending: Vec<usize> = (0..jobs.len())
                         .filter(|&i| owner[i] == shard && results[i].is_none())
                         .collect();
                     co.slots[shard].usage.jobs_requeued += pending.len();
-                    co.faults.push(ShardFault::ShardLost {
-                        shard,
-                        batch: batch_id,
-                        requeued: pending.len(),
+                    co.faults.push(if timed_out {
+                        ShardFault::ShardTimedOut {
+                            shard,
+                            batch: batch_id,
+                            requeued: pending.len(),
+                        }
+                    } else {
+                        ShardFault::ShardLost {
+                            shard,
+                            batch: batch_id,
+                            requeued: pending.len(),
+                        }
                     });
                     let live: Vec<usize> =
                         (0..co.slots.len()).filter(|&s| co.slots[s].alive).collect();
@@ -612,7 +726,7 @@ impl ShardedBackend {
                         let slice: Vec<(usize, J)> = pending
                             .iter()
                             .filter(|&&i| owner[i] == survivor)
-                            .map(|&i| (i, jobs[i]))
+                            .map(|&i| (i, jobs[i].clone()))
                             .collect();
                         if !slice.is_empty() {
                             outstanding[survivor] += slice.len();
@@ -650,6 +764,17 @@ impl SimSource for ShardedBackend {
     /// [`ShardedBackend::try_run_sims`].
     fn run_sims(&self, jobs: &[SimJob]) -> Vec<EncounterOutcome> {
         self.try_run_sims(jobs)
+            .expect("shard fleet lost every member mid-batch")
+    }
+}
+
+impl SplitSource for ShardedBackend {
+    /// # Panics
+    ///
+    /// Panics if every shard is lost with jobs outstanding; see
+    /// [`ShardedBackend::try_run_splits`].
+    fn run_splits(&self, jobs: &[SplitJob]) -> Vec<SplitOutcome> {
+        self.try_run_splits(jobs)
             .expect("shard fleet lost every member mid-batch")
     }
 }

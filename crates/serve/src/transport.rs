@@ -17,7 +17,8 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
@@ -44,6 +45,26 @@ impl std::fmt::Display for TransportError {
 
 impl std::error::Error for TransportError {}
 
+/// What one bounded receive attempt observed.
+///
+/// The third state — [`RecvOutcome::TimedOut`] — is what separates a
+/// *silent* peer from a *gone* one: a transport can only report it from
+/// [`Transport::recv_deadline`], and the sharded coordinator turns it
+/// into a typed timeout fault instead of blocking forever on a hung
+/// shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecvOutcome {
+    /// A complete framed line arrived.
+    Line(String),
+    /// The peer closed cleanly (EOF at a frame boundary, channel peer
+    /// dropped).
+    Closed,
+    /// No complete line arrived within the deadline. The transport
+    /// remains usable: any partial frame already received is retained
+    /// and the next receive resumes it.
+    TimedOut,
+}
+
 /// A bidirectional, blocking pipe of framed wire lines.
 ///
 /// `recv` blocks until a line arrives; `Ok(None)` reports an *orderly*
@@ -66,6 +87,26 @@ pub trait Transport: Send {
     ///
     /// Returns [`TransportError`] on broken pipes or I/O failure.
     fn recv(&mut self) -> Result<Option<String>, TransportError>;
+
+    /// Waits for the next line at most `timeout`; a transport that can
+    /// bound its wait reports [`RecvOutcome::TimedOut`] when the
+    /// deadline passes with no complete line.
+    ///
+    /// The default implementation cannot bound the wait — it delegates
+    /// to the blocking [`Transport::recv`] and never times out. Both
+    /// shipped transports override it; a rig that deliberately hangs
+    /// should too, or a timeout-armed coordinator will block on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] on broken pipes or I/O failure.
+    fn recv_deadline(&mut self, timeout: Duration) -> Result<RecvOutcome, TransportError> {
+        let _ = timeout;
+        Ok(match self.recv()? {
+            Some(line) => RecvOutcome::Line(line),
+            None => RecvOutcome::Closed,
+        })
+    }
 }
 
 /// Sends a typed message over any transport.
@@ -124,6 +165,14 @@ impl Transport for ChannelTransport {
         // peer end was dropped, which is how channel peers hang up.
         Ok(self.rx.recv().ok())
     }
+
+    fn recv_deadline(&mut self, timeout: Duration) -> Result<RecvOutcome, TransportError> {
+        Ok(match self.rx.recv_timeout(timeout) {
+            Ok(line) => RecvOutcome::Line(line),
+            Err(RecvTimeoutError::Timeout) => RecvOutcome::TimedOut,
+            Err(RecvTimeoutError::Disconnected) => RecvOutcome::Closed,
+        })
+    }
 }
 
 /// TCP transport: line-framed messages over a std `TcpStream`.
@@ -134,6 +183,11 @@ impl Transport for ChannelTransport {
 pub struct TcpTransport {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Bytes of a frame whose newline has not arrived yet. Lives on the
+    /// transport, not the read call, so a deadline that expires
+    /// mid-frame loses nothing: the next receive resumes exactly where
+    /// the timed-out one stopped.
+    pending: Vec<u8>,
 }
 
 impl TcpTransport {
@@ -157,7 +211,19 @@ impl TcpTransport {
         Ok(Self {
             reader,
             writer: stream,
+            pending: Vec::new(),
         })
+    }
+
+    /// Arms or disarms the socket read timeout around one receive.
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), TransportError> {
+        // `set_read_timeout(Some(0))` is an invalid argument; the
+        // coordinator's floor is milliseconds anyway, so clamp.
+        let timeout = timeout.map(|t| t.max(Duration::from_millis(1)));
+        self.reader
+            .get_ref()
+            .set_read_timeout(timeout)
+            .map_err(|e| TransportError::Io(e.to_string()))
     }
 }
 
@@ -203,33 +269,64 @@ fn read_framed_line_capped<R: BufRead>(
     reader: &mut R,
     max_bytes: usize,
 ) -> Result<Option<String>, TransportError> {
-    let mut buf: Vec<u8> = Vec::new();
+    let mut pending = Vec::new();
+    match read_framed_line_pending(reader, &mut pending, max_bytes)? {
+        RecvOutcome::Line(line) => Ok(Some(line)),
+        RecvOutcome::Closed => Ok(None),
+        // Only a reader armed with a read timeout produces this; a
+        // blocking reader that surfaces `WouldBlock` anyway has lost the
+        // partial frame held in the local `pending`, which is an I/O
+        // failure, not a retryable wait.
+        RecvOutcome::TimedOut => Err(TransportError::Io(
+            "read timed out on a transport without timeout support".to_string(),
+        )),
+    }
+}
+
+/// The resumable frame reader behind both receive paths: accumulates
+/// into `pending` until a newline, so a timeout (`WouldBlock` /
+/// `TimedOut` from an armed socket) can return without losing the bytes
+/// of a frame caught mid-flight.
+fn read_framed_line_pending<R: BufRead>(
+    reader: &mut R,
+    pending: &mut Vec<u8>,
+    max_bytes: usize,
+) -> Result<RecvOutcome, TransportError> {
     loop {
         let (newline_at, available) = {
-            let chunk = reader
-                .fill_buf()
-                .map_err(|e| TransportError::Io(e.to_string()))?;
+            let chunk = match reader.fill_buf() {
+                Ok(chunk) => chunk,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(RecvOutcome::TimedOut);
+                }
+                Err(e) => return Err(TransportError::Io(e.to_string())),
+            };
             if chunk.is_empty() {
-                if buf.is_empty() {
-                    return Ok(None);
+                if pending.is_empty() {
+                    return Ok(RecvOutcome::Closed);
                 }
                 return Err(TransportError::Closed);
             }
             let pos = chunk.iter().position(|&b| b == b'\n');
             let take = pos.map_or(chunk.len(), |p| p);
-            buf.extend_from_slice(&chunk[..take]);
+            pending.extend_from_slice(&chunk[..take]);
             (pos, chunk.len())
         };
         match newline_at {
             Some(pos) => {
                 reader.consume(pos + 1);
-                let line = String::from_utf8(buf)
+                let line = String::from_utf8(std::mem::take(pending))
                     .map_err(|_| TransportError::Io("frame is not valid UTF-8".to_string()))?;
-                return Ok(Some(line));
+                return Ok(RecvOutcome::Line(line));
             }
             None => {
                 reader.consume(available);
-                if buf.len() > max_bytes {
+                if pending.len() > max_bytes {
                     return Err(TransportError::Io(format!(
                         "frame exceeds the {max_bytes}-byte cap without a newline"
                     )));
@@ -245,7 +342,24 @@ impl Transport for TcpTransport {
     }
 
     fn recv(&mut self) -> Result<Option<String>, TransportError> {
-        read_framed_line(&mut self.reader)
+        // Disarm any timeout a previous `recv_deadline` left on the
+        // socket, then resume whatever partial frame it retained.
+        self.set_read_timeout(None)?;
+        match read_framed_line_pending(&mut self.reader, &mut self.pending, MAX_FRAME_BYTES)? {
+            RecvOutcome::Line(line) => Ok(Some(line)),
+            RecvOutcome::Closed => Ok(None),
+            RecvOutcome::TimedOut => Err(TransportError::Io(
+                "socket timed out with no timeout armed".to_string(),
+            )),
+        }
+    }
+
+    fn recv_deadline(&mut self, timeout: Duration) -> Result<RecvOutcome, TransportError> {
+        // The socket timeout bounds each read, not the whole receive;
+        // for the coordinator's loss detector — "has this shard said
+        // anything lately" — a per-read bound is exactly the question.
+        self.set_read_timeout(Some(timeout))?;
+        read_framed_line_pending(&mut self.reader, &mut self.pending, MAX_FRAME_BYTES)
     }
 }
 
@@ -284,6 +398,52 @@ mod tests {
             read_framed_line_capped(&mut ok, 100).unwrap().as_deref(),
             Some("hello")
         );
+    }
+
+    #[test]
+    fn channel_recv_deadline_times_out_then_delivers() {
+        let (mut a, mut b) = channel_pair();
+        assert_eq!(
+            a.recv_deadline(Duration::from_millis(10)).unwrap(),
+            RecvOutcome::TimedOut
+        );
+        // The transport stays usable after a timeout.
+        b.send("late").unwrap();
+        assert_eq!(
+            a.recv_deadline(Duration::from_secs(5)).unwrap(),
+            RecvOutcome::Line("late".to_string())
+        );
+        drop(b);
+        assert_eq!(
+            a.recv_deadline(Duration::from_millis(10)).unwrap(),
+            RecvOutcome::Closed
+        );
+    }
+
+    #[test]
+    fn tcp_recv_deadline_preserves_partial_frames_across_timeouts() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (go_tx, go_rx) = channel::<()>();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            // Half a frame, then silence until the client has timed out.
+            stream.write_all(b"hel").unwrap();
+            stream.flush().unwrap();
+            go_rx.recv().unwrap();
+            stream.write_all(b"lo\n").unwrap();
+            stream.flush().unwrap();
+        });
+        let mut client = TcpTransport::connect(addr).unwrap();
+        assert_eq!(
+            client.recv_deadline(Duration::from_millis(50)).unwrap(),
+            RecvOutcome::TimedOut
+        );
+        go_tx.send(()).unwrap();
+        // The blocking receive resumes the frame the timeout caught
+        // mid-flight: nothing of "hel" was lost.
+        assert_eq!(client.recv().unwrap().as_deref(), Some("hello"));
+        server.join().unwrap();
     }
 
     #[test]

@@ -48,6 +48,11 @@ enum Rig {
     /// close the transport (a crash mid-round). Subsequent requests are
     /// never served.
     DieAfter(usize),
+    /// Accept the request, then go silent *without closing the
+    /// transport* — a wedged process behind a healthy socket. Invisible
+    /// to closure-based loss detection; only a coordinator armed with
+    /// [`ShardedBackend::with_loss_timeout`] can write this shard off.
+    Hang,
 }
 
 /// A shard endpoint with full control over its delivery schedule: runs
@@ -98,6 +103,18 @@ fn rigged_shard(mut transport: ChannelTransport, rig: Rig) {
                     }
                 }
                 return; // drop the transport: the shard is gone
+            }
+            Rig::Hang => {
+                // Say nothing, but keep both channel ends alive so the
+                // coordinator never sees a closed transport; block on
+                // further requests until the coordinator drops its end.
+                drop(events);
+                loop {
+                    match recv_msg::<ShardRequest>(&mut transport) {
+                        Ok(Some(_)) => continue,
+                        _ => return,
+                    }
+                }
             }
         }
     }
@@ -204,6 +221,52 @@ fn out_of_order_and_duplicated_deliveries_are_rejected_and_bit_identical() {
     for fault in &faults {
         assert!(!fault.to_string().is_empty());
     }
+}
+
+#[test]
+fn hung_shard_times_out_is_requeued_and_stays_bit_identical() {
+    let planner = CampaignPlanner::new(runner(), config());
+    let reference = planner.run().expect("valid config");
+
+    // The rigged shard wedges with its transport open: without the
+    // timeout this campaign would block forever on its silence.
+    let backend = backend_with_rig(Rig::Hang).with_loss_timeout(std::time::Duration::from_secs(2));
+    let outcome = planner.run_with(&backend).expect("valid config");
+
+    assert_eq!(outcome, reference, "a hung shard must not change a number");
+    assert_eq!(
+        serde_json::to_string(&outcome.estimate).unwrap(),
+        serde_json::to_string(&reference.estimate).unwrap(),
+        "byte-identical serialized estimate across a hung-shard write-off"
+    );
+
+    let faults = backend.take_faults();
+    let requeued: usize = faults
+        .iter()
+        .filter_map(|f| match f {
+            ShardFault::ShardTimedOut {
+                shard: 0, requeued, ..
+            } => Some(*requeued),
+            _ => None,
+        })
+        .sum();
+    assert!(
+        requeued > 0,
+        "the hung shard's entire assignment is requeued: {faults:?}"
+    );
+    assert!(
+        !faults
+            .iter()
+            .any(|f| matches!(f, ShardFault::ShardLost { .. })),
+        "silence is a timeout fault, not a closure fault: {faults:?}"
+    );
+
+    let usage = backend.usage();
+    assert!(usage[0].lost, "the timed-out shard is written off");
+    assert_eq!(usage[0].jobs_completed, 0, "it never delivered anything");
+    assert_eq!(usage[0].jobs_requeued, requeued);
+    // Work conservation: the honest shard completed the whole campaign.
+    assert_eq!(usage[1].jobs_completed, outcome.total_runs());
 }
 
 #[test]

@@ -1,0 +1,134 @@
+//! Splitting campaigns over the shard fleet: the branch-tree jobs carry
+//! their ladder and schedule, so a requeued root replays bit-identically
+//! on any shard — the whole campaign must be byte-identical to local
+//! execution for any shard count and through a mid-round shard crash.
+
+use std::sync::{Arc, OnceLock};
+
+use uavca_acasx::{AcasConfig, LogicTable};
+use uavca_encounter::{StatisticalEncounterModel, Stratification};
+use uavca_serve::{
+    channel_pair, recv_msg, send_msg, ChannelTransport, ShardEvent, ShardFault, ShardRequest,
+    ShardedBackend, Transport,
+};
+use uavca_validation::{BatchRunner, EncounterRunner, SplitConfig, SplitJob, SplitPlanner};
+
+fn runner() -> EncounterRunner {
+    static TABLE: OnceLock<Arc<LogicTable>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Arc::new(LogicTable::solve(&AcasConfig::coarse())));
+    EncounterRunner::new(table.clone())
+}
+
+fn enriched() -> StatisticalEncounterModel {
+    StatisticalEncounterModel {
+        max_cpa_horizontal_ft: 2500.0,
+        max_cpa_vertical_ft: 500.0,
+        ..StatisticalEncounterModel::default()
+    }
+}
+
+fn planner() -> SplitPlanner {
+    SplitPlanner::new(
+        runner(),
+        SplitConfig {
+            seed: 42,
+            levels: 2,
+            max_branch: 4,
+            pilot_roots_per_stratum: 3,
+            round_roots: 24,
+            max_rounds: 1,
+            target_half_width: f64::INFINITY,
+            threads: 1,
+        },
+    )
+    .model(enriched())
+    .stratification(Stratification::new(3))
+}
+
+#[test]
+fn sharded_splitting_campaign_matches_local_for_any_shard_count() {
+    let reference = planner().run().expect("valid config");
+    for shards in [1usize, 2, 8] {
+        let backend = ShardedBackend::spawn_local(runner(), shards, 1);
+        let outcome = planner().run_with(&backend).expect("valid config");
+        assert_eq!(outcome, reference, "shards = {shards}");
+        assert_eq!(
+            serde_json::to_string(&outcome.estimate).unwrap(),
+            serde_json::to_string(&reference.estimate).unwrap(),
+            "byte-identical serialized estimate at {shards} shards"
+        );
+        assert!(backend.take_faults().is_empty(), "clean run, no faults");
+    }
+}
+
+/// A shard that serves the first splitting batch by delivering only one
+/// chunk of results, then closes mid-round.
+fn dying_split_shard(mut transport: ChannelTransport) {
+    let batch = BatchRunner::serial(runner());
+    let Ok(Some(ShardRequest::RunSplits { batch: id, jobs })) =
+        recv_msg::<ShardRequest>(&mut transport)
+    else {
+        return;
+    };
+    let first: Vec<_> = jobs.iter().take(2).collect();
+    let plain: Vec<SplitJob> = first.iter().map(|j| j.job.clone()).collect();
+    let outcomes = batch.run_splits(&plain);
+    let _ = send_msg(
+        &mut transport,
+        &ShardEvent::SplitChunk {
+            batch: id,
+            indices: first.iter().map(|j| j.index).collect(),
+            outcomes,
+        },
+    );
+    // Dropping the transport here is the crash: everything undelivered
+    // must be requeued onto the survivor with identical seeds.
+}
+
+#[test]
+fn splitting_shard_lost_mid_round_requeues_and_stays_bit_identical() {
+    let reference = planner().run().expect("valid config");
+
+    let (coord0, shard0) = channel_pair();
+    std::thread::spawn(move || dying_split_shard(shard0));
+    let (coord1, shard1) = channel_pair();
+    std::thread::spawn(move || {
+        let _ = uavca_serve::serve_shard(shard1, BatchRunner::serial(runner()));
+    });
+    let backend = ShardedBackend::from_transports(vec![
+        Box::new(coord0) as Box<dyn Transport>,
+        Box::new(coord1) as Box<dyn Transport>,
+    ]);
+    let outcome = planner().run_with(&backend).expect("valid config");
+
+    assert_eq!(
+        outcome, reference,
+        "a mid-round shard crash must not change a number"
+    );
+    assert_eq!(
+        serde_json::to_string(&outcome.estimate).unwrap(),
+        serde_json::to_string(&reference.estimate).unwrap(),
+        "byte-identical serialized splitting estimate across the crash"
+    );
+
+    let faults = backend.take_faults();
+    let requeued: usize = faults
+        .iter()
+        .filter_map(|f| match f {
+            ShardFault::ShardLost {
+                shard: 0, requeued, ..
+            } => Some(*requeued),
+            _ => None,
+        })
+        .sum();
+    assert!(requeued > 0, "the dead shard left work behind: {faults:?}");
+
+    let usage = backend.usage();
+    assert!(usage[0].lost);
+    assert_eq!(usage[0].jobs_completed, 2, "only the pre-crash chunk");
+    let completed: usize = usage.iter().map(|u| u.jobs_completed).sum();
+    assert_eq!(
+        completed, outcome.estimate.total_roots,
+        "work conservation: every root ran on exactly one shard"
+    );
+}

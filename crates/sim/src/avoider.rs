@@ -68,6 +68,14 @@ pub trait CollisionAvoider: Send {
 
     /// A short name for traces and reports.
     fn name(&self) -> &'static str;
+
+    /// Clones the avoider *including its advisory memory* (previous
+    /// advisory, alert latches, tracker state) behind a fresh box. This
+    /// is what lets [`crate::EncounterWorld`] snapshot a mid-run
+    /// trajectory and branch continuations for importance splitting:
+    /// every branch must resume from the exact decision state, not a
+    /// `reset()` one.
+    fn clone_boxed(&self) -> Box<dyn CollisionAvoider>;
 }
 
 /// The "no collision avoidance system" baseline: never maneuvers.
@@ -96,6 +104,10 @@ impl CollisionAvoider for Unequipped {
 
     fn name(&self) -> &'static str {
         "unequipped"
+    }
+
+    fn clone_boxed(&self) -> Box<dyn CollisionAvoider> {
+        Box::new(*self)
     }
 }
 

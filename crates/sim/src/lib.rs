@@ -63,10 +63,12 @@ pub use avoider::{AvoiderContext, CollisionAvoider, ManeuverCommand, Sense, Uneq
 pub use cohort::{CohortAvoider, CohortContext, CohortJob, EncounterCohort, UnequippedCohort};
 pub use config::{DisturbanceModel, SimConfig};
 pub use coordination::CoordinationBoard;
-pub use monitors::{AccidentDetector, ProximityMeasurer, NMAC_HORIZONTAL_FT, NMAC_VERTICAL_FT};
+pub use monitors::{
+    nmac_severity, AccidentDetector, ProximityMeasurer, NMAC_HORIZONTAL_FT, NMAC_VERTICAL_FT,
+};
 pub use outcome::EncounterOutcome;
 pub use trace::{Trace, TraceStep};
 pub use tracker::AlphaBetaTracker;
 pub use uav::{UavBody, UavPerformance, UavState};
 pub use vector::Vec3;
-pub use world::EncounterWorld;
+pub use world::{EncounterWorld, WorldSnapshot};

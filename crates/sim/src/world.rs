@@ -29,6 +29,7 @@ pub struct EncounterWorld {
     trace: Trace,
     rng: StdRng,
     time_s: f64,
+    steps_done: usize,
     alert_steps: [usize; 2],
     first_alert_time_s: Option<f64>,
     reversals: [usize; 2],
@@ -38,6 +39,66 @@ pub struct EncounterWorld {
 impl std::fmt::Debug for Box<dyn CollisionAvoider> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "CollisionAvoider({})", self.name())
+    }
+}
+
+/// A point-in-time copy of an [`EncounterWorld`]'s complete mutable
+/// state: UAV bodies, avoider advisory memory (via
+/// [`CollisionAvoider::clone_boxed`]), coordination board, sensor, RNG
+/// stream position, monitors and bookkeeping counters.
+///
+/// Taken with [`EncounterWorld::snapshot`] and reinstated with
+/// [`EncounterWorld::restore`] / [`EncounterWorld::restore_branch`],
+/// this is the checkpoint importance splitting branches from: `K`
+/// restores of one snapshot with `K` distinct branch seeds yield `K`
+/// continuation trajectories that share their history bit-for-bit and
+/// diverge only through future noise draws.
+///
+/// A snapshot does not carry the [`SimConfig`]: restoring into a world
+/// with a different config than the one the snapshot was taken from is
+/// a logic error (the horizon and noise model would disagree with the
+/// recorded counters).
+#[derive(Debug)]
+pub struct WorldSnapshot {
+    uavs: [UavBody; 2],
+    avoiders: [Box<dyn CollisionAvoider>; 2],
+    board: CoordinationBoard,
+    sensor: AdsbSensor,
+    proximity: ProximityMeasurer,
+    nmac: bool,
+    first_nmac_time_s: Option<f64>,
+    trace: Trace,
+    rng: StdRng,
+    time_s: f64,
+    steps_done: usize,
+    alert_steps: [usize; 2],
+    first_alert_time_s: Option<f64>,
+    reversals: [usize; 2],
+    last_sense: [Option<Sense>; 2],
+}
+
+impl Clone for WorldSnapshot {
+    fn clone(&self) -> Self {
+        Self {
+            uavs: self.uavs.clone(),
+            avoiders: [
+                self.avoiders[0].clone_boxed(),
+                self.avoiders[1].clone_boxed(),
+            ],
+            board: self.board,
+            sensor: self.sensor,
+            proximity: self.proximity,
+            nmac: self.nmac,
+            first_nmac_time_s: self.first_nmac_time_s,
+            trace: self.trace.clone(),
+            rng: self.rng.clone(),
+            time_s: self.time_s,
+            steps_done: self.steps_done,
+            alert_steps: self.alert_steps,
+            first_alert_time_s: self.first_alert_time_s,
+            reversals: self.reversals,
+            last_sense: self.last_sense,
+        }
     }
 }
 
@@ -86,6 +147,7 @@ impl EncounterWorld {
             trace: Trace::new(),
             rng: StdRng::seed_from_u64(seed),
             time_s: 0.0,
+            steps_done: 0,
             alert_steps: [0, 0],
             first_alert_time_s: None,
             reversals: [0, 0],
@@ -119,15 +181,96 @@ impl EncounterWorld {
         self.trace = Trace::new();
         self.rng = StdRng::seed_from_u64(seed);
         self.time_s = 0.0;
+        self.steps_done = 0;
         self.alert_steps = [0, 0];
         self.first_alert_time_s = None;
         self.reversals = [0, 0];
         self.last_sense = [None, None];
     }
 
+    /// Captures the world's complete mutable state as a [`WorldSnapshot`].
+    pub fn snapshot(&self) -> WorldSnapshot {
+        WorldSnapshot {
+            uavs: self.uavs.clone(),
+            avoiders: [
+                self.avoiders[0].clone_boxed(),
+                self.avoiders[1].clone_boxed(),
+            ],
+            board: self.board,
+            sensor: self.sensor,
+            proximity: self.proximity,
+            nmac: self.nmac,
+            first_nmac_time_s: self.first_nmac_time_s,
+            trace: self.trace.clone(),
+            rng: self.rng.clone(),
+            time_s: self.time_s,
+            steps_done: self.steps_done,
+            alert_steps: self.alert_steps,
+            first_alert_time_s: self.first_alert_time_s,
+            reversals: self.reversals,
+            last_sense: self.last_sense,
+        }
+    }
+
+    /// Reinstates a snapshot taken from a world with the same
+    /// [`SimConfig`] and per-aircraft performance. After `restore` the
+    /// world continues bit-identically to the world the snapshot was
+    /// taken from, including the RNG stream position.
+    pub fn restore(&mut self, snap: &WorldSnapshot) {
+        self.uavs = snap.uavs.clone();
+        self.avoiders = [
+            snap.avoiders[0].clone_boxed(),
+            snap.avoiders[1].clone_boxed(),
+        ];
+        self.board = snap.board;
+        self.sensor = snap.sensor;
+        self.proximity = snap.proximity;
+        self.nmac = snap.nmac;
+        self.first_nmac_time_s = snap.first_nmac_time_s;
+        self.trace = snap.trace.clone();
+        self.rng = snap.rng.clone();
+        self.time_s = snap.time_s;
+        self.steps_done = snap.steps_done;
+        self.alert_steps = snap.alert_steps;
+        self.first_alert_time_s = snap.first_alert_time_s;
+        self.reversals = snap.reversals;
+        self.last_sense = snap.last_sense;
+    }
+
+    /// [`restore`](Self::restore)s a snapshot, then replaces the RNG
+    /// with a fresh stream seeded by `branch_seed` — the importance
+    /// splitting branch operation. Two restores with the same branch
+    /// seed replay identically; distinct branch seeds give trajectories
+    /// that share history up to the snapshot and diverge after it.
+    pub fn restore_branch(&mut self, snap: &WorldSnapshot, branch_seed: u64) {
+        self.restore(snap);
+        self.rng = StdRng::seed_from_u64(branch_seed);
+    }
+
     /// Current simulation time, s.
     pub fn time_s(&self) -> f64 {
         self.time_s
+    }
+
+    /// Steps taken so far (equals `time_s / config.dt_s`).
+    pub fn steps_done(&self) -> usize {
+        self.steps_done
+    }
+
+    /// Steps left until the configured horizon `config.max_time_s`.
+    pub fn steps_remaining(&self) -> usize {
+        self.config.num_steps().saturating_sub(self.steps_done)
+    }
+
+    /// Whether an NMAC has latched so far in this run.
+    pub fn nmac(&self) -> bool {
+        self.nmac
+    }
+
+    /// Smallest NMAC severity observed so far (see
+    /// [`crate::nmac_severity`]); `∞` before [`begin`](Self::begin).
+    pub fn min_severity(&self) -> f64 {
+        self.proximity.min_severity()
     }
 
     /// The current state of aircraft `id`.
@@ -242,10 +385,15 @@ impl EncounterWorld {
         }
 
         self.time_s += dt;
+        self.steps_done += 1;
     }
 
-    /// Runs the encounter to `config.max_time_s` and returns the outcome.
-    pub fn run(&mut self) -> EncounterOutcome {
+    /// Records the `t = 0` observation and instant-NMAC check that
+    /// [`run`](Self::run) performs before its first step. Incremental
+    /// drivers (importance splitting) call this once after
+    /// construction/[`reset`](Self::reset), then advance with
+    /// [`step`](Self::step) / [`advance_to_severity`](Self::advance_to_severity).
+    pub fn begin(&mut self) {
         // Observe the initial geometry so instant conflicts are counted.
         self.proximity
             .observe(self.uavs[0].state(), self.uavs[1].state(), 0.0);
@@ -254,8 +402,31 @@ impl EncounterWorld {
             self.nmac = true;
             self.first_nmac_time_s = Some(0.0);
         }
+    }
+
+    /// Steps until the tracked minimum severity drops strictly below
+    /// `threshold`, an NMAC latches, or the horizon is exhausted —
+    /// whichever comes first. Returns the number of steps taken.
+    ///
+    /// Severity is monotonically non-increasing, so for a descending
+    /// threshold ladder each call resumes where the previous crossing
+    /// stopped; `threshold = 0.0` never matches (severity is
+    /// non-negative) and therefore means "run until NMAC or horizon".
+    pub fn advance_to_severity(&mut self, threshold: f64) -> usize {
+        let total = self.config.num_steps();
+        let mut taken = 0;
+        while self.steps_done < total && !self.nmac && self.proximity.min_severity() >= threshold {
+            self.step();
+            taken += 1;
+        }
+        taken
+    }
+
+    /// Runs the encounter to `config.max_time_s` and returns the outcome.
+    pub fn run(&mut self) -> EncounterOutcome {
+        self.begin();
         let steps = self.config.num_steps();
-        for _ in 0..steps {
+        while self.steps_done < steps {
             self.step();
         }
         self.outcome()
@@ -496,6 +667,9 @@ mod tests {
         fn name(&self) -> &'static str {
             "flapper"
         }
+        fn clone_boxed(&self) -> Box<dyn crate::CollisionAvoider> {
+            Box::new(Flapper { up: self.up })
+        }
     }
 
     #[test]
@@ -553,6 +727,121 @@ mod tests {
         assert_eq!(w.run(), fresh(init_b, 99), "reset must equal construction");
         w.reset(init_a, 7);
         assert_eq!(w.run(), fresh(init_a, 7), "reset back to the first case");
+    }
+
+    #[test]
+    fn restored_branch_is_bit_identical_to_first_continuation() {
+        // Noisy config and a stateful avoider: every piece of snapshot
+        // state (RNG position, advisory memory, counters) matters here.
+        let mut w = EncounterWorld::new(
+            SimConfig::default(),
+            head_on(8000.0, 150.0),
+            [Box::new(Flapper { up: false }), Box::new(Unequipped::new())],
+            7,
+        );
+        w.begin();
+        for _ in 0..5 {
+            w.step();
+        }
+        let snap = w.snapshot();
+
+        // Continuation A from the snapshot under branch seed 1234.
+        w.restore_branch(&snap, 1234);
+        while w.steps_remaining() > 0 {
+            w.step();
+        }
+        let a = w.outcome();
+
+        // Thoroughly dirty the world (full fresh run), then replay the
+        // same branch: must match A bit-for-bit.
+        w.reset(head_on(9000.0, 170.0), 999);
+        w.run();
+        w.restore_branch(&snap, 1234);
+        while w.steps_remaining() > 0 {
+            w.step();
+        }
+        assert_eq!(w.outcome(), a, "same snapshot + branch seed must replay");
+
+        // A different branch seed shares the history but diverges after
+        // the checkpoint under disturbance noise.
+        w.restore_branch(&snap, 1235);
+        while w.steps_remaining() > 0 {
+            w.step();
+        }
+        let b = w.outcome();
+        assert_ne!(
+            a.min_separation_ft, b.min_separation_ft,
+            "distinct branch seeds should diverge under noise"
+        );
+    }
+
+    #[test]
+    fn plain_restore_resumes_the_original_stream() {
+        // Run a world straight through; then replay it from a mid-run
+        // snapshot with restore() (same RNG stream, not a branch): the
+        // final outcome must equal the uninterrupted run.
+        let mut reference = EncounterWorld::new(
+            SimConfig::default(),
+            head_on(8000.0, 150.0),
+            unequipped_pair(),
+            21,
+        );
+        let expected = reference.run();
+
+        let mut w = EncounterWorld::new(
+            SimConfig::default(),
+            head_on(8000.0, 150.0),
+            unequipped_pair(),
+            21,
+        );
+        w.begin();
+        for _ in 0..7 {
+            w.step();
+        }
+        let snap = w.snapshot();
+        w.run(); // dirty: runs the remaining horizon
+        w.restore(&snap);
+        while w.steps_remaining() > 0 {
+            w.step();
+        }
+        assert_eq!(w.outcome(), expected);
+    }
+
+    #[test]
+    fn advance_to_severity_stops_at_first_crossing() {
+        let mut w = EncounterWorld::new(
+            SimConfig::deterministic(),
+            head_on(8000.0, 150.0),
+            unequipped_pair(),
+            1,
+        );
+        w.begin();
+        let before = w.min_severity();
+        assert!(before > 4.0, "head-on at 8000 ft starts far outside");
+        let taken = w.advance_to_severity(4.0);
+        assert!(taken > 0);
+        assert!(w.min_severity() < 4.0, "crossed the requested threshold");
+        assert!(
+            w.min_severity() >= 1.0 || w.nmac(),
+            "should not silently overshoot into the cylinder without latching"
+        );
+        // threshold 0.0 = run until NMAC or horizon; head-on unequipped
+        // reaches NMAC.
+        w.advance_to_severity(0.0);
+        assert!(w.nmac());
+        // Finishing the horizon afterwards reproduces the plain-run
+        // outcome for this deterministic config.
+        while w.steps_remaining() > 0 {
+            w.step();
+        }
+        let full = EncounterWorld::new(
+            SimConfig::deterministic(),
+            head_on(8000.0, 150.0),
+            unequipped_pair(),
+            1,
+        )
+        .run();
+        assert_eq!(w.outcome(), full);
     }
 
     #[test]
