@@ -60,8 +60,9 @@ mod splitting;
 
 pub use campaign::{
     campaign_job_seed, jackknife_ratio, neyman_scores, paired_covariance, split_branch_seed,
-    CampaignConfig, CampaignConfigError, CampaignOutcome, CampaignPlanner, PairSource, PairTable,
-    RatioEstimate, RoundSummary, StratifiedEstimate, StratumEstimate, StratumTally, WeightedRate,
+    CampaignCheckpoint, CampaignConfig, CampaignConfigError, CampaignOutcome, CampaignPlanner,
+    CampaignResumeError, CampaignStepper, PairSource, PairTable, PlannedRound, RatioEstimate,
+    RoundSummary, StratifiedEstimate, StratumEstimate, StratumTally, WeightedRate,
 };
 pub use engine::{BatchRunner, PairedJob, PairedOutcome, SimEngine, SimJob, SimSource};
 pub use fitness::{FitnessFunction, FitnessKind};
@@ -74,7 +75,8 @@ pub use report::{
 pub use runner::{EncounterRunner, Equipage, RunScratch};
 pub use scenario::ScenarioSpace;
 pub use splitting::{
-    branch_schedule, split_neyman_scores, SplitCampaignOutcome, SplitConfig, SplitConfigError,
-    SplitEstimate, SplitJob, SplitOutcome, SplitPlanner, SplitRoundSummary, SplitSource,
-    SplitStratumEstimate, SplitTally,
+    branch_schedule, split_neyman_scores, PlannedSplitRound, SplitCampaignOutcome, SplitCheckpoint,
+    SplitConfig, SplitConfigError, SplitEstimate, SplitJob, SplitOutcome, SplitPlanner,
+    SplitResumeError, SplitRoundSummary, SplitSource, SplitStepper, SplitStratumEstimate,
+    SplitTally,
 };

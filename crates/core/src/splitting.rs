@@ -748,187 +748,482 @@ impl SplitPlanner {
         source: &S,
         mut observer: F,
     ) -> Result<SplitCampaignOutcome, SplitConfigError> {
-        self.config.validate()?;
-        let strata = self.stratification.strata();
+        // The monolithic run is the stepper driven to completion, so the
+        // blocking and checkpointable paths share every line of planning,
+        // absorption and estimation code.
+        let mut stepper = SplitStepper::fresh(self)?;
+        while let Some(planned) = stepper.plan_round() {
+            let outcomes = source.run_splits(&planned.jobs);
+            let summary = stepper.complete_round(&planned, &outcomes);
+            observer(&summary);
+        }
+        Ok(stepper.outcome())
+    }
+}
+
+fn split_estimate_from(
+    strata: &[Stratum],
+    weights: &[f64],
+    bands: &[(f64, f64)],
+    ladders: &[Vec<f64>],
+    schedules: &[Vec<usize>],
+    tallies: &[SplitTally],
+) -> SplitEstimate {
+    let stats: Vec<SplitStats> = tallies
+        .iter()
+        .zip(bands)
+        .map(|(t, &band)| t.stats(band))
+        .collect();
+    let per_stratum: Vec<SplitStratumEstimate> = strata
+        .iter()
+        .zip(weights)
+        .zip(tallies)
+        .zip(&stats)
+        .enumerate()
+        .map(|(si, (((&stratum, &weight), t), s))| SplitStratumEstimate {
+            stratum,
+            weight,
+            roots: t.roots,
+            levels: ladders[si].clone(),
+            branches: schedules[si].clone(),
+            level_trials: t.level_trials.clone(),
+            level_crossings: t.level_crossings.clone(),
+            equipped_mean: s.mean_e,
+            equipped_std_err: s.var_of_mean_e.sqrt(),
+            unequipped: RateEstimate::wilson(t.unequipped_nmacs, t.roots),
+            cv_beta: s.beta,
+            unequipped_cv_rate: s.rate_u_cv,
+            unequipped_cv_std_err: s.var_of_mean_u.sqrt(),
+        })
+        .collect();
+    let equipped_nmac = combine_means(
+        weights
+            .iter()
+            .zip(tallies)
+            .zip(&stats)
+            .map(|((&w, t), s)| (w, t.roots, s.mean_e, s.var_of_mean_e)),
+    );
+    let unequipped_nmac = combine_means(
+        weights
+            .iter()
+            .zip(tallies)
+            .zip(&stats)
+            .map(|((&w, t), s)| (w, t.roots, s.rate_u_cv, s.var_of_mean_u)),
+    );
+    let raw_cells: Vec<(f64, usize, usize)> = weights
+        .iter()
+        .zip(tallies)
+        .map(|(&w, t)| (w, t.unequipped_nmacs, t.roots))
+        .collect();
+    let unequipped_nmac_raw = WeightedRate::combine(&raw_cells);
+    let covariance = combined_covariance(
+        weights
+            .iter()
+            .zip(tallies)
+            .zip(&stats)
+            .map(|((&w, t), s)| (w, t.roots, s.cov)),
+    );
+    SplitEstimate {
+        total_roots: tallies.iter().map(|t| t.roots).sum(),
+        equipped_steps: tallies.iter().map(|t| t.equipped_steps).sum(),
+        unequipped_steps: tallies.iter().map(|t| t.unequipped_steps).sum(),
+        covariance,
+        risk_ratio: RatioEstimate::paired(&equipped_nmac, &unequipped_nmac, covariance),
+        risk_ratio_raw: RatioEstimate::paired(&equipped_nmac, &unequipped_nmac_raw, covariance),
+        strata: per_stratum,
+        equipped_nmac,
+        unequipped_nmac,
+        unequipped_nmac_raw,
+    }
+}
+
+/// The exact resumable state of a splitting campaign at a round boundary
+/// — the rare-event counterpart of
+/// [`crate::campaign::CampaignCheckpoint`], with one addition: the branch
+/// **schedules** in force. Round `r ≥ 1` recomputes its schedules from
+/// the tallies, so they are redundant for resuming *unfinished*
+/// campaigns; but a finished campaign's estimate reports the schedules of
+/// its *last executed* round, which were derived from the tallies as they
+/// stood **before** that round's outcomes were absorbed and cannot be
+/// recovered from the final tallies alone. Carrying them keeps
+/// [`SplitStepper::outcome`] byte-identical through a
+/// checkpoint/restore of a finished campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitCheckpoint {
+    /// The next round to execute (0 = the pilot has not run). Equals
+    /// `rounds.len()` in any consistent checkpoint.
+    pub next_round: usize,
+    /// Merged per-stratum tallies in canonical stratum order.
+    pub tallies: Vec<SplitTally>,
+    /// The branch schedule in force per stratum (the last executed
+    /// round's, or the cold-start fan-2 schedule before round 0).
+    pub schedules: Vec<Vec<usize>>,
+    /// Summaries of every completed round, in order.
+    pub rounds: Vec<SplitRoundSummary>,
+    /// Whether the early-stop target has been reached.
+    pub reached_target: bool,
+}
+
+/// A [`SplitCheckpoint`] that cannot resume under the planner it was
+/// handed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitResumeError {
+    /// The planner's own configuration is degenerate.
+    Config(SplitConfigError),
+    /// The checkpoint's tally count does not match the planner's
+    /// stratification.
+    StratumCountMismatch {
+        /// Strata in the planner's stratification.
+        expected: usize,
+        /// Tallies recorded in the checkpoint.
+        found: usize,
+    },
+    /// A stratum's recorded ladder length disagrees with the planner's.
+    LadderMismatch {
+        /// The offending stratum index.
+        stratum: usize,
+        /// Branching rungs the planner's ladder has.
+        expected: usize,
+        /// Rungs the checkpoint recorded.
+        found: usize,
+    },
+    /// `next_round` disagrees with the recorded round trail.
+    InconsistentTrail {
+        /// The checkpoint's claimed next round.
+        next_round: usize,
+        /// Round summaries actually recorded.
+        rounds: usize,
+    },
+}
+
+impl From<SplitConfigError> for SplitResumeError {
+    fn from(e: SplitConfigError) -> Self {
+        SplitResumeError::Config(e)
+    }
+}
+
+impl std::fmt::Display for SplitResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SplitResumeError::Config(e) => write!(f, "split config: {e}"),
+            SplitResumeError::StratumCountMismatch { expected, found } => write!(
+                f,
+                "split checkpoint: {found} tallies but the stratification has \
+                 {expected} strata — checkpoint taken under a different design"
+            ),
+            SplitResumeError::LadderMismatch {
+                stratum,
+                expected,
+                found,
+            } => write!(
+                f,
+                "split checkpoint: stratum {stratum} recorded {found} ladder \
+                 rungs but the planner's ladder has {expected}"
+            ),
+            SplitResumeError::InconsistentTrail { next_round, rounds } => write!(
+                f,
+                "split checkpoint: next_round {next_round} disagrees with \
+                 {rounds} recorded round summaries"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SplitResumeError {}
+
+/// One planned splitting round: the root jobs to execute plus the
+/// bookkeeping [`SplitStepper::complete_round`] needs to absorb their
+/// outcomes in job order.
+#[derive(Debug, Clone)]
+pub struct PlannedSplitRound {
+    /// The round these jobs belong to (0 = pilot).
+    pub round: usize,
+    /// Roots allocated to each stratum (canonical order).
+    pub allocated: Vec<usize>,
+    /// The root jobs, grouped by stratum in allocation order.
+    pub jobs: Vec<SplitJob>,
+    /// `owners[i]` is the stratum index that owns `jobs[i]`.
+    pub owners: Vec<usize>,
+}
+
+/// A resumable round-by-round splitting-campaign executor — the engine
+/// under every [`SplitPlanner`] run path, mirroring
+/// [`crate::CampaignStepper`] for the rare-event workload: plan a round,
+/// run its jobs on any [`SplitSource`], complete the round; checkpoint at
+/// any round boundary and resume byte-identically later.
+#[derive(Debug, Clone)]
+pub struct SplitStepper {
+    model: StatisticalEncounterModel,
+    stratification: Stratification,
+    config: SplitConfig,
+    strata: Vec<Stratum>,
+    weights: Vec<f64>,
+    bands: Vec<(f64, f64)>,
+    ladders: Vec<Vec<f64>>,
+    tallies: Vec<SplitTally>,
+    schedules: Vec<Vec<usize>>,
+    rounds: Vec<SplitRoundSummary>,
+    reached_target: bool,
+    next_round: usize,
+}
+
+impl SplitStepper {
+    fn fresh(planner: &SplitPlanner) -> Result<Self, SplitConfigError> {
+        planner.config.validate()?;
+        let strata = planner.stratification.strata();
         let weights: Vec<f64> = strata
             .iter()
-            .map(|&s| self.stratification.weight(&self.model, s))
+            .map(|&s| planner.stratification.weight(&planner.model, s))
             .collect();
         let bands: Vec<(f64, f64)> = strata
             .iter()
-            .map(|s| self.stratification.cpa_bounds(&self.model, s.cpa_bin))
+            .map(|s| planner.stratification.cpa_bounds(&planner.model, s.cpa_bin))
             .collect();
-        let ladders = self.ladders();
-        let mut tallies: Vec<SplitTally> =
-            ladders.iter().map(|l| SplitTally::new(l.len())).collect();
+        let ladders = planner.ladders();
+        let tallies: Vec<SplitTally> = ladders.iter().map(|l| SplitTally::new(l.len())).collect();
         // Cold-start fan 2 everywhere — exactly what branch_schedule
         // returns on empty tallies, so round 0 follows the same rule.
-        let mut schedules: Vec<Vec<usize>> = ladders.iter().map(|l| vec![2; l.len()]).collect();
-        let mut rounds: Vec<SplitRoundSummary> = Vec::new();
-        let mut reached_target = false;
-
-        for round in 0..=self.config.max_rounds {
-            let alloc = if round == 0 {
-                vec![self.config.pilot_roots_per_stratum; strata.len()]
-            } else {
-                // Branch factors and root allocation both derive purely
-                // from tallies absorbed in previous rounds.
-                schedules = tallies
-                    .iter()
-                    .map(|t| {
-                        let rungs = t.rungs();
-                        branch_schedule(
-                            &t.level_trials[..rungs],
-                            &t.level_crossings[..rungs],
-                            self.config.max_branch,
-                        )
-                    })
-                    .collect();
-                let scores = split_neyman_scores(&weights, &tallies, &bands);
-                apportion(&scores, self.config.round_roots)
-            };
-
-            // Plan serially: every job's parameters and seed derive from
-            // (campaign_seed, stratum, round, index), never from
-            // execution order — the same rule plain campaigns follow.
-            let roots_this_round: usize = alloc.iter().sum();
-            let mut jobs = Vec::with_capacity(roots_this_round);
-            let mut owners = Vec::with_capacity(roots_this_round);
-            for (si, &count) in alloc.iter().enumerate() {
-                for index in 0..count {
-                    let base = campaign_job_seed(self.config.seed, si, round, index);
-                    let mut rng = StdRng::seed_from_u64(base);
-                    let params = self
-                        .stratification
-                        .sample(&self.model, strata[si], &mut rng);
-                    jobs.push(SplitJob {
-                        params,
-                        seed: splitmix64(base ^ SIM_STREAM),
-                        levels: ladders[si].clone(),
-                        branches: schedules[si].clone(),
-                    });
-                    owners.push(si);
-                }
-            }
-
-            let outcomes = source.run_splits(&jobs);
-            debug_assert_eq!(
-                outcomes.len(),
-                jobs.len(),
-                "a SplitSource must return exactly one outcome per job"
-            );
-            // Absorb serially in job order: float accumulators see one
-            // canonical addition order for any thread or shard count.
-            for ((&si, job), outcome) in owners.iter().zip(&jobs).zip(&outcomes) {
-                tallies[si].absorb(job.params.cpa_horizontal_ft, outcome);
-            }
-
-            let estimate =
-                self.estimate_from(&strata, &weights, &bands, &ladders, &schedules, &tallies);
-            let summary = SplitRoundSummary {
-                round,
-                allocated: alloc,
-                roots_this_round,
-                total_roots: estimate.total_roots,
-                total_steps: estimate.total_steps(),
-                equipped_nmac: estimate.equipped_nmac,
-                unequipped_nmac: estimate.unequipped_nmac,
-                risk_ratio: estimate.risk_ratio,
-            };
-            observer(&summary);
-            rounds.push(summary);
-
-            if self.config.target_half_width.is_finite()
-                && estimate.risk_ratio.half_width() <= self.config.target_half_width
-            {
-                reached_target = true;
-                break;
-            }
-        }
-
-        Ok(SplitCampaignOutcome {
-            estimate: self.estimate_from(&strata, &weights, &bands, &ladders, &schedules, &tallies),
-            rounds,
-            reached_target,
+        let schedules: Vec<Vec<usize>> = ladders.iter().map(|l| vec![2; l.len()]).collect();
+        Ok(Self {
+            model: planner.model,
+            stratification: planner.stratification,
+            config: planner.config,
+            strata,
+            weights,
+            bands,
+            ladders,
+            tallies,
+            schedules,
+            rounds: Vec::new(),
+            reached_target: false,
+            next_round: 0,
         })
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn estimate_from(
-        &self,
-        strata: &[Stratum],
-        weights: &[f64],
-        bands: &[(f64, f64)],
-        ladders: &[Vec<f64>],
-        schedules: &[Vec<usize>],
-        tallies: &[SplitTally],
-    ) -> SplitEstimate {
-        let stats: Vec<SplitStats> = tallies
-            .iter()
-            .zip(bands)
-            .map(|(t, &band)| t.stats(band))
-            .collect();
-        let per_stratum: Vec<SplitStratumEstimate> = strata
-            .iter()
-            .zip(weights)
-            .zip(tallies)
-            .zip(&stats)
-            .enumerate()
-            .map(|(si, (((&stratum, &weight), t), s))| SplitStratumEstimate {
-                stratum,
-                weight,
-                roots: t.roots,
-                levels: ladders[si].clone(),
-                branches: schedules[si].clone(),
-                level_trials: t.level_trials.clone(),
-                level_crossings: t.level_crossings.clone(),
-                equipped_mean: s.mean_e,
-                equipped_std_err: s.var_of_mean_e.sqrt(),
-                unequipped: RateEstimate::wilson(t.unequipped_nmacs, t.roots),
-                cv_beta: s.beta,
-                unequipped_cv_rate: s.rate_u_cv,
-                unequipped_cv_std_err: s.var_of_mean_u.sqrt(),
-            })
-            .collect();
-        let equipped_nmac = combine_means(
-            weights
-                .iter()
-                .zip(tallies)
-                .zip(&stats)
-                .map(|((&w, t), s)| (w, t.roots, s.mean_e, s.var_of_mean_e)),
-        );
-        let unequipped_nmac = combine_means(
-            weights
-                .iter()
-                .zip(tallies)
-                .zip(&stats)
-                .map(|((&w, t), s)| (w, t.roots, s.rate_u_cv, s.var_of_mean_u)),
-        );
-        let raw_cells: Vec<(f64, usize, usize)> = weights
-            .iter()
-            .zip(tallies)
-            .map(|(&w, t)| (w, t.unequipped_nmacs, t.roots))
-            .collect();
-        let unequipped_nmac_raw = WeightedRate::combine(&raw_cells);
-        let covariance = combined_covariance(
-            weights
-                .iter()
-                .zip(tallies)
-                .zip(&stats)
-                .map(|((&w, t), s)| (w, t.roots, s.cov)),
-        );
-        SplitEstimate {
-            total_roots: tallies.iter().map(|t| t.roots).sum(),
-            equipped_steps: tallies.iter().map(|t| t.equipped_steps).sum(),
-            unequipped_steps: tallies.iter().map(|t| t.unequipped_steps).sum(),
-            covariance,
-            risk_ratio: RatioEstimate::paired(&equipped_nmac, &unequipped_nmac, covariance),
-            risk_ratio_raw: RatioEstimate::paired(&equipped_nmac, &unequipped_nmac_raw, covariance),
-            strata: per_stratum,
-            equipped_nmac,
-            unequipped_nmac,
-            unequipped_nmac_raw,
+    fn resumed(
+        planner: &SplitPlanner,
+        checkpoint: &SplitCheckpoint,
+    ) -> Result<Self, SplitResumeError> {
+        let mut stepper = Self::fresh(planner)?;
+        if checkpoint.tallies.len() != stepper.strata.len()
+            || checkpoint.schedules.len() != stepper.strata.len()
+        {
+            return Err(SplitResumeError::StratumCountMismatch {
+                expected: stepper.strata.len(),
+                found: checkpoint.tallies.len().min(checkpoint.schedules.len()),
+            });
         }
+        for (si, ladder) in stepper.ladders.iter().enumerate() {
+            let found = checkpoint.tallies[si].rungs();
+            if found != ladder.len() || checkpoint.schedules[si].len() != ladder.len() {
+                return Err(SplitResumeError::LadderMismatch {
+                    stratum: si,
+                    expected: ladder.len(),
+                    found,
+                });
+            }
+        }
+        if checkpoint.next_round != checkpoint.rounds.len() {
+            return Err(SplitResumeError::InconsistentTrail {
+                next_round: checkpoint.next_round,
+                rounds: checkpoint.rounds.len(),
+            });
+        }
+        stepper.tallies = checkpoint.tallies.clone();
+        stepper.schedules = checkpoint.schedules.clone();
+        stepper.rounds = checkpoint.rounds.clone();
+        stepper.reached_target = checkpoint.reached_target;
+        stepper.next_round = checkpoint.next_round;
+        Ok(stepper)
+    }
+
+    /// Whether the campaign is over: the target was reached or every
+    /// round has run. [`plan_round`](Self::plan_round) returns `None`.
+    pub fn is_finished(&self) -> bool {
+        self.reached_target || self.next_round > self.config.max_rounds
+    }
+
+    /// The next round to execute (0 = pilot).
+    pub fn next_round(&self) -> usize {
+        self.next_round
+    }
+
+    /// Summaries of the rounds completed so far, in order.
+    pub fn rounds(&self) -> &[SplitRoundSummary] {
+        &self.rounds
+    }
+
+    /// Total roots absorbed so far.
+    pub fn total_roots(&self) -> usize {
+        self.tallies.iter().map(|t| t.roots).sum()
+    }
+
+    /// Plans the next round's root jobs, or `None` when the campaign is
+    /// finished. Replanning after a drop replays the identical plan:
+    /// branch factors and root allocation derive purely from the tallies
+    /// absorbed in previous rounds, jobs from the seed rule.
+    pub fn plan_round(&mut self) -> Option<PlannedSplitRound> {
+        if self.is_finished() {
+            return None;
+        }
+        let round = self.next_round;
+        let alloc = if round == 0 {
+            vec![self.config.pilot_roots_per_stratum; self.strata.len()]
+        } else {
+            // Branch factors and root allocation both derive purely
+            // from tallies absorbed in previous rounds.
+            self.schedules = self
+                .tallies
+                .iter()
+                .map(|t| {
+                    let rungs = t.rungs();
+                    branch_schedule(
+                        &t.level_trials[..rungs],
+                        &t.level_crossings[..rungs],
+                        self.config.max_branch,
+                    )
+                })
+                .collect();
+            let scores = split_neyman_scores(&self.weights, &self.tallies, &self.bands);
+            apportion(&scores, self.config.round_roots)
+        };
+
+        // Plan serially: every job's parameters and seed derive from
+        // (campaign_seed, stratum, round, index), never from
+        // execution order — the same rule plain campaigns follow.
+        let roots_this_round: usize = alloc.iter().sum();
+        let mut jobs = Vec::with_capacity(roots_this_round);
+        let mut owners = Vec::with_capacity(roots_this_round);
+        for (si, &count) in alloc.iter().enumerate() {
+            for index in 0..count {
+                let base = campaign_job_seed(self.config.seed, si, round, index);
+                let mut rng = StdRng::seed_from_u64(base);
+                let params = self
+                    .stratification
+                    .sample(&self.model, self.strata[si], &mut rng);
+                jobs.push(SplitJob {
+                    params,
+                    seed: splitmix64(base ^ SIM_STREAM),
+                    levels: self.ladders[si].clone(),
+                    branches: self.schedules[si].clone(),
+                });
+                owners.push(si);
+            }
+        }
+        Some(PlannedSplitRound {
+            round,
+            allocated: alloc,
+            jobs,
+            owners,
+        })
+    }
+
+    /// Absorbs a planned round's outcomes (in job order) and advances to
+    /// the next round, returning the round's summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `planned` is not the stepper's current round or the
+    /// outcome count does not match the job count.
+    pub fn complete_round(
+        &mut self,
+        planned: &PlannedSplitRound,
+        outcomes: &[SplitOutcome],
+    ) -> SplitRoundSummary {
+        assert_eq!(
+            planned.round, self.next_round,
+            "complete_round fed a stale plan: round {} but the stepper is at round {}",
+            planned.round, self.next_round
+        );
+        assert_eq!(
+            outcomes.len(),
+            planned.jobs.len(),
+            "a SplitSource must return exactly one outcome per job"
+        );
+        // Absorb serially in job order: float accumulators see one
+        // canonical addition order for any thread or shard count.
+        for ((&si, job), outcome) in planned.owners.iter().zip(&planned.jobs).zip(outcomes) {
+            self.tallies[si].absorb(job.params.cpa_horizontal_ft, outcome);
+        }
+
+        let estimate = self.estimate();
+        let summary = SplitRoundSummary {
+            round: planned.round,
+            allocated: planned.allocated.clone(),
+            roots_this_round: planned.jobs.len(),
+            total_roots: estimate.total_roots,
+            total_steps: estimate.total_steps(),
+            equipped_nmac: estimate.equipped_nmac,
+            unequipped_nmac: estimate.unequipped_nmac,
+            risk_ratio: estimate.risk_ratio,
+        };
+        self.rounds.push(summary.clone());
+        if self.config.target_half_width.is_finite()
+            && estimate.risk_ratio.half_width() <= self.config.target_half_width
+        {
+            self.reached_target = true;
+        }
+        self.next_round += 1;
+        summary
+    }
+
+    fn estimate(&self) -> SplitEstimate {
+        split_estimate_from(
+            &self.strata,
+            &self.weights,
+            &self.bands,
+            &self.ladders,
+            &self.schedules,
+            &self.tallies,
+        )
+    }
+
+    /// The campaign's exact state at the current round boundary —
+    /// resumable byte-identically via [`SplitPlanner::resume`].
+    pub fn checkpoint(&self) -> SplitCheckpoint {
+        SplitCheckpoint {
+            next_round: self.next_round,
+            tallies: self.tallies.clone(),
+            schedules: self.schedules.clone(),
+            rounds: self.rounds.clone(),
+            reached_target: self.reached_target,
+        }
+    }
+
+    /// The outcome as of the rounds completed so far (the final outcome
+    /// once [`is_finished`](Self::is_finished)).
+    pub fn outcome(&self) -> SplitCampaignOutcome {
+        SplitCampaignOutcome {
+            estimate: self.estimate(),
+            rounds: self.rounds.clone(),
+            reached_target: self.reached_target,
+        }
+    }
+}
+
+impl SplitPlanner {
+    /// A fresh stepper for this planner — the resumable equivalent of
+    /// [`SplitPlanner::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SplitConfigError`] when the configuration is degenerate
+    /// (same validation as every run path).
+    pub fn stepper(&self) -> Result<SplitStepper, SplitConfigError> {
+        SplitStepper::fresh(self)
+    }
+
+    /// Rebuilds a stepper from a [`SplitCheckpoint`]. The resumed stepper
+    /// replays the remaining rounds byte-identically to an uninterrupted
+    /// run of the same planner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SplitResumeError`] when the planner's config is
+    /// degenerate or the checkpoint was taken under a different
+    /// stratification or ladder design.
+    pub fn resume(&self, checkpoint: &SplitCheckpoint) -> Result<SplitStepper, SplitResumeError> {
+        SplitStepper::resumed(self, checkpoint)
     }
 }
 

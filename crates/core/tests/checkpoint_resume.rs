@@ -1,0 +1,307 @@
+//! Checkpoint/resume exactness: killing a campaign at *any* round
+//! boundary, serializing its checkpoint to JSON, and resuming from the
+//! parsed checkpoint must be **byte-identical** to never having
+//! stopped — for paired campaigns (adaptive and uniform) and for
+//! multilevel-splitting campaigns.
+//!
+//! This is the property the control plane's crash recovery rests on:
+//! a campaign's full state is (config, round index, merged tallies),
+//! because every job is a pure function of those coordinates via the
+//! deterministic seed rule. The assertions compare both the structural
+//! outcome (`==`) and the serialized JSON (shortest-round-trip floats),
+//! so "identical" means identical on the wire too.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+use uavca_acasx::{AcasConfig, LogicTable};
+use uavca_encounter::{StatisticalEncounterModel, Stratification};
+use uavca_sim::EncounterOutcome;
+use uavca_validation::{
+    BatchRunner, CampaignCheckpoint, CampaignConfig, CampaignPlanner, CampaignResumeError,
+    CampaignStepper, EncounterRunner, PairSource, PairedJob, PairedOutcome, SplitCheckpoint,
+    SplitConfig, SplitPlanner, SplitResumeError, SplitSource, SplitStepper,
+};
+
+fn runner() -> EncounterRunner {
+    static TABLE: OnceLock<Arc<LogicTable>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Arc::new(LogicTable::solve(&AcasConfig::coarse())));
+    EncounterRunner::new(table.clone())
+}
+
+/// A conflict-enriched model so tiny test budgets still see NMACs.
+fn enriched() -> StatisticalEncounterModel {
+    StatisticalEncounterModel {
+        max_cpa_horizontal_ft: 2500.0,
+        max_cpa_vertical_ft: 500.0,
+        ..StatisticalEncounterModel::default()
+    }
+}
+
+/// A deterministic fake pair source: outcomes are pure hashes of the
+/// job seed, so campaigns over it are exact without simulation cost —
+/// what lets the property test sweep many (config, kill round) points.
+struct RiggedPairs;
+
+fn fake_outcome(h: u64) -> EncounterOutcome {
+    let nmac = h.is_multiple_of(7);
+    EncounterOutcome {
+        nmac,
+        first_nmac_time_s: nmac.then_some((h % 50) as f64),
+        min_separation_ft: (h % 5000) as f64,
+        min_horizontal_ft: (h % 4000) as f64,
+        min_vertical_ft: (h % 900) as f64,
+        time_of_min_s: (h % 40) as f64,
+        own_alert_steps: (h % 3) as usize,
+        intruder_alert_steps: (h % 2) as usize,
+        first_alert_time_s: h.is_multiple_of(5).then_some((h % 20) as f64),
+        own_reversals: h.is_multiple_of(11) as usize,
+        duration_s: 40.0,
+    }
+}
+
+impl PairSource for RiggedPairs {
+    fn run_pairs(&self, jobs: &[PairedJob]) -> Vec<PairedOutcome> {
+        jobs.iter()
+            .map(|j| PairedOutcome {
+                equipped: fake_outcome(j.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                unequipped: fake_outcome(j.seed.rotate_left(17) ^ 0x5DEE_CE66_D154_21C5),
+            })
+            .collect()
+    }
+}
+
+/// Drives a paired stepper to completion against `source`.
+fn finish_paired(stepper: &mut CampaignStepper, source: &impl PairSource) {
+    while let Some(planned) = stepper.plan_round() {
+        let outcomes = source.run_pairs(&planned.jobs);
+        stepper.complete_round(&planned, &outcomes);
+    }
+}
+
+/// Runs `planner` uninterrupted, then again with a kill at round
+/// boundary `kill_after` (checkpoint → JSON → parse → resume), and
+/// asserts the two outcomes are byte-identical.
+fn paired_kill_equals_uninterrupted(
+    planner: &CampaignPlanner,
+    uniform: bool,
+    source: &impl PairSource,
+    kill_after: usize,
+) {
+    let fresh = |p: &CampaignPlanner| {
+        if uniform {
+            p.uniform_stepper().expect("valid config")
+        } else {
+            p.stepper().expect("valid config")
+        }
+    };
+    let mut uninterrupted = fresh(planner);
+    finish_paired(&mut uninterrupted, source);
+    let reference = uninterrupted.outcome();
+
+    let mut interrupted = fresh(planner);
+    for _ in 0..kill_after {
+        let Some(planned) = interrupted.plan_round() else {
+            break;
+        };
+        let outcomes = source.run_pairs(&planned.jobs);
+        interrupted.complete_round(&planned, &outcomes);
+    }
+    // The "kill": all that survives is the serialized checkpoint.
+    let wire = serde_json::to_string(&interrupted.checkpoint()).expect("checkpoint serializes");
+    let restored: CampaignCheckpoint = serde_json::from_str(&wire).expect("checkpoint parses");
+    let mut resumed = planner.resume(&restored).expect("checkpoint resumes");
+    finish_paired(&mut resumed, source);
+    let outcome = resumed.outcome();
+
+    // The byte-identity oracle: serialized JSON (shortest-round-trip
+    // floats; NaN/∞ → null, so undefined pilot-round ratios — where
+    // `NaN != NaN` would fail a structural compare spuriously — still
+    // compare exactly).
+    assert_eq!(
+        serde_json::to_string(&outcome).unwrap(),
+        serde_json::to_string(&reference).unwrap(),
+        "outcome drifted after resume at round {kill_after}"
+    );
+}
+
+#[test]
+fn paired_kill_at_every_round_is_byte_identical_real_runner() {
+    let config = CampaignConfig {
+        seed: 11,
+        pilot_per_stratum: 3,
+        round_runs: 16,
+        max_rounds: 2,
+        target_half_width: f64::INFINITY,
+        threads: 1,
+    };
+    let planner = CampaignPlanner::new(runner(), config).stratification(Stratification::new(2));
+    let source = BatchRunner::new(runner(), uavca_exec::Executor::new(1));
+    // 1 pilot + 2 refinement rounds: kill before, between, after each.
+    for kill_after in 0..=3 {
+        paired_kill_equals_uninterrupted(&planner, false, &source, kill_after);
+    }
+}
+
+#[test]
+fn resume_rejects_mismatched_stratification_and_inconsistent_trails() {
+    let config = CampaignConfig {
+        seed: 7,
+        pilot_per_stratum: 2,
+        round_runs: 8,
+        max_rounds: 1,
+        target_half_width: f64::INFINITY,
+        threads: 1,
+    };
+    let planner = CampaignPlanner::new(runner(), config).stratification(Stratification::new(2));
+    let mut stepper = planner.stepper().expect("valid config");
+    let planned = stepper.plan_round().expect("pilot round plans");
+    let outcomes = RiggedPairs.run_pairs(&planned.jobs);
+    stepper.complete_round(&planned, &outcomes);
+    let checkpoint = stepper.checkpoint();
+
+    // Different stratification → different stratum count → typed error.
+    let other = CampaignPlanner::new(runner(), config).stratification(Stratification::new(3));
+    assert!(matches!(
+        other.resume(&checkpoint),
+        Err(CampaignResumeError::StratumCountMismatch { .. })
+    ));
+
+    // A corrupted trail (round index disagrees with the trail length)
+    // is rejected instead of resuming into undefined territory.
+    let mut corrupt = checkpoint.clone();
+    corrupt.next_round = 5;
+    assert!(matches!(
+        planner.resume(&corrupt),
+        Err(CampaignResumeError::InconsistentTrail { .. })
+    ));
+}
+
+/// Drives a splitting stepper to completion against `source`.
+fn finish_split(stepper: &mut SplitStepper, source: &impl SplitSource) {
+    while let Some(planned) = stepper.plan_round() {
+        let outcomes = source.run_splits(&planned.jobs);
+        stepper.complete_round(&planned, &outcomes);
+    }
+}
+
+#[test]
+fn splitting_kill_at_every_round_is_byte_identical() {
+    let config = SplitConfig {
+        seed: 42,
+        levels: 2,
+        max_branch: 4,
+        pilot_roots_per_stratum: 3,
+        round_roots: 24,
+        max_rounds: 2,
+        target_half_width: f64::INFINITY,
+        threads: 1,
+    };
+    let planner = SplitPlanner::new(runner(), config)
+        .model(enriched())
+        .stratification(Stratification::new(3));
+    let reference = planner.run().expect("valid config");
+    let source = BatchRunner::new(runner(), uavca_exec::Executor::new(1));
+
+    for kill_after in 0..=3 {
+        let mut interrupted = planner.stepper().expect("valid config");
+        for _ in 0..kill_after {
+            let Some(planned) = interrupted.plan_round() else {
+                break;
+            };
+            let outcomes = source.run_splits(&planned.jobs);
+            interrupted.complete_round(&planned, &outcomes);
+        }
+        let wire = serde_json::to_string(&interrupted.checkpoint()).expect("checkpoint serializes");
+        let restored: SplitCheckpoint = serde_json::from_str(&wire).expect("checkpoint parses");
+        let mut resumed = planner.resume(&restored).expect("checkpoint resumes");
+        finish_split(&mut resumed, &source);
+        let outcome = resumed.outcome();
+        assert_eq!(outcome, reference, "kill at round {kill_after}");
+        assert_eq!(
+            serde_json::to_string(&outcome).unwrap(),
+            serde_json::to_string(&reference).unwrap(),
+            "serialized splitting outcome drifted after resume at round {kill_after}"
+        );
+    }
+}
+
+#[test]
+fn splitting_resume_rejects_mismatched_ladders() {
+    let config = SplitConfig {
+        seed: 9,
+        levels: 2,
+        max_branch: 4,
+        pilot_roots_per_stratum: 2,
+        round_roots: 8,
+        max_rounds: 1,
+        target_half_width: f64::INFINITY,
+        threads: 1,
+    };
+    let planner = SplitPlanner::new(runner(), config)
+        .model(enriched())
+        .stratification(Stratification::new(2));
+    let source = BatchRunner::new(runner(), uavca_exec::Executor::new(1));
+    let mut stepper = planner.stepper().expect("valid config");
+    let planned = stepper.plan_round().expect("pilot round plans");
+    let outcomes = source.run_splits(&planned.jobs);
+    stepper.complete_round(&planned, &outcomes);
+    let checkpoint = stepper.checkpoint();
+
+    // A planner with a different ladder depth cannot adopt the tallies.
+    let deeper = SplitPlanner::new(
+        runner(),
+        SplitConfig {
+            levels: 3,
+            ..config
+        },
+    )
+    .model(enriched())
+    .stratification(Stratification::new(2));
+    assert!(matches!(
+        deeper.resume(&checkpoint),
+        Err(SplitResumeError::LadderMismatch { .. })
+    ));
+
+    let narrower = SplitPlanner::new(runner(), config)
+        .model(enriched())
+        .stratification(Stratification::new(3));
+    assert!(matches!(
+        narrower.resume(&checkpoint),
+        Err(SplitResumeError::StratumCountMismatch { .. })
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline property: for random small configs (including ones
+    /// that stop early on a finite CI target) and a random kill point,
+    /// resume-and-replay equals uninterrupted — adaptive and uniform.
+    #[test]
+    fn kill_at_any_round_equals_uninterrupted(
+        seed in 0u64..1_000_000,
+        pilot in 1usize..4,
+        round_runs in 4usize..32,
+        max_rounds in 1usize..5,
+        kill_after in 0usize..6,
+        // The stand-in proptest has no bool strategy; derive from bits.
+        mode_bits in 0u8..4,
+    ) {
+        let uniform = mode_bits & 1 != 0;
+        let early_stop = mode_bits & 2 != 0;
+        let config = CampaignConfig {
+            seed,
+            pilot_per_stratum: pilot,
+            round_runs,
+            max_rounds,
+            // A loose finite target exercises resume across (and past)
+            // the reached-target state; infinity never stops early.
+            target_half_width: if early_stop { 2.0 } else { f64::INFINITY },
+            threads: 1,
+        };
+        let planner =
+            CampaignPlanner::new(runner(), config).stratification(Stratification::new(2));
+        paired_kill_equals_uninterrupted(&planner, uniform, &RiggedPairs, kill_after);
+    }
+}

@@ -3,14 +3,18 @@
 //! [`BatchRunner`](uavca_validation::BatchRunner) — a remote fleet
 //! behind [`PairSource`]/[`SimSource`], indistinguishable to consumers.
 
+use std::collections::VecDeque;
 use std::sync::Mutex;
 
 use uavca_sim::EncounterOutcome;
 use uavca_validation::{
     CampaignOutcome, EncounterRunner, PairSource, PairedJob, PairedOutcome, RoundSummary, SimJob,
-    SimSource,
+    SimSource, SplitJob, SplitOutcome, SplitSource,
 };
 
+use crate::control::{
+    CampaignId, CampaignResult, CampaignSpec, CampaignStatus, Checkpoint, RoundEvent,
+};
 use crate::protocol::{CampaignRequest, Event, Request};
 use crate::transport::{recv_msg, send_msg, TcpTransport, Transport};
 use crate::{channel_pair, CampaignServer, ServeError, SessionEnd, ShardedBackend};
@@ -18,11 +22,17 @@ use crate::{channel_pair, CampaignServer, ServeError, SessionEnd, ShardedBackend
 /// A connection to a [`CampaignServer`].
 ///
 /// Interior-mutable (the transport sits behind a mutex) so the client
-/// can serve the shared-reference [`PairSource`]/[`SimSource`] contracts;
-/// requests are serialized per connection either way, matching the
-/// server's one-session loop.
+/// can serve the shared-reference [`PairSource`]/[`SimSource`]/
+/// [`SplitSource`] contracts; requests are serialized per connection
+/// either way.
+///
+/// A session subscribed to campaign streams can receive stream events
+/// interleaved with request replies (the server pushes rounds as they
+/// complete); the client buffers out-of-turn stream events so every
+/// request method stays a clean call-and-reply.
 pub struct CampaignClient {
     transport: Mutex<Box<dyn Transport>>,
+    pending: Mutex<VecDeque<Event>>,
 }
 
 impl std::fmt::Debug for CampaignClient {
@@ -36,6 +46,7 @@ impl CampaignClient {
     pub fn new(transport: impl Transport + 'static) -> Self {
         Self {
             transport: Mutex::new(Box::new(transport)),
+            pending: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -115,6 +126,150 @@ impl CampaignClient {
                 Event::Round { summary } => on_round(&summary),
                 Event::CampaignDone { outcome } => return Ok(outcome),
                 Event::Rejected { error } => return Err(ServeError::Rejected(error)),
+                other if Self::is_stream_event(&other) => self.buffer(other),
+                other => return Err(Self::fail(other)),
+            }
+        }
+    }
+
+    /// Runs a batch of multilevel-splitting roots on the service;
+    /// outcomes in job order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on transport/protocol failure or a
+    /// server-side execution error.
+    pub fn run_splits(&self, jobs: &[SplitJob]) -> Result<Vec<SplitOutcome>, ServeError> {
+        self.request_reply(
+            &Request::RunSplits {
+                jobs: jobs.to_vec(),
+            },
+            |event| match event {
+                Event::SplitsDone { outcomes } => Ok(outcomes),
+                other => Err(Box::new(other)),
+            },
+        )
+    }
+
+    /// Creates a campaign on the server's control plane, optionally
+    /// resuming from a checkpoint, and returns its id.
+    ///
+    /// The campaign runs server-side whether or not anyone streams it;
+    /// follow with [`CampaignClient::stream_campaign`],
+    /// [`CampaignClient::campaign_status`] and friends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Server`] when the server rejects the spec
+    /// or checkpoint, and transport/protocol failures otherwise.
+    pub fn create_campaign(
+        &self,
+        spec: &CampaignSpec,
+        checkpoint: Option<&Checkpoint>,
+    ) -> Result<CampaignId, ServeError> {
+        self.request_reply(
+            &Request::Create {
+                spec: spec.clone(),
+                checkpoint: checkpoint.cloned(),
+            },
+            |event| match event {
+                Event::CampaignCreated { id } => Ok(id),
+                other => Err(Box::new(other)),
+            },
+        )
+    }
+
+    /// Asks for a campaign's current status (state, progress, restart
+    /// count, and its exact resume checkpoint).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Server`] for unknown campaigns, and
+    /// transport/protocol failures otherwise.
+    pub fn campaign_status(&self, id: CampaignId) -> Result<CampaignStatus, ServeError> {
+        self.request_reply(&Request::Status { id }, |event| match event {
+            Event::CampaignStatus { status } if status.id == id => Ok(status),
+            other => Err(Box::new(other)),
+        })
+    }
+
+    /// Holds a running campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Server`] when the campaign is unknown or
+    /// not running, and transport/protocol failures otherwise.
+    pub fn pause_campaign(&self, id: CampaignId) -> Result<(), ServeError> {
+        self.request_reply(&Request::Pause { id }, |event| match event {
+            Event::CampaignPaused { id: got } if got == id => Ok(()),
+            other => Err(Box::new(other)),
+        })
+    }
+
+    /// Releases a paused campaign (or manually revives a failed one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Server`] when the campaign is unknown or
+    /// not resumable, and transport/protocol failures otherwise.
+    pub fn resume_campaign(&self, id: CampaignId) -> Result<(), ServeError> {
+        self.request_reply(&Request::Resume { id }, |event| match event {
+            Event::CampaignResumed { id: got } if got == id => Ok(()),
+            other => Err(Box::new(other)),
+        })
+    }
+
+    /// Cancels a campaign, returning the exact checkpoint a later
+    /// [`CampaignClient::create_campaign`] can resume from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Server`] when the campaign is unknown or
+    /// already terminal, and transport/protocol failures otherwise.
+    pub fn cancel_campaign(&self, id: CampaignId) -> Result<Checkpoint, ServeError> {
+        self.request_reply(&Request::Cancel { id }, |event| match event {
+            Event::CampaignCancelled {
+                id: got,
+                checkpoint,
+            } if got == id => Ok(checkpoint),
+            other => Err(Box::new(other)),
+        })
+    }
+
+    /// Subscribes to a campaign: the server replays every completed
+    /// round, then streams new ones into `on_round` until the campaign
+    /// reaches a terminal state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Server`] when the campaign is unknown,
+    /// failed, or cancelled (the failure message carries the typed
+    /// fault detail), and transport/protocol failures otherwise.
+    pub fn stream_campaign(
+        &self,
+        id: CampaignId,
+        mut on_round: impl FnMut(&RoundEvent),
+    ) -> Result<CampaignResult, ServeError> {
+        let mut transport = self.transport.lock().expect("client transport lock");
+        // The subscription replays the campaign's full round trail, so
+        // any stream events buffered from a prior subscription to the
+        // same campaign are superseded.
+        self.pending
+            .lock()
+            .expect("client event buffer lock")
+            .retain(|e| Self::stream_campaign_id(e) != Some(id));
+        send_msg(&mut **transport, &Request::Stream { id })?;
+        loop {
+            match Self::expect_event(&mut **transport)? {
+                Event::CampaignRound { id: got, round } if got == id => on_round(&round),
+                Event::CampaignFinished { id: got, result } if got == id => return Ok(result),
+                Event::CampaignFailed { id: got, message } if got == id => {
+                    return Err(ServeError::Server(message));
+                }
+                Event::CampaignCancelled { id: got, .. } if got == id => {
+                    return Err(ServeError::Server(format!("{got} was cancelled")));
+                }
+                other if Self::is_stream_event(&other) => self.buffer(other),
                 other => return Err(Self::fail(other)),
             }
         }
@@ -129,10 +284,56 @@ impl CampaignClient {
     pub fn shutdown(self) -> Result<(), ServeError> {
         let mut transport = self.transport.lock().expect("client transport lock");
         send_msg(&mut **transport, &Request::Shutdown)?;
-        match Self::expect_event(&mut **transport)? {
-            Event::ShutdownAck => Ok(()),
-            other => Err(Self::fail(other)),
+        loop {
+            match Self::expect_event(&mut **transport)? {
+                Event::ShutdownAck => return Ok(()),
+                other if Self::is_stream_event(&other) => {} // shutting down anyway
+                other => return Err(Self::fail(other)),
+            }
         }
+    }
+
+    /// One request, one matched reply; out-of-turn stream events are
+    /// buffered instead of failing the exchange. Unmatched events come
+    /// back boxed so the closures' `Err` variant stays pointer-sized.
+    fn request_reply<R>(
+        &self,
+        request: &Request,
+        mut matcher: impl FnMut(Event) -> Result<R, Box<Event>>,
+    ) -> Result<R, ServeError> {
+        let mut transport = self.transport.lock().expect("client transport lock");
+        send_msg(&mut **transport, request)?;
+        loop {
+            let event = Self::expect_event(&mut **transport)?;
+            match matcher(event) {
+                Ok(reply) => return Ok(reply),
+                Err(other) if Self::is_stream_event(&other) => self.buffer(*other),
+                Err(other) => return Err(Self::fail(*other)),
+            }
+        }
+    }
+
+    /// Whether an event can arrive unsolicited on a subscribed session.
+    fn is_stream_event(event: &Event) -> bool {
+        Self::stream_campaign_id(event).is_some()
+    }
+
+    /// The campaign a pushed stream event belongs to, if it is one.
+    fn stream_campaign_id(event: &Event) -> Option<CampaignId> {
+        match event {
+            Event::CampaignRound { id, .. }
+            | Event::CampaignFinished { id, .. }
+            | Event::CampaignFailed { id, .. }
+            | Event::CampaignCancelled { id, .. } => Some(*id),
+            _ => None,
+        }
+    }
+
+    fn buffer(&self, event: Event) {
+        self.pending
+            .lock()
+            .expect("client event buffer lock")
+            .push_back(event);
     }
 
     fn expect_event(transport: &mut dyn Transport) -> Result<Event, ServeError> {
@@ -164,6 +365,15 @@ impl SimSource for CampaignClient {
     /// Panics on service failure; see [`CampaignClient::run_batch`].
     fn run_sims(&self, jobs: &[SimJob]) -> Vec<EncounterOutcome> {
         self.run_batch(jobs).expect("campaign service failed")
+    }
+}
+
+impl SplitSource for CampaignClient {
+    /// # Panics
+    ///
+    /// Panics on service failure; see [`CampaignClient::run_splits`].
+    fn run_splits(&self, jobs: &[SplitJob]) -> Vec<SplitOutcome> {
+        self.run_splits(jobs).expect("campaign service failed")
     }
 }
 

@@ -21,11 +21,23 @@
 //!   same [`PairSource`]/[`SimSource`] contracts as `BatchRunner`, so a
 //!   [`CampaignPlanner`] drives a shard fleet exactly as it drives a
 //!   local worker pool.
-//! * **Service** ([`server`], [`client`]): a thread-based
-//!   [`CampaignServer`] accepting [`SimJob`](uavca_validation::SimJob)/
-//!   [`PairedJob`](uavca_validation::PairedJob) batches and full
-//!   [`CampaignConfig`](uavca_validation::CampaignConfig)s, streaming
-//!   per-round convergence events back to the [`CampaignClient`].
+//! * **Service** ([`server`], [`client`]): a [`CampaignServer`] whose
+//!   readiness loop multiplexes many client sessions over one shared
+//!   shard fleet — the legacy one-shot dialect
+//!   ([`SimJob`](uavca_validation::SimJob)/
+//!   [`PairedJob`](uavca_validation::PairedJob) batches,
+//!   streamed `RunCampaign`) answered inline, unchanged.
+//! * **Control plane** ([`control`]): the campaign lifecycle API —
+//!   [`Create`](protocol::Request::Create) (optionally from a
+//!   [`Checkpoint`]) / `Status` / `Stream` / `Pause` / `Resume` /
+//!   `Cancel` — over a fair-share quantum dispatcher
+//!   ([`ControlPlane`]), with a supervisor that restarts faulted
+//!   campaigns from their checkpoints and an [`EventLog`] recording
+//!   the session and campaign incidents the old blocking server
+//!   silently swallowed. Checkpoints are tiny and exact: by the seed
+//!   rule below, (config, round index, merged tallies) is a campaign's
+//!   full state, so kill-and-resume is byte-identical to never having
+//!   stopped.
 //!
 //! # Bit-identity
 //!
@@ -58,15 +70,20 @@
 #![deny(missing_debug_implementations)]
 
 pub mod client;
+pub mod control;
 pub mod protocol;
 pub mod server;
 pub mod shard;
 pub mod transport;
 
 pub use client::{spawn_in_process, CampaignClient, InProcessServer};
+pub use control::{
+    CampaignBackend, CampaignId, CampaignNotice, CampaignResult, CampaignSpec, CampaignState,
+    CampaignStatus, Checkpoint, ControlEvent, ControlPlane, EventLog, RoundEvent,
+};
 pub use protocol::{
     decode, encode, read_frame, write_frame, CampaignRequest, Event, IndexedPairedJob,
-    IndexedSimJob, IndexedSplitJob, Request, ShardEvent, ShardRequest,
+    IndexedSimJob, IndexedSplitJob, Request, ShardEvent, ShardRequest, SplitCampaignRequest,
 };
 pub use server::{CampaignServer, SessionEnd};
 pub use shard::{serve_shard, serve_shard_tcp, ShardFault, ShardedBackend};

@@ -32,9 +32,12 @@ use uavca_encounter::StatisticalEncounterModel;
 use uavca_sim::EncounterOutcome;
 use uavca_validation::{
     CampaignConfig, CampaignConfigError, CampaignOutcome, PairedJob, PairedOutcome, RoundSummary,
-    SimJob, SplitJob, SplitOutcome,
+    SimJob, SplitConfig, SplitJob, SplitOutcome,
 };
 
+use crate::control::{
+    CampaignId, CampaignResult, CampaignSpec, CampaignStatus, Checkpoint, RoundEvent,
+};
 use crate::ServeError;
 
 /// A full campaign specification as submitted over the wire: the
@@ -56,6 +59,20 @@ pub struct CampaignRequest {
     pub uniform: bool,
 }
 
+/// A multilevel-splitting campaign specification as submitted over the
+/// wire — the splitting twin of [`CampaignRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitCampaignRequest {
+    /// The splitting schedule, seed, ladder shape and early-stop
+    /// target. Its `threads` field is ignored server-side.
+    pub config: SplitConfig,
+    /// The statistical encounter model to stratify and sample.
+    pub model: StatisticalEncounterModel,
+    /// CPA bands per geometry class (the [`uavca_encounter::Stratification`]
+    /// resolution).
+    pub cpa_bins: usize,
+}
+
 /// A client-to-server request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
@@ -69,10 +86,53 @@ pub enum Request {
         /// The paired jobs, each replaying one seed in both arms.
         jobs: Vec<PairedJob>,
     },
-    /// Plan and run a full campaign, streaming per-round events.
+    /// Run a batch of multilevel-splitting roots.
+    RunSplits {
+        /// The jobs, each a self-contained branch-tree description.
+        jobs: Vec<SplitJob>,
+    },
+    /// Plan and run a full campaign, streaming per-round events. The
+    /// legacy single-campaign path: equivalent to `Create` + `Stream`
+    /// with no supervisor restarts.
     RunCampaign {
         /// The campaign specification.
         request: CampaignRequest,
+    },
+    /// Create a campaign on the control plane, optionally resuming it
+    /// from a checkpoint. Replied to with [`Event::CampaignCreated`].
+    Create {
+        /// What to run.
+        spec: CampaignSpec,
+        /// Exact resume point from a prior [`Event::CampaignCancelled`]
+        /// or [`CampaignStatus::checkpoint`]; `None` starts fresh.
+        checkpoint: Option<Checkpoint>,
+    },
+    /// Ask for a campaign's current status.
+    Status {
+        /// The campaign.
+        id: CampaignId,
+    },
+    /// Subscribe to a campaign's rounds: the server replays every
+    /// completed round as [`Event::CampaignRound`], then streams new
+    /// ones until a terminal event.
+    Stream {
+        /// The campaign.
+        id: CampaignId,
+    },
+    /// Hold a running campaign.
+    Pause {
+        /// The campaign.
+        id: CampaignId,
+    },
+    /// Release a paused campaign (or manually revive a failed one).
+    Resume {
+        /// The campaign.
+        id: CampaignId,
+    },
+    /// Cancel a campaign, collecting its exact resume point.
+    Cancel {
+        /// The campaign.
+        id: CampaignId,
     },
     /// Ask the server to acknowledge and stop serving.
     Shutdown,
@@ -106,6 +166,62 @@ pub enum Event {
     Rejected {
         /// The typed validation error.
         error: CampaignConfigError,
+    },
+    /// Reply to [`Request::RunSplits`]: outcomes in job order.
+    SplitsDone {
+        /// One outcome per submitted root, in submission order.
+        outcomes: Vec<SplitOutcome>,
+    },
+    /// Reply to [`Request::Create`]: the campaign is registered.
+    CampaignCreated {
+        /// The new campaign's id, unique within this server.
+        id: CampaignId,
+    },
+    /// Reply to [`Request::Status`].
+    CampaignStatus {
+        /// The campaign's current status, checkpoint included.
+        status: CampaignStatus,
+    },
+    /// One completed round of a control-plane campaign (replayed on
+    /// subscribe, then streamed as rounds complete).
+    CampaignRound {
+        /// The campaign.
+        id: CampaignId,
+        /// The completed round.
+        round: RoundEvent,
+    },
+    /// A control-plane campaign finished; terminal for its stream.
+    CampaignFinished {
+        /// The campaign.
+        id: CampaignId,
+        /// Its terminal result.
+        result: CampaignResult,
+    },
+    /// A control-plane campaign failed terminally; the message carries
+    /// the typed backend fault (e.g. "every shard was lost …").
+    CampaignFailed {
+        /// The campaign.
+        id: CampaignId,
+        /// The typed fault detail.
+        message: String,
+    },
+    /// Reply to [`Request::Pause`].
+    CampaignPaused {
+        /// The campaign.
+        id: CampaignId,
+    },
+    /// Reply to [`Request::Resume`].
+    CampaignResumed {
+        /// The campaign.
+        id: CampaignId,
+    },
+    /// Reply to [`Request::Cancel`] (also fanned out to subscribed
+    /// streams): the campaign stopped at an exact resume point.
+    CampaignCancelled {
+        /// The campaign.
+        id: CampaignId,
+        /// The checkpoint a later [`Request::Create`] can resume from.
+        checkpoint: Checkpoint,
     },
     /// Request execution failed server-side.
     Error {

@@ -109,6 +109,24 @@ pub trait Transport: Send {
     }
 }
 
+/// A mutable borrow of a transport is itself a transport — what lets
+/// the multiplexed server loop adopt a caller-owned transport (the
+/// [`crate::CampaignServer::serve`] entry point) as one of its
+/// sessions without taking ownership.
+impl<T: Transport + ?Sized> Transport for &mut T {
+    fn send(&mut self, line: &str) -> Result<(), TransportError> {
+        (**self).send(line)
+    }
+
+    fn recv(&mut self) -> Result<Option<String>, TransportError> {
+        (**self).recv()
+    }
+
+    fn recv_deadline(&mut self, timeout: Duration) -> Result<RecvOutcome, TransportError> {
+        (**self).recv_deadline(timeout)
+    }
+}
+
 /// Sends a typed message over any transport.
 ///
 /// # Errors

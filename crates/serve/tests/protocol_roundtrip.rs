@@ -13,19 +13,30 @@
 //! also checked to be *strict* JSON — no bare `NaN`/`Infinity` literal
 //! may reach the wire.
 
+use std::sync::{Arc, OnceLock};
+
 use proptest::prelude::*;
 use serde::{Deserialize, Serialize};
+use uavca_acasx::{AcasConfig, LogicTable};
 use uavca_encounter::{EncounterParams, Stratification};
 use uavca_serve::{
-    encode, read_frame, write_frame, CampaignRequest, Event, IndexedPairedJob, IndexedSimJob,
-    Request, ShardEvent, ShardRequest, TcpTransport, Transport,
+    encode, read_frame, write_frame, CampaignId, CampaignRequest, CampaignResult, CampaignSpec,
+    CampaignState, CampaignStatus, Checkpoint, Event, IndexedPairedJob, IndexedSimJob, Request,
+    RoundEvent, ShardEvent, ShardRequest, SplitCampaignRequest, TcpTransport, Transport,
 };
 use uavca_sim::EncounterOutcome;
 use uavca_validation::{
-    jackknife_ratio, paired_covariance, CampaignConfig, CampaignConfigError, CampaignOutcome,
-    Equipage, PairTable, PairedJob, PairedOutcome, RateEstimate, RatioEstimate, RoundSummary,
-    SimJob, StratifiedEstimate, StratumEstimate, WeightedRate,
+    jackknife_ratio, paired_covariance, CampaignCheckpoint, CampaignConfig, CampaignConfigError,
+    CampaignOutcome, EncounterRunner, Equipage, PairTable, PairedJob, PairedOutcome, RateEstimate,
+    RatioEstimate, RoundSummary, SimJob, SplitConfig, SplitJob, SplitOutcome, SplitPlanner,
+    SplitSource, StratifiedEstimate, StratumEstimate, StratumTally, WeightedRate,
 };
+
+fn runner() -> EncounterRunner {
+    static TABLE: OnceLock<Arc<LogicTable>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Arc::new(LogicTable::solve(&AcasConfig::coarse())));
+    EncounterRunner::new(table.clone())
+}
 
 /// No bare extended float literal may cross the wire: strict-JSON
 /// consumers on the other end would reject the whole line.
@@ -173,6 +184,39 @@ fn round_summary(est: &StratifiedEstimate, round: usize) -> RoundSummary {
         unequipped_nmac: est.unequipped_nmac,
         risk_ratio: est.risk_ratio,
         risk_ratio_unpaired: est.risk_ratio_unpaired,
+    }
+}
+
+/// Deterministic fake splitting outcomes: pure hashes of the root seed
+/// with ladder-consistent stage vectors, so real steppers can emit
+/// checkpoint/round/result values for the wire without simulation cost.
+struct RiggedSplits;
+
+impl SplitSource for RiggedSplits {
+    fn run_splits(&self, jobs: &[SplitJob]) -> Vec<SplitOutcome> {
+        jobs.iter()
+            .map(|j| {
+                let h = j.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let stages = j.levels.len() + 1;
+                SplitOutcome {
+                    weight: (h % 5) as f64 / 8.0,
+                    level_trials: (0..stages).map(|s| 1 + (h >> s) % 7).collect(),
+                    level_crossings: (0..stages)
+                        .map(|s| ((h >> (s + 3)) % 3).min(1 + (h >> s) % 7))
+                        .collect(),
+                    equipped_steps: h % 1000,
+                    unequipped_steps: h % 800,
+                    unequipped: outcome((
+                        (h % 60) as f64,
+                        (h % 5000) as f64,
+                        (h % 900) as f64,
+                        (h % 5) as usize,
+                        (h % 4) as usize,
+                        h % 97,
+                    )),
+                }
+            })
+            .collect()
     }
 }
 
@@ -330,11 +374,206 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every lifecycle message of the control-plane API round-trips
+    /// through the framing: campaign-addressed requests, checkpoints of
+    /// both families (the splitting ones emitted by a *real* stepper,
+    /// kill point included), tagged round/terminal events, and statuses
+    /// in every lifecycle state.
+    #[test]
+    fn lifecycle_messages_round_trip(
+        draw in (
+            0u64..u64::MAX,
+            (1usize..3, 4usize..16, 1usize..3),
+            0usize..4,
+            (0usize..3, 0usize..3, 0usize..3, 0usize..40),
+            0usize..5,
+        )
+    ) {
+        let (seed, (pilot, round_roots, max_rounds), kill, cell, state_ix) = draw;
+        let id = CampaignId(seed);
+
+        roundtrip(&Request::Status { id });
+        roundtrip(&Request::Stream { id });
+        roundtrip(&Request::Pause { id });
+        roundtrip(&Request::Resume { id });
+        roundtrip(&Request::Cancel { id });
+
+        // Splitting roots through the batch path (satellite: RunSplits
+        // finally exists on the client-facing protocol).
+        let jobs: Vec<SplitJob> = (0..kill)
+            .map(|i| SplitJob {
+                params: params((100.0, 0.0, 30.0, 500.0, 1.0, 100.0)),
+                seed: seed.wrapping_add(i as u64),
+                levels: vec![2000.0, 900.0],
+                branches: vec![2, 3],
+            })
+            .collect();
+        roundtrip(&Request::RunSplits { jobs: jobs.clone() });
+        roundtrip(&Event::SplitsDone { outcomes: RiggedSplits.run_splits(&jobs) });
+
+        // A paired checkpoint from the drawn cells through the real
+        // estimator stack — all-zero draws push the NaN/∞ markers
+        // (serialized `null`) through every nested field.
+        let est = estimate(&[cell]);
+        let summary = round_summary(&est, kill);
+        let paired_request = CampaignRequest {
+            config: CampaignConfig {
+                seed,
+                pilot_per_stratum: pilot,
+                round_runs: round_roots,
+                max_rounds,
+                target_half_width: f64::INFINITY,
+                threads: 1,
+            },
+            model: Default::default(),
+            cpa_bins: 2,
+            uniform: seed % 2 == 0,
+        };
+        let paired_ckpt = Checkpoint::Paired {
+            checkpoint: CampaignCheckpoint {
+                next_round: kill,
+                adaptive: seed % 2 != 0,
+                tallies: (0..2)
+                    .map(|_| StratumTally {
+                        pairs: PairTable {
+                            both_nmac: cell.0,
+                            equipped_only: cell.1,
+                            unequipped_only: cell.2,
+                            neither: cell.3,
+                        },
+                        alerts: cell.0 + cell.1,
+                        false_alerts: cell.1,
+                    })
+                    .collect(),
+                rounds: vec![summary.clone()],
+                reached_target: kill % 2 == 0,
+            },
+        };
+        roundtrip(&Request::Create {
+            spec: CampaignSpec::Paired { request: paired_request },
+            checkpoint: Some(paired_ckpt.clone()),
+        });
+        roundtrip(&Event::CampaignRound {
+            id,
+            round: RoundEvent::Paired { summary: summary.clone() },
+        });
+        roundtrip(&Event::CampaignFinished {
+            id,
+            result: CampaignResult::Paired {
+                outcome: CampaignOutcome {
+                    estimate: est,
+                    rounds: vec![summary],
+                    reached_target: false,
+                },
+            },
+        });
+
+        // Splitting checkpoint/rounds/result emitted by a real stepper
+        // over rigged outcomes, checkpointed at the drawn kill point.
+        let split_request = SplitCampaignRequest {
+            config: SplitConfig {
+                seed,
+                levels: 2,
+                max_branch: 3,
+                pilot_roots_per_stratum: pilot,
+                round_roots,
+                max_rounds,
+                target_half_width: f64::INFINITY,
+                threads: 1,
+            },
+            model: Default::default(),
+            cpa_bins: 2,
+        };
+        let planner = SplitPlanner::new(runner(), split_request.config)
+            .stratification(Stratification::new(2));
+        let mut stepper = planner.stepper().expect("valid config");
+        for _ in 0..kill {
+            let Some(planned) = stepper.plan_round() else { break };
+            let outcomes = RiggedSplits.run_splits(&planned.jobs);
+            stepper.complete_round(&planned, &outcomes);
+        }
+        let split_ckpt = Checkpoint::Splitting { checkpoint: stepper.checkpoint() };
+        roundtrip(&Request::Create {
+            spec: CampaignSpec::Splitting { request: split_request },
+            checkpoint: Some(split_ckpt.clone()),
+        });
+        while let Some(planned) = stepper.plan_round() {
+            let outcomes = RiggedSplits.run_splits(&planned.jobs);
+            let summary = stepper.complete_round(&planned, &outcomes);
+            roundtrip(&Event::CampaignRound {
+                id,
+                round: RoundEvent::Splitting { summary },
+            });
+        }
+        roundtrip(&Event::CampaignFinished {
+            id,
+            result: CampaignResult::Splitting { outcome: stepper.outcome() },
+        });
+
+        let state = [
+            CampaignState::Running,
+            CampaignState::Paused,
+            CampaignState::Failed,
+            CampaignState::Finished,
+            CampaignState::Cancelled,
+        ][state_ix];
+        roundtrip(&Event::CampaignStatus {
+            status: CampaignStatus {
+                id,
+                state,
+                rounds_completed: kill,
+                jobs_done: round_roots * max_rounds,
+                restarts: state_ix,
+                last_error: (state_ix % 2 == 0)
+                    .then(|| String::from("every shard was lost with 3 jobs outstanding")),
+                checkpoint: split_ckpt,
+            },
+        });
+        roundtrip(&Event::CampaignCreated { id });
+        roundtrip(&Event::CampaignPaused { id });
+        roundtrip(&Event::CampaignResumed { id });
+        roundtrip(&Event::CampaignFailed {
+            id,
+            message: "fleet \"lost\"\nmid-round".to_string(),
+        });
+        roundtrip(&Event::CampaignCancelled { id, checkpoint: paired_ckpt });
+    }
+}
+
 /// The same fixed-point oracle through a real TCP socket: what the
 /// framing writes, a socket peer reads back byte-identically.
 #[test]
 fn every_message_kind_survives_a_real_socket() {
     let est = estimate(&[(2, 1, 3, 30), (0, 0, 0, 0)]);
+    // A splitting campaign checkpointed after its pilot round — real
+    // stepper state for the lifecycle messages below.
+    let split_request = SplitCampaignRequest {
+        config: SplitConfig {
+            seed: 17,
+            levels: 2,
+            max_branch: 3,
+            pilot_roots_per_stratum: 2,
+            round_roots: 6,
+            max_rounds: 1,
+            target_half_width: f64::INFINITY,
+            threads: 1,
+        },
+        model: Default::default(),
+        cpa_bins: 2,
+    };
+    let mut stepper = SplitPlanner::new(runner(), split_request.config)
+        .stratification(Stratification::new(2))
+        .stepper()
+        .expect("valid config");
+    let planned = stepper.plan_round().expect("pilot round plans");
+    let outcomes = RiggedSplits.run_splits(&planned.jobs);
+    let split_summary = stepper.complete_round(&planned, &outcomes);
+    let split_ckpt = Checkpoint::Splitting {
+        checkpoint: stepper.checkpoint(),
+    };
     let lines: Vec<String> = vec![
         encode(&Request::RunPaired {
             jobs: vec![PairedJob {
@@ -380,6 +619,45 @@ fn every_message_kind_survives_a_real_socket() {
                 outcome((0.5, 0.0, 9.0, 1, 0, 2)),
                 outcome((7.0, 1.5, 0.25, 0, 3, 1)),
             ],
+        }),
+        // The control-plane lifecycle dialect.
+        encode(&Request::Create {
+            spec: CampaignSpec::Splitting {
+                request: split_request,
+            },
+            checkpoint: Some(split_ckpt.clone()),
+        }),
+        encode(&Request::Stream { id: CampaignId(3) }),
+        encode(&Request::Cancel { id: CampaignId(3) }),
+        encode(&Event::CampaignCreated { id: CampaignId(3) }),
+        encode(&Event::CampaignRound {
+            id: CampaignId(3),
+            round: RoundEvent::Splitting {
+                summary: split_summary,
+            },
+        }),
+        encode(&Event::CampaignCancelled {
+            id: CampaignId(3),
+            checkpoint: split_ckpt,
+        }),
+        encode(&Event::CampaignStatus {
+            status: CampaignStatus {
+                id: CampaignId(3),
+                state: CampaignState::Paused,
+                rounds_completed: 1,
+                jobs_done: 4,
+                restarts: 1,
+                last_error: Some(String::from("every shard was lost with 4 jobs outstanding")),
+                checkpoint: Checkpoint::Paired {
+                    checkpoint: CampaignCheckpoint {
+                        next_round: 0,
+                        adaptive: true,
+                        tallies: Vec::new(),
+                        rounds: Vec::new(),
+                        reached_target: false,
+                    },
+                },
+            },
         }),
     ];
 
