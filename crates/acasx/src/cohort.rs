@@ -34,11 +34,24 @@ pub struct AcasXuCohort {
     hysteresis_bonus: f64,
     hmd_threshold_ft: f64,
     dmod_ft: f64,
-    /// Advisory in force, per lane.
+    /// Advisory in force, per lane. The *only* per-lane state this
+    /// avoider carries — everything in `cols` is per-tick scratch.
     previous: Vec<Advisory>,
     scratch: LookupScratch,
-    // Dense per-tick batch columns (eligible entries only), reused across
-    // ticks — zero steady-state allocation.
+    cols: GatherColumns,
+}
+
+/// Dense per-tick batch columns (eligible entries only), reused across
+/// ticks — zero steady-state allocation.
+///
+/// Kept as a separate struct (the `TickBuffers` idiom from `uavca-sim`)
+/// rather than as fields of [`AcasXuCohort`]: these columns are rebuilt
+/// from scratch every `decide_cohort` call and carry no state between
+/// ticks, so they must *not* participate in the lane protocol
+/// (`swap_lanes`/`reset_lane`/`ensure_lanes`). The type split makes that
+/// distinction checkable by the audit lane-coverage rule (A5).
+#[derive(Default)]
+struct GatherColumns {
     h_ft: Vec<f64>,
     own_rate_fps: Vec<f64>,
     intruder_rate_fps: Vec<f64>,
@@ -49,6 +62,20 @@ pub struct AcasXuCohort {
     /// Context entry index of each batch column, for the scatter pass.
     entries: Vec<usize>,
     best: Vec<Advisory>,
+}
+
+impl GatherColumns {
+    fn clear(&mut self) {
+        self.h_ft.clear();
+        self.own_rate_fps.clear();
+        self.intruder_rate_fps.clear();
+        self.tau_s.clear();
+        self.prev.clear();
+        self.masks.clear();
+        self.hysteresis.clear();
+        self.entries.clear();
+        // `best` is overwritten wholesale by the batched lookup.
+    }
 }
 
 impl std::fmt::Debug for AcasXuCohort {
@@ -75,15 +102,7 @@ impl AcasXuCohort {
             dmod_ft: 3000.0,
             previous: Vec::new(),
             scratch: LookupScratch::default(),
-            h_ft: Vec::new(),
-            own_rate_fps: Vec::new(),
-            intruder_rate_fps: Vec::new(),
-            tau_s: Vec::new(),
-            prev: Vec::new(),
-            masks: Vec::new(),
-            hysteresis: Vec::new(),
-            entries: Vec::new(),
-            best: Vec::new(),
+            cols: GatherColumns::default(),
         }
     }
 }
@@ -112,14 +131,7 @@ impl CohortAvoider for AcasXuCohort {
 
         // Pass 1: τ estimation and the alerting gate; gather eligible
         // entries into dense batch columns.
-        self.h_ft.clear();
-        self.own_rate_fps.clear();
-        self.intruder_rate_fps.clear();
-        self.tau_s.clear();
-        self.prev.clear();
-        self.masks.clear();
-        self.hysteresis.clear();
-        self.entries.clear();
+        self.cols.clear();
         for e in 0..n {
             let own = &ctx.own[e];
             let report = &ctx.intruder[e];
@@ -128,22 +140,23 @@ impl CohortAvoider for AcasXuCohort {
             let tau = estimate_tau(rel_pos.x, rel_pos.y, rel_vel.x, rel_vel.y, self.dmod_ft);
             if alerting_eligible(&tau, self.horizon_s, self.hmd_threshold_ft, self.dmod_ft) {
                 let previous = self.previous[ctx.lane[e]];
-                self.h_ft.push(rel_pos.z);
-                self.own_rate_fps.push(own.velocity.z);
-                self.intruder_rate_fps.push(report.velocity.z);
-                self.tau_s.push(tau.tau_s);
-                self.prev.push(previous);
-                self.masks.push(decision_mask(previous, ctx.forbidden[e]));
-                self.hysteresis
+                self.cols.h_ft.push(rel_pos.z);
+                self.cols.own_rate_fps.push(own.velocity.z);
+                self.cols.intruder_rate_fps.push(report.velocity.z);
+                self.cols.tau_s.push(tau.tau_s);
+                self.cols.prev.push(previous);
+                self.cols
+                    .masks
+                    .push(decision_mask(previous, ctx.forbidden[e]));
+                self.cols
+                    .hysteresis
                     .push(effective_hysteresis(previous, self.hysteresis_bonus));
-                self.entries.push(e);
+                self.cols.entries.push(e);
             }
         }
 
         // Pass 2: one batched masked lookup over every eligible entry.
-        let Self {
-            table,
-            scratch,
+        let GatherColumns {
             best,
             h_ft,
             own_rate_fps,
@@ -153,8 +166,8 @@ impl CohortAvoider for AcasXuCohort {
             masks,
             hysteresis,
             ..
-        } = self;
-        table.best_advisory_batch_masked(
+        } = &mut self.cols;
+        self.table.best_advisory_batch_masked(
             &StateBatch {
                 h_ft,
                 own_rate_fps,
@@ -164,7 +177,7 @@ impl CohortAvoider for AcasXuCohort {
             },
             masks,
             hysteresis,
-            scratch,
+            &mut self.scratch,
             best,
         );
 
@@ -174,9 +187,9 @@ impl CohortAvoider for AcasXuCohort {
         out.clear();
         let mut column = 0;
         for e in 0..n {
-            let advisory = if self.entries.get(column) == Some(&e) {
+            let advisory = if self.cols.entries.get(column) == Some(&e) {
                 column += 1;
-                self.best[column - 1]
+                self.cols.best[column - 1]
             } else {
                 Advisory::Coc
             };

@@ -1,0 +1,493 @@
+//! A dependency-free Rust lexer producing a flat token stream with
+//! line/column spans.
+//!
+//! This is a *lexer*, not a parser: it recognizes exactly the token
+//! boundaries the rule engine needs to be sound — where comments,
+//! strings, and character literals begin and end — so a `HashMap`
+//! inside a doc comment or a `thread_rng` inside a string literal can
+//! never produce a diagnostic. The tricky boundaries it gets right:
+//!
+//! - **Nested block comments**: `/* outer /* inner */ still outer */`
+//!   is one comment token (Rust block comments nest).
+//! - **Raw strings**: `r"…"`, `r#"…"#`, … with any number of hashes,
+//!   including quotes and `//` inside the body; `br#"…"#` byte forms.
+//! - **Raw identifiers**: `r#type` is an identifier, not a raw string.
+//! - **Lifetimes vs char literals**: `'a` is a lifetime, `'a'` is a
+//!   char; escapes (`'\n'`, `'\u{1F600}'`, `'\''`) are chars.
+//! - **Strings containing `//` or `/*`**: comment openers inside
+//!   string bodies are body bytes, not comments.
+//!
+//! The lexer is total: any byte sequence lexes without panicking
+//! (malformed input degrades to `Punct` tokens or an
+//! unterminated-token that runs to end of input). Every token carries
+//! its byte span and 1-based line/column, and consecutive tokens never
+//! overlap — properties the proptest battery in
+//! `crates/audit/tests/lexer_props.rs` exercises.
+
+/// The lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw identifiers `r#type`).
+    Ident,
+    /// A lifetime such as `'a` or `'_` (no closing quote).
+    Lifetime,
+    /// A character or byte literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// A string literal: `"…"`, `b"…"` (escapes handled).
+    Str,
+    /// A raw string literal: `r"…"`, `r#"…"#`, `br"…"` etc.
+    RawStr,
+    /// A numeric literal, suffix included: `1.0e-6`, `0x_ff`, `42u64`.
+    Number,
+    /// A `//` comment, up to but not including the newline.
+    LineComment,
+    /// A (possibly nested) `/* … */` comment.
+    BlockComment,
+    /// Any other single non-whitespace character.
+    Punct,
+}
+
+/// One lexed token: kind plus byte span and 1-based position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// The lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within the source it was lexed from.
+    pub fn slice<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexes `src` into a flat token stream (whitespace discarded).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining the line/column counters.
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_whitespace() {
+                self.bump();
+                continue;
+            }
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let kind = self.next_kind(b);
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            self.tokens.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+                col,
+            });
+        }
+        self.tokens
+    }
+
+    /// Consumes one token starting at the current position and returns
+    /// its kind.
+    fn next_kind(&mut self, b: u8) -> TokenKind {
+        match b {
+            b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+            b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+            b'r' | b'b' if self.raw_or_byte_prefix() => self.prefixed_literal(),
+            _ if is_ident_start(b) => self.ident(),
+            b'\'' => self.lifetime_or_char(),
+            b'"' => self.string(),
+            _ if b.is_ascii_digit() => self.number(),
+            _ => {
+                // A single non-ASCII alphabetic char also counts as an
+                // identifier start (non-ASCII idents are valid Rust).
+                if let Some(c) = self.src[self.pos..].chars().next() {
+                    if c.is_alphabetic() {
+                        return self.ident();
+                    }
+                    self.bump_n(c.len_utf8());
+                } else {
+                    self.bump();
+                }
+                TokenKind::Punct
+            }
+        }
+    }
+
+    /// Is the `r`/`b` at the cursor the prefix of a raw/byte literal
+    /// (as opposed to a plain identifier like `rate` or a raw
+    /// identifier like `r#type`)?
+    fn raw_or_byte_prefix(&self) -> bool {
+        let b = self.bytes[self.pos];
+        match (b, self.peek(1)) {
+            // b"…" or b'…'
+            (b'b', Some(b'"')) | (b'b', Some(b'\'')) => true,
+            // br"…" or br#…
+            (b'b', Some(b'r')) => matches!(self.peek(2), Some(b'"') | Some(b'#')),
+            // r"…"
+            (b'r', Some(b'"')) => true,
+            // r#: raw string r#"…"# vs raw identifier r#type — a raw
+            // string has only hashes between `r` and the quote.
+            (b'r', Some(b'#')) => {
+                let mut i = 1;
+                while self.peek(i) == Some(b'#') {
+                    i += 1;
+                }
+                self.peek(i) == Some(b'"')
+            }
+            _ => false,
+        }
+    }
+
+    /// Lexes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` (the prefix
+    /// has been validated by [`Self::raw_or_byte_prefix`]).
+    fn prefixed_literal(&mut self) -> TokenKind {
+        let mut raw = false;
+        if self.bytes[self.pos] == b'b' {
+            self.bump();
+            if self.peek(0) == Some(b'r') {
+                raw = true;
+                self.bump();
+            }
+        } else {
+            raw = true;
+            self.bump();
+        }
+        if raw {
+            self.raw_string_body()
+        } else if self.peek(0) == Some(b'\'') {
+            // b'…': always a byte literal, never a lifetime.
+            self.bump();
+            self.char_body();
+            TokenKind::Char
+        } else {
+            self.string()
+        }
+    }
+
+    /// Lexes the `#*"…"#*` part of a raw string (cursor on the first
+    /// `#` or the quote).
+    fn raw_string_body(&mut self) -> TokenKind {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) == Some(b'"') {
+            self.bump();
+        }
+        // Scan for `"` followed by `hashes` hashes.
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                let mut i = 1;
+                while i <= hashes && self.peek(i) == Some(b'#') {
+                    i += 1;
+                }
+                if i == hashes + 1 {
+                    self.bump_n(hashes + 1);
+                    return TokenKind::RawStr;
+                }
+            }
+            self.bump();
+        }
+        TokenKind::RawStr // unterminated: runs to end of input
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.bump();
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump_n(2); // `/*`
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump_n(2);
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump_n(2);
+            } else {
+                self.bump();
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        // Raw identifier prefix r#type: consume `r#`, then the name.
+        if self.bytes[self.pos] == b'r' && self.peek(1) == Some(b'#') {
+            self.bump_n(2);
+        }
+        while self.pos < self.bytes.len() {
+            let c = self.src[self.pos..].chars().next().unwrap_or('\0');
+            if c == '_' || c.is_alphanumeric() {
+                self.bump_n(c.len_utf8());
+            } else {
+                break;
+            }
+        }
+        TokenKind::Ident
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char).
+    fn lifetime_or_char(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        match self.peek(0) {
+            // An escape can only start a char literal.
+            Some(b'\\') => {
+                self.char_body();
+                TokenKind::Char
+            }
+            Some(b) if is_ident_start(b) || b.is_ascii_digit() => {
+                // Scan the identifier-shaped run after the quote; a
+                // closing quote right after makes it a char literal
+                // ('a', 'é'), otherwise it is a lifetime ('a, 'static).
+                let mut i = 0;
+                loop {
+                    let rest = &self.src[self.pos + i..];
+                    let Some(c) = rest.chars().next() else { break };
+                    if c == '_' || c.is_alphanumeric() {
+                        i += c.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(i) == Some(b'\'') {
+                    self.bump_n(i + 1);
+                    TokenKind::Char
+                } else {
+                    self.bump_n(i);
+                    TokenKind::Lifetime
+                }
+            }
+            // Any other single char: '+', ' ', '∂' … must be a char
+            // literal (there is no lifetime named `'+`).
+            Some(_) => {
+                self.char_body();
+                TokenKind::Char
+            }
+            None => TokenKind::Lifetime,
+        }
+    }
+
+    /// Consumes a char-literal body plus closing quote (cursor just
+    /// past the opening quote).
+    fn char_body(&mut self) {
+        if self.peek(0) == Some(b'\\') {
+            self.bump();
+            match self.peek(0) {
+                Some(b'u') => {
+                    self.bump();
+                    if self.peek(0) == Some(b'{') {
+                        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'}' {
+                            self.bump();
+                        }
+                        if self.pos < self.bytes.len() {
+                            self.bump();
+                        }
+                    }
+                }
+                Some(b'x') => self.bump_n(3.min(self.bytes.len() - self.pos)),
+                Some(_) => self.bump(),
+                None => {}
+            }
+        } else if let Some(c) = self.src[self.pos..].chars().next() {
+            self.bump_n(c.len_utf8());
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.bump();
+        }
+    }
+
+    fn string(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        self.bump(); // the escaped byte (covers \" and \\)
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    return TokenKind::Str;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokenKind::Str // unterminated: runs to end of input
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Integer/prefix part plus any alphanumeric continuation: this
+        // single scan covers hex/oct/bin prefixes, `_` separators,
+        // type suffixes (42u64, 1f32) and exponent digits.
+        self.alphanumeric_run();
+        // Fractional part: consume `.` only when a digit follows, so
+        // `0..n` lexes as `0`, `.`, `.`, `n` (range, not float).
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+            self.bump();
+            self.alphanumeric_run();
+        }
+        // Signed exponent: `1e-6` / `2.5E+10` leave the run above at
+        // `e`; stitch the sign and digits back on.
+        if matches!(
+            self.bytes.get(self.pos.wrapping_sub(1)),
+            Some(b'e') | Some(b'E')
+        ) && matches!(self.peek(0), Some(b'+') | Some(b'-'))
+            && self.peek(1).is_some_and(|b| b.is_ascii_digit())
+        {
+            self.bump();
+            self.alphanumeric_run();
+        }
+        TokenKind::Number
+    }
+
+    fn alphanumeric_run(&mut self) {
+        while self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).iter().map(|t| (t.kind, t.slice(src))).collect()
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("&'a str 'x' '\\n' 'static '_ b'q'"),
+            vec![
+                (Punct, "&"),
+                (Lifetime, "'a"),
+                (Ident, "str"),
+                (Char, "'x'"),
+                (Char, "'\\n'"),
+                (Lifetime, "'static"),
+                (Lifetime, "'_"),
+                (Char, "b'q'"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds(r###"r#type r"raw" r#"has " quote"# br##"//"##"###),
+            vec![
+                (Ident, "r#type"),
+                (RawStr, r#"r"raw""#),
+                (RawStr, r##"r#"has " quote"#"##),
+                (RawStr, r###"br##"//"##"###),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_nest_and_strings_hide_comment_openers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("/* a /* b */ c */ \"// not a comment\" // real"),
+            vec![
+                (BlockComment, "/* a /* b */ c */"),
+                (Str, "\"// not a comment\""),
+                (LineComment, "// real"),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_with_suffixes_exponents_and_ranges() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("1.0e-6 0x_ff 42u64 0..n 3.5f64"),
+            vec![
+                (Number, "1.0e-6"),
+                (Number, "0x_ff"),
+                (Number, "42u64"),
+                (Number, "0"),
+                (Punct, "."),
+                (Punct, "."),
+                (Ident, "n"),
+                (Number, "3.5f64"),
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_one_based_and_track_newlines() {
+        let src = "a\n  bb\n";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,89 @@
+//! The `uavca-audit` CLI: audit the workspace, print diagnostics,
+//! exit nonzero on any finding.
+//!
+//! ```text
+//! uavca-audit [--root <dir>]
+//! ```
+//!
+//! Without `--root`, the workspace root is found by walking upward
+//! from the current directory to the first `Cargo.toml` declaring
+//! `[workspace]` — so `cargo run -p uavca-audit` works from anywhere
+//! inside the repo.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use uavca_audit::{audit_workspace, find_workspace_root};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("uavca-audit: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: uavca-audit [--root <workspace dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("uavca-audit: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root {
+        Some(dir) => dir,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(cwd) => cwd,
+                Err(e) => {
+                    eprintln!("uavca-audit: cannot read current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(dir) => dir,
+                None => {
+                    eprintln!(
+                        "uavca-audit: no enclosing [workspace] Cargo.toml from {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match audit_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("uavca-audit: walking {} failed: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for diag in &report.diagnostics {
+        println!("{diag}");
+    }
+    if report.diagnostics.is_empty() {
+        println!(
+            "uavca-audit: workspace clean ({} files audited)",
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "uavca-audit: {} diagnostic(s) across {} files audited",
+            report.diagnostics.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

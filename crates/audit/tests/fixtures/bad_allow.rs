@@ -1,0 +1,5 @@
+// audit: allow(no_such_rule, the rule name does not exist)
+const A: u32 = 0;
+// audit: allow(wall_clock)
+const B: u32 = 1;
+const C: u32 = 2; // audit: allow(panic_policy,   )

@@ -1,0 +1,28 @@
+//! Tricky-but-clean syntax: the analyzer must report nothing here.
+
+/* nested /* block /* comments */ */ still one comment */
+const RAW: &str = r#"not a // comment, and not "done" at the first quote"#;
+const URL: &str = "https://example.com/not-a-comment";
+const MENTIONS: &str = "contains .unwrap() and thread_rng and HashMap in a string";
+const CH: char = 'a';
+const ESCAPED: char = '\'';
+const BYTES: &[u8] = br##"raw # bytes with a lone " quote"##;
+const FLOATY: f64 = 1.0e-6;
+
+fn lifetimes<'a>(x: &'a str) -> &'a str {
+    // The `'a` above is a lifetime, not an unterminated char literal.
+    x
+}
+
+fn ranges() -> usize {
+    let mut n = 0_usize;
+    for i in 0..3 {
+        n += i;
+    }
+    n
+}
+
+fn raw_ident() -> u32 {
+    let r#type = 1_u32;
+    r#type
+}

@@ -1,0 +1,5 @@
+fn seed_badly() -> u64 {
+    let mut rng = rand::thread_rng();
+    let _other = rand::rngs::StdRng::from_entropy();
+    rng.gen()
+}

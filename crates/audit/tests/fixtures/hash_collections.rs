@@ -1,0 +1,10 @@
+use std::collections::HashMap;
+
+fn tabulate(keys: &[u32]) -> HashMap<u32, u32> {
+    // audit: allow(hash_collections, fixture demonstrating the standalone allow form)
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &k in keys {
+        *counts.entry(k).or_insert(0) += 1;
+    }
+    counts
+}

@@ -1,0 +1,18 @@
+pub struct BadCohort {
+    primary: Vec<u32>,
+    forgotten: Vec<f64>,
+    width: usize,
+}
+
+impl BadCohort {
+    fn ensure_lanes(&mut self, lanes: usize) {
+        if self.primary.len() < lanes {
+            self.primary.resize(lanes, 0);
+        }
+    }
+
+    fn swap_lanes(&mut self, a: usize, b: usize) {
+        self.primary.swap(a, b);
+        let _ = self.width;
+    }
+}

@@ -1,0 +1,20 @@
+fn brittle(v: Option<u32>) -> u32 {
+    let a = v.unwrap();
+    let b = v.expect("present");
+    if a != b {
+        panic!("mismatch");
+    }
+    match a {
+        0 => unreachable!("zero was filtered upstream"),
+        n => n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        Option::<u32>::None.unwrap();
+        panic!("fine here");
+    }
+}

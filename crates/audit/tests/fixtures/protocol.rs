@@ -1,0 +1,9 @@
+pub enum Request {
+    Run { jobs: u32 },
+    Shutdown,
+}
+
+pub enum ShardEvent {
+    Chunk { batch: u64 },
+    Orphaned,
+}

@@ -1,0 +1,5 @@
+fn battery() {
+    roundtrip(Request::Run { jobs: 3 });
+    roundtrip(Request::Shutdown);
+    roundtrip(ShardEvent::Chunk { batch: 7 });
+}

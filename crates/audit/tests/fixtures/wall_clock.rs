@@ -1,0 +1,7 @@
+use std::time::{Instant, SystemTime};
+
+fn stamp() -> f64 {
+    let t0 = Instant::now(); // audit: allow(wall_clock, fixture demonstrating the trailing allow form)
+    let _ = SystemTime::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,154 @@
+//! Property test for the hand-written lexer: random sequences drawn
+//! from a vocabulary of tricky token snippets, joined with newlines,
+//! must lex to exactly the concatenation of each snippet's expected
+//! kinds — and every token's byte span must slice back out of the
+//! source intact. The vocabulary leans on the cases a naive lexer gets
+//! wrong: raw strings with `//` and quotes inside, nested block
+//! comments, `'a` lifetimes vs `'a'` chars, raw identifiers, and
+//! numeric literals with exponents and suffixes.
+
+use proptest::prelude::*;
+use uavca_audit::lexer::{lex, TokenKind};
+
+use TokenKind::*;
+
+/// `(snippet, expected kinds)` — each snippet is placed on its own
+/// line, so line comments terminate and cannot swallow a neighbor.
+const VOCAB: &[(&str, &[TokenKind])] = &[
+    ("ident", &[Ident]),
+    ("r#type", &[Ident]),
+    ("r#match", &[Ident]),
+    ("'a", &[Lifetime]),
+    ("'static", &[Lifetime]),
+    ("'a'", &[Char]),
+    ("'\\''", &[Char]),
+    ("'\\u{1F600}'", &[Char]),
+    ("b'x'", &[Char]),
+    ("\"str with // not a comment\"", &[Str]),
+    ("\"esc \\\" quote\"", &[Str]),
+    ("\"multi\\nline escape\"", &[Str]),
+    ("r\"raw no hash\"", &[RawStr]),
+    ("r#\"raw with \"inner\" quotes\"#", &[RawStr]),
+    ("br##\"raw # bytes with a lone \" quote\"##", &[RawStr]),
+    ("42", &[Number]),
+    ("1.0e-6", &[Number]),
+    ("2.5E+10", &[Number]),
+    ("0x_ff", &[Number]),
+    ("0b1010", &[Number]),
+    ("42u64", &[Number]),
+    ("3.0f32", &[Number]),
+    (
+        "// a line comment with 'quotes' and \"strings\"",
+        &[LineComment],
+    ),
+    ("/* flat block */", &[BlockComment]),
+    (
+        "/* nested /* twice /* deep */ */ still open */",
+        &[BlockComment],
+    ),
+    ("::", &[Punct, Punct]),
+    ("..", &[Punct, Punct]),
+    ("{ }", &[Punct, Punct]),
+    ("=>", &[Punct, Punct]),
+    ("&mut", &[Punct, Ident]),
+    ("0..3", &[Number, Punct, Punct, Number]),
+    ("x.await", &[Ident, Punct, Ident]),
+    ("vec.len()", &[Ident, Punct, Ident, Punct, Punct]),
+];
+
+/// The maximum number of snippets composed per case; each draw picks
+/// that many vocabulary indices plus a prefix length to vary sequence
+/// length (the support proptest `Vec` strategy is fixed-arity).
+const MAX_SNIPPETS: usize = 24;
+
+proptest! {
+    #[test]
+    fn snippet_sequences_lex_to_their_expected_kinds(
+        draw in (vec![0usize..VOCAB.len(); MAX_SNIPPETS], 1usize..=MAX_SNIPPETS)
+    ) {
+        let (indices, len) = (&draw.0, draw.1);
+        let picks = &indices[..len];
+        let src: String = picks
+            .iter()
+            .map(|&i| VOCAB[i].0)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let want: Vec<TokenKind> = picks
+            .iter()
+            .flat_map(|&i| VOCAB[i].1.iter().copied())
+            .collect();
+        let tokens = lex(&src);
+        let got: Vec<TokenKind> = tokens.iter().map(|t| t.kind).collect();
+        prop_assert_eq!(&got, &want, "source:\n{}", src);
+
+        // Spans are well-formed: in order, non-overlapping, and each
+        // slices cleanly out of the source.
+        let mut cursor = 0usize;
+        for t in &tokens {
+            prop_assert!(t.start >= cursor, "overlapping span in:\n{}", src);
+            prop_assert!(t.end > t.start && t.end <= src.len());
+            prop_assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+            cursor = t.end;
+        }
+
+        // Everything between tokens is whitespace — the lexer drops
+        // nothing else.
+        let mut rebuilt = src.clone().into_bytes();
+        for t in &tokens {
+            rebuilt[t.start..t.end].fill(b' ');
+        }
+        prop_assert!(
+            rebuilt.iter().all(|b| b.is_ascii_whitespace()),
+            "unlexed residue in:\n{}",
+            src
+        );
+    }
+
+    /// Line/column bookkeeping: with one snippet per line, every
+    /// snippet's first token starts at column 1 of its own line.
+    #[test]
+    fn first_token_of_each_line_is_at_column_one(
+        draw in (vec![0usize..VOCAB.len(); MAX_SNIPPETS], 1usize..=MAX_SNIPPETS)
+    ) {
+        let (indices, len) = (&draw.0, draw.1);
+        let picks = &indices[..len];
+        let src: String = picks
+            .iter()
+            .map(|&i| VOCAB[i].0)
+            .collect::<Vec<_>>()
+            .join("\n");
+        let tokens = lex(&src);
+        // Multi-line snippets do not exist in the vocabulary, so each
+        // snippet advances exactly one line.
+        let expected_first_kinds = (1u32..).zip(picks.iter().map(|&i| VOCAB[i].1[0]));
+        for (line, kind) in expected_first_kinds {
+            let first = tokens
+                .iter()
+                .find(|t| t.line == line)
+                .unwrap_or_else(|| panic!("no token on line {line} of:\n{src}"));
+            prop_assert_eq!(first.col, 1, "line {} of:\n{}", line, src);
+            prop_assert_eq!(first.kind, kind, "line {} of:\n{}", line, src);
+        }
+    }
+}
+
+/// The lexer is total: a grab-bag of malformed inputs must produce
+/// tokens (degrading to `Punct` or running to EOF) without panicking.
+#[test]
+fn malformed_inputs_never_panic() {
+    for src in [
+        "\"unterminated",
+        "r#\"unterminated raw",
+        "/* unterminated block /* nested",
+        "'",
+        "'\\",
+        "b'",
+        "r#",
+        "0x",
+        "1.0e",
+        "\u{FFFD}\u{0}",
+        "🦀 émoji idénts",
+    ] {
+        let _ = lex(src);
+    }
+}

@@ -1,0 +1,32 @@
+//! The analyzer run against its own workspace: the tree this crate
+//! ships in must audit clean. This is the same invocation CI gates on
+//! (`cargo run -p uavca-audit`), expressed as a test so `cargo test -q`
+//! alone catches a regression.
+
+use std::path::Path;
+
+use uavca_audit::{audit_workspace, find_workspace_root};
+
+#[test]
+fn the_workspace_audits_clean() {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(manifest).expect("the audit crate lives inside the workspace");
+    let report = audit_workspace(&root).expect("workspace walk");
+    assert!(
+        report.diagnostics.is_empty(),
+        "the workspace must audit clean; run `cargo run -p uavca-audit` for spans:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the walk actually visited the tree (every crate root,
+    // tests, benches and examples), not an empty directory.
+    assert!(
+        report.files_scanned > 100,
+        "only {} files scanned — walk roots are wrong",
+        report.files_scanned
+    );
+}

@@ -6,6 +6,9 @@
 //! reports the median rep. Numbers in `BENCH_simulation.json` come from
 //! here.
 
+// Experiment binary: wall-clock timing is the point (audit rule A2
+// carves the bench crate out the same way).
+#![allow(clippy::disallowed_methods)]
 use std::time::Instant;
 
 use uavca_validation::{BatchRunner, Equipage, SimEngine, SimJob};

@@ -11,6 +11,9 @@
 //!
 //! `cargo run --release -p uavca-bench --bin horizon_ablation [--full]`
 
+// Experiment binary: wall-clock timing is the point (audit rule A2
+// carves the bench crate out the same way).
+#![allow(clippy::disallowed_methods)]
 use std::sync::Arc;
 
 use uavca_acasx::{AcasConfig, LogicTable};

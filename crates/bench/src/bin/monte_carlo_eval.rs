@@ -6,6 +6,9 @@
 //!
 //! `cargo run --release -p uavca-bench --bin monte_carlo_eval [--full]`
 
+// Experiment binary: wall-clock timing is the point (audit rule A2
+// carves the bench crate out the same way).
+#![allow(clippy::disallowed_methods)]
 use uavca_bench::{full_scale, runner_for_scale, seed_arg};
 use uavca_validation::{MonteCarloConfig, MonteCarloEstimator, TextTable};
 

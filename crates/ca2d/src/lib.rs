@@ -26,6 +26,7 @@
 //! # Ok::<(), uavca_mdp::MdpError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -93,9 +93,11 @@ pub fn cluster_scenarios(
                 .min_by(|a, b| {
                     squared_distance(p, a.1)
                         .partial_cmp(&squared_distance(p, b.1))
+                        // audit: allow(panic_policy, squared distances of finite parameters always compare)
                         .expect("finite coordinates")
                 })
                 .map(|(j, _)| j)
+                // audit: allow(panic_policy, min_by over k >= 1 centroids always yields one)
                 .expect("at least one centroid");
             if assignment[i] != best {
                 assignment[i] = best;
@@ -132,7 +134,10 @@ pub fn cluster_scenarios(
         let mean_fitness =
             members.iter().map(|&i| scenarios[i].1).sum::<f64>() / members.len() as f64;
         let centroid_params = EncounterParams::from_slice(&space.denormalize(centroid));
-        let mut counts = std::collections::HashMap::new();
+        // BTreeMap, not HashMap: the counts feed `dominant_class`, and
+        // any order-sensitive consumer of a per-instance-seeded map is
+        // a silent nondeterminism (audit rule A1).
+        let mut counts = std::collections::BTreeMap::new();
         for &i in &members {
             let params = EncounterParams::from_slice(&scenarios[i].0);
             *counts.entry(classify(&params)).or_insert(0usize) += 1;
@@ -141,6 +146,7 @@ pub fn cluster_scenarios(
             .iter()
             .copied()
             .max_by_key(|c| counts.get(c).copied().unwrap_or(0))
+            // audit: allow(panic_policy, GeometryClass::ALL is a non-empty const)
             .expect("non-empty class list");
         clusters.push(ScenarioCluster {
             centroid: centroid_params,
@@ -150,6 +156,7 @@ pub fn cluster_scenarios(
             members,
         });
     }
+    // audit: allow(panic_policy, mean fitness of a non-empty cluster is finite)
     clusters.sort_by(|a, b| b.mean_fitness.partial_cmp(&a.mean_fitness).expect("finite"));
     clusters
 }
@@ -310,6 +317,35 @@ mod tests {
         let a = cluster_scenarios(&space(), &batch(), 3, 42);
         let b = cluster_scenarios(&space(), &batch(), 3, 42);
         assert_eq!(a, b);
+    }
+
+    /// Regression for the audit A1 fix: the class-count pass used a
+    /// `HashMap`, which made any future order-sensitive consumer a
+    /// latent nondeterminism. With `BTreeMap` + the `GeometryClass::ALL`
+    /// scan, a dominant-class *tie* must resolve identically on every
+    /// run — to the latest tied class in declaration order (the
+    /// `max_by_key` contract).
+    #[test]
+    fn dominant_class_ties_resolve_in_declaration_order() {
+        let mut scenarios = Vec::new();
+        for i in 0..5 {
+            let mut p = EncounterParams::head_on_template();
+            p.own_ground_speed_kt += i as f64 * 0.25;
+            scenarios.push((p.to_vector().to_vec(), 10.0));
+            let mut q = EncounterParams::tail_approach_template();
+            q.own_ground_speed_kt += i as f64 * 0.25;
+            scenarios.push((q.to_vector().to_vec(), 10.0));
+        }
+        let first = cluster_scenarios(&space(), &scenarios, 1, 7);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].size, 10, "one cluster holds the 5-5 tie");
+        // TailApproach is declared after HeadOn, so the tie resolves to
+        // it — on this run and every other.
+        assert_eq!(first[0].dominant_class, GeometryClass::TailApproach);
+        for _ in 0..20 {
+            let again = cluster_scenarios(&space(), &scenarios, 1, 7);
+            assert_eq!(again, first, "tie-broken output must be run-stable");
+        }
     }
 
     #[test]

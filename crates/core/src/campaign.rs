@@ -948,6 +948,7 @@ pub(crate) fn apportion(scores: &[f64], budget: usize) -> Vec<usize> {
     order.sort_by(|&a, &b| {
         let fa = quotas[a] - quotas[a].floor();
         let fb = quotas[b] - quotas[b].floor();
+        // audit: allow(panic_policy, fractional parts of finite quotas are finite)
         fb.partial_cmp(&fa).expect("finite quotas").then(a.cmp(&b))
     });
     for &i in order.iter().take(budget.saturating_sub(assigned)) {

@@ -44,6 +44,7 @@
 //! println!("hardest encounter found: fitness {:.0}", outcome.result.best.fitness);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

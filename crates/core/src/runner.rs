@@ -214,6 +214,7 @@ impl EncounterRunner {
             }
         }
         out.into_iter()
+            // audit: allow(panic_policy, the three equipage passes above fill every slot)
             .map(|o| o.expect("every job carries one of the three equipages"))
             .collect()
     }

@@ -6,7 +6,10 @@ use crate::EncounterParams;
 /// Coarse geometry class of an encounter, used to analyze what kinds of
 /// situations a search surfaced (paper Section VII: "most of them are tail
 /// approach situations").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// `Ord` follows declaration order (the order of [`GeometryClass::ALL`])
+/// so the class can key a `BTreeMap` — the workspace's order-stable
+/// substitute for hash maps in counting passes (audit rule A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum GeometryClass {
     /// Roughly opposed tracks (relative heading within 45° of 180°).
     HeadOn,

@@ -43,6 +43,7 @@
 //! assert!(own_at_cpa.horizontal_distance(int_at_cpa) <= 500.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -190,7 +190,7 @@ mod tests {
         let model = StatisticalEncounterModel::default();
         let mut rng = StdRng::seed_from_u64(9);
         let n = 20_000;
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for _ in 0..n {
             *counts.entry(model.sample_class(&mut rng)).or_insert(0usize) += 1;
         }

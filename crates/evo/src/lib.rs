@@ -31,6 +31,7 @@
 //! # Ok::<(), uavca_evo::EvoError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

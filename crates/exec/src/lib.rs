@@ -23,6 +23,7 @@
 //! Threads are scoped (std scoped threads): no pool lives beyond a call,
 //! so there is no shutdown protocol and borrowed job lists are fine.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -36,6 +36,7 @@
 //! assert_eq!(solution.policy.action(0), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -68,6 +68,7 @@ impl CampaignClient {
     /// Returns [`ServeError`] on transport/protocol failure or a
     /// server-side execution error.
     pub fn run_batch(&self, jobs: &[SimJob]) -> Result<Vec<EncounterOutcome>, ServeError> {
+        // audit: allow(panic_policy, transport lock poisoning propagates a prior panic)
         let mut transport = self.transport.lock().expect("client transport lock");
         send_msg(
             &mut **transport,
@@ -89,6 +90,7 @@ impl CampaignClient {
     /// Returns [`ServeError`] on transport/protocol failure or a
     /// server-side execution error.
     pub fn run_paired(&self, jobs: &[PairedJob]) -> Result<Vec<PairedOutcome>, ServeError> {
+        // audit: allow(panic_policy, transport lock poisoning propagates a prior panic)
         let mut transport = self.transport.lock().expect("client transport lock");
         send_msg(
             &mut **transport,
@@ -116,6 +118,7 @@ impl CampaignClient {
         request: &CampaignRequest,
         mut on_round: impl FnMut(&RoundSummary),
     ) -> Result<CampaignOutcome, ServeError> {
+        // audit: allow(panic_policy, transport lock poisoning propagates a prior panic)
         let mut transport = self.transport.lock().expect("client transport lock");
         send_msg(
             &mut **transport,
@@ -250,12 +253,14 @@ impl CampaignClient {
         id: CampaignId,
         mut on_round: impl FnMut(&RoundEvent),
     ) -> Result<CampaignResult, ServeError> {
+        // audit: allow(panic_policy, transport lock poisoning propagates a prior panic)
         let mut transport = self.transport.lock().expect("client transport lock");
         // The subscription replays the campaign's full round trail, so
         // any stream events buffered from a prior subscription to the
         // same campaign are superseded.
         self.pending
             .lock()
+            // audit: allow(panic_policy, event buffer lock poisoning propagates a prior panic)
             .expect("client event buffer lock")
             .retain(|e| Self::stream_campaign_id(e) != Some(id));
         send_msg(&mut **transport, &Request::Stream { id })?;
@@ -282,6 +287,7 @@ impl CampaignClient {
     /// Returns transport/protocol failures; the server may already be
     /// gone by the time the acknowledgement would arrive.
     pub fn shutdown(self) -> Result<(), ServeError> {
+        // audit: allow(panic_policy, transport lock poisoning propagates a prior panic)
         let mut transport = self.transport.lock().expect("client transport lock");
         send_msg(&mut **transport, &Request::Shutdown)?;
         loop {
@@ -301,6 +307,7 @@ impl CampaignClient {
         request: &Request,
         mut matcher: impl FnMut(Event) -> Result<R, Box<Event>>,
     ) -> Result<R, ServeError> {
+        // audit: allow(panic_policy, transport lock poisoning propagates a prior panic)
         let mut transport = self.transport.lock().expect("client transport lock");
         send_msg(&mut **transport, request)?;
         loop {
@@ -332,6 +339,7 @@ impl CampaignClient {
     fn buffer(&self, event: Event) {
         self.pending
             .lock()
+            // audit: allow(panic_policy, event buffer lock poisoning propagates a prior panic)
             .expect("client event buffer lock")
             .push_back(event);
     }
@@ -355,6 +363,7 @@ impl PairSource for CampaignClient {
     /// service failure. Use [`CampaignClient::run_paired`] to handle
     /// failures as values.
     fn run_pairs(&self, jobs: &[PairedJob]) -> Vec<PairedOutcome> {
+        // audit: allow(panic_policy, JobSource is infallible by contract; panic is documented)
         self.run_paired(jobs).expect("campaign service failed")
     }
 }
@@ -364,6 +373,7 @@ impl SimSource for CampaignClient {
     ///
     /// Panics on service failure; see [`CampaignClient::run_batch`].
     fn run_sims(&self, jobs: &[SimJob]) -> Vec<EncounterOutcome> {
+        // audit: allow(panic_policy, JobSource is infallible by contract; panic is documented)
         self.run_batch(jobs).expect("campaign service failed")
     }
 }
@@ -373,6 +383,7 @@ impl SplitSource for CampaignClient {
     ///
     /// Panics on service failure; see [`CampaignClient::run_splits`].
     fn run_splits(&self, jobs: &[SplitJob]) -> Vec<SplitOutcome> {
+        // audit: allow(panic_policy, SplitSource is infallible by contract; panic is documented)
         self.run_splits(jobs).expect("campaign service failed")
     }
 }
@@ -395,6 +406,7 @@ impl InProcessServer {
     ///
     /// Panics if the server thread itself panicked.
     pub fn join(self) -> Result<SessionEnd, ServeError> {
+        // audit: allow(panic_policy, join re-raises the server thread panic as documented)
         self.handle.join().expect("campaign server thread panicked")
     }
 }
@@ -417,6 +429,7 @@ pub fn spawn_in_process(
     let handle = std::thread::Builder::new()
         .name("uavca-campaign-server".to_string())
         .spawn(move || server.serve(&mut server_end))
+        // audit: allow(panic_policy, thread spawn fails only on OS resource exhaustion)
         .expect("spawning the campaign server thread");
     (CampaignClient::new(client_end), InProcessServer { handle })
 }

@@ -306,6 +306,7 @@ impl EventLog {
 
     /// Appends one event, dropping the oldest past the retention cap.
     pub fn record(&self, event: ControlEvent) {
+        // audit: allow(panic_policy, event log lock poisoning propagates a prior panic)
         let mut log = self.inner.lock().expect("event log poisoned");
         if log.len() >= EVENT_LOG_CAP {
             log.remove(0);
@@ -315,12 +316,14 @@ impl EventLog {
 
     /// Removes and returns every retained event, oldest first.
     pub fn drain(&self) -> Vec<ControlEvent> {
+        // audit: allow(panic_policy, event log lock poisoning propagates a prior panic)
         let mut log = self.inner.lock().expect("event log poisoned");
         std::mem::take(&mut *log)
     }
 
     /// Returns a copy of every retained event without clearing the log.
     pub fn snapshot(&self) -> Vec<ControlEvent> {
+        // audit: allow(panic_policy, event log lock poisoning propagates a prior panic)
         self.inner.lock().expect("event log poisoned").clone()
     }
 }
@@ -755,6 +758,7 @@ impl ControlPlane {
             c.inflight = None;
             let checkpoint = Self::engine_checkpoint(&c.engine);
             c.engine = Self::build_engine(&runner, &c.spec, Some(&checkpoint))
+                // audit: allow(panic_policy, a checkpoint taken from a live engine always resumes)
                 .expect("a checkpoint taken from a live engine must resume");
             c.state = CampaignState::Running;
             self.log.record(ControlEvent::CampaignRestarted {
@@ -785,6 +789,7 @@ impl ControlPlane {
         let c = self
             .campaigns
             .get_mut(&id.0)
+            // audit: allow(panic_policy, the scheduler only picks ids present in the map)
             .expect("picked campaign exists");
         if c.inflight.is_none() {
             let planned = match &mut c.engine {
@@ -810,6 +815,7 @@ impl ControlPlane {
                 }
             }
         }
+        // audit: allow(panic_policy, inflight was set by the plan step immediately above)
         let mut inflight = c.inflight.take().expect("round planned above");
         let step = match &mut inflight {
             Inflight::Paired { planned, outcomes } => {
@@ -855,6 +861,7 @@ impl ControlPlane {
                             summary: s.complete_round(&planned, &outcomes),
                         }
                     }
+                    // audit: allow(panic_policy, the inflight family was built from this engine family)
                     _ => unreachable!("in-flight round family matches the engine family"),
                 };
                 notices.push(CampaignNotice::Round { id, round });

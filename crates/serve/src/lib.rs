@@ -66,6 +66,7 @@
 //! [`CampaignPlanner`]: uavca_validation::CampaignPlanner
 //! [`StratifiedEstimate`]: uavca_validation::StratifiedEstimate
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

@@ -367,6 +367,7 @@ impl ShardedBackend {
                     // worker's shutdown signal, not a failure to report.
                     let _ = serve_shard(shard_end, batch);
                 })
+                // audit: allow(panic_policy, thread spawn fails only on OS resource exhaustion)
                 .expect("spawning a shard worker thread");
             transports.push(Box::new(coordinator_end) as Box<dyn Transport>);
             locals.push(handle);
@@ -394,6 +395,7 @@ impl ShardedBackend {
     /// duplicates) — the rows of
     /// [`uavca_validation::campaign_shard_table`].
     pub fn usage(&self) -> Vec<ShardUsage> {
+        // audit: allow(panic_policy, coordinator lock poisoning propagates a prior panic)
         let coordinator = self.coordinator.lock().expect("coordinator lock");
         coordinator.slots.iter().map(|s| s.usage).collect()
     }
@@ -403,6 +405,7 @@ impl ShardedBackend {
     /// documents exactly which deliveries were rejected or requeued
     /// (none of which can have affected the merged results).
     pub fn take_faults(&self) -> Vec<ShardFault> {
+        // audit: allow(panic_policy, coordinator lock poisoning propagates a prior panic)
         let mut coordinator = self.coordinator.lock().expect("coordinator lock");
         std::mem::take(&mut coordinator.faults)
     }
@@ -532,6 +535,7 @@ impl ShardedBackend {
         make_request: impl Fn(u64, &[(usize, J)]) -> ShardRequest,
         extract: impl Fn(ShardEvent) -> Option<(u64, Vec<(usize, O)>)>,
     ) -> Result<Vec<O>, ServeError> {
+        // audit: allow(panic_policy, coordinator lock poisoning propagates a prior panic)
         let mut co = self.coordinator.lock().expect("coordinator lock");
         let co = &mut *co;
         let batch_id = co.next_batch;
@@ -739,6 +743,7 @@ impl ShardedBackend {
 
         Ok(results
             .into_iter()
+            // audit: allow(panic_policy, filled == len guarantees every slot is Some)
             .map(|r| r.expect("filled == len ensures every slot is Some"))
             .collect())
     }
@@ -753,6 +758,7 @@ impl PairSource for ShardedBackend {
     /// value.
     fn run_pairs(&self, jobs: &[PairedJob]) -> Vec<PairedOutcome> {
         self.try_run_pairs(jobs)
+            // audit: allow(panic_policy, JobSource is infallible by contract; panic is documented)
             .expect("shard fleet lost every member mid-batch")
     }
 }
@@ -764,6 +770,7 @@ impl SimSource for ShardedBackend {
     /// [`ShardedBackend::try_run_sims`].
     fn run_sims(&self, jobs: &[SimJob]) -> Vec<EncounterOutcome> {
         self.try_run_sims(jobs)
+            // audit: allow(panic_policy, JobSource is infallible by contract; panic is documented)
             .expect("shard fleet lost every member mid-batch")
     }
 }
@@ -775,6 +782,7 @@ impl SplitSource for ShardedBackend {
     /// [`ShardedBackend::try_run_splits`].
     fn run_splits(&self, jobs: &[SplitJob]) -> Vec<SplitOutcome> {
         self.try_run_splits(jobs)
+            // audit: allow(panic_policy, SplitSource is infallible by contract; panic is documented)
             .expect("shard fleet lost every member mid-batch")
     }
 }
@@ -782,6 +790,7 @@ impl SplitSource for ShardedBackend {
 impl Drop for ShardedBackend {
     fn drop(&mut self) {
         {
+            // audit: allow(panic_policy, coordinator lock poisoning propagates a prior panic)
             let mut co = self.coordinator.lock().expect("coordinator lock");
             for slot in co.slots.iter_mut().filter(|s| s.alive) {
                 let _ = slot

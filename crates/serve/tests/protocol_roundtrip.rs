@@ -21,8 +21,9 @@ use uavca_acasx::{AcasConfig, LogicTable};
 use uavca_encounter::{EncounterParams, Stratification};
 use uavca_serve::{
     encode, read_frame, write_frame, CampaignId, CampaignRequest, CampaignResult, CampaignSpec,
-    CampaignState, CampaignStatus, Checkpoint, Event, IndexedPairedJob, IndexedSimJob, Request,
-    RoundEvent, ShardEvent, ShardRequest, SplitCampaignRequest, TcpTransport, Transport,
+    CampaignState, CampaignStatus, Checkpoint, Event, IndexedPairedJob, IndexedSimJob,
+    IndexedSplitJob, Request, RoundEvent, ShardEvent, ShardRequest, SplitCampaignRequest,
+    TcpTransport, Transport,
 };
 use uavca_sim::EncounterOutcome;
 use uavca_validation::{
@@ -413,6 +414,23 @@ proptest! {
             .collect();
         roundtrip(&Request::RunSplits { jobs: jobs.clone() });
         roundtrip(&Event::SplitsDone { outcomes: RiggedSplits.run_splits(&jobs) });
+
+        // The shard-level framing of the same split jobs, and the
+        // chunked flush of their outcomes — non-contiguous indices, as
+        // round-robin partitioning strides a shard's slice.
+        roundtrip(&ShardRequest::RunSplits {
+            batch: seed,
+            jobs: jobs
+                .iter()
+                .enumerate()
+                .map(|(index, job)| IndexedSplitJob { index, job: job.clone() })
+                .collect(),
+        });
+        roundtrip(&ShardEvent::SplitChunk {
+            batch: seed,
+            indices: (0..jobs.len()).map(|i| i * 3 + 2).collect(),
+            outcomes: RiggedSplits.run_splits(&jobs),
+        });
 
         // A paired checkpoint from the drawn cells through the real
         // estimator stack — all-zero draws push the NaN/∞ markers

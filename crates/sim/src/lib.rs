@@ -41,6 +41,7 @@
 //! assert!(outcome.nmac, "head-on with no avoidance should end in NMAC");
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

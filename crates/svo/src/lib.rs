@@ -30,6 +30,7 @@
 //! assert!(blind.min_separation_ft < 100.0, "unequipped pair nearly collides");
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 

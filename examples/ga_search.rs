@@ -9,6 +9,9 @@
 //!
 //! Run with `cargo run --release --example ga_search [--full]`.
 
+// Examples report wall-clock runtimes to the operator; they are not
+// part of any deterministic replay path (audit rule A2 exempts them).
+#![allow(clippy::disallowed_methods)]
 use uavca::validation::{EncounterRunner, SearchConfig, SearchHarness, TextTable};
 
 fn main() {

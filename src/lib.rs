@@ -37,6 +37,7 @@
 //! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment index.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub use uavca_acasx as acasx;
