@@ -1,7 +1,9 @@
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
-use uavca_sim::{AlphaBetaTracker, AvoiderContext, CollisionAvoider, ManeuverCommand, Sense};
+use uavca_sim::{
+    AlphaBetaTracker, AvoiderContext, CollisionAvoider, ManeuverCommand, Sense, SenseSet,
+};
 
 use crate::{Advisory, AdvisorySet, LogicTable};
 
@@ -78,12 +80,23 @@ pub(crate) fn alerting_eligible(
 /// flapping in perfectly symmetric geometries.
 #[inline]
 pub(crate) fn decision_mask(previous: Advisory, forbidden: Option<Sense>) -> AdvisorySet {
+    decision_mask_set(previous, SenseSet::from_option(forbidden))
+}
+
+/// [`decision_mask`] over a multi-party restriction set: identical rule,
+/// except that with *both* senses forbidden (possible only with ≥ 3
+/// coordinating aircraft) the mask collapses to COC alone. For sets of at
+/// most one sense this computes exactly what `decision_mask` computes —
+/// `SenseSet::from_option` is a bijection onto such sets — which is what
+/// keeps the k = 2 multi-aircraft path bit-identical to the pairwise one.
+#[inline]
+pub(crate) fn decision_mask_set(previous: Advisory, forbidden: SenseSet) -> AdvisorySet {
     let locked = match previous.sense() {
-        Some(s) if forbidden != Some(s) => Some(s),
+        Some(s) if !forbidden.contains(s) => Some(s),
         _ => None,
     };
     AdvisorySet::from_fn(|adv| {
-        if !adv.sense_allowed(forbidden) {
+        if adv.sense().is_some_and(|s| forbidden.contains(s)) {
             return false;
         }
         match (adv.sense(), locked) {
@@ -202,10 +215,18 @@ impl AcasXu {
     pub fn table(&self) -> &Arc<LogicTable> {
         &self.table
     }
-}
 
-impl CollisionAvoider for AcasXu {
-    fn decide(&mut self, ctx: &AvoiderContext<'_>) -> Option<ManeuverCommand> {
+    /// The full decision step under an explicit restriction set — the
+    /// single body behind both [`CollisionAvoider::decide`] (pairwise,
+    /// restriction from `ctx.forbidden_sense`) and
+    /// [`CollisionAvoider::decide_multi`] (n-party, restriction passed
+    /// in). Sharing the body is what makes the k = 2 multi path
+    /// bit-identical to the pairwise path by construction.
+    fn decide_masked(
+        &mut self,
+        ctx: &AvoiderContext<'_>,
+        forbidden: SenseSet,
+    ) -> Option<ManeuverCommand> {
         let (intruder_pos, intruder_vel) = match &mut self.tracker {
             Some(tracker) => tracker.update(ctx.intruder),
             None => (ctx.intruder.position, ctx.intruder.velocity),
@@ -224,7 +245,7 @@ impl CollisionAvoider for AcasXu {
                 tau.tau_s,
                 self.previous,
                 self.prev_offset,
-                decision_mask(self.previous, ctx.forbidden_sense),
+                decision_mask_set(self.previous, forbidden),
                 effective_hysteresis(self.previous, self.hysteresis_bonus),
             )
         } else {
@@ -236,6 +257,24 @@ impl CollisionAvoider for AcasXu {
         }
 
         advisory_command(advisory, ctx.own.velocity.z)
+    }
+}
+
+impl CollisionAvoider for AcasXu {
+    fn decide(&mut self, ctx: &AvoiderContext<'_>) -> Option<ManeuverCommand> {
+        self.decide_masked(ctx, SenseSet::from_option(ctx.forbidden_sense))
+    }
+
+    fn decide_multi(
+        &mut self,
+        ctx: &AvoiderContext<'_>,
+        forbidden: SenseSet,
+    ) -> Option<ManeuverCommand> {
+        // Unlike the trait's default bridge, this keeps the advisory
+        // memory (previous advisory, hysteresis offset) advancing even
+        // when both senses are forbidden: the mask collapses to COC and
+        // the state machine records the stand-down.
+        self.decide_masked(ctx, forbidden)
     }
 
     fn reset(&mut self) {

@@ -305,7 +305,15 @@ impl PairTable {
 
     /// Folds one paired outcome into the table.
     pub fn absorb(&mut self, pair: &PairedOutcome) {
-        match (pair.equipped.nmac, pair.unequipped.nmac) {
+        self.absorb_flags(pair.equipped.nmac, pair.unequipped.nmac);
+    }
+
+    /// Folds one `(equipped, unequipped)` NMAC indicator pair into the
+    /// table — the cell rule behind [`PairTable::absorb`], exposed so the
+    /// multi-aircraft campaign can tally per-aircraft-pair indicators
+    /// that do not arrive as a scalar [`PairedOutcome`].
+    pub fn absorb_flags(&mut self, equipped_nmac: bool, unequipped_nmac: bool) {
+        match (equipped_nmac, unequipped_nmac) {
             (true, true) => self.both_nmac += 1,
             (true, false) => self.equipped_only += 1,
             (false, true) => self.unequipped_only += 1,

@@ -54,6 +54,7 @@ mod engine;
 mod fitness;
 mod harness;
 mod montecarlo;
+mod multi;
 mod report;
 mod runner;
 mod scenario;
@@ -69,6 +70,11 @@ pub use engine::{BatchRunner, PairedJob, PairedOutcome, SimEngine, SimJob, SimSo
 pub use fitness::{FitnessFunction, FitnessKind};
 pub use harness::{SearchConfig, SearchHarness, SearchOutcome};
 pub use montecarlo::{MonteCarloConfig, MonteCarloEstimate, MonteCarloEstimator, RateEstimate};
+pub use multi::{
+    DensityEstimate, MultiCampaignOutcome, MultiCampaignPlanner, MultiCampaignStepper, MultiJob,
+    MultiPairedOutcome, MultiPlannedRound, MultiRoundSummary, MultiRunScratch, MultiSource,
+    MultiStratifiedEstimate, MultiStratumEstimate, MultiStratumTally,
+};
 pub use report::{
     campaign_convergence_table, campaign_shard_table, campaign_stratum_table,
     split_convergence_table, split_stratum_table, ShardUsage, TextTable,

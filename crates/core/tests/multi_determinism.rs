@@ -1,0 +1,219 @@
+//! Multi-aircraft campaign determinism: every number of a k-aircraft
+//! density-stratified campaign — final estimate, per-density marginals,
+//! round allocations — must be bit-identical for any worker-thread
+//! count, any shard split, and across repeated runs. The grid covers
+//! k ∈ {3, 5, 8} (one density stratum each) × threads {1, 2, 8} ×
+//! shards {1, 2, 8}, in both equipage compositions, plus the
+//! stratum-membership round trip the stratified seed rule depends on.
+
+use std::sync::{Arc, OnceLock};
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uavca_acasx::{AcasConfig, LogicTable};
+use uavca_encounter::{MultiEncounterModel, MultiStratum};
+use uavca_sim::MultiMode;
+use uavca_validation::{CampaignConfig, EncounterRunner, MultiCampaignPlanner};
+
+fn runner() -> EncounterRunner {
+    static TABLE: OnceLock<Arc<LogicTable>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Arc::new(LogicTable::solve(&AcasConfig::coarse())));
+    EncounterRunner::new(table.clone())
+}
+
+/// The test grid's traffic-density axis: k ∈ {3, 5, 8} aircraft, so
+/// every job flies a genuinely n-body world (no k = 2 stratum hides a
+/// degenerate pairwise path in this matrix).
+fn model() -> MultiEncounterModel {
+    MultiEncounterModel {
+        densities: vec![3, 5, 8],
+        density_weights: vec![0.5, 0.3, 0.2],
+        ..MultiEncounterModel::default()
+    }
+}
+
+fn planner(threads: usize, mode: MultiMode) -> MultiCampaignPlanner {
+    MultiCampaignPlanner::new(
+        runner(),
+        CampaignConfig {
+            seed: 42,
+            pilot_per_stratum: 2,
+            round_runs: 18,
+            max_rounds: 2,
+            // Never stop early: every round of every grid cell must run.
+            target_half_width: f64::INFINITY,
+            threads,
+        },
+    )
+    .model(model())
+    .mode(mode)
+}
+
+#[test]
+fn multi_campaign_is_identical_across_thread_counts() {
+    let reference = planner(1, MultiMode::Pairwise).run().expect("valid config");
+    assert_eq!(reference.rounds.len(), 3, "pilot + 2 refinement rounds");
+    assert!(
+        reference.estimate.densities.iter().all(|d| d.runs > 0),
+        "every density band must be exercised for the grid to mean anything"
+    );
+    for threads in [2, 8] {
+        let outcome = planner(threads, MultiMode::Pairwise)
+            .run()
+            .expect("valid config");
+        assert_eq!(outcome, reference, "threads = {threads}");
+        assert_eq!(
+            serde_json::to_string(&outcome.estimate).unwrap(),
+            serde_json::to_string(&reference.estimate).unwrap(),
+            "serialized bytes must match at threads = {threads}"
+        );
+    }
+}
+
+#[test]
+fn multi_campaign_is_identical_across_repeated_runs() {
+    let p = planner(0, MultiMode::Pairwise);
+    let a = p.run().expect("valid config");
+    let b = p.run().expect("valid config");
+    assert_eq!(a, b);
+    let last = a.rounds.last().expect("at least the pilot round ran");
+    assert_eq!(last.total_runs, a.estimate.total_runs);
+    assert_eq!(last.risk_ratio, a.estimate.risk_ratio);
+}
+
+/// The sharded oracle: a multi campaign executed across N shard workers
+/// (each with its own worker pool) serializes to the *same bytes* as the
+/// single-process run — shard count and per-shard threads are pure
+/// deployment choices, exactly as for the pairwise campaign.
+#[test]
+fn sharded_multi_campaign_matches_in_process_byte_for_byte() {
+    use uavca_serve::ShardedBackend;
+
+    let p = planner(1, MultiMode::Pairwise);
+    let reference = p.run().expect("valid config");
+    let reference_estimate =
+        serde_json::to_string(&reference.estimate).expect("serializable estimate");
+
+    for shards in [1, 2, 8] {
+        let backend = ShardedBackend::spawn_local(runner(), shards, 2);
+        let outcome = p.run_with(&backend).expect("valid config");
+        assert_eq!(outcome, reference, "shards = {shards}");
+        assert_eq!(
+            serde_json::to_string(&outcome.estimate).expect("serializable estimate"),
+            reference_estimate,
+            "serialized bytes must match at shards = {shards}"
+        );
+        assert!(backend.take_faults().is_empty(), "clean run, no requeues");
+        let completed: usize = backend.usage().iter().map(|u| u.jobs_completed).sum();
+        assert_eq!(completed, outcome.total_runs());
+    }
+}
+
+/// Coordinated deconfliction runs the same grid: global clearances add
+/// cross-pair coupling inside each world but change nothing about the
+/// campaign's determinism story.
+#[test]
+fn coordinated_multi_campaign_is_deterministic_and_shardable() {
+    use uavca_serve::ShardedBackend;
+
+    let p = planner(1, MultiMode::Coordinated);
+    let reference = p.run().expect("valid config");
+    let threaded = planner(4, MultiMode::Coordinated)
+        .run()
+        .expect("valid config");
+    assert_eq!(threaded, reference);
+
+    let backend = ShardedBackend::spawn_local(runner(), 2, 2);
+    let sharded = p.run_with(&backend).expect("valid config");
+    assert_eq!(sharded, reference);
+    assert!(backend.take_faults().is_empty());
+
+    // The two compositions are genuinely different policies on this
+    // model (k ≥ 3 worlds resolve conflicts differently), so the modes
+    // must not silently collapse into one code path.
+    let pairwise = planner(1, MultiMode::Pairwise).run().expect("valid config");
+    assert_ne!(
+        pairwise.estimate, reference.estimate,
+        "pairwise and coordinated campaigns must be distinguishable at k ≥ 3"
+    );
+}
+
+#[test]
+fn uniform_baseline_is_identical_across_thread_counts() {
+    use uavca_exec::Executor;
+    use uavca_validation::BatchRunner;
+
+    let sources: Vec<BatchRunner> = [1, 8]
+        .iter()
+        .map(|&t| BatchRunner::new(runner(), Executor::new(t)))
+        .collect();
+    let p = planner(1, MultiMode::Pairwise);
+    let reference = p.run_uniform_with(&sources[0]).expect("valid config");
+    let parallel = p.run_uniform_with(&sources[1]).expect("valid config");
+    assert_eq!(parallel, reference);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The stratified sampler and the stratum classifier must agree:
+    /// a scene drawn *in* a stratum classifies back *to* that stratum,
+    /// for the default model and the {3, 5, 8} grid model alike. This is
+    /// the invariant the per-stratum seed rule rests on — a job's tally
+    /// bucket must be the stratum that planned it.
+    #[test]
+    fn stratum_of_round_trips_the_stratified_sampler(
+        seed in 0u64..u64::MAX,
+        pick in 0usize..64,
+    ) {
+        for model in [MultiEncounterModel::default(), model()] {
+            let strata = model.strata();
+            let stratum = strata[pick % strata.len()];
+            let params = model.sample_in(stratum, &mut StdRng::seed_from_u64(seed));
+            prop_assert_eq!(
+                model.stratum_of(&params),
+                stratum,
+                "a sample drawn in a stratum must classify back to it"
+            );
+            prop_assert_eq!(
+                params.num_aircraft(),
+                model.densities[stratum.density_index],
+                "density strata fix the aircraft count exactly"
+            );
+        }
+    }
+
+    /// Stratum weights are a probability mass function over the
+    /// density × geometry grid, whatever the (positive) raw weights.
+    #[test]
+    fn stratum_weights_normalize_over_the_grid(
+        w in (0.1f64..5.0, 0.1f64..5.0, 0.1f64..5.0),
+    ) {
+        let model = MultiEncounterModel {
+            density_weights: vec![w.0, w.1, w.2],
+            ..model()
+        };
+        let total: f64 = model.strata().iter().map(|&s| model.weight(s)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-12, "weights sum to {total}");
+    }
+}
+
+/// The canonical stratum order is density-major and index_of inverts it
+/// — the contract the campaign's `allocated` vectors index by.
+#[test]
+fn strata_order_is_density_major_and_indexable() {
+    let model = model();
+    let strata = model.strata();
+    assert_eq!(strata.len(), model.num_strata());
+    for (i, &s) in strata.iter().enumerate() {
+        assert_eq!(model.index_of(s), i);
+    }
+    let mut sorted = strata.clone();
+    sorted.sort();
+    assert_eq!(
+        sorted, strata,
+        "canonical order must agree with the Ord derivation"
+    );
+    let _: MultiStratum = strata[0];
+}

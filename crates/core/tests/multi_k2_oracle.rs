@@ -1,0 +1,162 @@
+//! The k = 2 regression oracle: the n-body [`MultiEncounterWorld`] at
+//! two aircraft, with pairwise composition, must reproduce the scalar
+//! [`EncounterWorld`] **byte for byte** — same solved logic table, same
+//! simulation configuration, same seeds, both equipages — over a sweep
+//! of sampled encounters. This is the contract that lets every
+//! multi-aircraft result be read as a strict generalization of the
+//! two-ship engine the paper's estimates are built on: at k = 2 nothing
+//! is merely "close", it is the identical computation.
+//!
+//! The in-crate spot check (`uavca_sim::multi`) covers the unequipped
+//! head-on; this sweep drives both worlds with the real coarse-table
+//! ACAS XU avoiders over randomized statistical-model encounters.
+
+use std::sync::{Arc, OnceLock};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use uavca_acasx::{AcasConfig, AcasXu, LogicTable};
+use uavca_encounter::{ScenarioGenerator, StatisticalEncounterModel};
+use uavca_sim::{
+    CollisionAvoider, EncounterOutcome, EncounterWorld, MultiEncounterWorld, MultiMode, UavState,
+    Unequipped,
+};
+use uavca_validation::{EncounterRunner, Equipage};
+
+fn table() -> &'static Arc<LogicTable> {
+    static TABLE: OnceLock<Arc<LogicTable>> = OnceLock::new();
+    TABLE.get_or_init(|| Arc::new(LogicTable::solve(&AcasConfig::coarse())))
+}
+
+fn avoiders(equipped: bool) -> Vec<Box<dyn CollisionAvoider>> {
+    (0..2)
+        .map(|_| -> Box<dyn CollisionAvoider> {
+            if equipped {
+                Box::new(AcasXu::new(table().clone()))
+            } else {
+                Box::new(Unequipped::new())
+            }
+        })
+        .collect()
+}
+
+/// Runs the scalar world and the k = 2 multi world (in `mode`) from the
+/// same initial states and seed, and demands byte-identity of the
+/// serialized outcomes (covers every float bit, including the `null`
+/// encodings of absent times).
+fn assert_worlds_agree(initial: [UavState; 2], seed: u64, equipped: bool, mode: MultiMode) {
+    let runner = EncounterRunner::new(table().clone());
+    let scalar_avoiders: [Box<dyn CollisionAvoider>; 2] = if equipped {
+        [
+            Box::new(AcasXu::new(table().clone())),
+            Box::new(AcasXu::new(table().clone())),
+        ]
+    } else {
+        [Box::new(Unequipped::new()), Box::new(Unequipped::new())]
+    };
+    let scalar = EncounterWorld::new(*runner.sim(), initial, scalar_avoiders, seed).run();
+    let multi = MultiEncounterWorld::new(*runner.sim(), mode, &initial, avoiders(equipped), seed)
+        .run()
+        .to_pairwise();
+    assert_eq!(
+        multi, scalar,
+        "k = 2 {mode:?} (equipped = {equipped}) diverged from the scalar world at seed {seed}"
+    );
+    assert_eq!(
+        serde_json::to_string(&multi).unwrap(),
+        serde_json::to_string(&scalar).unwrap(),
+        "serialized outcomes must be byte-identical at seed {seed}"
+    );
+}
+
+/// One sampled scenario per case seed, through the runner's default
+/// scenario generator — the same initial states both engines fly.
+fn sampled_initial(case: u64) -> [UavState; 2] {
+    let params = StatisticalEncounterModel::default().sample(&mut StdRng::seed_from_u64(case));
+    let enc = ScenarioGenerator::default().generate(&params);
+    [enc.own, enc.intruder]
+}
+
+#[test]
+fn k2_pairwise_multi_reproduces_the_scalar_world_equipped() {
+    for case in 0..24u64 {
+        assert_worlds_agree(
+            sampled_initial(case),
+            case ^ 0xA5,
+            true,
+            MultiMode::Pairwise,
+        );
+    }
+}
+
+#[test]
+fn k2_pairwise_multi_reproduces_the_scalar_world_unequipped() {
+    for case in 0..24u64 {
+        assert_worlds_agree(
+            sampled_initial(case),
+            case ^ 0x5A,
+            false,
+            MultiMode::Pairwise,
+        );
+    }
+}
+
+/// At two aircraft the coordinated read-out degenerates to the pairwise
+/// rule (at most one other clearance exists, and the same-sense tie is
+/// won by the lower id either way), so coordinated k = 2 must *also*
+/// match the scalar engine exactly.
+#[test]
+fn k2_coordinated_multi_also_reproduces_the_scalar_world() {
+    for case in 0..12u64 {
+        let initial = sampled_initial(case.wrapping_mul(7));
+        assert_worlds_agree(initial, case, true, MultiMode::Coordinated);
+        assert_worlds_agree(initial, case, false, MultiMode::Coordinated);
+    }
+}
+
+/// The same oracle through the production job path: a [`MultiJob`] whose
+/// parameter vector holds exactly two aircraft runs both arms through
+/// [`EncounterRunner::run_multi_pair`], and each arm projects to a
+/// scalar [`EncounterOutcome`] that a hand-driven scalar world on the
+/// multi generator's initial states reproduces byte for byte.
+#[test]
+fn k2_multi_job_arms_project_onto_scalar_runs() {
+    use uavca_encounter::{MultiEncounterModel, MultiScenarioGenerator};
+    use uavca_validation::MultiJob;
+
+    let runner = EncounterRunner::new(table().clone());
+    let model = MultiEncounterModel::default();
+    let pair_strata: Vec<_> = model
+        .strata()
+        .into_iter()
+        .filter(|s| model.densities[s.density_index] == 2)
+        .collect();
+    assert!(
+        !pair_strata.is_empty(),
+        "the default model must keep a k = 2 density band for this oracle"
+    );
+    for (case, &stratum) in (0..).zip(pair_strata.iter().cycle().take(12)) {
+        let params = model.sample_in(stratum, &mut StdRng::seed_from_u64(case));
+        let initial = MultiScenarioGenerator::default().generate(&params);
+        let initial: [UavState; 2] = [initial[0], initial[1]];
+        let job = MultiJob {
+            params,
+            seed: case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            mode: MultiMode::Pairwise,
+        };
+        let outcome = runner.run_multi_pair(&job);
+
+        let scalar = |equipage: Equipage| -> EncounterOutcome {
+            let avoiders: [Box<dyn CollisionAvoider>; 2] = match equipage {
+                Equipage::Both => [
+                    Box::new(AcasXu::new(table().clone())),
+                    Box::new(AcasXu::new(table().clone())),
+                ],
+                _ => [Box::new(Unequipped::new()), Box::new(Unequipped::new())],
+            };
+            EncounterWorld::new(*runner.sim(), initial, avoiders, job.seed).run()
+        };
+        assert_eq!(outcome.equipped.to_pairwise(), scalar(Equipage::Both));
+        assert_eq!(outcome.unequipped.to_pairwise(), scalar(Equipage::Neither));
+    }
+}

@@ -49,12 +49,17 @@
 
 mod classify;
 mod generator;
+mod multi;
 mod params;
 mod statistical;
 mod strata;
 
 pub use classify::{classify, GeometryClass};
 pub use generator::{Encounter, ScenarioGenerator};
+pub use multi::{
+    classify_multi, AircraftParams, MultiEncounterModel, MultiEncounterParams, MultiGeometry,
+    MultiGeometryWeights, MultiScenarioGenerator, MultiStratum,
+};
 pub use params::{EncounterParams, ParamRanges, NUM_PARAMS};
 pub use statistical::{ClassWeights, StatisticalEncounterModel};
 pub use strata::{Stratification, Stratum};

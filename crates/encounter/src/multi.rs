@@ -1,0 +1,610 @@
+//! k-aircraft integrated-airspace encounter parameterization.
+//!
+//! Generalizes the pairwise 9-parameter encounter encoding to traffic
+//! scenes: each aircraft gets its own kinematic 7-tuple
+//! ([`AircraftParams`]) describing how it transits a shared *focus
+//! volume*, and a scene ([`MultiEncounterParams`]) is a list of them.
+//! Three scene geometries cover the integrated-airspace settings of the
+//! multi-UAV literature (shared corridor, crossing streams, converging
+//! traffic), and the [`MultiEncounterModel`] mixes them with a discrete
+//! traffic-*density* axis — the aircraft count — giving the density ×
+//! geometry stratification that multi-aircraft Monte-Carlo campaigns
+//! reallocate over (the analogue of the pairwise
+//! [`Stratification`](crate::Stratification)).
+//!
+//! The partition is exact in the same sense as the pairwise one: every
+//! sample falls in exactly one [`MultiStratum`], stratum weights sum
+//! to 1, and conditional sampling round-trips through
+//! [`MultiEncounterModel::stratum_of`] (enforced by a proptest in
+//! `uavca-validation`'s determinism battery).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use uavca_sim::units::{fpm_to_fps, knots_to_fps, wrap_angle};
+use uavca_sim::{UavState, Vec3};
+
+use std::f64::consts::PI;
+
+/// Scene geometry of a k-aircraft encounter: how the tracks relate.
+///
+/// Classified from the *maximum pairwise circular bearing difference*
+/// of the scene (see [`classify_multi`]); `Ord` follows declaration
+/// order so the class can key a `BTreeMap` (audit rule A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MultiGeometry {
+    /// Shared corridor: all tracks nearly parallel (every pairwise
+    /// bearing difference under 45°).
+    Corridor,
+    /// Crossing streams: two track families meeting at roughly right
+    /// angles (maximum pairwise difference between 45° and 135°).
+    CrossingStreams,
+    /// Converging traffic: at least one nearly-opposed pair (maximum
+    /// pairwise difference above 135°).
+    Converging,
+}
+
+impl MultiGeometry {
+    /// All geometries in a stable order (useful for tabulation).
+    pub const ALL: [MultiGeometry; 3] = [
+        MultiGeometry::Corridor,
+        MultiGeometry::CrossingStreams,
+        MultiGeometry::Converging,
+    ];
+
+    /// A short stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MultiGeometry::Corridor => "corridor",
+            MultiGeometry::CrossingStreams => "crossing-streams",
+            MultiGeometry::Converging => "converging",
+        }
+    }
+}
+
+impl std::fmt::Display for MultiGeometry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One aircraft's transit of the shared focus volume: velocity triple
+/// plus where and when it passes closest to the focus point. The
+/// k-aircraft generalization of one "side" of the pairwise 9-tuple —
+/// relative CPA offsets against a fixed peer are replaced by an
+/// absolute miss offset against the scene focus.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AircraftParams {
+    /// Ground speed, kt.
+    pub ground_speed_kt: f64,
+    /// Track bearing, radians (0 = +x).
+    pub bearing_rad: f64,
+    /// Vertical speed, ft/min (positive climbs).
+    pub vertical_speed_fpm: f64,
+    /// Time at which the aircraft passes its focus offset, s.
+    pub time_to_focus_s: f64,
+    /// Horizontal miss distance from the focus point at that time, ft.
+    pub miss_horizontal_ft: f64,
+    /// Direction of the horizontal miss offset, radians.
+    pub miss_angle_rad: f64,
+    /// Vertical offset from the focus altitude at that time, ft.
+    pub miss_vertical_ft: f64,
+}
+
+impl AircraftParams {
+    /// Ground speed, ft/s.
+    pub fn ground_speed_fps(&self) -> f64 {
+        knots_to_fps(self.ground_speed_kt)
+    }
+
+    /// Vertical speed, ft/s.
+    pub fn vertical_speed_fps(&self) -> f64 {
+        fpm_to_fps(self.vertical_speed_fpm)
+    }
+}
+
+/// A fully parameterized k-aircraft scene.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiEncounterParams {
+    /// Per-aircraft parameters; the length is the traffic density k.
+    pub aircraft: Vec<AircraftParams>,
+}
+
+impl MultiEncounterParams {
+    /// Number of aircraft in the scene.
+    pub fn num_aircraft(&self) -> usize {
+        self.aircraft.len()
+    }
+}
+
+/// Classifies a scene's [`MultiGeometry`] from the maximum pairwise
+/// circular bearing difference (range `[0, π]`):
+///
+/// * all differences < 45° → [`MultiGeometry::Corridor`];
+/// * maximum difference > 135° → [`MultiGeometry::Converging`];
+/// * otherwise → [`MultiGeometry::CrossingStreams`].
+pub fn classify_multi(params: &MultiEncounterParams) -> MultiGeometry {
+    let mut max_diff: f64 = 0.0;
+    for (i, a) in params.aircraft.iter().enumerate() {
+        for b in &params.aircraft[i + 1..] {
+            let diff = wrap_angle(a.bearing_rad - b.bearing_rad).abs();
+            max_diff = max_diff.max(diff);
+        }
+    }
+    if max_diff < PI / 4.0 {
+        MultiGeometry::Corridor
+    } else if max_diff > 3.0 * PI / 4.0 {
+        MultiGeometry::Converging
+    } else {
+        MultiGeometry::CrossingStreams
+    }
+}
+
+/// Mixture weights over scene geometries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiGeometryWeights {
+    /// Weight of shared-corridor scenes.
+    pub corridor: f64,
+    /// Weight of crossing-streams scenes.
+    pub crossing: f64,
+    /// Weight of converging scenes.
+    pub converging: f64,
+}
+
+impl Default for MultiGeometryWeights {
+    /// Corridor operations dominate integrated airspace; crossings are
+    /// common at route intersections; converging scenes are the rare,
+    /// risk-rich tail.
+    fn default() -> Self {
+        Self {
+            corridor: 0.5,
+            crossing: 0.3,
+            converging: 0.2,
+        }
+    }
+}
+
+impl MultiGeometryWeights {
+    fn total(&self) -> f64 {
+        self.corridor + self.crossing + self.converging
+    }
+
+    fn of(&self, geometry: MultiGeometry) -> f64 {
+        match geometry {
+            MultiGeometry::Corridor => self.corridor,
+            MultiGeometry::CrossingStreams => self.crossing,
+            MultiGeometry::Converging => self.converging,
+        }
+    }
+}
+
+/// The k-aircraft statistical encounter model: a distribution over
+/// [`MultiEncounterParams`] mixing traffic densities (aircraft counts)
+/// and scene geometries, with kinematics drawn from the same plausible
+/// small-UAV ranges as the pairwise
+/// [`StatisticalEncounterModel`](crate::StatisticalEncounterModel).
+///
+/// The density × geometry cells are the model's stratification: the
+/// [`strata`](Self::strata) methods mirror the pairwise
+/// [`Stratification`](crate::Stratification) API (canonical order,
+/// exact weights, conditional sampling, `stratum_of` round-trip).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiEncounterModel {
+    /// The traffic-density axis: candidate aircraft counts (each ≥ 2).
+    pub densities: Vec<usize>,
+    /// Mixture weight of each density (parallel to `densities`).
+    pub density_weights: Vec<f64>,
+    /// Mixture weights over scene geometries.
+    pub geometry_weights: MultiGeometryWeights,
+    /// Ground speed range, kt.
+    pub ground_speed_kt: (f64, f64),
+    /// Vertical speed magnitude bound, ft/min.
+    pub max_vertical_speed_fpm: f64,
+    /// Focus transit time range, s.
+    pub time_to_focus_s: (f64, f64),
+    /// Upper bound of the horizontal focus miss distance, ft.
+    pub max_miss_horizontal_ft: f64,
+    /// Bound of the vertical focus offset magnitude, ft.
+    pub max_miss_vertical_ft: f64,
+}
+
+impl Default for MultiEncounterModel {
+    /// Densities 2/4/8 (baseline pair, busy, 4× the baseline traffic)
+    /// weighted toward the sparse end, kinematics matching the pairwise
+    /// statistical model.
+    fn default() -> Self {
+        Self {
+            densities: vec![2, 4, 8],
+            density_weights: vec![0.5, 0.3, 0.2],
+            geometry_weights: MultiGeometryWeights::default(),
+            ground_speed_kt: (30.0, 150.0),
+            max_vertical_speed_fpm: 1000.0,
+            time_to_focus_s: (20.0, 60.0),
+            max_miss_horizontal_ft: 4000.0,
+            max_miss_vertical_ft: 800.0,
+        }
+    }
+}
+
+/// One cell of the density × geometry stratification. `Ord` follows
+/// the canonical density-major stratum order so the stratum can key a
+/// `BTreeMap` (audit rule A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MultiStratum {
+    /// Index into [`MultiEncounterModel::densities`].
+    pub density_index: usize,
+    /// The scene geometry this stratum conditions on.
+    pub geometry: MultiGeometry,
+}
+
+impl std::fmt::Display for MultiStratum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}/{}", self.density_index, self.geometry.label())
+    }
+}
+
+/// Bearing jitter half-widths guaranteeing the classification
+/// round-trip: corridor offsets stay within ±20° (max pairwise 40°,
+/// strictly under the 45° corridor bound), crossing-stream offsets
+/// within ±14° around two 90°-separated streams (max pairwise in
+/// [62°, 118°] ⊂ (45°, 135°)), converging leader/opposer within ±10°
+/// of opposed tracks (minimum pairwise difference 160° > 135°).
+const CORRIDOR_JITTER_RAD: f64 = 20.0 * PI / 180.0;
+const CROSSING_JITTER_RAD: f64 = 14.0 * PI / 180.0;
+const CONVERGING_JITTER_RAD: f64 = 10.0 * PI / 180.0;
+
+impl MultiEncounterModel {
+    /// Number of density × geometry strata.
+    pub fn num_strata(&self) -> usize {
+        self.densities.len() * MultiGeometry::ALL.len()
+    }
+
+    /// All strata in a stable, density-major order (the canonical
+    /// stratum indexing used by campaign seed derivation).
+    pub fn strata(&self) -> Vec<MultiStratum> {
+        let mut out = Vec::with_capacity(self.num_strata());
+        for density_index in 0..self.densities.len() {
+            for geometry in MultiGeometry::ALL {
+                out.push(MultiStratum {
+                    density_index,
+                    geometry,
+                });
+            }
+        }
+        out
+    }
+
+    /// The canonical index of `stratum` (its position in
+    /// [`strata`](Self::strata)).
+    pub fn index_of(&self, stratum: MultiStratum) -> usize {
+        let geometry_idx = MultiGeometry::ALL
+            .iter()
+            .position(|&g| g == stratum.geometry)
+            .expect("MultiGeometry::ALL is exhaustive");
+        stratum.density_index.min(self.densities.len() - 1) * MultiGeometry::ALL.len()
+            + geometry_idx
+    }
+
+    /// Probability mass of `stratum`: normalized density weight times
+    /// normalized geometry weight (the axes are independent in the
+    /// mixture). Masses over [`strata`](Self::strata) sum to 1.
+    pub fn weight(&self, stratum: MultiStratum) -> f64 {
+        let density_total: f64 = self.density_weights.iter().sum();
+        let density_w = self.density_weights[stratum.density_index] / density_total;
+        density_w * self.geometry_weights.of(stratum.geometry) / self.geometry_weights.total()
+    }
+
+    /// Draws one scene from the full mixture.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> MultiEncounterParams {
+        let density_index = {
+            let total: f64 = self.density_weights.iter().sum();
+            let mut u = rng.gen::<f64>() * total;
+            let mut chosen = self.densities.len() - 1;
+            for (i, w) in self.density_weights.iter().enumerate() {
+                u -= w;
+                if u < 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        let geometry = {
+            let w = self.geometry_weights;
+            let mut u = rng.gen::<f64>() * w.total();
+            u -= w.corridor;
+            if u < 0.0 {
+                MultiGeometry::Corridor
+            } else {
+                u -= w.crossing;
+                if u < 0.0 {
+                    MultiGeometry::CrossingStreams
+                } else {
+                    MultiGeometry::Converging
+                }
+            }
+        };
+        self.sample_in(
+            MultiStratum {
+                density_index,
+                geometry,
+            },
+            rng,
+        )
+    }
+
+    /// Draws one scene conditioned on `stratum`. The result always maps
+    /// back to `stratum` under [`stratum_of`](Self::stratum_of).
+    ///
+    /// Draw order (fixed; campaign determinism depends on it): one base
+    /// bearing, then per aircraft in id order a bearing offset, ground
+    /// speed, vertical speed, focus time, horizontal miss, miss angle
+    /// and vertical offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stratum's density index is out of range or the
+    /// configured density is below 2.
+    pub fn sample_in<R: Rng + ?Sized>(
+        &self,
+        stratum: MultiStratum,
+        rng: &mut R,
+    ) -> MultiEncounterParams {
+        let k = self.densities[stratum.density_index];
+        assert!(k >= 2, "a traffic density needs at least two aircraft");
+        let base = rng.gen_range(-PI..PI);
+        let aircraft = (0..k)
+            .map(|i| {
+                let bearing = match stratum.geometry {
+                    MultiGeometry::Corridor => {
+                        base + rng.gen_range(-CORRIDOR_JITTER_RAD..CORRIDOR_JITTER_RAD)
+                    }
+                    MultiGeometry::CrossingStreams => {
+                        let stream = (i % 2) as f64;
+                        base + stream * PI / 2.0
+                            + rng.gen_range(-CROSSING_JITTER_RAD..CROSSING_JITTER_RAD)
+                    }
+                    MultiGeometry::Converging => match i {
+                        0 => base + rng.gen_range(-CONVERGING_JITTER_RAD..CONVERGING_JITTER_RAD),
+                        1 => {
+                            base + PI + rng.gen_range(-CONVERGING_JITTER_RAD..CONVERGING_JITTER_RAD)
+                        }
+                        _ => rng.gen_range(-PI..PI),
+                    },
+                };
+                AircraftParams {
+                    bearing_rad: wrap_angle(bearing),
+                    ground_speed_kt: rng.gen_range(self.ground_speed_kt.0..self.ground_speed_kt.1),
+                    vertical_speed_fpm: rng
+                        .gen_range(-self.max_vertical_speed_fpm..self.max_vertical_speed_fpm),
+                    time_to_focus_s: rng.gen_range(self.time_to_focus_s.0..self.time_to_focus_s.1),
+                    miss_horizontal_ft: rng.gen_range(0.0..self.max_miss_horizontal_ft),
+                    miss_angle_rad: rng.gen_range(-PI..PI),
+                    miss_vertical_ft: rng
+                        .gen_range(-self.max_miss_vertical_ft..self.max_miss_vertical_ft),
+                }
+            })
+            .collect();
+        MultiEncounterParams { aircraft }
+    }
+
+    /// The stratum `params` falls in: the density cell whose configured
+    /// aircraft count is nearest the scene's (exact for model-sampled
+    /// scenes; off-model counts clamp to the nearest density, ties to
+    /// the smaller index) crossed with its [`classify_multi`] geometry.
+    pub fn stratum_of(&self, params: &MultiEncounterParams) -> MultiStratum {
+        let k = params.num_aircraft();
+        let density_index = self
+            .densities
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &d)| d.abs_diff(k))
+            .map(|(i, _)| i)
+            .expect("models have at least one density");
+        MultiStratum {
+            density_index,
+            geometry: classify_multi(params),
+        }
+    }
+}
+
+/// Builds initial [`UavState`]s from a [`MultiEncounterParams`] scene:
+/// each aircraft is rolled back from its focus-transit point along its
+/// own (straight-line) velocity, the k-aircraft generalization of the
+/// pairwise generator's equation (3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiScenarioGenerator {
+    /// The shared focus point every aircraft's miss offset is measured
+    /// from, ft.
+    pub focus_position: Vec3,
+}
+
+impl Default for MultiScenarioGenerator {
+    /// Focus at the pairwise generator's anchor altitude: (0, 0, 4000 ft).
+    fn default() -> Self {
+        Self {
+            focus_position: Vec3::new(0.0, 0.0, 4000.0),
+        }
+    }
+}
+
+impl MultiScenarioGenerator {
+    /// Instantiates the initial states for `params`, aircraft in id
+    /// order.
+    pub fn generate(&self, params: &MultiEncounterParams) -> Vec<UavState> {
+        params
+            .aircraft
+            .iter()
+            .map(|a| {
+                let velocity = Vec3::new(
+                    a.ground_speed_fps() * a.bearing_rad.cos(),
+                    a.ground_speed_fps() * a.bearing_rad.sin(),
+                    a.vertical_speed_fps(),
+                );
+                let at_focus = self.focus_position
+                    + Vec3::new(
+                        a.miss_horizontal_ft * a.miss_angle_rad.cos(),
+                        a.miss_horizontal_ft * a.miss_angle_rad.sin(),
+                        a.miss_vertical_ft,
+                    );
+                UavState::new(at_focus - velocity * a.time_to_focus_s, velocity)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_sum_to_one() {
+        let model = MultiEncounterModel::default();
+        let total: f64 = model.strata().iter().map(|&s| model.weight(s)).sum();
+        assert!((total - 1.0).abs() < 1e-12, "total {total}");
+        assert_eq!(model.strata().len(), model.num_strata());
+    }
+
+    #[test]
+    fn index_of_matches_strata_order() {
+        let model = MultiEncounterModel::default();
+        for (i, s) in model.strata().into_iter().enumerate() {
+            assert_eq!(model.index_of(s), i, "{s}");
+        }
+    }
+
+    #[test]
+    fn conditional_samples_round_trip_to_their_stratum() {
+        let model = MultiEncounterModel::default();
+        let mut rng = StdRng::seed_from_u64(17);
+        for stratum in model.strata() {
+            for _ in 0..50 {
+                let p = model.sample_in(stratum, &mut rng);
+                assert_eq!(model.stratum_of(&p), stratum, "{stratum}: {p:?}");
+                assert_eq!(
+                    p.num_aircraft(),
+                    model.densities[stratum.density_index],
+                    "{stratum}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_mixture_samples_land_in_some_stratum() {
+        let model = MultiEncounterModel::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = std::collections::BTreeMap::new();
+        for _ in 0..3000 {
+            let p = model.sample(&mut rng);
+            *counts.entry(model.stratum_of(&p)).or_insert(0usize) += 1;
+        }
+        // Every stratum of the default model has nontrivial mass, so a
+        // 3000-draw sweep should visit all nine.
+        assert_eq!(counts.len(), model.num_strata(), "{counts:?}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let model = MultiEncounterModel::default();
+        let stratum = model.strata()[4];
+        let a = model.sample_in(stratum, &mut StdRng::seed_from_u64(9));
+        let b = model.sample_in(stratum, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn classify_multi_thresholds() {
+        let mk = |bearings: &[f64]| MultiEncounterParams {
+            aircraft: bearings
+                .iter()
+                .map(|&b| AircraftParams {
+                    ground_speed_kt: 100.0,
+                    bearing_rad: b,
+                    vertical_speed_fpm: 0.0,
+                    time_to_focus_s: 30.0,
+                    miss_horizontal_ft: 1000.0,
+                    miss_angle_rad: 0.0,
+                    miss_vertical_ft: 0.0,
+                })
+                .collect(),
+        };
+        assert_eq!(
+            classify_multi(&mk(&[0.0, 0.1, -0.1])),
+            MultiGeometry::Corridor
+        );
+        assert_eq!(
+            classify_multi(&mk(&[0.0, PI / 2.0])),
+            MultiGeometry::CrossingStreams
+        );
+        assert_eq!(
+            classify_multi(&mk(&[0.0, PI, 0.2])),
+            MultiGeometry::Converging
+        );
+        // Wrapping: bearings near ±π are a corridor, not converging.
+        assert_eq!(
+            classify_multi(&mk(&[PI - 0.05, -PI + 0.05])),
+            MultiGeometry::Corridor
+        );
+    }
+
+    #[test]
+    fn stratum_of_clamps_off_model_density() {
+        let model = MultiEncounterModel::default(); // densities 2, 4, 8
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = model.sample_in(model.strata()[0], &mut rng);
+        // Grow the scene to 5 aircraft: nearest density is 4 (index 1);
+        // the 4-vs-6 tie at k=5... 5 is distance 1 from 4 and 3 from 8.
+        p.aircraft
+            .extend(vec![p.aircraft[0], p.aircraft[1], p.aircraft[0]]);
+        assert_eq!(p.num_aircraft(), 5);
+        assert_eq!(model.stratum_of(&p).density_index, 1);
+    }
+
+    #[test]
+    fn generator_honors_focus_transit() {
+        let model = MultiEncounterModel::default();
+        let generator = MultiScenarioGenerator::default();
+        let mut rng = StdRng::seed_from_u64(21);
+        for stratum in model.strata() {
+            let p = model.sample_in(stratum, &mut rng);
+            let states = generator.generate(&p);
+            assert_eq!(states.len(), p.num_aircraft());
+            for (a, s) in p.aircraft.iter().zip(&states) {
+                // At its focus time the aircraft sits at its miss offset.
+                let at = s.position + s.velocity * a.time_to_focus_s;
+                let expected = generator.focus_position
+                    + Vec3::new(
+                        a.miss_horizontal_ft * a.miss_angle_rad.cos(),
+                        a.miss_horizontal_ft * a.miss_angle_rad.sin(),
+                        a.miss_vertical_ft,
+                    );
+                assert!(at.distance(expected) < 1e-6, "{a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let model = MultiEncounterModel::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = model.sample(&mut rng);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: MultiEncounterParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+        let mjson = serde_json::to_string(&model).unwrap();
+        let mback: MultiEncounterModel = serde_json::from_str(&mjson).unwrap();
+        assert_eq!(model, mback);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let s = MultiStratum {
+            density_index: 2,
+            geometry: MultiGeometry::CrossingStreams,
+        };
+        assert_eq!(s.to_string(), "d2/crossing-streams");
+        assert_eq!(MultiGeometry::ALL.len(), 3);
+    }
+}

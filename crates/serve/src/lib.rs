@@ -83,8 +83,9 @@ pub use control::{
     CampaignStatus, Checkpoint, ControlEvent, ControlPlane, EventLog, RoundEvent,
 };
 pub use protocol::{
-    decode, encode, read_frame, write_frame, CampaignRequest, Event, IndexedPairedJob,
-    IndexedSimJob, IndexedSplitJob, Request, ShardEvent, ShardRequest, SplitCampaignRequest,
+    decode, encode, read_frame, write_frame, CampaignRequest, Event, IndexedMultiJob,
+    IndexedPairedJob, IndexedSimJob, IndexedSplitJob, Request, ShardEvent, ShardRequest,
+    SplitCampaignRequest,
 };
 pub use server::{CampaignServer, SessionEnd};
 pub use shard::{serve_shard, serve_shard_tcp, ShardFault, ShardedBackend};

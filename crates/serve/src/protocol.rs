@@ -31,8 +31,8 @@ use serde::{Deserialize, Serialize};
 use uavca_encounter::StatisticalEncounterModel;
 use uavca_sim::EncounterOutcome;
 use uavca_validation::{
-    CampaignConfig, CampaignConfigError, CampaignOutcome, PairedJob, PairedOutcome, RoundSummary,
-    SimJob, SplitConfig, SplitJob, SplitOutcome,
+    CampaignConfig, CampaignConfigError, CampaignOutcome, MultiJob, MultiPairedOutcome, PairedJob,
+    PairedOutcome, RoundSummary, SimJob, SplitConfig, SplitJob, SplitOutcome,
 };
 
 use crate::control::{
@@ -262,6 +262,17 @@ pub struct IndexedSplitJob {
     pub job: SplitJob,
 }
 
+/// A [`MultiJob`] tagged with its index in the submitted batch. Not
+/// `Copy` (the job carries its per-aircraft parameter vector), but cheap
+/// to clone relative to flying a k-aircraft pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexedMultiJob {
+    /// Position of this job in the coordinator's batch.
+    pub index: usize,
+    /// The job itself.
+    pub job: MultiJob,
+}
+
 /// A coordinator-to-shard request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ShardRequest {
@@ -290,6 +301,16 @@ pub enum ShardRequest {
         batch: u64,
         /// The shard's slice of the batch.
         jobs: Vec<IndexedSplitJob>,
+    },
+    /// Run the indexed k-aircraft jobs, answering
+    /// [`ShardEvent::MultiChunk`] events. Each job is a pure function of
+    /// its fields (params, seed, equipage mode), so multi-aircraft
+    /// batches shard exactly like plain pairs.
+    RunMultis {
+        /// The coordinator's batch id; echoed in every reply.
+        batch: u64,
+        /// The shard's slice of the batch.
+        jobs: Vec<IndexedMultiJob>,
     },
     /// Stop serving (orderly shard shutdown).
     Shutdown,
@@ -357,6 +378,16 @@ pub enum ShardEvent {
         indices: Vec<usize>,
         /// The roots' outcomes, parallel to `indices`.
         outcomes: Vec<SplitOutcome>,
+    },
+    /// A sub-batch of k-aircraft paired jobs finished.
+    MultiChunk {
+        /// The batch id of the request this answers.
+        batch: u64,
+        /// The jobs' indices in the coordinator's batch, parallel to
+        /// `outcomes`.
+        indices: Vec<usize>,
+        /// Both arms' outcomes, parallel to `indices`.
+        outcomes: Vec<MultiPairedOutcome>,
     },
 }
 

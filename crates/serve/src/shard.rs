@@ -23,11 +23,13 @@ use std::sync::Mutex;
 use uavca_exec::{Backend, Executor};
 use uavca_sim::EncounterOutcome;
 use uavca_validation::{
-    BatchRunner, EncounterRunner, PairSource, PairedJob, PairedOutcome, ShardUsage, SimJob,
-    SimSource, SplitJob, SplitOutcome, SplitSource,
+    BatchRunner, EncounterRunner, MultiJob, MultiPairedOutcome, MultiSource, PairSource, PairedJob,
+    PairedOutcome, ShardUsage, SimJob, SimSource, SplitJob, SplitOutcome, SplitSource,
 };
 
-use crate::protocol::{IndexedPairedJob, IndexedSimJob, IndexedSplitJob, ShardEvent, ShardRequest};
+use crate::protocol::{
+    IndexedMultiJob, IndexedPairedJob, IndexedSimJob, IndexedSplitJob, ShardEvent, ShardRequest,
+};
 use crate::transport::{recv_msg, send_msg, RecvOutcome, TcpTransport, Transport};
 use crate::{channel_pair, ServeError};
 
@@ -216,6 +218,20 @@ pub fn serve_shard<B: Backend, T: Transport>(
                     send_msg(
                         &mut transport,
                         &ShardEvent::SplitChunk {
+                            batch: id,
+                            indices: chunk.iter().map(|j| j.index).collect(),
+                            outcomes,
+                        },
+                    )?;
+                }
+            }
+            ShardRequest::RunMultis { batch: id, jobs } => {
+                for chunk in jobs.chunks(SHARD_CHUNK) {
+                    let plain: Vec<MultiJob> = chunk.iter().map(|j| j.job.clone()).collect();
+                    let outcomes = batch.run_multis(&plain);
+                    send_msg(
+                        &mut transport,
+                        &ShardEvent::MultiChunk {
                             batch: id,
                             indices: chunk.iter().map(|j| j.index).collect(),
                             outcomes,
@@ -516,6 +532,44 @@ impl ShardedBackend {
         )
     }
 
+    /// Runs a k-aircraft paired batch across the fleet; outcomes in job
+    /// order.
+    ///
+    /// Multi jobs are pure functions of their fields (sampled encounter
+    /// parameters, simulation seed, equipage mode), so a requeued job
+    /// reruns bit-identically on any survivor, exactly as for plain
+    /// pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::AllShardsLost`] when no live shard remains
+    /// with jobs still outstanding.
+    pub fn try_run_multis(&self, jobs: &[MultiJob]) -> Result<Vec<MultiPairedOutcome>, ServeError> {
+        self.run_indexed(
+            jobs,
+            |batch, slice| ShardRequest::RunMultis {
+                batch,
+                jobs: slice
+                    .iter()
+                    .map(|(index, job)| IndexedMultiJob {
+                        index: *index,
+                        job: job.clone(),
+                    })
+                    .collect(),
+            },
+            |event| match event {
+                ShardEvent::MultiChunk {
+                    batch,
+                    indices,
+                    outcomes,
+                } if indices.len() == outcomes.len() => {
+                    Some((batch, indices.into_iter().zip(outcomes).collect()))
+                }
+                _ => None,
+            },
+        )
+    }
+
     /// The shared dispatch/merge loop: partition, send, drain, requeue.
     ///
     /// Determinism does not depend on any choice made here — results are
@@ -783,6 +837,18 @@ impl SplitSource for ShardedBackend {
     fn run_splits(&self, jobs: &[SplitJob]) -> Vec<SplitOutcome> {
         self.try_run_splits(jobs)
             // audit: allow(panic_policy, SplitSource is infallible by contract; panic is documented)
+            .expect("shard fleet lost every member mid-batch")
+    }
+}
+
+impl MultiSource for ShardedBackend {
+    /// # Panics
+    ///
+    /// Panics if every shard is lost with jobs outstanding; see
+    /// [`ShardedBackend::try_run_multis`].
+    fn run_multis(&self, jobs: &[MultiJob]) -> Vec<MultiPairedOutcome> {
+        self.try_run_multis(jobs)
+            // audit: allow(panic_policy, MultiSource is infallible by contract; panic is documented)
             .expect("shard fleet lost every member mid-batch")
     }
 }

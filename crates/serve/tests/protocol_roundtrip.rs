@@ -16,21 +16,23 @@
 use std::sync::{Arc, OnceLock};
 
 use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use uavca_acasx::{AcasConfig, LogicTable};
-use uavca_encounter::{EncounterParams, Stratification};
+use uavca_encounter::{EncounterParams, MultiEncounterModel, Stratification};
 use uavca_serve::{
     encode, read_frame, write_frame, CampaignId, CampaignRequest, CampaignResult, CampaignSpec,
-    CampaignState, CampaignStatus, Checkpoint, Event, IndexedPairedJob, IndexedSimJob,
-    IndexedSplitJob, Request, RoundEvent, ShardEvent, ShardRequest, SplitCampaignRequest,
-    TcpTransport, Transport,
+    CampaignState, CampaignStatus, Checkpoint, Event, IndexedMultiJob, IndexedPairedJob,
+    IndexedSimJob, IndexedSplitJob, Request, RoundEvent, ShardEvent, ShardRequest,
+    SplitCampaignRequest, TcpTransport, Transport,
 };
-use uavca_sim::EncounterOutcome;
+use uavca_sim::{EncounterOutcome, MultiEncounterOutcome, MultiMode, PairOutcome};
 use uavca_validation::{
     jackknife_ratio, paired_covariance, CampaignCheckpoint, CampaignConfig, CampaignConfigError,
-    CampaignOutcome, EncounterRunner, Equipage, PairTable, PairedJob, PairedOutcome, RateEstimate,
-    RatioEstimate, RoundSummary, SimJob, SplitConfig, SplitJob, SplitOutcome, SplitPlanner,
-    SplitSource, StratifiedEstimate, StratumEstimate, StratumTally, WeightedRate,
+    CampaignOutcome, EncounterRunner, Equipage, MultiJob, MultiPairedOutcome, PairTable, PairedJob,
+    PairedOutcome, RateEstimate, RatioEstimate, RoundSummary, SimJob, SplitConfig, SplitJob,
+    SplitOutcome, SplitPlanner, SplitSource, StratifiedEstimate, StratumEstimate, StratumTally,
+    WeightedRate,
 };
 
 fn runner() -> EncounterRunner {
@@ -266,6 +268,83 @@ proptest! {
                 .collect(),
         });
         roundtrip(&ShardRequest::Shutdown);
+    }
+
+    /// The k-aircraft shard dialect: [`ShardRequest::RunMultis`] with
+    /// real sampled per-aircraft parameter vectors, and the chunked
+    /// [`ShardEvent::MultiChunk`] flush with per-pair records that
+    /// exercise the `Option` time fields (`None` serializes as `null`).
+    #[test]
+    fn multi_batch_messages_round_trip(
+        draw in (0u64..u64::MAX, 0usize..5, 0usize..6)
+    ) {
+        let (seed, count, stratum_shift) = draw;
+        let model = MultiEncounterModel::default();
+        let strata = model.strata();
+        let jobs: Vec<MultiJob> = (0..count)
+            .map(|i| {
+                let stratum = strata[(i + stratum_shift) % strata.len()];
+                let base = seed.wrapping_add(i as u64);
+                MultiJob {
+                    params: model.sample_in(stratum, &mut StdRng::seed_from_u64(base)),
+                    seed: base,
+                    mode: if (i + stratum_shift) % 2 == 0 {
+                        MultiMode::Pairwise
+                    } else {
+                        MultiMode::Coordinated
+                    },
+                }
+            })
+            .collect();
+        roundtrip(&ShardRequest::RunMultis {
+            batch: seed,
+            jobs: jobs
+                .iter()
+                .enumerate()
+                .map(|(index, job)| IndexedMultiJob { index, job: job.clone() })
+                .collect(),
+        });
+
+        // Rigged outcomes shaped by the jobs themselves, biased to cover
+        // NMAC/no-NMAC pairs and present/absent alert times.
+        let rig = |job: &MultiJob, salt: u64| -> MultiEncounterOutcome {
+            let k = job.params.num_aircraft();
+            let h = job.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+            let mut pair_records = Vec::new();
+            for a in 0..k {
+                for b in (a + 1)..k {
+                    let nmac = (h >> (a + b)).is_multiple_of(3);
+                    pair_records.push(PairOutcome {
+                        a,
+                        b,
+                        nmac,
+                        first_nmac_time_s: nmac.then_some((h % 60) as f64),
+                        min_separation_ft: (h % 5000) as f64,
+                        min_horizontal_ft: (h % 4000) as f64,
+                        min_vertical_ft: (h % 900) as f64,
+                        time_of_min_s: (h % 120) as f64,
+                    });
+                }
+            }
+            MultiEncounterOutcome {
+                pairs: pair_records,
+                alert_steps: (0..k).map(|i| (h >> i) as usize % 40).collect(),
+                reversals: (0..k).map(|i| (h >> i) as usize % 3).collect(),
+                first_alert_time_s: h.is_multiple_of(2).then_some((h % 30) as f64),
+                duration_s: 60.0 + (h % 60) as f64,
+            }
+        };
+        roundtrip(&ShardEvent::MultiChunk {
+            batch: seed,
+            indices: (0..jobs.len()).map(|i| i * 3 + 1).collect(),
+            outcomes: jobs
+                .iter()
+                .map(|job| MultiPairedOutcome {
+                    equipped: rig(job, 1),
+                    unequipped: rig(job, 2),
+                })
+                .collect(),
+        });
     }
 
     #[test]

@@ -22,6 +22,86 @@ impl Sense {
     }
 }
 
+/// A set of forbidden vertical senses — the n-party generalization of the
+/// single `Option<Sense>` coordination restriction.
+///
+/// In a two-aircraft encounter at most one restriction can be in force
+/// against an aircraft, so [`AvoiderContext::forbidden_sense`] is an
+/// `Option<Sense>`. With k aircraft coordinating, an aircraft can be
+/// restricted in *both* senses at once (two different higher-priority
+/// aircraft hold the two sense clearances), so the multi-aircraft decision
+/// path ([`CollisionAvoider::decide_multi`]) carries a set instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct SenseSet {
+    /// Whether upward maneuvers are forbidden.
+    pub up: bool,
+    /// Whether downward maneuvers are forbidden.
+    pub down: bool,
+}
+
+impl SenseSet {
+    /// The empty set: no restriction in force.
+    pub const NONE: SenseSet = SenseSet {
+        up: false,
+        down: false,
+    };
+
+    /// The set holding exactly the senses in `forbidden` (`None` maps to
+    /// the empty set). The bridge from the pairwise restriction encoding:
+    /// `SenseSet::from_option(f).contains(s)` ⇔ `f == Some(s)`.
+    pub fn from_option(forbidden: Option<Sense>) -> SenseSet {
+        match forbidden {
+            None => SenseSet::NONE,
+            Some(Sense::Up) => SenseSet {
+                up: true,
+                down: false,
+            },
+            Some(Sense::Down) => SenseSet {
+                up: false,
+                down: true,
+            },
+        }
+    }
+
+    /// Whether `sense` is in the set.
+    pub fn contains(self, sense: Sense) -> bool {
+        match sense {
+            Sense::Up => self.up,
+            Sense::Down => self.down,
+        }
+    }
+
+    /// Adds `sense` to the set.
+    pub fn insert(&mut self, sense: Sense) {
+        match sense {
+            Sense::Up => self.up = true,
+            Sense::Down => self.down = true,
+        }
+    }
+
+    /// Whether the set is empty (no restriction).
+    pub fn is_empty(self) -> bool {
+        !self.up && !self.down
+    }
+
+    /// Whether both senses are forbidden (no compliant maneuver exists).
+    pub fn is_both(self) -> bool {
+        self.up && self.down
+    }
+
+    /// Collapses a set holding at most one sense back to the pairwise
+    /// `Option<Sense>` encoding. Returns `None` for the both-forbidden
+    /// set too — callers that can distinguish "unrestricted" from
+    /// "fully restricted" must check [`is_both`](Self::is_both) first.
+    pub fn to_single(self) -> Option<Sense> {
+        match (self.up, self.down) {
+            (true, false) => Some(Sense::Up),
+            (false, true) => Some(Sense::Down),
+            _ => None,
+        }
+    }
+}
+
 /// A resolution maneuver emitted by a [`CollisionAvoider`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ManeuverCommand {
@@ -61,6 +141,30 @@ pub trait CollisionAvoider: Send {
     /// Makes one decision. Returning `None` clears any previous command
     /// (the UAV maintains its current vertical rate).
     fn decide(&mut self, ctx: &AvoiderContext<'_>) -> Option<ManeuverCommand>;
+
+    /// Makes one decision under a multi-party restriction set (see
+    /// [`SenseSet`]). `ctx.forbidden_sense` is ignored; `forbidden` is the
+    /// restriction actually in force.
+    ///
+    /// The default implementation bridges to [`decide`](Self::decide):
+    /// a set with at most one sense is handed through unchanged, and the
+    /// both-forbidden set stands the avoider down for this step (issuing
+    /// no command is the only compliant behavior, and the next
+    /// unrestricted decision re-alerts from the context alone). Avoiders
+    /// with advisory memory should override this to keep their internal
+    /// state machine updated even when fully restricted.
+    fn decide_multi(
+        &mut self,
+        ctx: &AvoiderContext<'_>,
+        forbidden: SenseSet,
+    ) -> Option<ManeuverCommand> {
+        if forbidden.is_both() {
+            return None;
+        }
+        let mut pairwise = *ctx;
+        pairwise.forbidden_sense = forbidden.to_single();
+        self.decide(&pairwise)
+    }
 
     /// Resets internal state (advisory memory, alert latches) so the value
     /// can be reused for a fresh encounter.

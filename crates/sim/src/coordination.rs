@@ -1,4 +1,4 @@
-use crate::Sense;
+use crate::{Sense, SenseSet};
 
 /// The maneuver coordination channel between the two aircraft.
 ///
@@ -76,6 +76,138 @@ impl CoordinationBoard {
     }
 }
 
+/// The n-party maneuver coordination channel.
+///
+/// Generalizes [`CoordinationBoard`] from two aircraft to k: each aircraft
+/// posts the sense of its selected maneuver (or `None`) every step, and
+/// [`commit`](Self::commit) latches the postings as the *clearances* other
+/// aircraft see on the next step — the same one-datalink-step latency as
+/// the two-party board. Ties are broken by fixed priority: among aircraft
+/// holding the same sense, the lowest id wins (the transponder-address
+/// rule), exactly the two-party tie-break extended to n.
+///
+/// Two read-out modes correspond to the two multi-aircraft equipage
+/// configurations:
+///
+/// * [`restriction_between`](Self::restriction_between) — **pairwise
+///   composition**: each aircraft coordinates only with its selected
+///   threat, seeing exactly what the two-party board would show for that
+///   pair. At k = 2 this reproduces [`CoordinationBoard`] bit for bit
+///   (see the `matches_two_party_board` test).
+/// * [`forbidden_set`](Self::forbidden_set) — **coordinated
+///   deconfliction**: an aircraft is restricted from every sense some
+///   higher-priority aircraft holds in force, across *all* traffic, which
+///   can forbid both senses at once (hence [`SenseSet`]).
+#[derive(Debug, Clone, Default)]
+pub struct MultiCoordinationBoard {
+    /// Sense most recently *posted* by each aircraft (this step).
+    posted: Vec<Option<Sense>>,
+    /// Sense clearance in force for each aircraft (from last commit).
+    committed: Vec<Option<Sense>>,
+}
+
+impl MultiCoordinationBoard {
+    /// Creates an empty board for `n` aircraft.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (coordination needs at least a pair).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "coordination needs at least two aircraft");
+        Self {
+            posted: vec![None; n],
+            committed: vec![None; n],
+        }
+    }
+
+    /// Number of aircraft on the board.
+    pub fn len(&self) -> usize {
+        self.posted.len()
+    }
+
+    /// Whether the board is empty (never true for a constructed board).
+    pub fn is_empty(&self) -> bool {
+        self.posted.is_empty()
+    }
+
+    /// Records that aircraft `id` selected a maneuver with `sense` this
+    /// step (or `None` for clear of conflict).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn post(&mut self, id: usize, sense: Option<Sense>) {
+        assert!(id < self.posted.len(), "aircraft id out of range");
+        self.posted[id] = sense;
+    }
+
+    /// Commits this step's postings into next step's clearances and
+    /// clears the posting slots.
+    pub fn commit(&mut self) {
+        for (slot, posted) in self.committed.iter_mut().zip(&mut self.posted) {
+            *slot = posted.take();
+        }
+    }
+
+    /// The sense clearance aircraft `id` holds in force (what it posted
+    /// on the last committed step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn clearance(&self, id: usize) -> Option<Sense> {
+        self.committed[id]
+    }
+
+    /// Pairwise read-out: the sense aircraft `own` must avoid when it
+    /// coordinates only with aircraft `threat`. This is the two-party
+    /// board's rule applied to the pair: `threat`'s clearance restricts
+    /// `own`, except that a same-sense tie is won by the lower id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range or `own == threat`.
+    pub fn restriction_between(&self, own: usize, threat: usize) -> Option<Sense> {
+        assert_ne!(own, threat, "an aircraft does not coordinate with itself");
+        let theirs = self.committed[threat]?;
+        if self.committed[own] == Some(theirs) && own < threat {
+            // Same-sense tie: the lower id keeps the sense unrestricted.
+            return None;
+        }
+        Some(theirs)
+    }
+
+    /// Coordinated read-out: every sense aircraft `own` must avoid given
+    /// all clearances in force. A sense is forbidden when some other
+    /// aircraft holds it and `own` is not the highest-priority (lowest-id)
+    /// holder of that sense.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `own` is out of range.
+    pub fn forbidden_set(&self, own: usize) -> SenseSet {
+        assert!(own < self.committed.len(), "aircraft id out of range");
+        let mut forbidden = SenseSet::NONE;
+        for sense in [Sense::Up, Sense::Down] {
+            let winner = self
+                .committed
+                .iter()
+                .position(|&c| c == Some(sense))
+                .filter(|&w| w != own);
+            if winner.is_some() {
+                forbidden.insert(sense);
+            }
+        }
+        forbidden
+    }
+
+    /// Clears all postings and clearances.
+    pub fn reset(&mut self) {
+        self.posted.fill(None);
+        self.committed.fill(None);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +269,112 @@ mod tests {
     #[should_panic(expected = "two-ship")]
     fn post_rejects_bad_id() {
         CoordinationBoard::new().post(2, None);
+    }
+
+    #[test]
+    fn multi_board_matches_two_party_board_exhaustively() {
+        // Both read-out modes of the k=2 multi board must reproduce the
+        // two-party board for every posting combination over two commits
+        // (the second commit checks clearing/overwrite behavior too).
+        let options = [None, Some(Sense::Up), Some(Sense::Down)];
+        for &a0 in &options {
+            for &a1 in &options {
+                for &b0 in &options {
+                    for &b1 in &options {
+                        let mut two = CoordinationBoard::new();
+                        let mut multi = MultiCoordinationBoard::new(2);
+                        for (p0, p1) in [(a0, a1), (b0, b1)] {
+                            two.post(0, p0);
+                            two.post(1, p1);
+                            multi.post(0, p0);
+                            multi.post(1, p1);
+                            two.commit();
+                            multi.commit();
+                            for own in 0..2 {
+                                let expect = two.restriction_for(own);
+                                assert_eq!(
+                                    multi.restriction_between(own, 1 - own),
+                                    expect,
+                                    "pairwise {own}: posts {p0:?}/{p1:?}"
+                                );
+                                assert_eq!(
+                                    multi.forbidden_set(own),
+                                    SenseSet::from_option(expect),
+                                    "coordinated {own}: posts {p0:?}/{p1:?}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_board_lowest_id_wins_same_sense() {
+        let mut b = MultiCoordinationBoard::new(3);
+        b.post(1, Some(Sense::Up));
+        b.post(2, Some(Sense::Up));
+        b.commit();
+        // Aircraft 1 is the lowest-id holder of Up: unrestricted in the
+        // pair with 2, restricted by nobody in coordinated mode.
+        assert_eq!(b.restriction_between(1, 2), None);
+        assert_eq!(b.forbidden_set(1), SenseSet::NONE);
+        // Aircraft 2 loses the tie both ways.
+        assert_eq!(b.restriction_between(2, 1), Some(Sense::Up));
+        assert!(b.forbidden_set(2).contains(Sense::Up));
+        // Aircraft 0 posted nothing: pairwise it sees each holder's
+        // clearance; coordinated it must avoid Up (held by 1).
+        assert_eq!(b.restriction_between(0, 1), Some(Sense::Up));
+        assert_eq!(b.forbidden_set(0), SenseSet::from_option(Some(Sense::Up)));
+    }
+
+    #[test]
+    fn multi_board_can_forbid_both_senses() {
+        let mut b = MultiCoordinationBoard::new(3);
+        b.post(0, Some(Sense::Up));
+        b.post(1, Some(Sense::Down));
+        b.commit();
+        let f = b.forbidden_set(2);
+        assert!(f.is_both(), "both senses held by higher-priority traffic");
+        // Pairwise mode never sees more than one restriction at a time.
+        assert_eq!(b.restriction_between(2, 0), Some(Sense::Up));
+        assert_eq!(b.restriction_between(2, 1), Some(Sense::Down));
+    }
+
+    #[test]
+    fn multi_board_commit_latency_and_reset() {
+        let mut b = MultiCoordinationBoard::new(4);
+        b.post(3, Some(Sense::Down));
+        assert_eq!(b.clearance(3), None, "not in force until commit");
+        b.commit();
+        assert_eq!(b.clearance(3), Some(Sense::Down));
+        // Nothing re-posted: the next commit clears the clearance.
+        b.commit();
+        assert_eq!(b.clearance(3), None);
+        b.post(2, Some(Sense::Up));
+        b.commit();
+        b.reset();
+        assert_eq!(b.clearance(2), None);
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two aircraft")]
+    fn multi_board_rejects_single_aircraft() {
+        MultiCoordinationBoard::new(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn multi_board_post_rejects_bad_id() {
+        MultiCoordinationBoard::new(2).post(2, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not coordinate with itself")]
+    fn multi_board_rejects_self_pair() {
+        MultiCoordinationBoard::new(2).restriction_between(1, 1);
     }
 }

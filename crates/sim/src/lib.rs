@@ -51,6 +51,7 @@ mod cohort;
 mod config;
 mod coordination;
 mod monitors;
+mod multi;
 mod outcome;
 mod trace;
 mod tracker;
@@ -60,10 +61,14 @@ mod vector;
 mod world;
 
 pub use adsb::{AdsbReport, AdsbSensor, SensorNoise};
-pub use avoider::{AvoiderContext, CollisionAvoider, ManeuverCommand, Sense, Unequipped};
+pub use avoider::{AvoiderContext, CollisionAvoider, ManeuverCommand, Sense, SenseSet, Unequipped};
 pub use cohort::{CohortAvoider, CohortContext, CohortJob, EncounterCohort, UnequippedCohort};
 pub use config::{DisturbanceModel, SimConfig};
-pub use coordination::CoordinationBoard;
+pub use coordination::{CoordinationBoard, MultiCoordinationBoard};
+pub use multi::{
+    pair_index, pairs, MultiEncounterOutcome, MultiEncounterWorld, MultiMode, PairOutcome,
+};
+
 pub use monitors::{
     nmac_severity, AccidentDetector, ProximityMeasurer, NMAC_HORIZONTAL_FT, NMAC_VERTICAL_FT,
 };
